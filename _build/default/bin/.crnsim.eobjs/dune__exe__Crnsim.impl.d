@@ -1,0 +1,1 @@
+bin/crnsim.ml: Analysis Arg Array Cmd Cmdliner Crn Designs Int64 Ode Printf Ssa String Sys Term

@@ -1,0 +1,1 @@
+bin/crnsynth.ml: Arg Cmd Cmdliner Core Crn Designs Dsd Format List Printf Term

@@ -1,0 +1,139 @@
+(* crnsim — simulate a chemical reaction network.
+
+   The network comes either from a .crn file (see Crn.Parser for the
+   format) or from the built-in design catalog. Output is a CSV dump, an
+   ASCII plot of selected species, or a final-state summary. *)
+
+open Cmdliner
+
+let load source =
+  match Designs.Catalog.find source with
+  | Some entry -> entry.Designs.Catalog.build ()
+  | None ->
+      if Sys.file_exists source then Crn.Parser.network_of_file source
+      else
+        failwith
+          (Printf.sprintf
+             "%S is neither a file nor a built-in design (available: %s)"
+             source
+             (String.concat ", " (Designs.Catalog.names ())))
+
+let method_of_string = function
+  | "dopri5" -> Ode.Driver.Dopri5
+  | "rosenbrock" -> Ode.Driver.Rosenbrock
+  | s -> (
+      match float_of_string_opt s with
+      | Some h when h > 0. -> Ode.Driver.Rk4 h
+      | _ -> failwith "method must be dopri5, rosenbrock, or an rk4 step size")
+
+let run source t1 ratio method_name csv_out plot_species stochastic seed
+    final_only focus =
+  try
+    let net = load source in
+    let net =
+      match focus with
+      | [] -> net
+      | names ->
+          let slice = Crn.Slice.extract net names in
+          Printf.eprintf
+            "focused on %s: %d/%d species, %d/%d reactions\n"
+            (String.concat ", " names)
+            (Crn.Network.n_species slice) (Crn.Network.n_species net)
+            (Crn.Network.n_reactions slice) (Crn.Network.n_reactions net);
+          slice
+    in
+    let env = Crn.Rates.env_with_ratio ratio in
+    (match Crn.Validate.report net with
+    | "" -> ()
+    | report -> Printf.eprintf "lint:\n%s\n" report);
+    let trace =
+      if stochastic then
+        let { Ssa.Gillespie.trace; n_events; _ } =
+          Ssa.Gillespie.run ~env ~seed:(Int64.of_int seed) ~t1 net
+        in
+        Printf.eprintf "stochastic simulation: %d reaction events\n" n_events;
+        trace
+      else
+        Ode.Driver.simulate ~method_:(method_of_string method_name) ~env
+          ~thin:5 ~t1 net
+    in
+    (match csv_out with
+    | Some path ->
+        Analysis.Csv.write_trace ~path trace;
+        Printf.printf "wrote %d samples to %s\n" (Ode.Trace.length trace) path
+    | None -> ());
+    (match plot_species with
+    | [] -> ()
+    | names ->
+        print_string
+          (Analysis.Ascii_plot.render ~width:72 ~height:16 ~title:source
+             (Analysis.Ascii_plot.of_trace trace names)));
+    if final_only || (csv_out = None && plot_species = []) then begin
+      Printf.printf "final state at t = %g:\n" t1;
+      let state = Ode.Trace.last_state trace in
+      Array.iteri
+        (fun i name ->
+          if state.(i) > 1e-6 then Printf.printf "  %-24s %10.4f\n" name state.(i))
+        (Ode.Trace.names trace)
+    end;
+    0
+  with
+  | Failure msg | Invalid_argument msg ->
+      Printf.eprintf "crnsim: %s\n" msg;
+      1
+  | Crn.Parser.Parse_error (line, msg) ->
+      Printf.eprintf "crnsim: parse error at line %d: %s\n" line msg;
+      1
+
+let source =
+  let doc = "A .crn file or a built-in design name." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc)
+
+let t1 =
+  let doc = "Simulation horizon." in
+  Arg.(value & opt float 50. & info [ "t"; "t1" ] ~docv:"TIME" ~doc)
+
+let ratio =
+  let doc = "Rate separation k_fast / k_slow (k_slow is fixed at 1)." in
+  Arg.(value & opt float 1000. & info [ "ratio" ] ~docv:"R" ~doc)
+
+let method_name =
+  let doc = "Integrator: dopri5, rosenbrock, or an RK4 step size." in
+  Arg.(value & opt string "rosenbrock" & info [ "m"; "method" ] ~doc)
+
+let csv_out =
+  let doc = "Write the trajectory as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let plot_species =
+  let doc = "Render an ASCII plot of this species (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "p"; "plot" ] ~docv:"SPECIES" ~doc)
+
+let stochastic =
+  let doc = "Use the Gillespie stochastic simulator over molecule counts." in
+  Arg.(value & flag & info [ "stochastic" ] ~doc)
+
+let seed =
+  let doc = "Random seed for the stochastic simulator." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let final_only =
+  let doc = "Print the final state even when plotting or dumping CSV." in
+  Arg.(value & flag & info [ "final" ] ~doc)
+
+let focus =
+  let doc =
+    "Slice the network to the cone of influence of this species before \
+     simulating (repeatable)."
+  in
+  Arg.(value & opt_all string [] & info [ "focus" ] ~docv:"SPECIES" ~doc)
+
+let cmd =
+  let doc = "simulate a chemical reaction network" in
+  let info = Cmd.info "crnsim" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ source $ t1 $ ratio $ method_name $ csv_out $ plot_species
+      $ stochastic $ seed $ final_only $ focus)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,103 @@
+(* crnsynth — synthesize a named design into reactions.
+
+   Prints the reaction network in the textual .crn format (which crnsim and
+   Crn.Parser read back), the synthesis-cost statistics, and optionally the
+   DNA strand-displacement compilation. *)
+
+open Cmdliner
+
+let run name list_designs show_stats dsd dsd_cmax out dsd_export =
+  if list_designs then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-16s %s\n" e.Designs.Catalog.name
+          e.Designs.Catalog.description)
+      (Designs.Catalog.all ());
+    0
+  end
+  else
+    match name with
+    | None ->
+        Printf.eprintf "crnsynth: a design name is required (try --list)\n";
+        1
+    | Some name -> (
+        try
+          let net = Designs.Catalog.build name in
+          let text = Crn.Network.to_string net in
+          (match out with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc text;
+              close_out oc;
+              Printf.printf "wrote %s\n" path
+          | None -> print_string text);
+          if show_stats then begin
+            let stats = Core.Compile.stats_of ~name net in
+            Format.printf "@.%a@." Core.Compile.pp stats
+          end;
+          if dsd || dsd_export <> None then begin
+            let t = Dsd.Translate.translate ~c_max:dsd_cmax net in
+            let stats =
+              Core.Compile.stats_of ~name:(name ^ "+dsd")
+                t.Dsd.Translate.compiled
+            in
+            Format.printf "@.DNA strand-displacement compilation:@.%a@."
+              Core.Compile.pp stats;
+            let inv = Dsd.Translate.inventory t in
+            Format.printf "%d complexes, %d distinct domains@."
+              (List.length inv)
+              (List.length (Dsd.Domain.distinct_domains inv));
+            match dsd_export with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Dsd.Export.visual_dsd t);
+                close_out oc;
+                Printf.printf "wrote Visual-DSD-flavoured export to %s\n" path
+            | None -> ()
+          end;
+          0
+        with
+        | Invalid_argument msg | Failure msg ->
+            Printf.eprintf "crnsynth: %s\n" msg;
+            1
+        | Dsd.Translate.Not_compilable msg ->
+            Printf.eprintf "crnsynth: not DSD-compilable: %s\n" msg;
+            1)
+
+let design_arg =
+  let doc = "Design to synthesize (see --list)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let list_designs =
+  let doc = "List the available designs." in
+  Arg.(value & flag & info [ "l"; "list" ] ~doc)
+
+let show_stats =
+  let doc = "Print synthesis-cost statistics." in
+  Arg.(value & flag & info [ "s"; "stats" ] ~doc)
+
+let dsd =
+  let doc = "Also compile to DNA strand displacement and report its cost." in
+  Arg.(value & flag & info [ "dsd" ] ~doc)
+
+let dsd_cmax =
+  let doc = "Fuel buffer concentration for the DSD compilation." in
+  Arg.(value & opt float 10000. & info [ "cmax" ] ~docv:"C" ~doc)
+
+let out =
+  let doc = "Write the .crn text to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let dsd_export =
+  let doc = "Write a Visual-DSD-flavoured export of the compilation to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dsd-export" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "synthesize molecular sequential designs into reactions" in
+  let info = Cmd.info "crnsynth" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ design_arg $ list_designs $ show_stats $ dsd $ dsd_cmax
+      $ out $ dsd_export)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/async_pipeline.ml: Analysis Async_mol Crn List Ode Printf

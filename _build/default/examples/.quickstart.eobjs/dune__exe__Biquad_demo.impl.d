@@ -1,0 +1,1 @@
+examples/biquad_demo.ml: Core Crn Float List Printf

@@ -1,0 +1,1 @@
+examples/biquad_demo.mli:

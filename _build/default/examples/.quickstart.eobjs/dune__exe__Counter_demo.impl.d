@@ -1,0 +1,1 @@
+examples/counter_demo.ml: Analysis Core Crn Molclock Printf

@@ -1,0 +1,1 @@
+examples/dsd_demo.ml: Array Crn Dsd Format List Ode Printf Ri_modules

@@ -1,0 +1,1 @@
+examples/dsd_demo.mli:

@@ -1,0 +1,1 @@
+examples/lfsr_demo.ml: Analysis Core Crn List Printf

@@ -1,0 +1,1 @@
+examples/moving_average_demo.ml: Core Crn Float List Printf

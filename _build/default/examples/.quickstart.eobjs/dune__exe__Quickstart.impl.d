@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Crn List Ode Printf Ri_modules Ssa

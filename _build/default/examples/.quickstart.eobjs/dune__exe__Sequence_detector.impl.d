@@ -1,0 +1,1 @@
+examples/sequence_detector.ml: Core Crn List Ode Printf

@@ -1,0 +1,41 @@
+(* The companion abstract's asynchronous (self-timed) two-delay-element
+   chain — a reproduction of its Figure 1(c): the quantity presented as X
+   ripples through the red/green/blue color categories, ordered by the
+   three global absence indicators, and accumulates undiminished in Y.
+
+   Run with: dune exec examples/async_pipeline.exe *)
+
+let () =
+  let input = 80. in
+  let trace, chain =
+    Async_mol.Delay_chain.simulate ~input ~t1:50. ~n:2 ()
+  in
+
+  print_string
+    (Analysis.Ascii_plot.render ~width:72 ~height:14
+       ~title:
+         (Printf.sprintf
+            "two-delay-element chain: X (=B0) -> ... -> Y (=R3), input %.0f"
+            input)
+       (Analysis.Ascii_plot.of_trace trace [ "B0"; "G1"; "B1"; "G2"; "R3" ]));
+
+  let y_final =
+    Async_mol.Delay_chain.output_total chain trace (Ode.Trace.last_time trace)
+  in
+  Printf.printf "\nfinal Y: %.2f of %.0f injected (%.1f%% delivered)\n" y_final
+    input
+    (100. *. y_final /. input);
+
+  (match Async_mol.Delay_chain.completion_time ~frac:0.95 chain trace with
+  | Some t -> Printf.printf "95%% of the signal arrived by t = %.2f\n" t
+  | None -> print_endline "transfer did not complete in the horizon");
+
+  (* the transfer characteristics are independent of the specific rates *)
+  print_endline "\nrate-independence sweep (k_slow fixed at 1):";
+  List.iter
+    (fun ratio ->
+      let env = Crn.Rates.env_with_ratio ratio in
+      let tr, ch = Async_mol.Delay_chain.simulate ~env ~input ~t1:80. ~n:2 () in
+      let y = Async_mol.Delay_chain.output_total ch tr (Ode.Trace.last_time tr) in
+      Printf.printf "  k_fast = %-8g -> Y = %6.2f\n" ratio y)
+    [ 100.; 1000.; 10000. ]

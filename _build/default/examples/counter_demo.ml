@@ -1,0 +1,54 @@
+(* A three-bit synchronous binary counter driven by the molecular clock —
+   the paper's flagship sequential design.
+
+   The design is a one-hot FSM over 8 states whose Moore outputs are the
+   binary-weighted bits; the clock is the four-phase oscillator; state moves
+   S -> T (release, phase 0) -> Z (transition) -> S' (capture, phase 2) once
+   per clock cycle.
+
+   Run with: dune exec examples/counter_demo.exe *)
+
+let () =
+  let net = Crn.Network.create () in
+  let design = Core.Sync_design.make net in
+  let counter = Core.Counter.free_running design ~bits:3 in
+
+  Printf.printf "Synthesized a 3-bit counter: %d species, %d reactions\n"
+    (Crn.Network.n_species net)
+    (Crn.Network.n_reactions net);
+  Printf.printf "Clock period (measured): %.3f time units\n\n"
+    (Core.Sync_design.period design);
+
+  let cycles = 10 in
+  let trace = Core.Sync_design.simulate ~cycles:(cycles + 1) design in
+
+  (* decoded counter value after every clock cycle *)
+  print_endline "cycle | one-hot state | binary outputs";
+  for c = 0 to cycles - 1 do
+    let state =
+      match Core.Counter.value_at counter trace ~cycle:c with
+      | Some v -> string_of_int v
+      | None -> "?"
+    in
+    let bits = Core.Counter.bits_at counter trace ~cycle:c in
+    Printf.printf "%5d | %13s | %d%d%d (= %d)\n" c state
+      ((bits lsr 2) land 1)
+      ((bits lsr 1) land 1)
+      (bits land 1) bits
+  done;
+
+  (* the classic counter waveforms: bit 0 toggles every cycle, bit 1 every
+     two, bit 2 every four *)
+  print_newline ();
+  print_string
+    (Analysis.Ascii_plot.render ~width:72 ~height:10
+       ~title:"counter bit waveforms (concentration vs time)"
+       (Analysis.Ascii_plot.of_trace trace (Core.Counter.bit_names counter)));
+
+  (* and the clock phases that drive it *)
+  print_newline ();
+  print_string
+    (Analysis.Ascii_plot.render ~width:72 ~height:10
+       ~title:"clock phases"
+       (Analysis.Ascii_plot.of_trace trace
+          (Molclock.Oscillator.phase_names design.Core.Sync_design.clock)))

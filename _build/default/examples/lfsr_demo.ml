@@ -1,0 +1,35 @@
+(* A three-bit maximal-length linear-feedback shift register, built
+   structurally from delay elements plus a molecular XOR gate — pseudo-random
+   sequence generation with chemistry.
+
+   Feedback polynomial x^3 + x^2 + 1 (taps on bits 1 and 2); the register
+   walks all seven nonzero states before repeating.
+
+   Run with: dune exec examples/lfsr_demo.exe *)
+
+let () =
+  let net = Crn.Network.create () in
+  let design = Core.Sync_design.make net in
+  let lfsr = Core.Lfsr.make design ~bits:3 ~taps:[ 1; 2 ] ~seed:1 in
+
+  Printf.printf "Synthesized a 3-bit LFSR: %d species, %d reactions\n\n"
+    (Crn.Network.n_species net)
+    (Crn.Network.n_reactions net);
+
+  let cycles = 8 in
+  let trace = Core.Sync_design.simulate ~cycles:(cycles + 1) design in
+  let golden = Core.Lfsr.reference ~bits:3 ~taps:[ 1; 2 ] ~seed:1 ~n:cycles in
+
+  print_endline "cycle | chemistry | golden model";
+  List.iteri
+    (fun c want ->
+      let got = Core.Lfsr.state_at lfsr trace ~cycle:c in
+      Printf.printf "%5d | %9d | %6d %s\n" c got want
+        (if got = want then "" else "  <-- MISMATCH"))
+    golden;
+
+  print_newline ();
+  print_string
+    (Analysis.Ascii_plot.render ~width:72 ~height:10
+       ~title:"register bit stores"
+       (Analysis.Ascii_plot.of_trace trace (Core.Lfsr.state_names lfsr)))

@@ -1,0 +1,1 @@
+lib/analysis/ascii_plot.ml: Array Buffer Float List Numeric Ode Printf String

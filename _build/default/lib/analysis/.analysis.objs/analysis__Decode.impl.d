@@ -1,0 +1,1 @@
+lib/analysis/decode.ml: List Ode

@@ -1,0 +1,26 @@
+let absolute_error ~expected actual = Float.abs (actual -. expected)
+
+let relative_error ~expected actual =
+  absolute_error ~expected actual /. Float.max (Float.abs expected) 1e-12
+
+let settling_time ?(tol = 0.02) ~times ~values () =
+  let n = Array.length times in
+  if n = 0 || n <> Array.length values then
+    invalid_arg "Accuracy.settling_time: empty or mismatched series";
+  let final = values.(n - 1) in
+  let band = tol *. Float.max (Float.abs final) 1e-12 in
+  let rec scan i last_violation =
+    if i >= n then last_violation
+    else
+      let lv =
+        if Float.abs (values.(i) -. final) > band then times.(i)
+        else last_violation
+      in
+      scan (i + 1) lv
+  in
+  scan 0 times.(0)
+
+let worst_over metrics =
+  List.fold_left (fun acc m -> Float.max acc (m ())) neg_infinity metrics
+
+let within ~tol ~expected actual = relative_error ~expected actual <= tol

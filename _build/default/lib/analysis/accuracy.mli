@@ -1,0 +1,25 @@
+(** Accuracy metrics for computed quantities.
+
+    Rate-independent constructs must deliver the ideal output values; these
+    helpers quantify the residual error of a simulated design against its
+    ideal, and how fast it settles there. *)
+
+val relative_error : expected:float -> float -> float
+(** [|actual - expected| / max(|expected|, eps)] with [eps = 1e-12]; an
+    expected value of zero therefore reports the absolute error. *)
+
+val absolute_error : expected:float -> float -> float
+
+val settling_time :
+  ?tol:float -> times:float array -> values:float array -> unit -> float
+(** The earliest time after which the series stays within [tol] (relative,
+    default 0.02) of its final value. The first sample time if it never
+    leaves the band. *)
+
+val worst_over :
+  (unit -> float) list -> float
+(** Maximum of a list of lazily computed error metrics (used by the sweep
+    tables: "worst error across all latches/bits"). [neg_infinity] for []. *)
+
+val within : tol:float -> expected:float -> float -> bool
+(** Is the relative error at most [tol]? *)

@@ -1,0 +1,75 @@
+type series = { label : string; times : float array; values : float array }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 18) ?title series =
+  let series = List.filter (fun s -> Array.length s.times > 0) series in
+  if series = [] then invalid_arg "Ascii_plot.render: no data";
+  let t0 =
+    List.fold_left (fun acc s -> Float.min acc s.times.(0)) infinity series
+  in
+  let t1 =
+    List.fold_left
+      (fun acc s -> Float.max acc s.times.(Array.length s.times - 1))
+      neg_infinity series
+  in
+  let ymax =
+    List.fold_left
+      (fun acc s -> Float.max acc (Numeric.Stats.maximum s.values))
+      1e-12 series
+  in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun si s ->
+      let glyph = glyphs.(si mod Array.length glyphs) in
+      for col = 0 to width - 1 do
+        let t =
+          t0 +. (float_of_int col /. float_of_int (width - 1) *. (t1 -. t0))
+        in
+        let v = Numeric.Interp.at ~times:s.times ~values:s.values t in
+        let row_f = v /. ymax *. float_of_int (height - 1) in
+        let row = height - 1 - int_of_float (Float.round row_f) in
+        let row = max 0 (min (height - 1) row) in
+        grid.(row).(col) <- glyph
+      done)
+    series;
+  let buf = Buffer.create (width * height * 2) in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Array.iteri
+    (fun i row ->
+      let ylabel =
+        if i = 0 then Printf.sprintf "%8.3g |" ymax
+        else if i = height - 1 then Printf.sprintf "%8.3g |" 0.
+        else "         |"
+      in
+      Buffer.add_string buf ylabel;
+      Buffer.add_string buf (String.init width (fun j -> row.(j)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("         +" ^ String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "          %-8.4g%s%8.4g" t0
+       (String.make (max 1 (width - 16)) ' ')
+       t1);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "          legend: ";
+  List.iteri
+    (fun si s ->
+      if si > 0 then Buffer.add_string buf "  ";
+      Buffer.add_char buf glyphs.(si mod Array.length glyphs);
+      Buffer.add_char buf '=';
+      Buffer.add_string buf s.label)
+    series;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let of_trace trace names =
+  let times = Ode.Trace.times trace in
+  List.map
+    (fun label -> { label; times; values = Ode.Trace.column_named trace label })
+    names

@@ -1,0 +1,16 @@
+(** ASCII rendering of simulation traces — how the benchmark harness
+    reproduces the paper's {e figures} in a terminal. Each series gets a
+    distinct glyph; samples are resampled onto a uniform character grid. *)
+
+type series = { label : string; times : float array; values : float array }
+
+val render :
+  ?width:int -> ?height:int -> ?title:string -> series list -> string
+(** Render the series overlaid in one frame (default 72x18 characters plus
+    axes). The y-range spans 0 to the global maximum; the x-range spans the
+    union of the series' time ranges. Raises [Invalid_argument] if no series
+    or all series are empty. *)
+
+val of_trace :
+  Ode.Trace.t -> string list -> series list
+(** Extract named species from a trace as plottable series. *)

@@ -1,0 +1,32 @@
+let escape cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quote then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_trace ~path trace =
+  with_out path (fun oc -> output_string oc (Ode.Trace.to_csv trace))
+
+let write_rows ~path ~header rows =
+  with_out path (fun oc ->
+      let put row =
+        output_string oc (String.concat "," (List.map escape row));
+        output_char oc '\n'
+      in
+      put header;
+      List.iter put rows)

@@ -1,0 +1,11 @@
+(** CSV export helpers (trace dumps for external plotting). *)
+
+val write_trace : path:string -> Ode.Trace.t -> unit
+(** Write {!Ode.Trace.to_csv} output to a file. *)
+
+val write_rows : path:string -> header:string list -> string list list -> unit
+(** Write a header line then rows, comma-separated. Cells containing commas
+    or quotes are quoted per RFC 4180. *)
+
+val escape : string -> string
+(** RFC 4180 quoting of a single cell (identity when unnecessary). *)

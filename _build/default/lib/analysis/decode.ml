@@ -1,0 +1,33 @@
+let bit ~threshold v = v >= threshold
+let bit_of_pair rail0 rail1 = rail1 >= rail0
+
+let bits_at ~threshold trace names t =
+  List.map
+    (fun name ->
+      let s = Ode.Trace.species_index trace name in
+      bit ~threshold (Ode.Trace.value_at trace ~species:s t))
+    names
+
+let int_of_bits bits =
+  List.fold_right (fun b acc -> (2 * acc) + if b then 1 else 0) bits 0
+
+let bits_of_int ~width v =
+  if v < 0 || (width < 63 && v lsr width <> 0) then
+    invalid_arg "Decode.bits_of_int: value does not fit";
+  List.init width (fun i -> (v lsr i) land 1 = 1)
+
+let int_at ~threshold trace names t =
+  int_of_bits (bits_at ~threshold trace names t)
+
+let onehot_at ~threshold trace names t =
+  let bits = bits_at ~threshold trace names t in
+  let highs = List.filteri (fun _ b -> b) bits in
+  match highs with
+  | [ _ ] ->
+      let rec index i = function
+        | [] -> None
+        | true :: _ -> Some i
+        | false :: rest -> index (i + 1) rest
+      in
+      index 0 bits
+  | _ -> None

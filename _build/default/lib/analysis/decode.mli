@@ -1,0 +1,32 @@
+(** Logic-level decoding of concentrations.
+
+    In the paper's convention a low concentration of a molecular type is
+    logical 0 and a high concentration is logical 1. Decoding compares
+    against a threshold, by default half of a declared full-scale
+    quantity. *)
+
+val bit : threshold:float -> float -> bool
+(** [bit ~threshold v] is [v >= threshold]. *)
+
+val bit_of_pair : float -> float -> bool
+(** Dual-rail decoding: of two concentrations (the 0-rail and the 1-rail),
+    the logical value is whichever dominates. *)
+
+val bits_at :
+  threshold:float -> Ode.Trace.t -> string list -> float -> bool list
+(** Decode the named species of a trace at a time (linear interpolation),
+    least-significant first as given. *)
+
+val int_of_bits : bool list -> int
+(** Binary value of a bit list, least-significant bit first. *)
+
+val bits_of_int : width:int -> int -> bool list
+(** Inverse of {!int_of_bits}; raises [Invalid_argument] if the value does
+    not fit. *)
+
+val int_at : threshold:float -> Ode.Trace.t -> string list -> float -> int
+(** [bits_at] composed with [int_of_bits]. *)
+
+val onehot_at : threshold:float -> Ode.Trace.t -> string list -> float -> int option
+(** Index of the unique species above threshold at a time; [None] when zero
+    or several are high (an invalid one-hot code). *)

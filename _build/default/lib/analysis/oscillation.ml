@@ -1,0 +1,88 @@
+type crossing = { at : float; rising : bool }
+
+let check_series times values =
+  let n = Array.length times in
+  if n = 0 || n <> Array.length values then
+    invalid_arg "Oscillation: empty or mismatched series"
+
+let crossings ~threshold ~times ~values =
+  check_series times values;
+  let n = Array.length times in
+  let out = ref [] in
+  for i = 0 to n - 2 do
+    let a = values.(i) -. threshold and b = values.(i + 1) -. threshold in
+    if (a < 0. && b >= 0.) || (a >= 0. && b < 0.) then begin
+      let frac = if b = a then 0. else -.a /. (b -. a) in
+      let at = times.(i) +. (frac *. (times.(i + 1) -. times.(i))) in
+      out := { at; rising = a < 0. } :: !out
+    end
+  done;
+  List.rev !out
+
+let default_threshold values =
+  Numeric.Stats.maximum values /. 2.
+
+let rising_times ?threshold ~times ~values () =
+  let threshold =
+    match threshold with Some t -> t | None -> default_threshold values
+  in
+  crossings ~threshold ~times ~values
+  |> List.filter_map (fun c -> if c.rising then Some c.at else None)
+
+let spacings ?threshold ~times ~values () =
+  let rising = rising_times ?threshold ~times ~values () in
+  let rec diffs = function
+    | a :: (b :: _ as rest) -> (b -. a) :: diffs rest
+    | _ -> []
+  in
+  diffs rising
+
+let period ?threshold ~times ~values () =
+  match spacings ?threshold ~times ~values () with
+  | [] | [ _ ] -> None
+  | ds -> Some (Numeric.Stats.mean (Array.of_list ds))
+
+let period_jitter ?threshold ~times ~values () =
+  match spacings ?threshold ~times ~values () with
+  | [] | [ _ ] -> None
+  | ds -> Some (Numeric.Stats.stddev (Array.of_list ds))
+
+let amplitude ~values =
+  Numeric.Stats.maximum values -. Numeric.Stats.minimum values
+
+let is_sustained ?threshold ?(min_cycles = 3) ~times ~values () =
+  List.length (rising_times ?threshold ~times ~values ()) >= min_cycles
+
+let high_intervals ~threshold ~times ~values =
+  check_series times values;
+  let n = Array.length times in
+  let out = ref [] in
+  let start = ref (if values.(0) >= threshold then Some times.(0) else None) in
+  let cs = crossings ~threshold ~times ~values in
+  List.iter
+    (fun { at; rising } ->
+      match (rising, !start) with
+      | true, None -> start := Some at
+      | false, Some s ->
+          out := (s, at) :: !out;
+          start := None
+      | true, Some _ | false, None -> ())
+    cs;
+  (match !start with
+  | Some s -> out := (s, times.(n - 1)) :: !out
+  | None -> ());
+  List.rev !out
+
+let duty_cycle ~threshold ~times ~values =
+  check_series times values;
+  let total = times.(Array.length times - 1) -. times.(0) in
+  if total <= 0. then if values.(0) >= threshold then 1. else 0.
+  else begin
+    let high =
+      List.fold_left
+        (fun acc (a, b) -> acc +. (b -. a))
+        0.
+        (high_intervals ~threshold ~times ~values)
+    in
+    high /. total
+  end

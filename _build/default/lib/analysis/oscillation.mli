@@ -1,0 +1,39 @@
+(** Oscillation analysis for clock traces.
+
+    Measures the properties the paper's clock figures report: sustained
+    oscillation, its period, amplitude, and the intervals during which each
+    phase species is "high". All series are given as parallel [times] /
+    [values] arrays (e.g. from {!Ode.Trace.times} / {!Ode.Trace.column}). *)
+
+type crossing = { at : float; rising : bool }
+
+val crossings :
+  threshold:float -> times:float array -> values:float array -> crossing list
+(** Threshold crossings in time order, located by linear interpolation. *)
+
+val period :
+  ?threshold:float -> times:float array -> values:float array -> unit -> float option
+(** Mean spacing of consecutive rising crossings; [None] with fewer than
+    three rising crossings (not sustained). Default threshold: half of the
+    series maximum. *)
+
+val period_jitter :
+  ?threshold:float -> times:float array -> values:float array -> unit -> float option
+(** Sample standard deviation of the rising-crossing spacings — a crispness
+    measure for the clock. *)
+
+val amplitude : values:float array -> float
+(** Max minus min of the series. *)
+
+val is_sustained :
+  ?threshold:float -> ?min_cycles:int -> times:float array -> values:float array -> unit -> bool
+(** At least [min_cycles] (default 3) full rising crossings. *)
+
+val high_intervals :
+  threshold:float -> times:float array -> values:float array -> (float * float) list
+(** Maximal intervals during which the series is at or above threshold
+    (clipped to the sampled range). *)
+
+val duty_cycle :
+  threshold:float -> times:float array -> values:float array -> float
+(** Fraction of the sampled time range spent at or above threshold. *)

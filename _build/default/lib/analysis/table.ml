@@ -1,0 +1,55 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers =
+  if headers = [] then invalid_arg "Table.create: no columns";
+  { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width col =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row col)))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let is_numeric s =
+    s <> "" && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = '%') s
+  in
+  let pad w s =
+    let n = String.length s in
+    if n >= w then s
+    else if is_numeric s then String.make (w - n) ' ' ^ s
+    else s ^ String.make (w - n) ' '
+  in
+  let line row =
+    String.concat " | " (List.map2 pad widths row)
+  in
+  let sep =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let cell_f x = Printf.sprintf "%.4g" x
+
+let headers t = t.headers
+let rows t = List.rev t.rows

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the benchmark harness (the "rows the
+    paper reports"). *)
+
+type t
+
+val create : string list -> t
+(** Table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the cell count differs from the header. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Formats a single string and splits it on ['|'] into cells:
+    [add_rowf t "%d|%g" 3 0.5]. *)
+
+val render : t -> string
+(** Aligned, with a header separator:
+    {v
+    design    | species | reactions
+    ----------+---------+----------
+    counter-3 |      42 |        57
+    v} *)
+
+val cell_f : float -> string
+(** Standard numeric cell formatting ([%.4g]). *)
+
+val headers : t -> string list
+
+val rows : t -> string list list
+(** In insertion order. *)

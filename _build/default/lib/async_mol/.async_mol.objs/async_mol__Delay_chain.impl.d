@@ -1,0 +1,1 @@
+lib/async_mol/delay_chain.ml: Array Builder Conservation Crn List Network Ode Printf Rates String

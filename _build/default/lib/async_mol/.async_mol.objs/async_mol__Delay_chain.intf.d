@@ -1,0 +1,1 @@
+lib/async_mol/delay_chain.mli: Crn Ode

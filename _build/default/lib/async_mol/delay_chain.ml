@@ -1,0 +1,154 @@
+open Crn
+
+type t = {
+  n : int;
+  reds : int array;
+  greens : int array;
+  blues : int array;
+  builder : Builder.t;
+}
+
+let make ?(feedback = true) ?(input = 0.) b ~n =
+  if n < 1 then invalid_arg "Delay_chain.make: need at least one element";
+  if input < 0. then invalid_arg "Delay_chain.make: negative input";
+  (* element species: R_1..R_{n+1}, G_1..G_n, B_0..B_n *)
+  let reds = Array.init (n + 1) (fun i -> Builder.species b (Printf.sprintf "R%d" (i + 1))) in
+  let greens = Array.init n (fun i -> Builder.species b (Printf.sprintf "G%d" (i + 1))) in
+  let blues = Array.init (n + 1) (fun i -> Builder.species b (Printf.sprintf "B%d" i)) in
+  if input > 0. then Builder.init b blues.(0) input;
+  (* global absence indicators, reactions (1) of the abstract *)
+  let indicator name watched =
+    let i = Builder.species b name in
+    Builder.source ~label:("gen " ^ name) b Rates.slow i;
+    Array.iter (fun s -> Builder.consume_by ~label:(name ^ " consumed") b Rates.fast ~by:s i) watched;
+    i
+  in
+  let r_ind = indicator "r" reds in
+  let g_ind = indicator "g" greens in
+  let b_ind = indicator "b" blues in
+  (* phase transfers with positive feedback, reactions (2)-(6) *)
+  let dimer prefix arr j =
+    let d = Builder.species b (Printf.sprintf "I_%s%d" prefix j) in
+    Builder.react ~label:(Printf.sprintf "2%s%d -> dimer" prefix j) b Rates.slow
+      [ (arr.(j), 2) ] [ (d, 1) ];
+    Builder.react ~label:(Printf.sprintf "dimer -> 2%s%d" prefix j) b Rates.fast
+      [ (d, 1) ] [ (arr.(j), 2) ];
+    d
+  in
+  (* red-to-green: b + R_i ->slow G_i, feedback via green dimers *)
+  let green_dimers = if feedback then Array.init n (fun j -> dimer "G" greens j) else [||] in
+  for i = 0 to n - 1 do
+    Builder.react ~label:(Printf.sprintf "r2g elem %d" (i + 1)) b Rates.slow
+      [ (b_ind, 1); (reds.(i), 1) ]
+      [ (greens.(i), 1) ];
+    if feedback then
+      Array.iteri
+        (fun j d ->
+          Builder.react
+            ~label:(Printf.sprintf "r2g feedback i=%d j=%d" (i + 1) (j + 1))
+            b Rates.fast
+            [ (d, 1); (reds.(i), 1) ]
+            [ (greens.(j), 2); (greens.(i), 1) ])
+        green_dimers
+  done;
+  (* green-to-blue: r + G_i ->slow B_i, feedback via blue dimers (j=0..n) *)
+  let blue_dimers =
+    if feedback then Array.init (n + 1) (fun j -> dimer "B" blues j) else [||]
+  in
+  for i = 0 to n - 1 do
+    Builder.react ~label:(Printf.sprintf "g2b elem %d" (i + 1)) b Rates.slow
+      [ (r_ind, 1); (greens.(i), 1) ]
+      [ (blues.(i + 1), 1) ];
+    if feedback then
+      Array.iteri
+        (fun j d ->
+          Builder.react
+            ~label:(Printf.sprintf "g2b feedback i=%d j=%d" (i + 1) j)
+            b Rates.fast
+            [ (d, 1); (greens.(i), 1) ]
+            [ (blues.(j), 2); (blues.(i + 1), 1) ])
+        blue_dimers
+  done;
+  (* blue-to-red: g + B_i ->slow R_{i+1}, feedback via red dimers (j=1..n+1) *)
+  let red_dimers =
+    if feedback then Array.init (n + 1) (fun j -> dimer "R" reds j) else [||]
+  in
+  for i = 0 to n do
+    Builder.react ~label:(Printf.sprintf "b2r elem %d" i) b Rates.slow
+      [ (g_ind, 1); (blues.(i), 1) ]
+      [ (reds.(i), 1) ];
+    if feedback then
+      Array.iteri
+        (fun j d ->
+          Builder.react
+            ~label:(Printf.sprintf "b2r feedback i=%d j=%d" i (j + 1))
+            b Rates.fast
+            [ (d, 1); (blues.(i), 1) ]
+            [ (reds.(j), 2); (reds.(i), 1) ])
+        red_dimers
+  done;
+  { n; reds; greens; blues; builder = b }
+
+let x_name c = Builder.name c.builder c.blues.(0)
+let y_name c = Builder.name c.builder c.reds.(c.n)
+
+let species_names c =
+  let names arr = Array.to_list (Array.map (Builder.name c.builder) arr) in
+  names c.reds @ names c.greens @ names c.blues
+
+let simulate ?(env = Rates.default_env) ?(input = 80.) ~t1 ~n () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let chain = make ~input b ~n in
+  let trace =
+    Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~env ~thin:5 ~t1 net
+  in
+  (trace, chain)
+
+(* the feedback dimer of the output holds two units of signal; count it *)
+let output_total c trace t =
+  let y = Ode.Trace.value_at trace ~species:c.reds.(c.n) t in
+  let scope_prefix =
+    let full = Builder.name c.builder c.reds.(c.n) in
+    String.sub full 0 (String.length full - String.length (Printf.sprintf "R%d" (c.n + 1)))
+  in
+  let dimer_name = Printf.sprintf "%sI_R%d" scope_prefix c.n in
+  match Ode.Trace.species_index trace dimer_name with
+  | exception Not_found -> y
+  | s -> y +. (2. *. Ode.Trace.value_at trace ~species:s t)
+
+let completion_time ?(frac = 0.99) c trace =
+  let names = species_names c in
+  let total0 =
+    List.fold_left
+      (fun acc name ->
+        acc +. (Ode.Trace.column_named trace name).(0))
+      0. names
+  in
+  if total0 <= 0. then None
+  else begin
+    let times = Ode.Trace.times trace in
+    let target = frac *. total0 in
+    let rec find i =
+      if i >= Array.length times then None
+      else if output_total c trace times.(i) >= target then Some times.(i)
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let is_conservative c =
+  let net = Builder.network c.builder in
+  let w = Array.make (Network.n_species net) 0. in
+  Array.iter (fun s -> w.(s) <- 1.) c.reds;
+  Array.iter (fun s -> w.(s) <- 1.) c.greens;
+  Array.iter (fun s -> w.(s) <- 1.) c.blues;
+  (* each feedback dimer holds two units of signal *)
+  for sp = 0 to Network.n_species net - 1 do
+    let name = Network.species_name net sp in
+    let parts = String.split_on_char '.' name in
+    let last = List.nth parts (List.length parts - 1) in
+    if String.length last >= 2 && last.[0] = 'I' && last.[1] = '_' then
+      w.(sp) <- 2.
+  done;
+  Conservation.is_invariant net w

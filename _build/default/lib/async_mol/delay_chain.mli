@@ -1,0 +1,56 @@
+(** The asynchronous (self-timed) delay-element chain of the companion
+    IWBDA 2011 abstract, implemented exactly as its reactions (1)–(6).
+
+    Every signal species is color-coded red, green or blue; a chain of [n]
+    delay elements assigns element [i] the species [R_i], [G_i], [B_i],
+    with the input [X = B_0] and the output [Y = R_(n+1)]. Three {e global}
+    absence indicators [r], [g], [b] (one per color, regardless of chain
+    length) order the transfers with a handshake: a red-to-green transfer
+    [b + R_i ->slow G_i] can only proceed while {e no} blue molecules of
+    any element remain, and so on cyclically. Fast positive-feedback
+    reactions ([2G_j <-> I_G_j], [I_G_j + R_i -> 2G_j + G_i], all pairs)
+    sweep each transfer to completion once it begins.
+
+    The result: the quantity presented as [X] ripples through the chain one
+    element per three-phase handshake cycle and accumulates, undiminished,
+    in [Y] — accurately and independently of the specific rates, assuming
+    only fast reactions are fast relative to slow ones. *)
+
+type t = {
+  n : int;
+  reds : int array;  (** [R_1 .. R_(n+1)]; the last is the output [Y] *)
+  greens : int array;  (** [G_1 .. G_n] *)
+  blues : int array;  (** [B_0 .. B_n]; the first is the input [X] *)
+  builder : Crn.Builder.t;
+}
+
+val make : ?feedback:bool -> ?input:float -> Crn.Builder.t -> n:int -> t
+(** Build a chain of [n >= 1] delay elements under the builder's scope.
+    [input] (default [0.]) presets the quantity of [X]. [feedback:false]
+    omits the positive-feedback reactions (the crispness ablation). *)
+
+val x_name : t -> string
+val y_name : t -> string
+
+val species_names : t -> string list
+(** All chain species (reds then greens then blues), fully qualified. *)
+
+val simulate :
+  ?env:Crn.Rates.env -> ?input:float -> t1:float -> n:int -> unit -> Ode.Trace.t * t
+(** Convenience: build a fresh network with a chain of [n] elements,
+    preset [input] (default [80.]) on [X], simulate to [t1]. *)
+
+val output_total : t -> Ode.Trace.t -> float -> float
+(** The output quantity at a time, including the two units per molecule
+    parked in the output's own positive-feedback dimer (the [2Y <-> I]
+    equilibrium stores [~k_slow/k_fast] of the square of the signal
+    there). *)
+
+val completion_time : ?frac:float -> t -> Ode.Trace.t -> float option
+(** First time the output holds [frac] (default [0.99]) of the injected
+    total (taken as the chain total at the first sample); [None] if never
+    reached. *)
+
+val is_conservative : t -> bool
+(** The chain's species carry a conservation law (nothing creates or
+    destroys signal, only the indicators are open). *)

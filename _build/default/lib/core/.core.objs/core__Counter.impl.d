@@ -1,0 +1,1 @@
+lib/core/counter.ml: Analysis Fsm List Printf Sync_design

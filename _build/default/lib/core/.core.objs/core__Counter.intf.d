@@ -1,0 +1,1 @@
+lib/core/counter.mli: Crn Fsm Ode Sync_design

@@ -1,0 +1,1 @@
+lib/core/filter.ml: Array Crn Latch List Ode Ri_modules Sync_design

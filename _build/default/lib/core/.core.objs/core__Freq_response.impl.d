@@ -1,0 +1,1 @@
+lib/core/freq_response.ml: Array Float List Numeric Sfg

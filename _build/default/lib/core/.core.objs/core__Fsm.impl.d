@@ -1,0 +1,1 @@
+lib/core/fsm.ml: Analysis Array Crn List Ode Printf Sync_design

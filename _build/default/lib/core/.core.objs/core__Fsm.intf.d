@@ -1,0 +1,1 @@
+lib/core/fsm.mli: Crn Ode Sync_design

@@ -1,0 +1,1 @@
+lib/core/iterative.ml: Crn Float Ode Sync_design

@@ -1,0 +1,1 @@
+lib/core/iterative.mli: Crn Ode Sync_design

@@ -1,0 +1,1 @@
+lib/core/latch.ml: Crn List Printf Sync_design

@@ -1,0 +1,1 @@
+lib/core/latch.mli: Sync_design

@@ -1,0 +1,1 @@
+lib/core/lfsr.ml: Analysis Array Crn Latch List Printf Sync_design

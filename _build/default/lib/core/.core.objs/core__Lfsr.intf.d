@@ -1,0 +1,1 @@
+lib/core/lfsr.mli: Crn Latch Ode Sync_design

@@ -1,0 +1,1 @@
+lib/core/sfg.ml: Array Crn Float Latch List Ode Printf Sync_design

@@ -1,0 +1,1 @@
+lib/core/sfg.mli: Crn Ode Sync_design

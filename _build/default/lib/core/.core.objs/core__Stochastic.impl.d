@@ -1,0 +1,1 @@
+lib/core/stochastic.ml: Analysis Counter Fsm List Molclock Sync_design

@@ -1,0 +1,1 @@
+lib/core/stochastic.mli: Counter Fsm Molclock Ode

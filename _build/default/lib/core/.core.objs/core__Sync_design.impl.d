@@ -1,0 +1,1 @@
+lib/core/sync_design.ml: Crn Hashtbl Molclock Ode

@@ -1,0 +1,1 @@
+lib/core/sync_design.mli: Crn Molclock Ode

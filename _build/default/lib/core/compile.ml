@@ -1,0 +1,57 @@
+type stats = {
+  design : string;
+  species : int;
+  reactions : int;
+  fast_reactions : int;
+  slow_reactions : int;
+  max_order : int;
+  zero_order_sources : int;
+  conservation_laws : int;
+}
+
+let stats_of ~name net =
+  let rs = Crn.Network.reactions net in
+  let count p = Array.fold_left (fun acc r -> if p r then acc + 1 else acc) 0 rs in
+  {
+    design = name;
+    species = Crn.Network.n_species net;
+    reactions = Array.length rs;
+    fast_reactions =
+      count (fun r -> r.Crn.Reaction.rate.Crn.Rates.category = Crn.Rates.Fast);
+    slow_reactions =
+      count (fun r -> r.Crn.Reaction.rate.Crn.Rates.category = Crn.Rates.Slow);
+    max_order =
+      Array.fold_left (fun acc r -> max acc (Crn.Reaction.order r)) 0 rs;
+    zero_order_sources = count (fun r -> Crn.Reaction.order r = 0);
+    conservation_laws = List.length (Crn.Conservation.laws net);
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "%s: %d species, %d reactions (%d fast / %d slow, %d sources), max order %d, %d conservation laws"
+    s.design s.species s.reactions s.fast_reactions s.slow_reactions
+    s.zero_order_sources s.max_order s.conservation_laws
+
+let header =
+  [
+    "design";
+    "species";
+    "reactions";
+    "fast";
+    "slow";
+    "sources";
+    "max-order";
+    "cons-laws";
+  ]
+
+let row s =
+  [
+    s.design;
+    string_of_int s.species;
+    string_of_int s.reactions;
+    string_of_int s.fast_reactions;
+    string_of_int s.slow_reactions;
+    string_of_int s.zero_order_sources;
+    string_of_int s.max_order;
+    string_of_int s.conservation_laws;
+  ]

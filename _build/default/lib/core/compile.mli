@@ -1,0 +1,23 @@
+(** Synthesis-cost accounting (the "resources used" rows of the cost
+    table). *)
+
+type stats = {
+  design : string;
+  species : int;
+  reactions : int;
+  fast_reactions : int;
+  slow_reactions : int;
+  max_order : int;
+  zero_order_sources : int;
+  conservation_laws : int;
+}
+
+val stats_of : name:string -> Crn.Network.t -> stats
+
+val pp : Format.formatter -> stats -> unit
+
+val header : string list
+(** Column labels matching {!row}. *)
+
+val row : stats -> string list
+(** Cells for an {!Analysis.Table}. *)

@@ -1,0 +1,71 @@
+type t = { fsm : Fsm.t; bits : int }
+
+let outputs bits =
+  List.init bits (fun j ->
+      (Printf.sprintf "bit%d" j, fun q -> (q lsr j) land 1 = 1))
+
+let check_bits bits =
+  if bits < 1 || bits > 8 then
+    invalid_arg "Counter: bits must be between 1 and 8"
+
+let free_running ?(name = "ctr") d ~bits =
+  check_bits bits;
+  let n = 1 lsl bits in
+  let spec =
+    {
+      Fsm.name;
+      n_states = n;
+      n_symbols = 1;
+      transition = (fun q _ -> (q + 1) mod n);
+      initial = 0;
+      outputs = outputs bits;
+    }
+  in
+  { fsm = Fsm.synthesize d spec; bits }
+
+let gated ?(name = "ctr") d ~bits =
+  check_bits bits;
+  let n = 1 lsl bits in
+  let spec =
+    {
+      Fsm.name;
+      n_states = n;
+      n_symbols = 2;
+      transition = (fun q s -> if s = 1 then (q + 1) mod n else q);
+      initial = 0;
+      outputs = outputs bits;
+    }
+  in
+  { fsm = Fsm.synthesize d spec; bits }
+
+let gray_code q = q lxor (q lsr 1)
+
+let gray ?(name = "gray") d ~bits =
+  check_bits bits;
+  let n = 1 lsl bits in
+  let outputs =
+    List.init bits (fun j ->
+        (Printf.sprintf "bit%d" j, fun q -> (gray_code q lsr j) land 1 = 1))
+  in
+  let spec =
+    {
+      Fsm.name;
+      n_states = n;
+      n_symbols = 1;
+      transition = (fun q _ -> (q + 1) mod n);
+      initial = 0;
+      outputs;
+    }
+  in
+  { fsm = Fsm.synthesize d spec; bits }
+
+let bit_names c = Fsm.output_names c.fsm
+
+let value_at ?env c trace ~cycle = Fsm.state_at ?env c.fsm trace ~cycle
+
+let bits_at ?env c trace ~cycle =
+  let d = c.fsm.Fsm.design in
+  let t = Sync_design.sample_time ?env d ~cycle in
+  Analysis.Decode.int_at
+    ~threshold:(d.Sync_design.signal_mass /. 2.)
+    trace (bit_names c) t

@@ -1,0 +1,34 @@
+(** Binary counters — the paper's flagship sequential example.
+
+    Both variants are one-hot FSMs over [2^bits] states with binary-weighted
+    Moore outputs [bit0 .. bit(n-1)], so the bit species trace out the
+    classic counter waveforms (bit 0 toggling every cycle, bit 1 every two,
+    ...). The {e free-running} counter advances every clock cycle; the
+    {e gated} counter advances only on input symbol 1 and holds on symbol 0
+    — "counting molecular events" presented as inputs. *)
+
+type t = { fsm : Fsm.t; bits : int }
+
+val free_running : ?name:string -> Sync_design.t -> bits:int -> t
+(** Default name ["ctr"]. Raises [Invalid_argument] unless
+    [1 <= bits <= 8] (one-hot states grow as [2^bits]). *)
+
+val gated : ?name:string -> Sync_design.t -> bits:int -> t
+(** Two input symbols: 0 = hold, 1 = count. *)
+
+val gray : ?name:string -> Sync_design.t -> bits:int -> t
+(** Free-running counter whose Moore outputs are Gray-coded: exactly one
+    output bit changes per cycle (minimizing simultaneous molecular
+    transitions on the observable outputs). {!value_at} still reports the
+    step count; {!bits_at} reports the Gray codeword. *)
+
+val bit_names : t -> string list
+(** Output species names, least-significant first. *)
+
+val value_at : ?env:Crn.Rates.env -> t -> Ode.Trace.t -> cycle:int -> int option
+(** Counter value after [cycle] (decoded from the one-hot state species,
+    which is unambiguous even mid-settling); [None] if invalid. *)
+
+val bits_at : ?env:Crn.Rates.env -> t -> Ode.Trace.t -> cycle:int -> int
+(** Value decoded from the binary-weighted {e output} species — the
+    observable waveforms. Agrees with {!value_at} in a settled design. *)

@@ -1,0 +1,134 @@
+type t = {
+  design : Sync_design.t;
+  input_name : string;
+  output_name : string;
+  pipeline_delay : int;
+  taps : int;
+}
+
+let fast = Crn.Rates.fast
+
+(* Halving leaves an algebraic tail in its input (2X -> Y drains X as 1/t,
+   down to ~1e-4 of a sample within a cycle). There is no clock slot that is
+   disjoint from both release and capture in a four-phase clock, so the tail
+   is NOT cleared; it carries into the next cycle's sum as a ~0.01% leak
+   that shrinks with the fast/slow separation. *)
+
+let store_name (d : Sync_design.t) latch =
+  Crn.Builder.name d.Sync_design.builder latch.Latch.store
+
+let moving_average ?(name = "ma") (d : Sync_design.t) ~taps =
+  let b = Crn.Builder.scoped d.builder name in
+  let x = Crn.Builder.species b "x" in
+  let out_reg = Latch.make d ~name:(name ^ ".y") in
+  let (_ : int) = Latch.sink d out_reg in
+  (match taps with
+  | 1 -> Crn.Builder.transfer ~label:(name ^ ": pass") d.builder fast x out_reg.Latch.input
+  | 2 ->
+      let xa = Crn.Builder.species b "xa" and xd = Crn.Builder.species b "xd" in
+      Crn.Builder.react ~label:(name ^ ": fan x") d.builder fast
+        [ (x, 1) ]
+        [ (xa, 1); (xd, 1) ];
+      let delay = Latch.make d ~name:(name ^ ".d1") in
+      Latch.feed d delay xd;
+      let sum = Ri_modules.Arith.add ~rate:fast b ~name:"sum" xa delay.Latch.output in
+      let yh = Ri_modules.Arith.halve ~rate:fast b ~name:"h" sum in
+      Crn.Builder.transfer ~label:(name ^ ": to out") d.builder fast yh
+        out_reg.Latch.input
+  | 4 ->
+      let xa = Crn.Builder.species b "xa" and xd = Crn.Builder.species b "xd" in
+      Crn.Builder.react ~label:(name ^ ": fan x") d.builder fast
+        [ (x, 1) ]
+        [ (xa, 1); (xd, 1) ];
+      let d1 = Latch.make d ~name:(name ^ ".d1") in
+      let d2 = Latch.make d ~name:(name ^ ".d2") in
+      let d3 = Latch.make d ~name:(name ^ ".d3") in
+      Latch.feed d d1 xd;
+      (* taps 1 and 2 both shift onward and enter the averaging tree *)
+      let d1t = Crn.Builder.species b "d1t" and d2t = Crn.Builder.species b "d2t" in
+      Crn.Builder.react ~label:(name ^ ": fan d1") d.builder fast
+        [ (d1.Latch.output, 1) ]
+        [ (d2.Latch.input, 1); (d1t, 1) ];
+      Crn.Builder.react ~label:(name ^ ": fan d2") d.builder fast
+        [ (d2.Latch.output, 1) ]
+        [ (d3.Latch.input, 1); (d2t, 1) ];
+      let s01 = Ri_modules.Arith.add ~rate:fast b ~name:"s01" xa d1t in
+      let s23 =
+        Ri_modules.Arith.add ~rate:fast b ~name:"s23" d2t d3.Latch.output
+      in
+      let h01 = Ri_modules.Arith.halve ~rate:fast b ~name:"h01" s01 in
+      let h23 = Ri_modules.Arith.halve ~rate:fast b ~name:"h23" s23 in
+      let sfin = Ri_modules.Arith.add ~rate:fast b ~name:"sfin" h01 h23 in
+      let y = Ri_modules.Arith.halve ~rate:fast b ~name:"hfin" sfin in
+      Crn.Builder.transfer ~label:(name ^ ": to out") d.builder fast y
+        out_reg.Latch.input
+  | _ -> invalid_arg "Filter.moving_average: taps must be 1, 2 or 4");
+  {
+    design = d;
+    input_name = Crn.Builder.name d.builder x;
+    output_name = store_name d out_reg;
+    pipeline_delay = 0;
+    taps;
+  }
+
+let iir_smoother ?(name = "iir") (d : Sync_design.t) =
+  let b = Crn.Builder.scoped d.builder name in
+  let x = Crn.Builder.species b "x" in
+  let y_reg = Latch.make d ~name:(name ^ ".y") in
+  let sum = Ri_modules.Arith.add ~rate:fast b ~name:"sum" x y_reg.Latch.output in
+  let yh = Ri_modules.Arith.halve ~rate:fast b ~name:"h" sum in
+  Crn.Builder.transfer ~label:(name ^ ": feedback") d.builder fast yh
+    y_reg.Latch.input;
+  {
+    design = d;
+    input_name = Crn.Builder.name d.builder x;
+    output_name = store_name d y_reg;
+    pipeline_delay = 0;
+    taps = 1;
+  }
+
+let inject_sample ?env f ~cycle value =
+  if value < 0. then invalid_arg "Filter.inject_sample: negative sample";
+  {
+    Ode.Driver.at = Sync_design.injection_time ?env f.design ~cycle;
+    species = f.input_name;
+    amount = value;
+  }
+
+let output_at ?env f trace ~cycle =
+  let t =
+    Sync_design.sample_time ?env f.design ~cycle:(cycle + f.pipeline_delay)
+  in
+  let s = Ode.Trace.species_index trace f.output_name in
+  Ode.Trace.value_at trace ~species:s t
+
+let response ?env f samples =
+  let n = List.length samples in
+  if n = 0 then invalid_arg "Filter.response: empty input";
+  let injections =
+    List.mapi (fun cycle v -> inject_sample ?env f ~cycle v) samples
+  in
+  let trace =
+    Sync_design.simulate ?env ~injections
+      ~cycles:(n + f.pipeline_delay + 1)
+      f.design
+  in
+  List.init n (fun cycle -> output_at ?env f trace ~cycle)
+
+let reference_moving_average ~taps samples =
+  let arr = Array.of_list samples in
+  List.init (Array.length arr) (fun n ->
+      let acc = ref 0. in
+      for j = 0 to taps - 1 do
+        if n - j >= 0 then acc := !acc +. arr.(n - j)
+      done;
+      !acc /. float_of_int taps)
+
+let reference_iir samples =
+  let rec go y = function
+    | [] -> []
+    | x :: rest ->
+        let y' = (x +. y) /. 2. in
+        y' :: go y' rest
+  in
+  go 0. samples

@@ -1,0 +1,49 @@
+(** Clocked DSP filters — the signal-processing workload this research
+    program targets (the companion synthesis-flow paper compiles
+    moving-average and biquad filters into reactions).
+
+    Input samples are quantities injected once per clock cycle; outputs are
+    quantities held in an output register, read once per cycle. Division by
+    two is the reaction [2X -> Y]; with deterministic mass-action kinetics
+    this halving is exact on real-valued quantities (no floor). *)
+
+type t = {
+  design : Sync_design.t;
+  input_name : string;  (** species to inject samples into *)
+  output_name : string;  (** register store holding y\[n\] *)
+  pipeline_delay : int;
+      (** cycles between injecting x\[n\] and reading the y that includes
+          it *)
+  taps : int;
+}
+
+val moving_average : ?name:string -> Sync_design.t -> taps:int -> t
+(** FIR moving average over the last [taps] samples, [taps] in {1, 2, 4}
+    (powers of two keep the scaling exact with halvings alone). Raises
+    [Invalid_argument] otherwise. *)
+
+val iir_smoother : ?name:string -> Sync_design.t -> t
+(** First-order IIR [y(n) = (x(n) + y(n-1)) / 2] — exercises a feedback
+    loop through a delay element. *)
+
+val inject_sample :
+  ?env:Crn.Rates.env -> t -> cycle:int -> float -> Ode.Driver.injection
+(** Present sample [x(cycle)]. Raises [Invalid_argument] on negatives
+    (concentrations cannot be negative; use an offset encoding for signed
+    signals). *)
+
+val output_at : ?env:Crn.Rates.env -> t -> Ode.Trace.t -> cycle:int -> float
+(** The output registered in [cycle] (read at the safe sampling moment). *)
+
+val response :
+  ?env:Crn.Rates.env -> t -> float list -> float list
+(** Simulate the filter over an input sample stream and return the output
+    for each input (aligned: element [n] is the filter's response to the
+    stream through [x(n)], i.e. read [pipeline_delay] cycles after
+    injection [n]). *)
+
+val reference_moving_average : taps:int -> float list -> float list
+(** Golden model with zero initial history. *)
+
+val reference_iir : float list -> float list
+(** Golden model of {!iir_smoother} with [y(-1) = 0]. *)

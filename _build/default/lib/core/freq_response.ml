@@ -1,0 +1,52 @@
+let estimate_gain ~omega ~skip samples =
+  let arr = Array.of_list samples in
+  let n = Array.length arr - skip in
+  if n < 4 then invalid_arg "Freq_response.estimate_gain: too few samples";
+  let tail = Array.sub arr skip n in
+  let mean = Numeric.Stats.mean tail in
+  let a = ref 0. and b = ref 0. in
+  Array.iteri
+    (fun i y ->
+      let ph = omega *. float_of_int (skip + i) in
+      a := !a +. ((y -. mean) *. sin ph);
+      b := !b +. ((y -. mean) *. cos ph))
+    tail;
+  2. /. float_of_int n *. sqrt ((!a *. !a) +. (!b *. !b))
+
+type point = { omega : float; measured : float; ideal : float }
+
+let stimulus ~cycles ~dc ~amp ~omega =
+  List.init cycles (fun n ->
+      Float.max 0. (dc +. (amp *. sin (omega *. float_of_int n))))
+
+let measure ?env ?(cycles = 28) ?(dc = 5.) ?(amp = 3.) compiled ~omega =
+  if amp > dc then invalid_arg "Freq_response.measure: amp must be <= dc";
+  let stream = stimulus ~cycles ~dc ~amp ~omega in
+  let skip = cycles * 3 / 7 in
+  let input_gain = estimate_gain ~omega ~skip stream in
+  let got =
+    List.hd (Sfg.response ?env compiled [ stream ])
+  in
+  let want = List.hd (Sfg.reference compiled.Sfg.graph [ stream ]) in
+  {
+    omega;
+    measured = estimate_gain ~omega ~skip got /. input_gain;
+    ideal = estimate_gain ~omega ~skip want /. input_gain;
+  }
+
+let sweep ?env ?cycles compiled ~omegas =
+  List.map (fun omega -> measure ?env ?cycles compiled ~omega) omegas
+
+let biquad_theory ~b0 ~b1 ~b2 ~a1 ~a2 ~omega =
+  let f (num, den) = float_of_int num /. float_of_int den in
+  let cis k = (cos (-.omega *. float_of_int k), sin (-.omega *. float_of_int k)) in
+  let add (ar, ai) (br, bi) = (ar +. br, ai +. bi) in
+  let smul s (r, i) = (s *. r, s *. i) in
+  let numerator =
+    add (smul (f b0) (cis 0)) (add (smul (f b1) (cis 1)) (smul (f b2) (cis 2)))
+  in
+  let denominator =
+    add (cis 0) (smul (-1.) (add (smul (f a1) (cis 1)) (smul (f a2) (cis 2))))
+  in
+  let mag (r, i) = sqrt ((r *. r) +. (i *. i)) in
+  mag numerator /. mag denominator

@@ -1,0 +1,50 @@
+(** Frequency-response measurement of compiled discrete-time filters.
+
+    Drives a single-input single-output {!Sfg} design with a sinusoid
+    riding on a DC offset (concentrations cannot go negative), lets the
+    transient die out, and estimates the AC gain by projecting the output
+    onto the driving sinusoid's quadrature pair. The same estimator is run
+    on the golden interpreter, so a measurement always comes with its
+    ideal. *)
+
+val estimate_gain : omega:float -> skip:int -> float list -> float
+(** Amplitude of the [cos/sin] component at digital frequency [omega]
+    (radians/sample) in a sample stream, ignoring the first [skip] samples
+    and the mean. Raises [Invalid_argument] if fewer than 4 samples
+    remain. *)
+
+type point = {
+  omega : float;
+  measured : float;  (** chemistry gain *)
+  ideal : float;  (** golden-interpreter gain on the same stimulus *)
+}
+
+val measure :
+  ?env:Crn.Rates.env ->
+  ?cycles:int ->
+  ?dc:float ->
+  ?amp:float ->
+  Sfg.compiled ->
+  omega:float ->
+  point
+(** Gain of the design's first output to its first input at [omega].
+    Defaults: [cycles = 28] (first 12 discarded as transient), [dc = 5.],
+    [amp = 3.]. *)
+
+val sweep :
+  ?env:Crn.Rates.env ->
+  ?cycles:int ->
+  Sfg.compiled ->
+  omegas:float list ->
+  point list
+
+val biquad_theory :
+  b0:int * int ->
+  b1:int * int ->
+  b2:int * int ->
+  a1:int * int ->
+  a2:int * int ->
+  omega:float ->
+  float
+(** Closed-form [|H(e^(i omega))|] of the direct-form-I biquad
+    [y(n) = b0 x(n) + b1 x(n-1) + b2 x(n-2) + a1 y(n-1) + a2 y(n-2)]. *)

@@ -1,0 +1,165 @@
+type spec = {
+  name : string;
+  n_states : int;
+  n_symbols : int;
+  transition : int -> int -> int;
+  initial : int;
+  outputs : (string * (int -> bool)) list;
+}
+
+type t = {
+  spec : spec;
+  state_species : int array;
+  symbol_species : int array;
+  output_species : (string * int) list;
+  design : Sync_design.t;
+}
+
+let validate spec =
+  if spec.n_states < 1 then invalid_arg "Fsm: need at least one state";
+  if spec.n_symbols < 1 then invalid_arg "Fsm: need at least one symbol";
+  if spec.initial < 0 || spec.initial >= spec.n_states then
+    invalid_arg "Fsm: initial state out of range";
+  for q = 0 to spec.n_states - 1 do
+    for s = 0 to spec.n_symbols - 1 do
+      let q' = spec.transition q s in
+      if q' < 0 || q' >= spec.n_states then
+        invalid_arg
+          (Printf.sprintf "Fsm: transition %d/%d out of range" q s)
+    done
+  done;
+  let names = List.map fst spec.outputs in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Fsm: duplicate output names"
+
+let synthesize (d : Sync_design.t) spec =
+  validate spec;
+  let b = Crn.Builder.scoped d.builder spec.name in
+  let state_species =
+    Array.init spec.n_states (fun q ->
+        Crn.Builder.species b (Printf.sprintf "S%d" q))
+  in
+  let transit =
+    Array.init spec.n_states (fun q ->
+        Crn.Builder.species b (Printf.sprintf "T%d" q))
+  in
+  let staging =
+    Array.init spec.n_states (fun q ->
+        Crn.Builder.species b (Printf.sprintf "Z%d" q))
+  in
+  let symbol_species =
+    if spec.n_symbols = 1 then [||]
+    else
+      Array.init spec.n_symbols (fun s ->
+          Crn.Builder.species b (Printf.sprintf "I%d" s))
+  in
+  let output_species =
+    List.map (fun (name, _) -> (name, Crn.Builder.species b name)) spec.outputs
+  in
+  Crn.Builder.init b state_species.(spec.initial) d.signal_mass;
+  for q = 0 to spec.n_states - 1 do
+    (* release *)
+    Sync_design.phase_gated
+      ~label:(Printf.sprintf "%s: release S%d" spec.name q)
+      d
+      ~phase:(Sync_design.release_phase d)
+      state_species.(q)
+      [ (transit.(q), 1) ];
+    (* transition *)
+    if spec.n_symbols = 1 then
+      Crn.Builder.transfer
+        ~label:(Printf.sprintf "%s: step %d->%d" spec.name q (spec.transition q 0))
+        b Crn.Rates.fast
+        transit.(q)
+        staging.(spec.transition q 0)
+    else
+      for s = 0 to spec.n_symbols - 1 do
+        Crn.Builder.react
+          ~label:
+            (Printf.sprintf "%s: step %d/%d->%d" spec.name q s
+               (spec.transition q s))
+          b Crn.Rates.fast
+          [ (transit.(q), 1); (symbol_species.(s), 1) ]
+          [ (staging.(spec.transition q s), 1); (symbol_species.(s), 1) ]
+      done;
+    (* capture, emitting Moore outputs with the state's mass *)
+    let products =
+      (state_species.(q), 1)
+      :: List.filter_map
+           (fun (name, active) ->
+             if active q then Some (List.assoc name output_species, 1)
+             else None)
+           spec.outputs
+    in
+    Sync_design.phase_gated
+      ~label:(Printf.sprintf "%s: capture Z%d" spec.name q)
+      d
+      ~phase:(Sync_design.capture_phase d)
+      staging.(q) products
+  done;
+  (* cleanups *)
+  Array.iter
+    (fun i ->
+      (* cleared on capture: disjoint from the release window, and the
+         transition has consumed the symbol's information by then *)
+      Sync_design.clear_on
+        ~label:(spec.name ^ ": spend symbol")
+        d
+        ~phase:(Sync_design.capture_phase d)
+        i)
+    symbol_species;
+  List.iter
+    (fun (name, o) ->
+      Sync_design.clear_on
+        ~label:(spec.name ^ ": clear output " ^ name)
+        d
+        ~phase:(Sync_design.release_phase d)
+        o)
+    output_species;
+  { spec; state_species; symbol_species; output_species; design = d }
+
+let names_of m arr =
+  Array.to_list (Array.map (Crn.Builder.name m.design.Sync_design.builder) arr)
+
+let state_names m = names_of m m.state_species
+
+let output_names m =
+  List.map
+    (fun (_, o) -> Crn.Builder.name m.design.Sync_design.builder o)
+    m.output_species
+
+let symbol_name m s =
+  if Array.length m.symbol_species = 0 then
+    invalid_arg "Fsm.symbol_name: autonomous machine";
+  Crn.Builder.name m.design.Sync_design.builder m.symbol_species.(s)
+
+let inject_symbol ?env m ~cycle ~symbol =
+  if Array.length m.symbol_species = 0 then
+    invalid_arg "Fsm.inject_symbol: autonomous machine";
+  if symbol < 0 || symbol >= Array.length m.symbol_species then
+    invalid_arg "Fsm.inject_symbol: symbol out of range";
+  {
+    Ode.Driver.at = Sync_design.injection_time ?env m.design ~cycle;
+    species = symbol_name m symbol;
+    amount = m.design.Sync_design.signal_mass;
+  }
+
+let state_at ?env m trace ~cycle =
+  let t = Sync_design.sample_time ?env m.design ~cycle in
+  Analysis.Decode.onehot_at
+    ~threshold:(m.design.Sync_design.signal_mass /. 2.)
+    trace (state_names m) t
+
+let run ?env m ~symbols =
+  if symbols = [] then invalid_arg "Fsm.run: empty input word";
+  let cycles = List.length symbols in
+  let injections =
+    if Array.length m.symbol_species = 0 then []
+    else
+      List.mapi (fun cycle s -> inject_symbol ?env m ~cycle ~symbol:s) symbols
+  in
+  let trace = Sync_design.simulate ?env ~injections ~cycles m.design in
+  let decoded =
+    List.init cycles (fun cycle -> state_at ?env m trace ~cycle)
+  in
+  (trace, decoded)

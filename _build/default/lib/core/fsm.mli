@@ -1,0 +1,67 @@
+(** Synthesis of finite-state machines as clocked molecular reactions.
+
+    The state is one-hot encoded: species [S_q] holds the full signal mass
+    exactly when the machine is in state [q]. Each cycle:
+
+    - release (phase 0): [S_q + P0 -> T_q + P0] moves the state into transit;
+    - transition (fast, during phases 0–1): for an autonomous machine,
+      [T_q -> Z_delta(q)]; with inputs, [T_q + I_s -> Z_delta(q,s) + I_s]
+      where [I_s] is the {e symbol species} for input symbol [s] (catalytic,
+      so any injected quantity works);
+    - capture (phase 2): [Z_q + P2 -> S_q + outputs(q) + P2] — Moore
+      outputs are emitted with the state's mass;
+    - cleanup: symbol species are destroyed on phase 3, output species of
+      the previous cycle on phase 0.
+
+    {b Input discipline}: machines with [n_symbols > 1] require exactly one
+    symbol species injected per cycle, between release and capture
+    ({!Sync_design.injection_time}); a cycle with no symbol leaves the
+    machine in transit until a symbol arrives (it does not lose state, but
+    outputs lag). This dual-rail presence convention is the standard one in
+    this literature. *)
+
+type spec = {
+  name : string;
+  n_states : int;
+  n_symbols : int;  (** 1 for an autonomous (input-free) machine *)
+  transition : int -> int -> int;  (** [transition state symbol] *)
+  initial : int;
+  outputs : (string * (int -> bool)) list;
+      (** Moore outputs: [(name, active-in-state predicate)] *)
+}
+
+type t = {
+  spec : spec;
+  state_species : int array;  (** [S_q] *)
+  symbol_species : int array;  (** [I_s]; empty when autonomous *)
+  output_species : (string * int) list;
+  design : Sync_design.t;
+}
+
+val synthesize : Sync_design.t -> spec -> t
+(** Raises [Invalid_argument] on inconsistent specs (no states, initial out
+    of range, transition out of range, duplicate output names). *)
+
+val state_names : t -> string list
+(** Fully qualified names of [S_q], in state order. *)
+
+val output_names : t -> string list
+(** Fully qualified names of the Moore output species. *)
+
+val symbol_name : t -> int -> string
+
+val inject_symbol :
+  ?env:Crn.Rates.env -> t -> cycle:int -> symbol:int -> Ode.Driver.injection
+(** The injection presenting input [symbol] during [cycle]. *)
+
+val state_at :
+  ?env:Crn.Rates.env -> t -> Ode.Trace.t -> cycle:int -> int option
+(** Decode the (one-hot) state held after [cycle]'s capture; [None] if the
+    encoding is invalid at the sample time. *)
+
+val run :
+  ?env:Crn.Rates.env -> t -> symbols:int list -> Ode.Trace.t * int option list
+(** Simulate the machine over the given input word (one symbol per cycle;
+    [symbols = []] is invalid) and return the trace plus the decoded state
+    after each cycle. For autonomous machines pass the desired number of
+    cycles as a list of zeros. *)

@@ -1,0 +1,171 @@
+type t = {
+  design : Sync_design.t;
+  output_name : string;
+  cycles_needed : int;
+  expected : float;
+}
+
+let fast = Crn.Rates.fast
+
+(* The per-cycle gate machinery shared by multiplier and power2:
+   a one-unit token T is released each cycle (T + P0 -> Tr + P0); if the
+   counter C is nonzero the released token decrements it and spawns the
+   gate G (Tr + C -> Tp + G); the gate drives this construct's body during
+   phases 0-1; the token returns on capture (Tp + P2 -> T, and idle
+   Tr + P2 -> T when C was exhausted); the gate is destroyed on capture. *)
+let token_loop (d : Sync_design.t) b ~name ~count =
+  let token = Crn.Builder.species b "T"
+  and released = Crn.Builder.species b "Tr"
+  and spent = Crn.Builder.species b "Tp"
+  and counter = Crn.Builder.species b "C"
+  and gate = Crn.Builder.species b "G" in
+  Crn.Builder.init b token 1.;
+  Crn.Builder.init b counter (float_of_int count);
+  Sync_design.phase_gated ~label:(name ^ ": release token") d
+    ~phase:(Sync_design.release_phase d)
+    token
+    [ (released, 1) ];
+  Crn.Builder.react ~label:(name ^ ": decrement") b fast
+    [ (released, 1); (counter, 1) ]
+    [ (spent, 1); (gate, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": return token") d
+    ~phase:(Sync_design.capture_phase d)
+    spent
+    [ (token, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": idle return") d
+    ~phase:(Sync_design.capture_phase d)
+    released
+    [ (token, 1) ];
+  Sync_design.clear_on ~label:(name ^ ": spend gate") d
+    ~phase:(Sync_design.capture_phase d)
+    gate;
+  gate
+
+let multiplier ?(name = "mul") (d : Sync_design.t) ~a ~count =
+  if a < 0. then invalid_arg "Iterative.multiplier: negative multiplicand";
+  if count < 0 then invalid_arg "Iterative.multiplier: negative count";
+  let b = Crn.Builder.scoped d.builder name in
+  let gate = token_loop d b ~name ~count in
+  let addend = Crn.Builder.species b "A"
+  and shadow = Crn.Builder.species b "Ac"
+  and y = Crn.Builder.species b "Y" in
+  Crn.Builder.init b addend a;
+  (* copy the whole addend into the output, gated by the per-cycle gate *)
+  Crn.Builder.react ~label:(name ^ ": copy") b fast
+    [ (addend, 1); (gate, 1) ]
+    [ (shadow, 1); (y, 1); (gate, 1) ];
+  (* two-stage restore through the two disjoint clock slots: the shadow
+     copy may only become the addend again at the NEXT release, when the
+     next cycle's gate is the one that should see it *)
+  let staged = Crn.Builder.species b "Am" in
+  Sync_design.phase_gated ~label:(name ^ ": stage restore") d
+    ~phase:(Sync_design.capture_phase d)
+    shadow
+    [ (staged, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": restore") d
+    ~phase:(Sync_design.release_phase d)
+    staged
+    [ (addend, 1) ];
+  {
+    design = d;
+    output_name = Crn.Builder.name d.builder y;
+    cycles_needed = count + 2;
+    expected = a *. float_of_int count;
+  }
+
+let power2 ?(name = "pow") (d : Sync_design.t) ~n =
+  if n < 0 || n > 20 then invalid_arg "Iterative.power2: n must be in 0..20";
+  let b = Crn.Builder.scoped d.builder name in
+  let gate = token_loop d b ~name ~count:n in
+  let acc = Crn.Builder.species b "A" and shadow = Crn.Builder.species b "Ac" in
+  Crn.Builder.init b acc 1.;
+  Crn.Builder.react ~label:(name ^ ": double") b fast
+    [ (acc, 1); (gate, 1) ]
+    [ (shadow, 2); (gate, 1) ];
+  let staged = Crn.Builder.species b "Am" in
+  Sync_design.phase_gated ~label:(name ^ ": stage restore") d
+    ~phase:(Sync_design.capture_phase d)
+    shadow
+    [ (staged, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": restore") d
+    ~phase:(Sync_design.release_phase d)
+    staged
+    [ (acc, 1) ];
+  {
+    design = d;
+    output_name = Crn.Builder.name d.builder acc;
+    cycles_needed = n + 2;
+    expected = 2. ** float_of_int n;
+  }
+
+let log2_ode_expected ~a ~cycles =
+  let acc = ref 0. in
+  for j = 1 to cycles do
+    acc := !acc +. Float.min 1. (a /. (2. ** float_of_int j))
+  done;
+  !acc
+
+let log2floor ?(name = "log") (d : Sync_design.t) ~a =
+  if a < 1. then invalid_arg "Iterative.log2floor: input must be >= 1";
+  let b = Crn.Builder.scoped d.builder name in
+  let reg = Crn.Builder.species b "A"
+  and halved = Crn.Builder.species b "Ah"
+  and staged = Crn.Builder.species b "An"
+  and marks = Crn.Builder.species b "M"
+  and flag = Crn.Builder.species b "F"
+  and flagged = Crn.Builder.species b "Fm"
+  and y = Crn.Builder.species b "Y" in
+  Crn.Builder.init b reg a;
+  Crn.Builder.init b flag 1.;
+  (* one halving per cycle, enforced by routing the result through two
+     phase-gated restores (capture then release) *)
+  Crn.Builder.react ~label:(name ^ ": halve") b fast
+    [ (reg, 2) ]
+    [ (halved, 1); (marks, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": stage") d
+    ~phase:(Sync_design.capture_phase d)
+    halved
+    [ (staged, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": restore") d
+    ~phase:(Sync_design.release_phase d)
+    staged
+    [ (reg, 1) ];
+  (* increment: the one-unit flag absorbs (up to) one mark per cycle and
+     emits one output unit when it resets on the hold phase *)
+  Crn.Builder.react ~label:(name ^ ": flag") b fast
+    [ (flag, 1); (marks, 1) ]
+    [ (flagged, 1) ];
+  (* the flag too returns through both disjoint slots, so it can absorb at
+     most one mark per cycle *)
+  let flag_staged = Crn.Builder.species b "Fn" in
+  Sync_design.phase_gated ~label:(name ^ ": stage flag") d
+    ~phase:(Sync_design.capture_phase d)
+    flagged
+    [ (flag_staged, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": emit") d
+    ~phase:(Sync_design.release_phase d)
+    flag_staged
+    [ (flag, 1); (y, 1) ];
+  (* discard surplus marks and the odd leftover unit each capture phase *)
+  Sync_design.clear_on ~label:(name ^ ": spend marks") d
+    ~phase:(Sync_design.capture_phase d)
+    marks;
+  Sync_design.clear_on ~label:(name ^ ": drop odd unit") d
+    ~phase:(Sync_design.capture_phase d)
+    reg;
+  let cycles_needed = int_of_float (Float.round (log a /. log 2.)) + 3 in
+  {
+    design = d;
+    output_name = Crn.Builder.name d.builder y;
+    cycles_needed;
+    expected = log2_ode_expected ~a ~cycles:cycles_needed;
+  }
+
+let read ?env it trace =
+  let t = Sync_design.sample_time ?env it.design ~cycle:(it.cycles_needed - 1) in
+  let s = Ode.Trace.species_index trace it.output_name in
+  Ode.Trace.value_at trace ~species:s t
+
+let run ?env it =
+  let trace = Sync_design.simulate ?env ~cycles:it.cycles_needed it.design in
+  read ?env it trace

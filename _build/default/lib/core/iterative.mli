@@ -1,0 +1,53 @@
+(** Iterative arithmetic — "for"-loop computation unlocked by memory.
+
+    The companion combinational work implements multiplication,
+    exponentiation and logarithms with self-timed loops; here they are built
+    on the synchronous framework instead: one loop iteration per clock
+    cycle, sequenced by a single-molecule {e token} that the release phase
+    converts into a per-cycle gate. All constructs are rate-category
+    robust; accuracy improves with the fast/slow separation.
+
+    Inputs are preset as initial concentrations; the computation starts at
+    [t = 0] and is finished after {!cycles_needed} clock cycles, when the
+    output species has stopped changing.
+
+    Note on semantics: with deterministic mass-action kinetics quantities
+    are real-valued, so {!log2floor}'s "floor" behaviour (exact over
+    integer molecule counts — see the stochastic tests) relaxes to a
+    convergent fractional sum [sum_j min(1, a / 2^j)] over cycles [j];
+    {!log2_ode_expected} computes it. *)
+
+type t = {
+  design : Sync_design.t;
+  output_name : string;
+  cycles_needed : int;
+  expected : float;  (** ideal output value *)
+}
+
+val multiplier : ?name:string -> Sync_design.t -> a:float -> count:int -> t
+(** [Y := a * count] by adding [a] to the output once per cycle, [count]
+    times: a unit token is released each cycle and decrements the counter
+    species, spawning a gate that catalytically copies the (regenerated)
+    addend into the output. Raises [Invalid_argument] if [a < 0.] or
+    [count < 0]. *)
+
+val power2 : ?name:string -> Sync_design.t -> n:int -> t
+(** [Y := 2^n] by doubling a register once per cycle, [n] times. Raises
+    [Invalid_argument] if [n < 0] or [n > 20]. *)
+
+val log2floor : ?name:string -> Sync_design.t -> a:float -> t
+(** [Y := floor(log2 a)] over molecule counts, by halving once per cycle
+    and incrementing the output (through a one-unit flag) on every cycle in
+    which at least a full unit was paired. [expected] is set to the ODE
+    (real-valued) limit for the default cycle count. Raises
+    [Invalid_argument] if [a < 1.]. *)
+
+val log2_ode_expected : a:float -> cycles:int -> float
+(** The deterministic-kinetics value after [cycles]:
+    [sum_(j=1..cycles) min(1, a / 2^j)]. *)
+
+val read : ?env:Crn.Rates.env -> t -> Ode.Trace.t -> float
+(** Output value after {!t.cycles_needed} cycles. *)
+
+val run : ?env:Crn.Rates.env -> t -> float
+(** Simulate for [cycles_needed] cycles and read the output. *)

@@ -1,0 +1,47 @@
+type t = { input : int; store : int; output : int; name : string }
+
+let make ?(init = 0.) (d : Sync_design.t) ~name =
+  let b = Crn.Builder.scoped d.builder name in
+  let input = Crn.Builder.species b "in"
+  and store = Crn.Builder.species b "store"
+  and output = Crn.Builder.species b "out" in
+  if init > 0. then Crn.Builder.init b store init;
+  Sync_design.phase_gated ~label:(name ^ ": capture") d
+    ~phase:(Sync_design.capture_phase d)
+    input
+    [ (store, 1) ];
+  Sync_design.phase_gated ~label:(name ^ ": release") d
+    ~phase:(Sync_design.release_phase d)
+    store
+    [ (output, 1) ];
+  { input; store; output; name }
+
+let feed (d : Sync_design.t) latch src =
+  Crn.Builder.transfer
+    ~label:(latch.name ^ ": feed")
+    d.builder Crn.Rates.fast src latch.input
+
+let chain ?init_first (d : Sync_design.t) ~name n =
+  if n < 1 then invalid_arg "Latch.chain: need at least one latch";
+  let latches =
+    List.init n (fun i ->
+        let init = if i = 0 then init_first else None in
+        make ?init d ~name:(Printf.sprintf "%s%d" name i))
+  in
+  let rec wire = function
+    | a :: (b : t) :: rest ->
+        feed d b a.output;
+        wire (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  wire latches;
+  latches
+
+let sink (d : Sync_design.t) latch =
+  let s =
+    Crn.Builder.species d.builder (latch.name ^ ".sink")
+  in
+  Crn.Builder.transfer
+    ~label:(latch.name ^ ": drain to sink")
+    d.builder Crn.Rates.fast latch.output s;
+  s

@@ -1,0 +1,39 @@
+(** Delay elements (D-type latches for molecular quantities) — the paper's
+    memory primitive.
+
+    A latch owns three species: the {e input} (where upstream computation
+    deposits the next value during the compute window), the {e store}
+    (the held value, readable between capture and the next release), and the
+    {e output} (where the previous value appears after release, feeding
+    downstream computation). Reactions:
+
+    - capture (phase 2): [input + P2 ->fast store + P2]
+    - release (phase 0): [store + P0 ->fast output + P0]
+
+    Because phases 0 and 2 are never simultaneously high, a value cannot
+    race through a latch within one cycle — the master–slave property. *)
+
+type t = {
+  input : int;
+  store : int;
+  output : int;
+  name : string;
+}
+
+val make : ?init:float -> Sync_design.t -> name:string -> t
+(** Create a latch under the design's scope. [init] presets the stored
+    value (default 0). *)
+
+val feed : Sync_design.t -> t -> int -> unit
+(** [feed d latch src] wires a fast transfer [src ->fast latch.input] —
+    identity combinational logic. *)
+
+val chain : ?init_first:float -> Sync_design.t -> name:string -> int -> t list
+(** [chain d ~name n] builds [n] latches with each one's output feeding the
+    next one's input — a shift register backbone. [init_first] presets the
+    first latch. Raises [Invalid_argument] if [n < 1]. *)
+
+val sink : Sync_design.t -> t -> int
+(** Create an absorbing species and route the latch's released output into
+    it (for terminal registers whose old values must be discarded); returns
+    the sink species. *)

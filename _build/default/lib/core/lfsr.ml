@@ -1,0 +1,140 @@
+type t = {
+  latches : Latch.t list;
+  taps : int list;
+  design : Sync_design.t;
+  name : string;
+}
+
+let xor_gate (d : Sync_design.t) ~name ~out a b =
+  let b' = Crn.Builder.scoped d.builder name in
+  let fast = Crn.Rates.fast in
+  let aa = Crn.Builder.species b' "aa"
+  and am = Crn.Builder.species b' "am"
+  and ba = Crn.Builder.species b' "ba"
+  and bm = Crn.Builder.species b' "bm"
+  and md = Crn.Builder.species b' "md" in
+  Crn.Builder.react ~label:(name ^ ": fan a") d.builder fast
+    [ (a, 1) ]
+    [ (aa, 1); (am, 1) ];
+  Crn.Builder.react ~label:(name ^ ": fan b") d.builder fast
+    [ (b, 1) ]
+    [ (ba, 1); (bm, 1) ];
+  (* the sum accumulates directly in the (held) output species — routing
+     it through a further transfer would let part of it escape before the
+     annihilation below finishes *)
+  Crn.Builder.transfer ~label:(name ^ ": sum a") d.builder fast aa out;
+  Crn.Builder.transfer ~label:(name ^ ": sum b") d.builder fast ba out;
+  (* min(a,b) doubled: each matched pair contributes two annihilators *)
+  Crn.Builder.react ~label:(name ^ ": pair") d.builder fast
+    [ (am, 1); (bm, 1) ]
+    [ (md, 2) ];
+  Crn.Builder.react ~label:(name ^ ": annihilate") d.builder fast
+    [ (out, 1); (md, 1) ]
+    [];
+  (* pairing residues (|a-b| worth of the larger input) and any stray
+     annihilators must not survive into the next cycle *)
+  let capture = Sync_design.capture_phase d in
+  List.iter
+    (fun s -> Sync_design.clear_on ~label:(name ^ ": residue") d ~phase:capture s)
+    [ am; bm; md ]
+
+let reference ~bits ~taps ~seed ~n =
+  let step state =
+    let fb =
+      List.fold_left (fun acc t -> acc lxor ((state lsr t) land 1)) 0 taps
+    in
+    ((state lsl 1) lor fb) land ((1 lsl bits) - 1)
+  in
+  let rec go state k acc =
+    if k = 0 then List.rev acc
+    else
+      let state' = step state in
+      go state' (k - 1) (state' :: acc)
+  in
+  go seed n []
+
+let validate ~bits ~taps ~seed =
+  if bits < 2 then invalid_arg "Lfsr: need at least 2 bits";
+  if List.length taps <> 2 then
+    invalid_arg "Lfsr: exactly two taps are supported (the XOR output must \
+                 settle in place; chaining gates would re-introduce the \
+                 escape race)";
+  if List.length (List.sort_uniq compare taps) <> List.length taps then
+    invalid_arg "Lfsr: duplicate taps";
+  List.iter
+    (fun t ->
+      if t < 0 || t >= bits then invalid_arg "Lfsr: tap out of range")
+    taps;
+  if seed <= 0 || seed lsr bits <> 0 then
+    invalid_arg "Lfsr: seed must be a nonzero value fitting the register"
+
+let make ?(name = "lfsr") (d : Sync_design.t) ~bits ~taps ~seed =
+  validate ~bits ~taps ~seed;
+  let latches =
+    List.init bits (fun i ->
+        let init =
+          if (seed lsr i) land 1 = 1 then Some d.signal_mass else None
+        in
+        Latch.make ?init d ~name:(Printf.sprintf "%s.b%d" name i))
+  in
+  let arr = Array.of_list latches in
+  (* each latch output feeds: the next latch (shift), and/or an XOR tap
+     copy; outputs with several consumers go through a fanout reaction *)
+  let tap_copy = Array.make bits None in
+  for i = 0 to bits - 1 do
+    let latch = arr.(i) in
+    let shift_to = if i < bits - 1 then Some arr.(i + 1).Latch.input else None in
+    let tapped = List.mem i taps in
+    match (shift_to, tapped) with
+    | Some nxt, false ->
+        Crn.Builder.transfer
+          ~label:(Printf.sprintf "%s: shift b%d" name i)
+          d.builder Crn.Rates.fast latch.Latch.output nxt
+    | Some nxt, true ->
+        let copy =
+          Crn.Builder.species d.builder (Printf.sprintf "%s.t%d" name i)
+        in
+        Crn.Builder.react
+          ~label:(Printf.sprintf "%s: shift+tap b%d" name i)
+          d.builder Crn.Rates.fast
+          [ (latch.Latch.output, 1) ]
+          [ (nxt, 1); (copy, 1) ];
+        tap_copy.(i) <- Some copy
+    | None, true ->
+        let copy =
+          Crn.Builder.species d.builder (Printf.sprintf "%s.t%d" name i)
+        in
+        Crn.Builder.transfer
+          ~label:(Printf.sprintf "%s: tap b%d" name i)
+          d.builder Crn.Rates.fast latch.Latch.output copy;
+        tap_copy.(i) <- Some copy
+    | None, false ->
+        (* the oldest bit simply shifts out *)
+        Sync_design.clear_on
+          ~label:(Printf.sprintf "%s: drop b%d" name i)
+          d
+          ~phase:(Sync_design.capture_phase d)
+          latch.Latch.output
+  done;
+  (* the feedback XOR writes directly into bit 0's (held) input *)
+  (match
+     List.map
+       (fun t ->
+         match tap_copy.(t) with Some s -> s | None -> assert false)
+       taps
+   with
+  | [ ta; tb ] ->
+      xor_gate d ~name:(name ^ ".xor") ~out:arr.(0).Latch.input ta tb
+  | _ -> assert false);
+  { latches; taps; design = d; name }
+
+let state_names l =
+  List.map
+    (fun latch -> Crn.Builder.name l.design.Sync_design.builder latch.Latch.store)
+    l.latches
+
+let state_at ?env l trace ~cycle =
+  let t = Sync_design.sample_time ?env l.design ~cycle in
+  Analysis.Decode.int_at
+    ~threshold:(l.design.Sync_design.signal_mass /. 2.)
+    trace (state_names l) t

@@ -1,0 +1,42 @@
+(** Linear-feedback shift registers, built {e structurally} from delay
+    elements plus a molecular XOR — in contrast to the behavioral (one-hot
+    FSM) counters. The structural/behavioral pair is the synthesis-cost
+    ablation in the benchmark harness.
+
+    Bits are quantities in [{0, signal_mass}]. XOR of two such signals is
+    computed rate-independently as [(a + b) - 2 * min(a, b)]:
+    fanout each input to an adder and a pairing module, double the pairing
+    output and annihilate it against the sum. *)
+
+type t = {
+  latches : Latch.t list;  (** bit 0 first; bit 0 is the feedback target *)
+  taps : int list;
+  design : Sync_design.t;
+  name : string;
+}
+
+val xor_gate : Sync_design.t -> name:string -> out:int -> int -> int -> unit
+(** Combinational XOR on two released bit signals, accumulating its result
+    {e in place} in [out] — which must be a held species (a latch input),
+    because a downstream transfer would drain the output before the
+    annihilation finishes. All production reactions are fast
+    (clocked-combinational discipline); pairing residues are cleared on the
+    capture phase. *)
+
+val make :
+  ?name:string -> Sync_design.t -> bits:int -> taps:int list -> seed:int -> t
+(** A Fibonacci LFSR: bits shift from index 0 upward; the new bit 0 is the
+    XOR of the tapped bits (indices into the register, [0] = newest). [seed]
+    is the initial register contents (bit [i] of the integer presets latch
+    [i]). Raises [Invalid_argument] if [bits < 2], [taps] has fewer than 2
+    or more than 2 entries or duplicates, a tap is out of range, or [seed] is zero (the
+    all-zero state is a fixed point) or does not fit in [bits]. *)
+
+val reference : bits:int -> taps:int list -> seed:int -> n:int -> int list
+(** Golden software model: the register contents after each of [n] steps. *)
+
+val state_names : t -> string list
+(** Store species of each bit latch, bit 0 first. *)
+
+val state_at : ?env:Crn.Rates.env -> t -> Ode.Trace.t -> cycle:int -> int
+(** Register contents (bit 0 = LSB) decoded after [cycle]'s capture. *)

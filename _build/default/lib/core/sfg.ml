@@ -1,0 +1,343 @@
+type wire = int
+
+type node =
+  | Input of int
+  | Delay of wire
+  | Gain of int * int * wire
+  | Sum of wire list
+  | Forward of wire option ref
+
+type t = {
+  design : Sync_design.t;
+  name : string;
+  mutable nodes : node list; (* reverse order *)
+  mutable n_nodes : int;
+  mutable n_inputs : int;
+  mutable outputs : wire list; (* reverse order *)
+  mutable compiled : bool;
+}
+
+type compiled = {
+  graph : t;
+  input_names : string list;
+  output_names : string list;
+}
+
+let create design ~name =
+  {
+    design;
+    name;
+    nodes = [];
+    n_nodes = 0;
+    n_inputs = 0;
+    outputs = [];
+    compiled = false;
+  }
+
+let push g node =
+  let w = g.n_nodes in
+  g.nodes <- node :: g.nodes;
+  g.n_nodes <- w + 1;
+  w
+
+let input g =
+  let i = g.n_inputs in
+  g.n_inputs <- i + 1;
+  push g (Input i)
+
+let delay g src = push g (Delay src)
+
+let is_power_of_two d = d > 0 && d land (d - 1) = 0
+
+let gain g ~num ~den src =
+  if num < 0 then invalid_arg "Sfg.gain: negative numerator";
+  if not (is_power_of_two den) then
+    invalid_arg "Sfg.gain: denominator must be a positive power of two";
+  push g (Gain (num, den, src))
+
+let add g srcs =
+  if List.length srcs < 2 then invalid_arg "Sfg.add: need at least two operands";
+  push g (Sum srcs)
+
+let forward g = push g (Forward (ref None))
+
+let node_of g w = List.nth g.nodes (g.n_nodes - 1 - w)
+
+let define g fwd w =
+  match node_of g fwd with
+  | Forward r when !r = None -> r := Some w
+  | Forward _ -> invalid_arg "Sfg.define: forward already defined"
+  | _ -> invalid_arg "Sfg.define: not a forward wire"
+
+let output g w = g.outputs <- w :: g.outputs
+
+(* follow forward aliases to a concrete wire *)
+let resolve g w =
+  let rec go w depth =
+    if depth > g.n_nodes then invalid_arg "Sfg: forward resolution cycle"
+    else
+      match node_of g w with
+      | Forward { contents = Some w' } -> go w' (depth + 1)
+      | Forward { contents = None } ->
+          invalid_arg "Sfg.compile: unresolved forward wire"
+      | _ -> w
+  in
+  go w 0
+
+let deps g w =
+  match node_of g w with
+  | Input _ -> []
+  | Delay _ -> [] (* a delay breaks combinational dependency *)
+  | Gain (_, _, s) -> [ resolve g s ]
+  | Sum ss -> List.map (resolve g) ss
+  | Forward _ -> assert false (* callers resolve first *)
+
+(* reject algebraic loops: a cycle in the delay-broken dependency graph *)
+let check_no_algebraic_loop g =
+  let color = Array.make g.n_nodes 0 in
+  let rec dfs w =
+    match color.(w) with
+    | 1 -> invalid_arg "Sfg.compile: algebraic loop (feedback without a delay)"
+    | 2 -> ()
+    | _ ->
+        color.(w) <- 1;
+        List.iter dfs (deps g w);
+        color.(w) <- 2
+  in
+  for w = 0 to g.n_nodes - 1 do
+    match node_of g w with Forward _ -> () | _ -> dfs w
+  done
+
+let fast = Crn.Rates.fast
+
+let compile g =
+  if g.compiled then invalid_arg "Sfg.compile: graph already compiled";
+  if g.outputs = [] then invalid_arg "Sfg.compile: no outputs declared";
+  (* resolving every wire also rejects unresolved forwards *)
+  for w = 0 to g.n_nodes - 1 do
+    ignore (resolve g w)
+  done;
+  check_no_algebraic_loop g;
+  g.compiled <- true;
+  let d = g.design in
+  let b = Crn.Builder.scoped d.Sync_design.builder g.name in
+  (* consumer counts per concrete wire (multiplicity matters) *)
+  let uses = Array.make g.n_nodes 0 in
+  let consume w = uses.(resolve g w) <- uses.(resolve g w) + 1 in
+  for w = 0 to g.n_nodes - 1 do
+    match node_of g w with
+    | Input _ | Forward _ -> ()
+    | Delay s -> consume s
+    | Gain (_, _, s) -> consume s
+    | Sum ss -> List.iter consume ss
+  done;
+  List.iter consume g.outputs;
+  (* producer species per concrete wire, and the per-consumer copy queues *)
+  let producer = Array.make g.n_nodes (-1) in
+  let copies = Array.make g.n_nodes [] in
+  let species name = Crn.Builder.species b name in
+  for w = 0 to g.n_nodes - 1 do
+    match node_of g w with
+    | Forward _ -> ()
+    | _ -> producer.(w) <- species (Printf.sprintf "w%d" w)
+  done;
+  (* fanout: a producer with k > 1 consumers splits into k copy species *)
+  for w = 0 to g.n_nodes - 1 do
+    if producer.(w) >= 0 then
+      if uses.(w) > 1 then begin
+        let cs =
+          List.init uses.(w) (fun i -> species (Printf.sprintf "w%d.c%d" w i))
+        in
+        Crn.Builder.react
+          ~label:(Printf.sprintf "%s: fanout w%d" g.name w)
+          b fast
+          [ (producer.(w), 1) ]
+          (List.map (fun c -> (c, 1)) cs);
+        copies.(w) <- cs
+      end
+      else copies.(w) <- [ producer.(w) ]
+  done;
+  let take w =
+    let w = resolve g w in
+    match copies.(w) with
+    | c :: rest ->
+        copies.(w) <- rest;
+        c
+    | [] -> assert false
+  in
+  (* emit each node's reactions; its result transfers into producer.(w) *)
+  let input_names = Array.make g.n_inputs "" in
+  for w = 0 to g.n_nodes - 1 do
+    match node_of g w with
+    | Forward _ -> ()
+    | Input i ->
+        (* the producer species is the injection target itself *)
+        input_names.(i) <- Crn.Builder.name b producer.(w)
+    | Delay s ->
+        let latch = Latch.make d ~name:(Printf.sprintf "%s.z%d" g.name w) in
+        Crn.Builder.transfer
+          ~label:(Printf.sprintf "%s: into z%d" g.name w)
+          b fast (take s) latch.Latch.input;
+        Crn.Builder.transfer
+          ~label:(Printf.sprintf "%s: out of z%d" g.name w)
+          b fast latch.Latch.output producer.(w)
+    | Gain (num, den, s) ->
+        let src = take s in
+        if num = 0 then
+          (* a sink: consume the operand, emit nothing *)
+          Crn.Builder.react
+            ~label:(Printf.sprintf "%s: gain0 w%d" g.name w)
+            b fast
+            [ (src, 1) ]
+            []
+        else begin
+          (* multiply by num, then halve log2(den) times *)
+          let stages = ref 0 in
+          let rec halvings acc den =
+            if den = 1 then acc
+            else begin
+              incr stages;
+              let nxt = species (Printf.sprintf "w%d.h%d" w !stages) in
+              Crn.Builder.react
+                ~label:(Printf.sprintf "%s: halve w%d/%d" g.name w !stages)
+                b fast
+                [ (acc, 2) ]
+                [ (nxt, 1) ];
+              halvings nxt (den / 2)
+            end
+          in
+          if num = 1 && den = 1 then
+            Crn.Builder.transfer
+              ~label:(Printf.sprintf "%s: pass w%d" g.name w)
+              b fast src producer.(w)
+          else begin
+            let first =
+              if den = 1 then producer.(w)
+              else species (Printf.sprintf "w%d.h0" w)
+            in
+            Crn.Builder.react
+              ~label:(Printf.sprintf "%s: gain %d w%d" g.name num w)
+              b fast
+              [ (src, 1) ]
+              [ (first, num) ];
+            if den > 1 then begin
+              let last = halvings first den in
+              Crn.Builder.transfer
+                ~label:(Printf.sprintf "%s: gain out w%d" g.name w)
+                b fast last producer.(w)
+            end
+          end
+        end
+    | Sum ss ->
+        List.iteri
+          (fun i s ->
+            Crn.Builder.transfer
+              ~label:(Printf.sprintf "%s: sum w%d.%d" g.name w i)
+              b fast (take s) producer.(w))
+          ss
+  done;
+  (* output registers *)
+  let output_names =
+    List.rev g.outputs
+    |> List.mapi (fun i w ->
+           let reg = Latch.make d ~name:(Printf.sprintf "%s.y%d" g.name i) in
+           let (_ : int) = Latch.sink d reg in
+           Crn.Builder.transfer
+             ~label:(Printf.sprintf "%s: output %d" g.name i)
+             b fast (take w) reg.Latch.input;
+           Crn.Builder.name d.Sync_design.builder reg.Latch.store)
+  in
+  { graph = g; input_names = Array.to_list input_names; output_names }
+
+let inject ?env c ~input ~cycle value =
+  if value < 0. then invalid_arg "Sfg.inject: negative sample";
+  {
+    Ode.Driver.at = Sync_design.injection_time ?env c.graph.design ~cycle;
+    species = List.nth c.input_names input;
+    amount = value;
+  }
+
+(* software interpretation: per cycle, memoized evaluation with delays
+   reading their previous stored value and storing this cycle's operand *)
+let reference g streams =
+  if List.length streams <> g.n_inputs then
+    invalid_arg "Sfg.reference: stream count mismatch";
+  let len =
+    match streams with [] -> 0 | s :: _ -> List.length s
+  in
+  List.iter
+    (fun s ->
+      if List.length s <> len then
+        invalid_arg "Sfg.reference: ragged streams")
+    streams;
+  let streams = Array.of_list (List.map Array.of_list streams) in
+  let stored = Array.make g.n_nodes 0. in
+  let outs = List.rev g.outputs in
+  let results = Array.make (List.length outs) [] in
+  for n = 0 to len - 1 do
+    let memo = Array.make g.n_nodes nan in
+    let rec eval w =
+      let w = resolve g w in
+      if Float.is_nan memo.(w) then begin
+        let v =
+          match node_of g w with
+          | Input i -> streams.(i).(n)
+          | Delay _ -> stored.(w)
+          | Gain (num, den, s) -> eval s *. float_of_int num /. float_of_int den
+          | Sum ss -> List.fold_left (fun acc s -> acc +. eval s) 0. ss
+          | Forward _ -> assert false
+        in
+        memo.(w) <- v
+      end;
+      memo.(w)
+    in
+    List.iteri (fun i w -> results.(i) <- eval w :: results.(i)) outs;
+    (* update delays simultaneously: evaluate operands first *)
+    let pending = ref [] in
+    for w = 0 to g.n_nodes - 1 do
+      match node_of g w with
+      | Delay s -> pending := (w, eval s) :: !pending
+      | _ -> ()
+    done;
+    List.iter (fun (w, v) -> stored.(w) <- v) !pending
+  done;
+  Array.to_list (Array.map List.rev results)
+
+let response ?env c streams =
+  if List.length streams <> c.graph.n_inputs then
+    invalid_arg "Sfg.response: stream count mismatch";
+  let len = match streams with [] -> 0 | s :: _ -> List.length s in
+  if len = 0 then invalid_arg "Sfg.response: empty streams";
+  let injections =
+    List.concat
+      (List.mapi
+         (fun i stream ->
+           List.mapi (fun cycle v -> inject ?env c ~input:i ~cycle v) stream)
+         streams)
+  in
+  let trace =
+    Sync_design.simulate ?env ~injections ~cycles:(len + 1) c.graph.design
+  in
+  List.map
+    (fun name ->
+      let s = Ode.Trace.species_index trace name in
+      List.init len (fun cycle ->
+          Ode.Trace.value_at trace ~species:s
+            (Sync_design.sample_time ?env c.graph.design ~cycle)))
+    c.output_names
+
+let biquad ?(name = "biquad") design ~b0 ~b1 ~b2 ~a1 ~a2 =
+  let g = create design ~name in
+  let x = input g in
+  let xd1 = delay g x in
+  let xd2 = delay g xd1 in
+  let yf = forward g in
+  let yd1 = delay g yf in
+  let yd2 = delay g yd1 in
+  let term (num, den) src = gain g ~num ~den src in
+  let y =
+    add g [ term b0 x; term b1 xd1; term b2 xd2; term a1 yd1; term a2 yd2 ]
+  in
+  define g yf y;
+  output g y;
+  g

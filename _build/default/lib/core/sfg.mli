@@ -1,0 +1,98 @@
+(** A signal-flow-graph compiler: the synthesis flow from discrete-time DSP
+    dataflow to clocked molecular reactions.
+
+    The companion synthesis-flow work compiles signal processing
+    computations (moving-average and biquad filters) into biomolecular
+    reactions; this module is that flow for the synchronous framework.
+    A graph is built from four node kinds —
+
+    - {!input}: a sample stream injected once per clock cycle;
+    - {!delay}: a one-cycle delay (compiled to a {!Latch});
+    - {!gain}: multiplication by a non-negative rational [num/den] with
+      [den] a power of two (compiled to a copy-multiplying reaction
+      followed by halving stages — the binary-coefficient discipline of
+      the molecular DSP papers);
+    - {!add}: an n-ary adder —
+
+    plus {!forward}/{!define} for feedback wires (every feedback loop must
+    pass through at least one delay; {!compile} rejects algebraic loops).
+    A wire may feed any number of consumers: the compiler materializes
+    fanout reactions with the right copy counts, since molecular signals
+    are consumed by whatever reads them.
+
+    {!reference} interprets the same graph in software, so every compiled
+    design has a golden model for free. Coefficients must be non-negative
+    (concentrations cannot encode sign; use an offset or dual-rail encoding
+    at the application level). *)
+
+type t
+type wire
+
+val create : Sync_design.t -> name:string -> t
+
+val input : t -> wire
+(** A fresh input stream. *)
+
+val delay : t -> wire -> wire
+
+val gain : t -> num:int -> den:int -> wire -> wire
+(** Raises [Invalid_argument] unless [num >= 0] and [den] is a positive
+    power of two. [num = 0] is a sink (the wire is consumed, nothing
+    emitted). *)
+
+val add : t -> wire list -> wire
+(** Raises [Invalid_argument] on fewer than two operands. *)
+
+val forward : t -> wire
+(** A wire to be defined later (for feedback). *)
+
+val define : t -> wire -> wire -> unit
+(** [define g fwd w] resolves a forward wire. Raises [Invalid_argument] if
+    [fwd] is not an unresolved forward wire of this graph. *)
+
+val output : t -> wire -> unit
+(** Register a wire as a graph output (compiled to an output register whose
+    store holds y[n] each cycle). *)
+
+type compiled = {
+  graph : t;
+  input_names : string list;  (** injection species, in {!input} order *)
+  output_names : string list;  (** output register stores, in {!output} order *)
+}
+
+val compile : t -> compiled
+(** Emit the reactions into the design's network. Raises [Invalid_argument]
+    on: no outputs, unresolved forwards, or a feedback loop with no delay
+    (an algebraic loop). A graph can be compiled only once. *)
+
+val inject :
+  ?env:Crn.Rates.env ->
+  compiled ->
+  input:int ->
+  cycle:int ->
+  float ->
+  Ode.Driver.injection
+
+val response :
+  ?env:Crn.Rates.env -> compiled -> float list list -> float list list
+(** [response c streams] simulates the design over the per-input sample
+    streams (all the same length) and returns one output stream per
+    declared output. *)
+
+val reference : t -> float list list -> float list list
+(** Software interpretation of the graph over the same streams (delays
+    start at zero). Usable before or after {!compile}. *)
+
+val biquad :
+  ?name:string ->
+  Sync_design.t ->
+  b0:int * int ->
+  b1:int * int ->
+  b2:int * int ->
+  a1:int * int ->
+  a2:int * int ->
+  t
+(** The direct-form-I biquad
+    [y(n) = b0 x(n) + b1 x(n-1) + b2 x(n-2) + a1 y(n-1) + a2 y(n-2)]
+    with rational coefficients [(num, den)] — the flagship filter of the
+    molecular DSP literature. Call {!compile} on the result. *)

@@ -1,0 +1,30 @@
+let cycle_sample_times ?(hold_fraction = 0.55) trace clock =
+  let starts = Molclock.Clock_analysis.cycle_starts trace clock in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.map (fun (a, b) -> a +. (hold_fraction *. (b -. a))) (pairs starts)
+
+let onehot_states trace design names =
+  let clock = design.Sync_design.clock in
+  let threshold = design.Sync_design.signal_mass /. 2. in
+  List.map
+    (fun t -> Analysis.Decode.onehot_at ~threshold trace names t)
+    (cycle_sample_times trace clock)
+
+let counter_states trace (ctr : Counter.t) =
+  onehot_states trace ctr.fsm.Fsm.design (Fsm.state_names ctr.fsm)
+
+let fsm_states trace (m : Fsm.t) =
+  onehot_states trace m.Fsm.design (Fsm.state_names m)
+
+let increments_by_one states ~modulo =
+  if modulo <= 0 then invalid_arg "Stochastic.increments_by_one: bad modulo";
+  let rec go = function
+    | Some a :: (Some b :: _ as rest) ->
+        if (a + 1) mod modulo = b then go rest else false
+    | None :: _ | _ :: None :: _ -> false
+    | [ Some _ ] | [] -> true
+  in
+  go states

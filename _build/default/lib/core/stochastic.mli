@@ -1,0 +1,35 @@
+(** Decoding sequential designs from {e stochastic} traces.
+
+    Under Gillespie simulation the clock still oscillates, but its period
+    is an emergent random variable (discrete indicator molecules make the
+    gated bootstrap transfers wait for whole Poisson arrivals — measured
+    roughly 2x the deterministic period, with visible jitter). Cycle-based
+    decoding therefore cannot use the deterministic
+    {!Sync_design.sample_time}; these helpers recover the cycle boundaries
+    from the simulated clock itself and sample mid-hold.
+
+    The trace can come from any simulator — these functions only read it —
+    but their reason to exist is {!Ssa.Gillespie.run}. Note that the first
+    {e detected} boundary is the clock's second rise (phase 0 starts high,
+    so there is no rising crossing at [t = 0]): the state decoded "after
+    cycle 0" of this module has already taken two transitions of the
+    design. *)
+
+val cycle_sample_times :
+  ?hold_fraction:float -> Ode.Trace.t -> Molclock.Oscillator.t -> float list
+(** Mid-hold sampling moments between consecutive measured cycle starts
+    (default [hold_fraction = 0.55] of the way into each cycle). Empty if
+    the clock never completed a cycle. *)
+
+val counter_states :
+  Ode.Trace.t -> Counter.t -> int option list
+(** Decoded one-hot counter state at each measured cycle. *)
+
+val fsm_states : Ode.Trace.t -> Fsm.t -> int option list
+(** Decoded one-hot FSM state at each measured cycle. *)
+
+val increments_by_one :
+  int option list -> modulo:int -> bool
+(** Do consecutive decoded states each advance by exactly one (mod
+    [modulo])? [false] on any [None] or jump; vacuously [true] for fewer
+    than two samples. *)

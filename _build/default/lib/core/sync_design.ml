@@ -1,0 +1,84 @@
+type t = {
+  builder : Crn.Builder.t;
+  clock : Molclock.Oscillator.t;
+  signal_mass : float;
+}
+
+let n_phases = 4
+
+let make ?(clock_mass = 100.) ?(signal_mass = 10.) net =
+  let builder = Crn.Builder.on net in
+  let clock =
+    Molclock.Oscillator.create ~n_phases ~mass:clock_mass
+      (Crn.Builder.scoped builder "clk")
+  in
+  { builder; clock; signal_mass }
+
+let release_phase d = Molclock.Oscillator.phase d.clock 0
+let capture_phase d = Molclock.Oscillator.phase d.clock 2
+let cleanup_phase d = Molclock.Oscillator.phase d.clock 3
+
+let phase_gated ?label d ~phase src products =
+  Crn.Builder.react ?label d.builder Crn.Rates.fast
+    [ (src, 1); (phase, 1) ]
+    ((phase, 1) :: products)
+
+let clear_on ?label d ~phase species =
+  Crn.Builder.consume_by ?label d.builder Crn.Rates.fast ~by:phase species
+
+(* The signal path is catalytic in the clock phases, so the period of a
+   standalone clock with the same parameters equals the loaded design's.
+   Measuring it needs one stiff simulation; cache by (mass, env). *)
+let period_cache : (float * float * float, float) Hashtbl.t = Hashtbl.create 8
+
+let measure_period ~env ~mass =
+  let key = (mass, env.Crn.Rates.k_fast, env.Crn.Rates.k_slow) in
+  match Hashtbl.find_opt period_cache key with
+  | Some p -> p
+  | None ->
+      let net = Crn.Network.create () in
+      let b = Crn.Builder.on net in
+      let clk =
+        Molclock.Oscillator.create ~n_phases ~mass (Crn.Builder.scoped b "clk")
+      in
+      (* enough time for ~15 cycles at any plausible rate environment: the
+         period scales with 1/k_slow *)
+      let horizon = 120. /. env.Crn.Rates.k_slow in
+      let trace =
+        Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~env ~thin:5
+          ~t1:horizon net
+      in
+      let p =
+        match Molclock.Clock_analysis.period trace clk with
+        | Some p -> p
+        | None ->
+            failwith "Sync_design.period: clock failed to oscillate"
+      in
+      Hashtbl.replace period_cache key p;
+      p
+
+let period ?(env = Crn.Rates.default_env) d =
+  measure_period ~env ~mass:(Molclock.Oscillator.mass d.clock)
+
+let cycle_time ?env d ~cycle =
+  if cycle < 0 then invalid_arg "Sync_design.cycle_time: negative cycle";
+  float_of_int cycle *. period ?env d
+
+(* The phases pre-accumulate (each starts trickling up as soon as its
+   predecessor-but-one empties), so cycle n's effective windows, measured
+   empirically, are: release ~ (n - 0.23)p .. n p, capture ~ (n + 0.25)p ..
+   (n + 0.5)p, hold ~ (n + 0.5)p .. (n + 0.75)p. Inputs therefore go in
+   just after the cycle boundary and outputs are read mid-hold. *)
+let injection_time ?env d ~cycle =
+  cycle_time ?env d ~cycle +. (0.05 *. period ?env d)
+
+let sample_time ?env d ~cycle =
+  cycle_time ?env d ~cycle +. (0.55 *. period ?env d)
+
+let simulate ?(env = Crn.Rates.default_env) ?injections ?(thin = 10) ~cycles d
+    =
+  if cycles < 1 then invalid_arg "Sync_design.simulate: cycles must be >= 1";
+  let t1 = float_of_int cycles *. period ~env d in
+  Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~env ?injections ~thin
+    ~t1
+    (Crn.Builder.network d.builder)

@@ -1,0 +1,83 @@
+(** The synchronous design discipline — phase conventions shared by every
+    sequential construct in this library.
+
+    A design uses a {b four-phase} molecular clock ({!Molclock.Oscillator}
+    with [n_phases = 4]). Distance-2 phases are never simultaneously high
+    (the successor-transfer gating guarantees it), which yields the
+    two-phase, non-overlapping latching scheme:
+
+    - {b phase 0 — release}: registers release their stored quantities into
+      the combinational network; cycle-scoped outputs from the previous
+      cycle are cleared;
+    - {b phase 1 — compute/settle}: a guard phase; fast combinational
+      reactions (including annihilations) run to completion;
+    - {b phase 2 — capture}: staged results are transferred into register
+      stores; leftover odd units and spent inputs are cleared;
+    - {b phase 3 — hold}: a guard phase; restore-style housekeeping runs
+      here, safely separated from both release and capture.
+
+    All phase-gated reactions are {e catalytic} in the phase species
+    ([X + P ->fast Y + P]), so the signal path never perturbs the clock.
+    External inputs for cycle [n] must be injected between that cycle's
+    release and capture — {!injection_time} computes a safe moment. *)
+
+type t = {
+  builder : Crn.Builder.t;  (** root builder of the design's network *)
+  clock : Molclock.Oscillator.t;
+  signal_mass : float;  (** full-scale quantity representing logical 1 *)
+}
+
+val make :
+  ?clock_mass:float -> ?signal_mass:float -> Crn.Network.t -> t
+(** Create the 4-phase clock (under scope ["clk"]) in the given network.
+    Defaults: [clock_mass = 100.], [signal_mass = 10.]. *)
+
+val release_phase : t -> int
+(** Species index of phase 0. *)
+
+val capture_phase : t -> int
+(** Species index of phase 2. *)
+
+val cleanup_phase : t -> int
+(** Species index of phase 3. *)
+
+val phase_gated :
+  ?label:string -> t -> phase:int -> int -> (int * int) list -> unit
+(** [phase_gated d ~phase src products] adds
+    [src + P_phase ->fast products + P_phase]. *)
+
+val clear_on : ?label:string -> t -> phase:int -> int -> unit
+(** [species + P_phase ->fast P_phase]: destroy stragglers during a phase. *)
+
+val period : ?env:Crn.Rates.env -> t -> float
+(** Measured clock period: simulates a {e standalone} copy of this design's
+    clock (same phase count and mass) under [env] and measures phase 0's
+    oscillation. The signal path is catalytic in the phases, so the isolated
+    clock has the same period as the loaded one. Results for the default
+    environment are cached per (phases, mass). *)
+
+val cycle_time : ?env:Crn.Rates.env -> t -> cycle:int -> float
+(** Start time of clock cycle [cycle] (0-based): [cycle * period], plus the
+    initial settling offset of the very first oscillation (phase 0 starts
+    high at [t = 0], so cycle 0 begins at 0). *)
+
+val injection_time : ?env:Crn.Rates.env -> t -> cycle:int -> float
+(** A safe moment to inject an external input consumed in cycle [cycle]:
+    5% into the cycle — after that cycle's release window (which begins
+    {e before} the nominal cycle boundary, because phase 0 pre-accumulates
+    during the previous hold phase) and well before its capture. *)
+
+val sample_time : ?env:Crn.Rates.env -> t -> cycle:int -> float
+(** A safe moment to read registered outputs of cycle [cycle]: 55% into the
+    cycle, the middle of the hold window between capture completion and the
+    next (early) release. *)
+
+val simulate :
+  ?env:Crn.Rates.env ->
+  ?injections:Ode.Driver.injection list ->
+  ?thin:int ->
+  cycles:int ->
+  t ->
+  Ode.Trace.t
+(** Simulate the design for a whole number of clock cycles with the stiff
+    (Rosenbrock) integrator and thinned recording (default [thin = 10]). *)

@@ -1,0 +1,1 @@
+lib/crn/builder.ml: Network Rates Reaction

@@ -1,0 +1,1 @@
+lib/crn/builder.mli: Network Rates

@@ -1,0 +1,1 @@
+lib/crn/conservation.ml: Array Float List Network Numeric Printf Reaction

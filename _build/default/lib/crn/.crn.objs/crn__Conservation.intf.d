@@ -1,0 +1,1 @@
+lib/crn/conservation.mli: Network Numeric

@@ -1,0 +1,1 @@
+lib/crn/equiv.ml: Array Digest Hashtbl List Network Option Printf Rates Reaction String

@@ -1,0 +1,1 @@
+lib/crn/equiv.mli: Network

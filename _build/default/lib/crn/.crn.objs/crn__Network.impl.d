@@ -1,0 +1,1 @@
+lib/crn/network.ml: Array Format Hashtbl List Numeric Printf Reaction String

@@ -1,0 +1,1 @@
+lib/crn/network.mli: Format Numeric Reaction

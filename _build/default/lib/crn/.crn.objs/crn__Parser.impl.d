@@ -1,0 +1,1 @@
+lib/crn/parser.ml: List Network Printf Rates Reaction String

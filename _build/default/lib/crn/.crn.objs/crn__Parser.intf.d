@@ -1,0 +1,1 @@
+lib/crn/parser.mli: Network

@@ -1,0 +1,1 @@
+lib/crn/rates.ml: Format

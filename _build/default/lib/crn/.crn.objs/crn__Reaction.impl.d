@@ -1,0 +1,1 @@
+lib/crn/reaction.ml: Format Hashtbl List Option Rates

@@ -1,0 +1,1 @@
+lib/crn/reaction.mli: Format Rates

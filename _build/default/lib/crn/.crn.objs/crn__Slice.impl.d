@@ -1,0 +1,1 @@
+lib/crn/slice.ml: Array Fun Hashtbl List Network Printf Reaction

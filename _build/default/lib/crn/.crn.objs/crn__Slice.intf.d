@@ -1,0 +1,1 @@
+lib/crn/slice.mli: Network

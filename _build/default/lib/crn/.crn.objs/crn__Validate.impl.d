@@ -1,0 +1,1 @@
+lib/crn/validate.ml: Array Format List Network Reaction

@@ -1,0 +1,1 @@
+lib/crn/validate.mli: Format Network

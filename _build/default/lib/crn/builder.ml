@@ -1,0 +1,32 @@
+type t = { net : Network.t; prefix : string }
+
+let on net = { net; prefix = "" }
+let network b = b.net
+
+let scoped b sub =
+  if sub = "" then invalid_arg "Builder.scoped: empty scope name";
+  let prefix = if b.prefix = "" then sub else b.prefix ^ "." ^ sub in
+  { b with prefix }
+
+let species b name =
+  let full = if b.prefix = "" then name else b.prefix ^ "." ^ name in
+  Network.species b.net full
+
+let global b name = Network.species b.net name
+let init b s x = Network.set_init b.net s x
+let name b s = Network.species_name b.net s
+
+let react ?label b rate reactants products =
+  Network.add_reaction b.net (Reaction.make ?label ~reactants ~products rate)
+
+let fast ?label b reactants products = react ?label b Rates.fast reactants products
+let slow ?label b reactants products = react ?label b Rates.slow reactants products
+let source ?label b rate s = react ?label b rate [] [ (s, 1) ]
+let decay ?label b rate s = react ?label b rate [ (s, 1) ] []
+let transfer ?label b rate x y = react ?label b rate [ (x, 1) ] [ (y, 1) ]
+
+let transfer_cat ?label b rate ~cat x y =
+  react ?label b rate [ (x, 1); (cat, 1) ] [ (y, 1); (cat, 1) ]
+
+let consume_by ?label b rate ~by i =
+  react ?label b rate [ (i, 1); (by, 1) ] [ (by, 1) ]

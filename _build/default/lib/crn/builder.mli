@@ -1,0 +1,54 @@
+(** Convenience DSL for constructing networks.
+
+    A builder is a view of a {!Network.t} together with a hierarchical name
+    prefix, so that synthesized blocks (latches, counters, filter taps…)
+    get disjoint species namespaces while still sharing global species such
+    as clock phases and absence indicators. *)
+
+type t
+
+val on : Network.t -> t
+(** Root builder with the empty prefix. *)
+
+val network : t -> Network.t
+
+val scoped : t -> string -> t
+(** [scoped b "ctr"] prefixes species created through it with ["ctr."];
+    nesting concatenates ("ctr.bit0."). *)
+
+val species : t -> string -> int
+(** Intern a species under the builder's prefix. *)
+
+val global : t -> string -> int
+(** Intern a species ignoring the prefix (for shared/global species). *)
+
+val init : t -> int -> float -> unit
+(** Set initial concentration. *)
+
+val name : t -> int -> string
+
+val react :
+  ?label:string -> t -> Rates.t -> (int * int) list -> (int * int) list -> unit
+(** [react b rate reactants products] adds a reaction. *)
+
+val fast : ?label:string -> t -> (int * int) list -> (int * int) list -> unit
+val slow : ?label:string -> t -> (int * int) list -> (int * int) list -> unit
+
+val source : ?label:string -> t -> Rates.t -> int -> unit
+(** Zero-order generation [0 -> X] (the absence-indicator generators). *)
+
+val decay : ?label:string -> t -> Rates.t -> int -> unit
+(** [X -> 0]. *)
+
+val transfer : ?label:string -> t -> Rates.t -> int -> int -> unit
+(** [X -> Y]. *)
+
+val transfer_cat :
+  ?label:string -> t -> Rates.t -> cat:int -> int -> int -> unit
+(** [X + C -> Y + C]: transfer enabled by the presence of a catalyst (the
+    synchronous latching primitive, with a clock phase as [cat]). *)
+
+val consume_by :
+  ?label:string -> t -> Rates.t -> by:int -> int -> unit
+(** [I + S -> S]: species [I] consumed catalytically by [S] (how signal
+    molecules mop up their absence indicator). *)

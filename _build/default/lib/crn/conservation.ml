@@ -1,0 +1,31 @@
+let laws net =
+  let s = Network.stoichiometry net in
+  Numeric.Lu.nullspace (Numeric.Mat.transpose s)
+
+let is_invariant ?(eps = 1e-9) net w =
+  if Array.length w <> Network.n_species net then
+    invalid_arg "Conservation.is_invariant: weight dimension mismatch";
+  Array.for_all
+    (fun r ->
+      let change =
+        List.fold_left
+          (fun acc (sp, c) -> acc +. (w.(sp) *. float_of_int c))
+          0. (Reaction.net_stoich r)
+      in
+      Float.abs change <= eps)
+    (Network.reactions net)
+
+let weighted_total w state = Numeric.Vec.dot w state
+
+let uniform_over net names =
+  let w = Array.make (Network.n_species net) 0. in
+  List.iter
+    (fun name ->
+      match Network.find_species net name with
+      | Some i -> w.(i) <- 1.
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Conservation.uniform_over: unknown species %S"
+               name))
+    names;
+  w

@@ -1,0 +1,25 @@
+(** Conservation-law analysis.
+
+    A conservation law of a network is a weighting [w] of species with
+    [w' S = 0] for the net stoichiometry matrix [S]: the weighted total
+    concentration is invariant under every reaction. The paper's clock and
+    delay elements are conservative by design (signal quantities rotate
+    between color categories but are never created or destroyed, except by
+    explicit zero-order sources), so conservation laws are both a debugging
+    aid and a test oracle. *)
+
+val laws : Network.t -> Numeric.Vec.t list
+(** A basis of the left null space of the stoichiometry matrix. Networks
+    with zero-order sources or pure decays typically have fewer laws. *)
+
+val is_invariant : ?eps:float -> Network.t -> Numeric.Vec.t -> bool
+(** Does the given species weighting commute with every reaction? Checked
+    directly against each reaction's net stoichiometry (default
+    [eps = 1e-9]). *)
+
+val weighted_total : Numeric.Vec.t -> Numeric.Vec.t -> float
+(** [weighted_total w state]: the conserved quantity's current value. *)
+
+val uniform_over : Network.t -> string list -> Numeric.Vec.t
+(** Indicator weighting: 1 on the named species, 0 elsewhere. Raises
+    [Invalid_argument] if a name is unknown. *)

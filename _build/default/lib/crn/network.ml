@@ -1,0 +1,125 @@
+type t = {
+  mutable names : string array; (* index -> name; grows geometrically *)
+  mutable n_species : int;
+  index : (string, int) Hashtbl.t;
+  mutable reactions : Reaction.t list; (* reverse insertion order *)
+  mutable n_reactions : int;
+  mutable init : float array; (* parallel to [names] *)
+}
+
+let create () =
+  {
+    names = Array.make 16 "";
+    n_species = 0;
+    index = Hashtbl.create 64;
+    reactions = [];
+    n_reactions = 0;
+    init = Array.make 16 0.;
+  }
+
+let bad_name_char c =
+  match c with ' ' | '\t' | '\n' | '\r' | '#' | '>' | '{' | '}' -> true | _ -> false
+
+let valid_name name =
+  String.length name > 0 && not (String.exists bad_name_char name)
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.n_species = cap then begin
+    let names = Array.make (2 * cap) "" in
+    Array.blit t.names 0 names 0 cap;
+    t.names <- names;
+    let init = Array.make (2 * cap) 0. in
+    Array.blit t.init 0 init 0 cap;
+    t.init <- init
+  end
+
+let species t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None ->
+      if not (valid_name name) then
+        invalid_arg (Printf.sprintf "Network.species: invalid name %S" name);
+      grow t;
+      let i = t.n_species in
+      t.names.(i) <- name;
+      t.n_species <- i + 1;
+      Hashtbl.add t.index name i;
+      i
+
+let find_species t name = Hashtbl.find_opt t.index name
+
+let species_name t i =
+  if i < 0 || i >= t.n_species then
+    invalid_arg "Network.species_name: index out of range";
+  t.names.(i)
+
+let n_species t = t.n_species
+let n_reactions t = t.n_reactions
+
+let add_reaction t r =
+  let check (s, _) =
+    if s < 0 || s >= t.n_species then
+      invalid_arg "Network.add_reaction: unknown species index"
+  in
+  List.iter check r.Reaction.reactants;
+  List.iter check r.Reaction.products;
+  t.reactions <- r :: t.reactions;
+  t.n_reactions <- t.n_reactions + 1
+
+let reactions t = Array.of_list (List.rev t.reactions)
+
+let set_init t i x =
+  if i < 0 || i >= t.n_species then
+    invalid_arg "Network.set_init: index out of range";
+  if x < 0. then invalid_arg "Network.set_init: negative initial value";
+  t.init.(i) <- x
+
+let init_of t i =
+  if i < 0 || i >= t.n_species then
+    invalid_arg "Network.init_of: index out of range";
+  t.init.(i)
+
+let initial_state t = Array.sub t.init 0 t.n_species
+let species_names t = Array.sub t.names 0 t.n_species
+
+let add_to ~prefix ~dst src =
+  let map = Array.make src.n_species (-1) in
+  for i = 0 to src.n_species - 1 do
+    let name =
+      if prefix = "" then src.names.(i) else prefix ^ "." ^ src.names.(i)
+    in
+    let j = species dst name in
+    map.(i) <- j;
+    if src.init.(i) > 0. then set_init dst j (init_of dst j +. src.init.(i))
+  done;
+  let rename i = map.(i) in
+  List.iter
+    (fun r -> add_reaction dst (Reaction.rename rename r))
+    (List.rev src.reactions);
+  rename
+
+let stoichiometry t =
+  let rs = reactions t in
+  let m = Numeric.Mat.create t.n_species (Array.length rs) 0. in
+  Array.iteri
+    (fun j r ->
+      List.iter
+        (fun (s, c) -> m.(s).(j) <- float_of_int c)
+        (Reaction.net_stoich r))
+    rs;
+  m
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.n_species - 1 do
+    if t.init.(i) > 0. then
+      Format.fprintf fmt "init %s %g@," t.names.(i) t.init.(i)
+  done;
+  let names i = t.names.(i) in
+  List.iter
+    (fun r -> Format.fprintf fmt "%a@," (Reaction.pp ~names) r)
+    (List.rev t.reactions);
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

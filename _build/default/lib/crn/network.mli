@@ -1,0 +1,59 @@
+(** A chemical reaction network: an interned species table, a list of
+    reactions over those species, and initial concentrations.
+
+    Networks are built incrementally — the synthesis layers (modules, clock,
+    sequential designs) all add species and reactions into one shared
+    network — and then handed, immutable in practice, to the simulators. *)
+
+type t
+
+val create : unit -> t
+
+val species : t -> string -> int
+(** Intern a species name, returning its index; idempotent. Raises
+    [Invalid_argument] on the empty string or names containing whitespace,
+    ['#'], ['>'], ['{'] or ['}'] (which would break the text format). *)
+
+val find_species : t -> string -> int option
+
+val species_name : t -> int -> string
+(** Raises [Invalid_argument] on an out-of-range index. *)
+
+val n_species : t -> int
+
+val n_reactions : t -> int
+
+val add_reaction : t -> Reaction.t -> unit
+(** Raises [Invalid_argument] if the reaction mentions a species index not
+    interned in this network. *)
+
+val reactions : t -> Reaction.t array
+(** In insertion order. The array is fresh; mutating it does not affect the
+    network. *)
+
+val set_init : t -> int -> float -> unit
+(** Set the initial concentration (or molecular count) of a species.
+    Raises [Invalid_argument] if negative or out of range. Unset species
+    start at [0.]. *)
+
+val init_of : t -> int -> float
+
+val initial_state : t -> Numeric.Vec.t
+(** Fresh vector of initial concentrations, indexed by species. *)
+
+val species_names : t -> string array
+
+val add_to : prefix:string -> dst:t -> t -> (int -> int)
+(** [add_to ~prefix ~dst src] merges [src] into [dst], prefixing every
+    species name of [src] with [prefix] (empty prefix merges by name:
+    same-named species unify). Initial concentrations of merged species are
+    added. Returns the re-indexing function from [src] indices to [dst]
+    indices. *)
+
+val stoichiometry : t -> Numeric.Mat.t
+(** The [n_species] x [n_reactions] net stoichiometry matrix. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full textual form, parseable by {!Parser}. *)
+
+val to_string : t -> string

@@ -1,0 +1,153 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let tokens_of s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+(* "fast", "slow", optionally "*<scale>" suffix. *)
+let parse_rate lineno s =
+  let category, rest =
+    if String.length s >= 4 && String.sub s 0 4 = "fast" then
+      (Rates.Fast, String.sub s 4 (String.length s - 4))
+    else if String.length s >= 4 && String.sub s 0 4 = "slow" then
+      (Rates.Slow, String.sub s 4 (String.length s - 4))
+    else fail lineno (Printf.sprintf "unknown rate category in %S" s)
+  in
+  let scale =
+    if rest = "" then 1.
+    else if String.length rest > 1 && rest.[0] = '*' then
+      match float_of_string_opt (String.sub rest 1 (String.length rest - 1)) with
+      | Some x when x > 0. -> x
+      | _ -> fail lineno (Printf.sprintf "bad rate scale in %S" s)
+    else fail lineno (Printf.sprintf "bad rate suffix in %S" s)
+  in
+  { Rates.category; scale }
+
+(* A side is "0" or a "+"-separated list of [coeff] name terms. *)
+let parse_side net lineno s =
+  let s = String.trim s in
+  if s = "0" || s = "" then []
+  else
+    String.split_on_char '+' s
+    |> List.map (fun term ->
+           match tokens_of (String.trim term) with
+           | [ name ] -> (Network.species net name, 1)
+           | [ coeff; name ] -> (
+               match int_of_string_opt coeff with
+               | Some c when c > 0 -> (Network.species net name, c)
+               | _ ->
+                   fail lineno
+                     (Printf.sprintf "bad coefficient %S" coeff))
+           | _ -> fail lineno (Printf.sprintf "bad term %S" term))
+
+(* index of the first occurrence of "->{", if any *)
+let find_arrow line =
+  let n = String.length line in
+  let rec go i =
+    if i + 2 >= n then None
+    else if line.[i] = '-' && line.[i + 1] = '>' && line.[i + 2] = '{' then
+      Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* index of the first occurrence of "<->{", if any *)
+let find_rev_arrow line =
+  let n = String.length line in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      line.[i] = '<' && line.[i + 1] = '-' && line.[i + 2] = '>'
+      && line.[i + 3] = '{'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* LHS <->{fwd}{rev} RHS : sugar for the two one-way reactions *)
+let parse_reversible net lineno line i =
+  let j1 = i + 3 in
+  match String.index_from_opt line j1 '}' with
+  | None -> fail lineno "unterminated forward rate"
+  | Some k1 ->
+      if k1 + 1 >= String.length line || line.[k1 + 1] <> '{' then
+        fail lineno "reversible reaction needs two rates: <->{fwd}{rev}"
+      else begin
+        match String.index_from_opt line (k1 + 1) '}' with
+        | None -> fail lineno "unterminated reverse rate"
+        | Some k2 ->
+            let lhs = String.sub line 0 i in
+            let fwd_str = String.sub line (j1 + 1) (k1 - j1 - 1) in
+            let rev_str = String.sub line (k1 + 2) (k2 - k1 - 2) in
+            let rhs =
+              String.sub line (k2 + 1) (String.length line - k2 - 1)
+            in
+            let fwd = parse_rate lineno (String.trim fwd_str) in
+            let rev = parse_rate lineno (String.trim rev_str) in
+            let reactants = parse_side net lineno lhs in
+            let products = parse_side net lineno rhs in
+            (try
+               Network.add_reaction net
+                 (Reaction.make ~reactants ~products fwd);
+               Network.add_reaction net
+                 (Reaction.make ~reactants:products ~products:reactants rev)
+             with Invalid_argument m -> fail lineno m)
+      end
+
+let parse_reaction net lineno line =
+  match find_rev_arrow line with
+  | Some i -> parse_reversible net lineno line i
+  | None ->
+  let arrow =
+    match find_arrow line with
+    | None -> None
+    | Some i -> (
+        match String.index_from_opt line (i + 2) '}' with
+        | Some k -> Some (i, i + 2, k)
+        | None -> None)
+  in
+  match arrow with
+  | None -> fail lineno "expected a reaction of the form LHS ->{rate} RHS"
+  | Some (i, j, k) ->
+      let lhs = String.sub line 0 i in
+      let rate_str = String.sub line (j + 1) (k - j - 1) in
+      let rhs = String.sub line (k + 1) (String.length line - k - 1) in
+      let rate = parse_rate lineno (String.trim rate_str) in
+      let reactants = parse_side net lineno lhs in
+      let products = parse_side net lineno rhs in
+      (try Network.add_reaction net (Reaction.make ~reactants ~products rate)
+       with Invalid_argument m -> fail lineno m)
+
+let parse_line net lineno raw =
+  let line = String.trim (strip_comment raw) in
+  if line = "" then ()
+  else
+    match tokens_of line with
+    | [ "init"; name; value ] -> (
+        match float_of_string_opt value with
+        | Some x when x >= 0. ->
+            Network.set_init net (Network.species net name) x
+        | _ -> fail lineno (Printf.sprintf "bad initial value %S" value))
+    | "init" :: _ -> fail lineno "init expects: init <species> <value>"
+    | _ -> parse_reaction net lineno line
+
+let network_of_string s =
+  let net = Network.create () in
+  let lines = String.split_on_char '\n' s in
+  List.iteri (fun i line -> parse_line net (i + 1) line) lines;
+  net
+
+let network_of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  network_of_string content
+
+let roundtrip net = network_of_string (Network.to_string net)

@@ -1,0 +1,28 @@
+(** Parser for the textual [.crn] network format (the inverse of
+    {!Network.pp}).
+
+    Line-oriented grammar:
+    {v
+    # full-line comment
+    init X 100              initial concentration
+    X + 2 Y ->{fast} Z      reaction; coefficient 1 may be omitted
+    0 ->{slow} r            zero-order source ("0" or empty side)
+    A ->{fast*2.5} 0        category with optional scale; decay
+    2 G <->{slow}{fast} I   reversible sugar: the two one-way reactions
+    v}
+
+    The printer always emits one-way reactions, so a network parsed from
+    reversible sugar round-trips to (equivalent) desugared text.
+    Trailing [# comments] are allowed after any line. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val network_of_string : string -> Network.t
+
+val network_of_file : string -> Network.t
+(** Raises [Sys_error] if the file cannot be read. *)
+
+val roundtrip : Network.t -> Network.t
+(** [network_of_string (Network.to_string net)]; used by tests to assert the
+    printer and parser agree. *)

@@ -1,0 +1,38 @@
+type category = Fast | Slow
+type t = { category : category; scale : float }
+type env = { k_fast : float; k_slow : float }
+
+let fast = { category = Fast; scale = 1. }
+let slow = { category = Slow; scale = 1. }
+
+let scaled category scale =
+  if scale <= 0. then invalid_arg "Rates: scale must be positive";
+  { category; scale }
+
+let fast_scaled s = scaled Fast s
+let slow_scaled s = scaled Slow s
+
+let value env { category; scale } =
+  match category with
+  | Fast -> env.k_fast *. scale
+  | Slow -> env.k_slow *. scale
+
+let default_env = { k_fast = 1000.; k_slow = 1. }
+
+let env_with_ratio r =
+  if r <= 0. then invalid_arg "Rates.env_with_ratio: ratio must be positive";
+  { k_fast = r; k_slow = 1. }
+
+let compare_category a b =
+  match (a, b) with
+  | Fast, Fast | Slow, Slow -> 0
+  | Fast, Slow -> -1
+  | Slow, Fast -> 1
+
+let pp_category fmt = function
+  | Fast -> Format.pp_print_string fmt "fast"
+  | Slow -> Format.pp_print_string fmt "slow"
+
+let pp fmt { category; scale } =
+  if scale = 1. then pp_category fmt category
+  else Format.fprintf fmt "%a*%g" pp_category category scale

@@ -1,0 +1,43 @@
+(** Coarse rate categories.
+
+    The paper's central robustness claim is that its constructs are correct
+    given only two rate {e categories} — "fast" and "slow" — never specific
+    rate constants: it does not matter how fast any fast reaction is relative
+    to another fast one, only that fast reactions are fast relative to slow
+    ones. A rate is therefore a category plus a dimensionless scale; concrete
+    kinetic constants are bound late, by an {!env}, at simulation time. The
+    rate-robustness experiments re-simulate one network under many
+    environments. *)
+
+type category = Fast | Slow
+
+type t = { category : category; scale : float }
+(** [scale] defaults to [1.] and exists for modelling variability {e within}
+    a category (e.g. a "slow" reaction twice as fast as another slow one);
+    correctness of the constructs must never depend on it. *)
+
+type env = { k_fast : float; k_slow : float }
+(** Binding of categories to mass-action kinetic constants. *)
+
+val fast : t
+val slow : t
+
+val fast_scaled : float -> t
+val slow_scaled : float -> t
+
+val value : env -> t -> float
+(** Concrete kinetic constant of a rate under an environment. *)
+
+val default_env : env
+(** [k_fast = 1000., k_slow = 1.] — the separation used in the paper's ODE
+    simulations. *)
+
+val env_with_ratio : float -> env
+(** [env_with_ratio r] keeps [k_slow = 1.] and sets [k_fast = r]; used by the
+    rate-independence sweeps. Raises [Invalid_argument] if [r <= 0.]. *)
+
+val compare_category : category -> category -> int
+
+val pp_category : Format.formatter -> category -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type side = (int * int) list
+
+type t = {
+  reactants : side;
+  products : side;
+  rate : Rates.t;
+  label : string option;
+}
+
+let normalize_side entries =
+  List.iter
+    (fun (s, c) ->
+      if c <= 0 then invalid_arg "Reaction: coefficient must be positive";
+      if s < 0 then invalid_arg "Reaction: negative species index")
+    entries;
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s, c) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl s) in
+      Hashtbl.replace tbl s (prev + c))
+    entries;
+  Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let make ?label ~reactants ~products rate =
+  let reactants = normalize_side reactants in
+  let products = normalize_side products in
+  if reactants = [] && products = [] then
+    invalid_arg "Reaction: both sides empty";
+  { reactants; products; rate; label }
+
+let order r = List.fold_left (fun acc (_, c) -> acc + c) 0 r.reactants
+
+let net_stoich r =
+  let tbl = Hashtbl.create 8 in
+  let bump sign (s, c) =
+    let prev = Option.value ~default:0 (Hashtbl.find_opt tbl s) in
+    Hashtbl.replace tbl s (prev + (sign * c))
+  in
+  List.iter (bump (-1)) r.reactants;
+  List.iter (bump 1) r.products;
+  Hashtbl.fold (fun s c acc -> if c = 0 then acc else (s, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let species r =
+  List.map fst r.reactants @ List.map fst r.products
+  |> List.sort_uniq compare
+
+let is_catalytic_in r s =
+  let coeff side = Option.value ~default:0 (List.assoc_opt s side) in
+  let c = coeff r.reactants in
+  c > 0 && c = coeff r.products
+
+let rename f r =
+  let on_side side = normalize_side (List.map (fun (s, c) -> (f s, c)) side) in
+  { r with reactants = on_side r.reactants; products = on_side r.products }
+
+let equal a b =
+  a.reactants = b.reactants && a.products = b.products && a.rate = b.rate
+
+let pp_side names fmt = function
+  | [] -> Format.pp_print_string fmt "0"
+  | side ->
+      List.iteri
+        (fun i (s, c) ->
+          if i > 0 then Format.pp_print_string fmt " + ";
+          if c = 1 then Format.pp_print_string fmt (names s)
+          else Format.fprintf fmt "%d %s" c (names s))
+        side
+
+let pp ~names fmt r =
+  Format.fprintf fmt "%a ->{%a} %a" (pp_side names) r.reactants Rates.pp
+    r.rate (pp_side names) r.products;
+  match r.label with
+  | None -> ()
+  | Some l -> Format.fprintf fmt "  # %s" l

@@ -1,0 +1,48 @@
+(** A single chemical reaction.
+
+    Species are integer indices into the owning {!Network}'s species table.
+    Stoichiometric coefficients on each side are positive integers;
+    a species may appear on both sides (a catalyst). The empty reactant list
+    denotes a zero-order source (the paper's absence-indicator generators);
+    the empty product list denotes pure consumption. *)
+
+type side = (int * int) list
+(** Association list [species, coefficient], coefficient > 0, species
+    strictly increasing. Use {!normalize_side} to obtain this form. *)
+
+type t = private {
+  reactants : side;
+  products : side;
+  rate : Rates.t;
+  label : string option;
+}
+
+val make : ?label:string -> reactants:(int * int) list -> products:(int * int) list -> Rates.t -> t
+(** Build a reaction; both sides are normalized (duplicates merged, sorted).
+    Raises [Invalid_argument] on a non-positive coefficient or negative
+    species index, or if both sides are empty. *)
+
+val order : t -> int
+(** Total molecularity of the reactant side (0 for a source). *)
+
+val net_stoich : t -> (int * int) list
+(** Net change per species (products minus reactants), omitting zeros;
+    sorted by species. A catalyst does not appear. *)
+
+val species : t -> int list
+(** All species mentioned, sorted, without duplicates. *)
+
+val is_catalytic_in : t -> int -> bool
+(** [is_catalytic_in r s]: [s] appears with equal coefficient on both
+    sides. *)
+
+val rename : (int -> int) -> t -> t
+(** Apply a species re-indexing (used when merging networks). *)
+
+val equal : t -> t -> bool
+(** Structural equality ignoring the label. *)
+
+val normalize_side : (int * int) list -> side
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit
+(** Print as e.g. ["X + 2 Y ->{fast} Z"]. *)

@@ -1,0 +1,73 @@
+let resolve net names =
+  List.map
+    (fun name ->
+      match Network.find_species net name with
+      | Some s -> s
+      | None ->
+          invalid_arg (Printf.sprintf "Slice: unknown species %S" name))
+    names
+
+(* backward closure: a reaction that net-changes a tracked species makes
+   all of its reactants (rate inputs, including catalysts) tracked too *)
+let influence_set net names =
+  let reactions = Network.reactions net in
+  let tracked = Array.make (Network.n_species net) false in
+  List.iter (fun s -> tracked.(s) <- true) (resolve net names);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun r ->
+        let affects =
+          List.exists (fun (s, _) -> tracked.(s)) (Reaction.net_stoich r)
+        in
+        if affects then
+          List.iter
+            (fun (s, _) ->
+              if not tracked.(s) then begin
+                tracked.(s) <- true;
+                changed := true
+              end)
+            r.Reaction.reactants)
+      reactions
+  done;
+  tracked
+
+let influencing net names =
+  let tracked = influence_set net names in
+  List.filter (fun s -> tracked.(s)) (List.init (Array.length tracked) Fun.id)
+
+let kept_reactions net names =
+  let tracked = influence_set net names in
+  let reactions = Network.reactions net in
+  List.filter
+    (fun i ->
+      List.exists
+        (fun (s, _) -> tracked.(s))
+        (Reaction.net_stoich reactions.(i)))
+    (List.init (Array.length reactions) Fun.id)
+
+let reaction_indices = kept_reactions
+
+let extract net names =
+  let keep = kept_reactions net names in
+  let reactions = Network.reactions net in
+  let out = Network.create () in
+  let mapping = Hashtbl.create 32 in
+  let import s =
+    match Hashtbl.find_opt mapping s with
+    | Some s' -> s'
+    | None ->
+        let s' = Network.species out (Network.species_name net s) in
+        Network.set_init out s' (Network.init_of net s);
+        Hashtbl.add mapping s s';
+        s'
+  in
+  (* influencing species first, so they exist even if no kept reaction
+     mentions them *)
+  let tracked = influence_set net names in
+  Array.iteri (fun s t -> if t then ignore (import s)) tracked;
+  List.iter
+    (fun i -> Network.add_reaction out (Reaction.rename import reactions.(i)))
+    keep;
+  out

@@ -1,0 +1,25 @@
+(** Cone-of-influence slicing: extract the subnetwork that can affect a
+    set of species of interest.
+
+    Debugging a 60-species synthesized design usually means staring at the
+    handful of reactions that can actually move the species you care
+    about. A reaction {e influences} a species if the species appears among
+    its products or reactants (including catalytically — a catalyst's
+    concentration gates the rate); influence propagates backwards through
+    reactants. *)
+
+val influencing : Network.t -> string list -> int list
+(** Indices of all species that can (transitively) influence the named
+    ones, including the named species themselves. Raises
+    [Invalid_argument] for unknown names. *)
+
+val extract : Network.t -> string list -> Network.t
+(** A fresh network containing the influencing species (same names, same
+    initial concentrations) and every reaction of the original that
+    net-changes one of them. Simulating the slice reproduces the named
+    species' dynamics exactly, because every omitted reaction could not
+    have reached them. Passenger byproducts of kept reactions also appear,
+    but only the influencing species' trajectories are guaranteed. *)
+
+val reaction_indices : Network.t -> string list -> int list
+(** The (original) indices of the reactions kept by {!extract}, in order. *)

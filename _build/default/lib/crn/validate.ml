@@ -1,0 +1,71 @@
+type issue =
+  | Unused_species of int
+  | Never_produced of int
+  | Never_consumed of int
+  | High_order of int * int
+  | Duplicate_reaction of int * int
+
+let check net =
+  let n = Network.n_species net in
+  let rs = Network.reactions net in
+  let used = Array.make n false in
+  let produced = Array.make n false in
+  let consumed = Array.make n false in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (s, _) ->
+          used.(s) <- true;
+          consumed.(s) <- true)
+        r.Reaction.reactants;
+      List.iter
+        (fun (s, _) ->
+          used.(s) <- true;
+          produced.(s) <- true)
+        r.Reaction.products)
+    rs;
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  Array.iteri
+    (fun j r ->
+      if Reaction.order r > 2 then add (High_order (j, Reaction.order r)))
+    rs;
+  for j = 0 to Array.length rs - 1 do
+    for k = j + 1 to Array.length rs - 1 do
+      if Reaction.equal rs.(j) rs.(k) then add (Duplicate_reaction (j, k))
+    done
+  done;
+  for s = 0 to n - 1 do
+    if not used.(s) then add (Unused_species s)
+    else begin
+      if consumed.(s) && (not produced.(s)) && Network.init_of net s = 0.
+      then add (Never_produced s);
+      if produced.(s) && not consumed.(s) then add (Never_consumed s)
+    end
+  done;
+  List.rev !issues
+
+let is_dsd_compilable net =
+  Array.for_all (fun r -> Reaction.order r <= 2) (Network.reactions net)
+
+let pp_issue net fmt issue =
+  let name s = Network.species_name net s in
+  match issue with
+  | Unused_species s -> Format.fprintf fmt "unused species %s" (name s)
+  | Never_produced s ->
+      Format.fprintf fmt
+        "species %s is consumed but never produced and starts at 0" (name s)
+  | Never_consumed s ->
+      Format.fprintf fmt "species %s is produced but never consumed" (name s)
+  | High_order (j, o) ->
+      Format.fprintf fmt "reaction #%d has molecularity %d (> 2)" j o
+  | Duplicate_reaction (j, k) ->
+      Format.fprintf fmt "reactions #%d and #%d are identical" j k
+
+let report net =
+  match check net with
+  | [] -> ""
+  | issues ->
+      Format.asprintf "@[<v>%a@]"
+        (Format.pp_print_list (pp_issue net))
+        issues

@@ -1,0 +1,26 @@
+(** Static sanity checks on a network before simulation or DSD compilation.
+
+    These are the lint passes a synthesis flow runs on its output: they
+    catch classic construction bugs (a species produced but never consumed,
+    a trimolecular reaction that no DNA chassis can implement directly, a
+    signal that was never initialized). *)
+
+type issue =
+  | Unused_species of int  (** mentioned in no reaction *)
+  | Never_produced of int  (** consumed somewhere, produced nowhere, zero init *)
+  | Never_consumed of int  (** produced somewhere, consumed nowhere *)
+  | High_order of int * int
+      (** reaction index, molecularity > 2: not directly DSD-implementable *)
+  | Duplicate_reaction of int * int  (** indices of structurally equal pair *)
+
+val check : Network.t -> issue list
+(** All issues, in a deterministic order. An empty list means clean. *)
+
+val is_dsd_compilable : Network.t -> bool
+(** No reaction of molecularity > 2 (the Soloveichik translation handles
+    orders 0, 1 and 2). *)
+
+val pp_issue : Network.t -> Format.formatter -> issue -> unit
+
+val report : Network.t -> string
+(** Human-readable multi-line report; empty string when clean. *)

@@ -1,0 +1,1 @@
+lib/designs/catalog.ml: Async_mol Core Crn List Molclock Printf Ri_modules String

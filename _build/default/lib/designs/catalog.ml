@@ -1,0 +1,127 @@
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Crn.Network.t;
+}
+
+let clock n () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let (_ : Molclock.Oscillator.t) =
+    Molclock.Oscillator.create ~n_phases:n (Crn.Builder.scoped b "clk")
+  in
+  net
+
+let counter bits () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let (_ : Core.Counter.t) = Core.Counter.free_running d ~bits in
+  net
+
+let gated_counter bits () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let (_ : Core.Counter.t) = Core.Counter.gated d ~bits in
+  net
+
+let lfsr bits taps () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let (_ : Core.Lfsr.t) = Core.Lfsr.make d ~bits ~taps ~seed:1 in
+  net
+
+let moving_average taps () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let (_ : Core.Filter.t) = Core.Filter.moving_average d ~taps in
+  net
+
+let iir () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let (_ : Core.Filter.t) = Core.Filter.iir_smoother d in
+  net
+
+let chain n () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let (_ : Async_mol.Delay_chain.t) =
+    Async_mol.Delay_chain.make ~input:80. b ~n
+  in
+  net
+
+let biquad () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let g =
+    Core.Sfg.biquad d ~b0:(1, 2) ~b1:(1, 4) ~b2:(1, 8) ~a1:(1, 4) ~a2:(1, 8)
+  in
+  let (_ : Core.Sfg.compiled) = Core.Sfg.compile g in
+  net
+
+let mult () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let (_ : Core.Iterative.t) = Core.Iterative.multiplier d ~a:3. ~count:4 in
+  net
+
+let pow () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  let (_ : Core.Iterative.t) = Core.Iterative.power2 d ~n:5 in
+  net
+
+let sub () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let x1 = Crn.Builder.species b "X1" and x2 = Crn.Builder.species b "X2" in
+  Crn.Builder.init b x1 9.;
+  Crn.Builder.init b x2 4.;
+  let (_ : int) = Ri_modules.Arith.sub b ~name:"sub" x1 x2 in
+  net
+
+let adder () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let x1 = Crn.Builder.species b "X1" and x2 = Crn.Builder.species b "X2" in
+  Crn.Builder.init b x1 30.;
+  Crn.Builder.init b x2 12.;
+  let (_ : int) = Ri_modules.Arith.add b ~name:"adder" x1 x2 in
+  net
+
+let all () =
+  [
+    { name = "clock3"; description = "three-phase molecular clock"; build = clock 3 };
+    { name = "clock4"; description = "four-phase molecular clock"; build = clock 4 };
+    { name = "counter2"; description = "2-bit free-running counter"; build = counter 2 };
+    { name = "counter3"; description = "3-bit free-running counter"; build = counter 3 };
+    {
+      name = "gated-counter2";
+      description = "2-bit counter with count/hold input";
+      build = gated_counter 2;
+    };
+    { name = "lfsr3"; description = "3-bit maximal LFSR"; build = lfsr 3 [ 1; 2 ] };
+    { name = "lfsr4"; description = "4-bit maximal LFSR"; build = lfsr 4 [ 2; 3 ] };
+    { name = "ma2"; description = "2-tap moving-average filter"; build = moving_average 2 };
+    { name = "ma4"; description = "4-tap moving-average filter"; build = moving_average 4 };
+    { name = "iir"; description = "first-order IIR smoother"; build = iir };
+    { name = "biquad"; description = "second-order (biquad) IIR filter via the SFG compiler"; build = biquad };
+    { name = "chain1"; description = "async delay chain, 1 element"; build = chain 1 };
+    { name = "chain2"; description = "async delay chain, 2 elements"; build = chain 2 };
+    { name = "chain4"; description = "async delay chain, 4 elements"; build = chain 4 };
+    { name = "mult"; description = "iterative multiplier (3 x 4)"; build = mult };
+    { name = "pow"; description = "iterative 2^5"; build = pow };
+    { name = "sub"; description = "combinational subtractor"; build = sub };
+    { name = "adder"; description = "combinational adder"; build = adder };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) (all ())
+let names () = List.map (fun e -> e.name) (all ())
+
+let build name =
+  match find name with
+  | Some e -> e.build ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown design %S; available: %s" name
+           (String.concat ", " (names ())))

@@ -1,0 +1,23 @@
+(** Named generators for the standard designs, shared by the command-line
+    tools and the benchmark harness. *)
+
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Crn.Network.t;
+}
+
+val all : unit -> entry list
+(** Every named design:
+    ["clock3"], ["clock4"], ["counter2"], ["counter3"], ["gated-counter2"],
+    ["lfsr3"], ["lfsr4"], ["ma2"], ["ma4"], ["iir"], ["biquad"],
+    ["chain1"], ["chain2"], ["chain4"], ["mult"], ["pow"], ["sub"],
+    ["adder"]. *)
+
+val find : string -> entry option
+
+val names : unit -> string list
+
+val build : string -> Crn.Network.t
+(** Raises [Invalid_argument] with the available names for an unknown
+    design. *)

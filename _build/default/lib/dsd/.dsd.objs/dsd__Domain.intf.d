@@ -1,0 +1,1 @@
+lib/dsd/domain.mli: Format

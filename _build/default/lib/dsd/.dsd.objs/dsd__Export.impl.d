@@ -1,0 +1,1 @@
+lib/dsd/export.ml: Buffer Crn Domain Format List Printf String Translate

@@ -1,0 +1,1 @@
+lib/dsd/export.mli: Translate

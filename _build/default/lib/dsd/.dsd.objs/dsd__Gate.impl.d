@@ -1,0 +1,1 @@
+lib/dsd/gate.ml: Array Crn Domain Format List Printf String Translate

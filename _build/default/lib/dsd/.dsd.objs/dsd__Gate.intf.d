@@ -1,0 +1,1 @@
+lib/dsd/gate.mli: Crn Domain Format

@@ -1,0 +1,1 @@
+lib/dsd/translate.ml: Array Crn Domain Float List Printf String

@@ -1,0 +1,1 @@
+lib/dsd/translate.mli: Crn Domain Numeric

@@ -1,0 +1,1 @@
+lib/dsd/verify.ml: Array Crn Float List Numeric Ode Printf Translate

@@ -1,0 +1,1 @@
+lib/dsd/verify.mli: Crn Ode Translate

@@ -1,0 +1,33 @@
+type kind = Toehold | Recognition
+type domain = { name : string; kind : kind }
+type strand = domain list
+type complex = { label : string; strands : strand list }
+
+let toehold name = { name; kind = Toehold }
+let recognition name = { name; kind = Recognition }
+
+let signal_strand ~species_name =
+  [ toehold ("t." ^ species_name); recognition ("d." ^ species_name) ]
+
+let strand_length s = List.length s
+
+let complex_domains c = List.concat c.strands
+
+let distinct_domains complexes =
+  List.concat_map complex_domains complexes
+  |> List.map (fun d -> d.name)
+  |> List.sort_uniq compare
+
+let pp_strand fmt s =
+  Format.fprintf fmt "<";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%s%s" d.name
+        (match d.kind with Toehold -> "^" | Recognition -> ""))
+    s;
+  Format.fprintf fmt ">"
+
+let pp_complex fmt c =
+  Format.fprintf fmt "%s:" c.label;
+  List.iter (fun s -> Format.fprintf fmt " %a" pp_strand s) c.strands

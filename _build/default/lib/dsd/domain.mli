@@ -1,0 +1,43 @@
+(** Domain-level DNA representation.
+
+    DNA strand displacement systems are designed at the {e domain} level:
+    a strand is a sequence of domains, each either a short {e toehold}
+    (which mediates reversible binding) or a long {e recognition} domain
+    (which determines identity and is displaced irreversibly). Each formal
+    CRN species [X] is assigned a canonical signal strand
+    [<t_X^ x_X>]; gate complexes are built from signal domains plus
+    per-reaction auxiliary domains. This module provides the vocabulary the
+    {!Gate} inventory and the {!Translate} compiler share. *)
+
+type kind = Toehold | Recognition
+
+type domain = { name : string; kind : kind }
+
+type strand = domain list
+(** 5'-to-3' sequence of domains; must be nonempty. *)
+
+type complex = {
+  label : string;
+  strands : strand list;  (** one single-stranded species has one strand *)
+}
+
+val toehold : string -> domain
+val recognition : string -> domain
+
+val signal_strand : species_name:string -> strand
+(** The canonical signal strand for a formal species:
+    toehold [t.<name>] followed by recognition [d.<name>]. *)
+
+val strand_length : strand -> int
+(** Number of domains. *)
+
+val complex_domains : complex -> domain list
+(** All domains with duplicates, in order. *)
+
+val distinct_domains : complex list -> string list
+(** Sorted distinct domain names used across complexes. *)
+
+val pp_strand : Format.formatter -> strand -> unit
+(** E.g. [<t.X d.X>]. *)
+
+val pp_complex : Format.formatter -> complex -> unit

@@ -1,0 +1,159 @@
+type kind = Source | Unary | Binary
+
+type step = {
+  label : string;
+  consumed : (string * int) list;
+  produced : (string * int) list;
+  rate : Crn.Rates.t;
+}
+
+type t = {
+  reaction_index : int;
+  kind : kind;
+  complexes : Domain.complex list;
+  steps : step list;
+}
+
+let expand side = List.concat_map (fun (s, c) -> List.init c (fun _ -> s)) side
+
+let strand name =
+  [ Domain.toehold ("t." ^ name); Domain.recognition ("d." ^ name) ]
+
+(* a fuel complex: its own bound bottom strand plus one strand per thing it
+   will release *)
+let fuel_complex label releases =
+  { Domain.label; strands = strand label :: List.map strand releases }
+
+let of_reaction ~c_max ~index ~names (r : Crn.Reaction.t) =
+  let prefix = Printf.sprintf "dsd.r%d." index in
+  let aux n = prefix ^ n in
+  let rate = r.Crn.Reaction.rate in
+  let scaled = { rate with Crn.Rates.scale = rate.Crn.Rates.scale /. c_max } in
+  let products =
+    List.map (fun (s, c) -> (names s, c)) r.Crn.Reaction.products
+  in
+  let product_release = expand r.Crn.Reaction.products |> List.map names in
+  let waste = (aux "W", 1) in
+  match expand r.Crn.Reaction.reactants with
+  | [] ->
+      {
+        reaction_index = index;
+        kind = Source;
+        complexes = [ fuel_complex (aux "G") product_release ];
+        steps =
+          [
+            {
+              label = Printf.sprintf "r%d: source gate" index;
+              consumed = [ (aux "G", 1) ];
+              produced = products @ [ waste ];
+              rate = scaled;
+            };
+          ];
+      }
+  | [ a ] ->
+      {
+        reaction_index = index;
+        kind = Unary;
+        complexes =
+          [
+            fuel_complex (aux "G") [ aux "O" ];
+            fuel_complex (aux "T") product_release;
+          ];
+        steps =
+          [
+            {
+              label = Printf.sprintf "r%d: bind" index;
+              consumed = [ (names a, 1); (aux "G", 1) ];
+              produced = [ (aux "O", 1) ];
+              rate = scaled;
+            };
+            {
+              label = Printf.sprintf "r%d: translate" index;
+              consumed = [ (aux "O", 1); (aux "T", 1) ];
+              produced = products @ [ waste ];
+              rate = Translate.q_max;
+            };
+          ];
+      }
+  | [ a; b ] ->
+      let unbind_rate =
+        {
+          Translate.q_max with
+          Crn.Rates.scale = Translate.q_max.Crn.Rates.scale *. c_max;
+        }
+      in
+      {
+        reaction_index = index;
+        kind = Binary;
+        complexes =
+          [
+            fuel_complex (aux "J") [ aux "O" ];
+            fuel_complex (aux "T") product_release;
+          ];
+        steps =
+          [
+            {
+              label = Printf.sprintf "r%d: join first" index;
+              consumed = [ (names a, 1); (aux "J", 1) ];
+              produced = [ (aux "H", 1) ];
+              rate;
+            };
+            {
+              label = Printf.sprintf "r%d: unbind" index;
+              consumed = [ (aux "H", 1) ];
+              produced = [ (names a, 1); (aux "J", 1) ];
+              rate = unbind_rate;
+            };
+            {
+              label = Printf.sprintf "r%d: join second" index;
+              consumed = [ (aux "H", 1); (names b, 1) ];
+              produced = [ (aux "O", 1) ];
+              rate = Translate.q_max;
+            };
+            {
+              label = Printf.sprintf "r%d: fork" index;
+              consumed = [ (aux "O", 1); (aux "T", 1) ];
+              produced = products @ [ waste ];
+              rate = Translate.q_max;
+            };
+          ];
+      }
+  | _ ->
+      raise
+        (Translate.Not_compilable
+           (Printf.sprintf
+              "reaction #%d has molecularity %d (> 2); no direct DNA \
+               strand-displacement implementation"
+              index (Crn.Reaction.order r)))
+
+let all ?(c_max = 10_000.) net =
+  let names s = Crn.Network.species_name net s in
+  Array.to_list
+    (Array.mapi
+       (fun index r -> of_reaction ~c_max ~index ~names r)
+       (Crn.Network.reactions net))
+
+let strand_count g =
+  List.fold_left
+    (fun acc c -> acc + List.length c.Domain.strands)
+    0 g.complexes
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>gate r%d (%s):@," g.reaction_index
+    (match g.kind with
+    | Source -> "source"
+    | Unary -> "unary"
+    | Binary -> "binary");
+  List.iter (fun c -> Format.fprintf fmt "  %a@," Domain.pp_complex c) g.complexes;
+  List.iter
+    (fun s ->
+      let side l =
+        String.concat " + "
+          (List.map
+             (fun (n, c) -> if c = 1 then n else Printf.sprintf "%d %s" c n)
+             l)
+      in
+      Format.fprintf fmt "  %s: %s ->{%a} %s@," s.label (side s.consumed)
+        Crn.Rates.pp s.rate (side s.produced))
+    g.steps;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,43 @@
+(** Explicit gate structures for the buffered-gate translation.
+
+    {!Translate} emits the compiled {e reactions}; this module builds, for
+    each formal reaction, the corresponding {e gate structure}: the fuel
+    complexes (with their strand composition) and the cascade of
+    displacement steps the gate performs. The test suite cross-checks that
+    the steps enumerated here are exactly the reactions {!Translate} emits
+    — the structural view and the kinetic view of the compilation must
+    agree. *)
+
+type kind =
+  | Source  (** order 0: a gate that falls apart, releasing products *)
+  | Unary  (** order 1: bind, then translate *)
+  | Binary  (** order 2: join (reversibly), join again, then fork *)
+
+type step = {
+  label : string;
+  consumed : (string * int) list;  (** species name, coefficient *)
+  produced : (string * int) list;
+  rate : Crn.Rates.t;
+}
+
+type t = {
+  reaction_index : int;
+  kind : kind;
+  complexes : Domain.complex list;  (** this gate's fuel complexes *)
+  steps : step list;  (** the displacement cascade, in firing order *)
+}
+
+val of_reaction :
+  c_max:float -> index:int -> names:(int -> string) -> Crn.Reaction.t -> t
+(** Structure for one formal reaction ([names] maps formal species indices
+    to their names). Raises {!Translate.Not_compilable} above order 2. *)
+
+val all : ?c_max:float -> Crn.Network.t -> t list
+(** One gate per reaction of a formal network ([c_max] default 10000). *)
+
+val strand_count : t -> int
+(** Total strands across the gate's fuel complexes: 2 for a source gate,
+    [3 + product units] for unary, [3 + product units] for binary (join +
+    fork translator). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+type t = {
+  compiled : Crn.Network.t;
+  fuel_species : string list;
+  n_formal_reactions : int;
+  c_max : float;
+}
+
+exception Not_compilable of string
+
+let q_max = Crn.Rates.fast_scaled 10.
+
+let scaled_by_cmax rate c_max =
+  { rate with Crn.Rates.scale = rate.Crn.Rates.scale /. c_max }
+
+(* the reactant side as an explicit multiset list, e.g. 2A -> [A; A] *)
+let expand side =
+  List.concat_map (fun (s, c) -> List.init c (fun _ -> s)) side
+
+let translate ?(c_max = 10_000.) src =
+  if c_max <= 0. then invalid_arg "Translate.translate: c_max must be positive";
+  let dst = Crn.Network.create () in
+  (* formal species keep their names and initial concentrations *)
+  let formal =
+    Array.init (Crn.Network.n_species src) (fun i ->
+        let j = Crn.Network.species dst (Crn.Network.species_name src i) in
+        Crn.Network.set_init dst j (Crn.Network.init_of src i);
+        j)
+  in
+  let fuels = ref [] in
+  let fuel name =
+    let s = Crn.Network.species dst name in
+    Crn.Network.set_init dst s c_max;
+    fuels := name :: !fuels;
+    s
+  in
+  let add ?label reactants products rate =
+    Crn.Network.add_reaction dst
+      (Crn.Reaction.make ?label ~reactants ~products rate)
+  in
+  let reactions = Crn.Network.reactions src in
+  Array.iteri
+    (fun i r ->
+      let prefix = Printf.sprintf "dsd.r%d." i in
+      let aux name = Crn.Network.species dst (prefix ^ name) in
+      let products =
+        List.map (fun (s, c) -> (formal.(s), c)) r.Crn.Reaction.products
+      in
+      let rate = r.Crn.Reaction.rate in
+      let waste = aux "W" in
+      match expand r.Crn.Reaction.reactants with
+      | [] ->
+          (* unbuffered gate decay releases products at ~k while fuel
+             lasts *)
+          let g = fuel (prefix ^ "G") in
+          add
+            ~label:(Printf.sprintf "r%d: source gate" i)
+            [ (g, 1) ]
+            (products @ [ (waste, 1) ])
+            (scaled_by_cmax rate c_max)
+      | [ a ] ->
+          let g = fuel (prefix ^ "G") and t = fuel (prefix ^ "T") in
+          let o = aux "O" in
+          add
+            ~label:(Printf.sprintf "r%d: bind" i)
+            [ (formal.(a), 1); (g, 1) ]
+            [ (o, 1) ]
+            (scaled_by_cmax rate c_max);
+          add
+            ~label:(Printf.sprintf "r%d: translate" i)
+            [ (o, 1); (t, 1) ]
+            (products @ [ (waste, 1) ])
+            q_max
+      | [ a; b ] ->
+          let j = fuel (prefix ^ "J") and t = fuel (prefix ^ "T") in
+          let h = aux "H" and o = aux "O" in
+          (* first binding keeps the formal rate constant; at quasi-steady
+             state the intermediate H satisfies
+             flux = q_b H B = k A B c_max q_b / (q_u + q_b B), which equals
+             the formal k A B precisely when q_u = q_b c_max (and B is
+             small relative to c_max) *)
+          add
+            ~label:(Printf.sprintf "r%d: join first" i)
+            [ (formal.(a), 1); (j, 1) ]
+            [ (h, 1) ]
+            rate;
+          add
+            ~label:(Printf.sprintf "r%d: unbind" i)
+            [ (h, 1) ]
+            [ (formal.(a), 1); (j, 1) ]
+            { q_max with Crn.Rates.scale = q_max.Crn.Rates.scale *. c_max };
+          add
+            ~label:(Printf.sprintf "r%d: join second" i)
+            [ (h, 1); (formal.(b), 1) ]
+            [ (o, 1) ]
+            q_max;
+          add
+            ~label:(Printf.sprintf "r%d: fork" i)
+            [ (o, 1); (t, 1) ]
+            (products @ [ (waste, 1) ])
+            q_max
+      | _ ->
+          raise
+            (Not_compilable
+               (Printf.sprintf
+                  "reaction #%d has molecularity %d (> 2); no direct DNA \
+                   strand-displacement implementation"
+                  i (Crn.Reaction.order r))))
+    reactions;
+  {
+    compiled = dst;
+    fuel_species = List.rev !fuels;
+    n_formal_reactions = Array.length reactions;
+    c_max;
+  }
+
+let fuel_remaining t state =
+  List.fold_left
+    (fun acc name ->
+      match Crn.Network.find_species t.compiled name with
+      | None -> acc
+      | Some s -> Float.min acc (state.(s) /. t.c_max))
+    1. t.fuel_species
+
+let inventory t =
+  let net = t.compiled in
+  let signal name =
+    { Domain.label = name; strands = [ Domain.signal_strand ~species_name:name ] }
+  in
+  (* formal species = those not under the dsd. namespace *)
+  let is_aux name = String.length name >= 4 && String.sub name 0 4 = "dsd." in
+  let formal_complexes =
+    List.filter_map
+      (fun i ->
+        let name = Crn.Network.species_name net i in
+        if is_aux name then None else Some (signal name))
+      (List.init (Crn.Network.n_species net) (fun i -> i))
+  in
+  let fuel_complexes =
+    List.map
+      (fun name ->
+        (* a fuel complex: a bound bottom strand plus its output strand *)
+        {
+          Domain.label = name;
+          strands =
+            [
+              Domain.signal_strand ~species_name:name;
+              [ Domain.toehold ("t." ^ name ^ ".out");
+                Domain.recognition ("d." ^ name ^ ".out");
+              ];
+            ];
+        })
+      t.fuel_species
+  in
+  formal_complexes @ fuel_complexes

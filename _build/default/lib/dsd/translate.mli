@@ -1,0 +1,54 @@
+(** Compilation of formal reactions into DNA strand-displacement form
+    (the two-step buffered-gate scheme of Soloveichik, Seelig & Winfree,
+    PNAS 2010).
+
+    Each formal reaction becomes a cascade of at most bimolecular steps
+    against {e fuel} complexes held at a large buffer concentration
+    [c_max]:
+
+    - order 0, [0 ->k P...]: a gate slowly falls apart,
+      [G_i ->(k/c_max) P... + W_i]; its initial stock [c_max] makes the
+      release rate [~k] while fuel lasts;
+    - order 1, [A ->k P...]: [A + G_i ->(k/c_max) O_i],
+      [O_i + T_i ->(q_max) P... + W_i];
+    - order 2, [A + B ->k P...]: a join–fork cascade
+      [A + J_i ->(k) H_i], [H_i ->(q_max * c_max) A + J_i] (unbinding,
+      which prevents sequestration of [A] while [B] is absent; its rate
+      must be [q_max * c_max] for the quasi-steady-state flux
+      [k A B c_max q_max / (q_max c_max + q_max B)] to reduce to the formal
+      [k A B]), [H_i + B ->(q_max) O_i], [O_i + T_i ->(q_max) P... + W_i].
+
+    With [q_max >> k] the compiled network's kinetics converge to the
+    formal network's (quasi-steady-state of the intermediates). Fuel
+    depletion is physical: each firing consumes one [G_i]/[J_i] and one
+    [T_i], so [c_max] bounds the experiment length. [q_max] is represented
+    as the fast category scaled by 10 — legitimate, since correctness never
+    depends on how fast one fast reaction is relative to another.
+
+    Formal species keep their names in the compiled network, so traces are
+    directly comparable; auxiliary species live under ["dsd.r<i>."]. *)
+
+type t = {
+  compiled : Crn.Network.t;
+  fuel_species : string list;  (** buffered gate/translator species *)
+  n_formal_reactions : int;
+  c_max : float;
+}
+
+exception Not_compilable of string
+(** Raised for reactions of molecularity > 2. *)
+
+val q_max : Crn.Rates.t
+(** The gate operating rate: the fast category scaled by 10. *)
+
+val translate : ?c_max:float -> Crn.Network.t -> t
+(** Compile a network ([c_max] defaults to [10_000.]). Initial
+    concentrations of formal species are preserved. *)
+
+val fuel_remaining : t -> Numeric.Vec.t -> float
+(** Smallest remaining fraction of any fuel species' initial stock in a
+    compiled-network state ([1.] = untouched). *)
+
+val inventory : t -> Domain.complex list
+(** Domain-level inventory: one signal strand per formal species and the
+    fuel complexes of each compiled reaction. *)

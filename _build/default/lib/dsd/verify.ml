@@ -1,0 +1,54 @@
+type report = {
+  max_abs_deviation : float;
+  worst_species : string;
+  final_deviation : float;
+  fuel_remaining : float;
+}
+
+let compare ?env ?(method_ = Ode.Driver.Rosenbrock) ?species ?(grid = 200)
+    ~t1 formal (translation : Translate.t) =
+  let names =
+    match species with
+    | Some l ->
+        List.iter
+          (fun n ->
+            if Crn.Network.find_species formal n = None then
+              invalid_arg
+                (Printf.sprintf "Verify.compare: unknown species %S" n))
+          l;
+        l
+    | None -> Array.to_list (Crn.Network.species_names formal)
+  in
+  let tr_formal = Ode.Driver.simulate ~method_ ?env ~thin:5 ~t1 formal in
+  let tr_dsd =
+    Ode.Driver.simulate ~method_ ?env ~thin:5 ~t1 translation.Translate.compiled
+  in
+  let worst = ref 0. and worst_species = ref "" and final = ref 0. in
+  List.iter
+    (fun name ->
+      let d =
+        Numeric.Interp.max_abs_diff
+          ~times_a:(Ode.Trace.times tr_formal)
+          ~values_a:(Ode.Trace.column_named tr_formal name)
+          ~times_b:(Ode.Trace.times tr_dsd)
+          ~values_b:(Ode.Trace.column_named tr_dsd name)
+          ~n:grid
+      in
+      if d > !worst then begin
+        worst := d;
+        worst_species := name
+      end;
+      let fd =
+        Float.abs
+          (Ode.Trace.final_value tr_formal name
+          -. Ode.Trace.final_value tr_dsd name)
+      in
+      if fd > !final then final := fd)
+    names;
+  {
+    max_abs_deviation = !worst;
+    worst_species = !worst_species;
+    final_deviation = !final;
+    fuel_remaining =
+      Translate.fuel_remaining translation (Ode.Trace.last_state tr_dsd);
+  }

@@ -1,0 +1,30 @@
+(** Behavioural verification of a DSD compilation: simulate the formal
+    network and its compiled form under the same rate environment and
+    compare the trajectories of the formal species (which keep their names
+    through compilation). *)
+
+type report = {
+  max_abs_deviation : float;
+      (** worst pointwise difference over compared species and times; for
+          systems with sharp transitions this is dominated by any timing
+          shift the compilation introduces, so read it together with
+          [final_deviation] *)
+  worst_species : string;
+  final_deviation : float;  (** worst difference of the [t1] end states *)
+  fuel_remaining : float;  (** worst fractional fuel stock at the end *)
+}
+
+val compare :
+  ?env:Crn.Rates.env ->
+  ?method_:Ode.Driver.method_ ->
+  ?species:string list ->
+  ?grid:int ->
+  t1:float ->
+  Crn.Network.t ->
+  Translate.t ->
+  report
+(** [compare ~t1 formal compiled] simulates both networks to [t1]
+    (default method {!Ode.Driver.Rosenbrock}) and reports the maximum
+    pointwise deviation over a [grid]-point uniform grid (default 200).
+    [species] restricts the comparison (default: every formal species).
+    Raises [Invalid_argument] for unknown species names. *)

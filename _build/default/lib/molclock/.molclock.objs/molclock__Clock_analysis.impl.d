@@ -1,0 +1,1 @@
+lib/molclock/clock_analysis.ml: Analysis Array Float List Ode Oscillator

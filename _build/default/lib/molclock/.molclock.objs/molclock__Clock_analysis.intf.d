@@ -1,0 +1,1 @@
+lib/molclock/clock_analysis.mli: Ode Oscillator

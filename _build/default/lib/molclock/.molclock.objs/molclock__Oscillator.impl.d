@@ -1,0 +1,1 @@
+lib/molclock/oscillator.ml: Array Builder Crn Printf Rates Ri_modules

@@ -1,0 +1,1 @@
+lib/molclock/oscillator.mli: Crn

@@ -1,0 +1,58 @@
+let series trace clock k =
+  let name =
+    List.nth (Oscillator.phase_names clock) (k mod Oscillator.n_phases clock)
+  in
+  (Ode.Trace.times trace, Ode.Trace.column_named trace name)
+
+let period trace clock =
+  let times, values = series trace clock 0 in
+  Analysis.Oscillation.period ~threshold:(Oscillator.high_threshold clock)
+    ~times ~values ()
+
+let is_sustained ?(min_cycles = 3) trace clock =
+  let ok k =
+    let times, values = series trace clock k in
+    Analysis.Oscillation.is_sustained
+      ~threshold:(Oscillator.high_threshold clock)
+      ~min_cycles ~times ~values ()
+  in
+  let n = Oscillator.n_phases clock in
+  List.for_all ok (List.init n (fun k -> k))
+
+let overlap trace clock j k =
+  let _, vj = series trace clock j in
+  let _, vk = series trace clock k in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let m = Float.min x vk.(i) in
+      if m > !worst then worst := m)
+    vj;
+  !worst /. Oscillator.mass clock
+
+let worst_adjacent_overlap trace clock =
+  let n = Oscillator.n_phases clock in
+  let worst = ref 0. in
+  for j = 0 to n - 1 do
+    for k = j + 1 to n - 1 do
+      let dist = min (k - j) (n - (k - j)) in
+      if dist >= 2 then worst := Float.max !worst (overlap trace clock j k)
+    done
+  done;
+  !worst
+
+let phase_high_at trace clock t =
+  Analysis.Decode.onehot_at
+    ~threshold:(Oscillator.high_threshold clock)
+    trace
+    (Oscillator.phase_names clock)
+    t
+
+let cycle_starts trace clock =
+  let times, values = series trace clock 0 in
+  Analysis.Oscillation.crossings
+    ~threshold:(Oscillator.high_threshold clock)
+    ~times ~values
+  |> List.filter_map (fun c ->
+         if c.Analysis.Oscillation.rising then Some c.Analysis.Oscillation.at
+         else None)

@@ -1,0 +1,31 @@
+(** Measurements of a simulated clock (wraps {!Analysis.Oscillation} with
+    clock-specific conveniences). *)
+
+val period : Ode.Trace.t -> Oscillator.t -> float option
+(** Mean period of phase 0's oscillation, or [None] if not sustained. *)
+
+val is_sustained : ?min_cycles:int -> Ode.Trace.t -> Oscillator.t -> bool
+(** Every phase species completes at least [min_cycles] (default 3)
+    cycles. *)
+
+val overlap : Ode.Trace.t -> Oscillator.t -> int -> int -> float
+(** [overlap trace clock j k]: the largest value of
+    [min(phase_j, phase_k)] over the trace, as a fraction of the clock
+    mass. Near zero means the two phases are never simultaneously high —
+    the non-overlap guarantee the latching scheme relies on. *)
+
+val worst_adjacent_overlap : Ode.Trace.t -> Oscillator.t -> float
+(** Maximum {!overlap} over all {e non-adjacent} phase pairs (adjacent
+    phases legitimately overlap during their handover). For the three-phase
+    clock this is vacuous, so pairs at distance >= 2 are measured — for
+    [n = 3] that is again every pair, reported for distance-2 pairs
+    (e.g. R vs B), which is what master–slave latching needs. *)
+
+val phase_high_at : Ode.Trace.t -> Oscillator.t -> float -> int option
+(** Which phase (index) is high at a time, if exactly one is above the
+    half-mass threshold. *)
+
+val cycle_starts : Ode.Trace.t -> Oscillator.t -> float list
+(** Times at which phase 0 rises above the half-mass threshold — the
+    boundaries the experiments use to sample sequential outputs "once per
+    clock cycle". *)

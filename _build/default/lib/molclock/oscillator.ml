@@ -1,0 +1,73 @@
+open Crn
+
+type t = {
+  builder : Builder.t;
+  phase_species : int array;
+  indicator_species : int array;
+  mass : float;
+}
+
+let phase_name k = Printf.sprintf "P%d" k
+
+let create ?(n_phases = 3) ?(mass = 100.) ?(feedback = true) b =
+  if n_phases < 3 then
+    invalid_arg "Oscillator.create: need at least 3 phases";
+  if mass <= 0. then invalid_arg "Oscillator.create: mass must be positive";
+  let phase_species =
+    Array.init n_phases (fun k -> Builder.species b (phase_name k))
+  in
+  Builder.init b phase_species.(0) mass;
+  let indicator_species =
+    Array.init n_phases (fun k ->
+        Ri_modules.Absence.indicator b
+          ~name:(Printf.sprintf "i%d" k)
+          ~watched:[ phase_species.(k) ])
+  in
+  for k = 0 to n_phases - 1 do
+    let this = phase_species.(k) in
+    let next = phase_species.((k + 1) mod n_phases) in
+    let prev_indicator = indicator_species.((k + n_phases - 1) mod n_phases) in
+    (* slow bootstrap transfer, gated on the predecessor phase's absence *)
+    Ri_modules.Absence.gate
+      ~label:(Printf.sprintf "clk: P%d->P%d" k ((k + 1) mod n_phases))
+      b ~indicator:prev_indicator this next;
+    if feedback then begin
+      (* fast positive feedback: once the next phase accumulates, sweep the
+         rest of this phase across *)
+      let dimer = Builder.species b (Printf.sprintf "I%d" ((k + 1) mod n_phases)) in
+      Builder.react
+        ~label:(Printf.sprintf "clk: 2P%d -> dimer" ((k + 1) mod n_phases))
+        b Rates.slow
+        [ (next, 2) ]
+        [ (dimer, 1) ];
+      Builder.react
+        ~label:(Printf.sprintf "clk: dimer -> 2P%d" ((k + 1) mod n_phases))
+        b Rates.fast
+        [ (dimer, 1) ]
+        [ (next, 2) ];
+      Builder.react
+        ~label:(Printf.sprintf "clk: feedback P%d->P%d" k ((k + 1) mod n_phases))
+        b Rates.fast
+        [ (dimer, 1); (this, 1) ]
+        [ (next, 3) ]
+    end
+  done;
+  { builder = b; phase_species; indicator_species; mass }
+
+let n_phases c = Array.length c.phase_species
+let mass c = c.mass
+
+let phase c k = c.phase_species.(((k mod n_phases c) + n_phases c) mod n_phases c)
+
+let indicator c k =
+  c.indicator_species.(((k mod n_phases c) + n_phases c) mod n_phases c)
+
+let phases c = Array.copy c.phase_species
+
+let phase_names c =
+  Array.to_list (Array.map (Builder.name c.builder) c.phase_species)
+
+let r c = phase c 0
+let g c = phase c 1
+let b c = phase c 2
+let high_threshold c = c.mass /. 2.

@@ -1,0 +1,58 @@
+(** The molecular clock: a reaction system whose concentrations oscillate in
+    sustained fashion through a cycle of color phases.
+
+    Construction (three phases [R], [G], [B], generalized to [n >= 3]):
+
+    - one {e absence indicator} per phase, generated zero-order slow and
+      consumed fast by its phase species (see {!Ri_modules.Absence});
+    - a slow {e gated transfer} from each phase to its successor, enabled by
+      the absence of the {e predecessor} phase — so a transfer cannot begin
+      until the previous transfer has fully completed:
+      [b + R ->slow G], [r + G ->slow B], [g + B ->slow R];
+    - fast {e positive feedback} that sweeps a transfer to completion once
+      the successor phase has begun to accumulate:
+      [2G <->(slow/fast) I_G] and [I_G + R ->fast 3G] (cyclically).
+
+    The total clock mass is conserved and rotates around the cycle: each
+    phase species is alternately high (approximately the full mass) and low
+    (approximately zero) — the paper's clock signal. Correctness depends
+    only on the fast/slow rate categories. *)
+
+type t
+
+val create :
+  ?n_phases:int -> ?mass:float -> ?feedback:bool -> Crn.Builder.t -> t
+(** Build a clock under the builder's scope. [n_phases >= 3] (default 3;
+    raises [Invalid_argument] below 3 — with two phases the "predecessor
+    absent" gate degenerates and the system deadlocks). [mass] (default
+    [100.]) starts entirely in phase 0. [feedback:false] omits the
+    positive-feedback reactions (an ablation: the clock still cycles but
+    transfers are not crisp). *)
+
+val n_phases : t -> int
+
+val mass : t -> float
+
+val phase : t -> int -> int
+(** Species index of phase [k] (modulo [n_phases]). *)
+
+val indicator : t -> int -> int
+(** Species index of phase [k]'s absence indicator. *)
+
+val phases : t -> int array
+(** All phase species, in cycle order. *)
+
+val phase_names : t -> string list
+(** Fully qualified species names of the phases, in cycle order. *)
+
+val r : t -> int
+(** Phase 0 ([R] in the three-phase clock). *)
+
+val g : t -> int
+(** Phase 1. *)
+
+val b : t -> int
+(** Phase 2. *)
+
+val high_threshold : t -> float
+(** Decoding threshold for "this phase is high": half the clock mass. *)

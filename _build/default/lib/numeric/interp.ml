@@ -1,0 +1,37 @@
+let at ~times ~values t =
+  let n = Array.length times in
+  if n = 0 || n <> Array.length values then
+    invalid_arg "Interp.at: empty or mismatched series";
+  if t <= times.(0) then values.(0)
+  else if t >= times.(n - 1) then values.(n - 1)
+  else begin
+    (* binary search for the interval [times.(i), times.(i+1)] containing t *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if times.(mid) <= t then lo := mid else hi := mid
+    done;
+    let t0 = times.(!lo) and t1 = times.(!hi) in
+    let frac = if t1 > t0 then (t -. t0) /. (t1 -. t0) else 0. in
+    values.(!lo) +. (frac *. (values.(!hi) -. values.(!lo)))
+  end
+
+let resample ~times ~values ~grid =
+  Array.map (fun t -> at ~times ~values t) grid
+
+let uniform_grid ~t0 ~t1 ~n =
+  if n < 2 then invalid_arg "Interp.uniform_grid: need at least 2 points";
+  let step = (t1 -. t0) /. float_of_int (n - 1) in
+  Array.init n (fun i -> t0 +. (float_of_int i *. step))
+
+let max_abs_diff ~times_a ~values_a ~times_b ~values_b ~n =
+  let t0 = Float.max times_a.(0) times_b.(0) in
+  let t1 =
+    Float.min
+      times_a.(Array.length times_a - 1)
+      times_b.(Array.length times_b - 1)
+  in
+  let grid = uniform_grid ~t0 ~t1 ~n in
+  let a = resample ~times:times_a ~values:values_a ~grid in
+  let b = resample ~times:times_b ~values:values_b ~grid in
+  Vec.dist_inf a b

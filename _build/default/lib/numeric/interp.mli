@@ -1,0 +1,28 @@
+(** Piecewise-linear interpolation of sampled time series.
+
+    Simulation traces from adaptive integrators are sampled at irregular
+    times; comparing two traces (e.g. an abstract network against its
+    DNA-strand-displacement compilation) requires resampling both onto a
+    common grid. *)
+
+val at : times:float array -> values:float array -> float -> float
+(** [at ~times ~values t] linearly interpolates the series at [t]. [times]
+    must be strictly increasing and nonempty; outside the sampled range the
+    nearest endpoint value is returned (constant extrapolation). *)
+
+val resample :
+  times:float array -> values:float array -> grid:float array -> float array
+(** Interpolate the series at every point of [grid]. *)
+
+val uniform_grid : t0:float -> t1:float -> n:int -> float array
+(** [n] evenly spaced points from [t0] to [t1] inclusive ([n >= 2]). *)
+
+val max_abs_diff :
+  times_a:float array ->
+  values_a:float array ->
+  times_b:float array ->
+  values_b:float array ->
+  n:int ->
+  float
+(** Maximum pointwise absolute difference of two series compared on an
+    [n]-point uniform grid spanning the overlap of their time ranges. *)

@@ -1,0 +1,132 @@
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+exception Singular
+
+let decompose a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Lu.decompose: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* partial pivoting: pick the largest magnitude entry in column k *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!pivot).(k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot);
+      lu.(!pivot) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tp;
+      sign := -. !sign
+    end;
+    let pv = lu.(k).(k) in
+    if Float.abs pv < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let f = lu.(i).(k) /. pv in
+      lu.(i).(k) <- f;
+      for j = k + 1 to n - 1 do
+        lu.(i).(j) <- lu.(i).(j) -. (f *. lu.(k).(j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve { lu; perm; _ } b =
+  let n = Array.length perm in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution: L y = P b *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
+    done
+  done;
+  (* back substitution: U x = y *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- x.(i) /. lu.(i).(i)
+  done;
+  x
+
+let solve_mat lu b =
+  let bt = Mat.transpose b in
+  Mat.transpose (Array.map (solve lu) bt)
+
+let det { lu; sign; perm } =
+  let n = Array.length perm in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. lu.(i).(i)
+  done;
+  !d
+
+let inverse lu =
+  let n = Array.length lu.perm in
+  solve_mat lu (Mat.identity n)
+
+let solve_system a b = solve (decompose a) b
+
+(* Row-echelon reduction shared by [rank] and [nullspace]. Returns the
+   reduced matrix together with the list of pivot columns. *)
+let row_echelon eps a =
+  let m = Mat.copy a in
+  let rows, cols = Mat.dims m in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let col = ref 0 in
+  while !r < rows && !col < cols do
+    let pivot = ref !r in
+    for i = !r + 1 to rows - 1 do
+      if Float.abs m.(i).(!col) > Float.abs m.(!pivot).(!col) then pivot := i
+    done;
+    if Float.abs m.(!pivot).(!col) <= eps then incr col
+    else begin
+      if !pivot <> !r then begin
+        let tmp = m.(!r) in
+        m.(!r) <- m.(!pivot);
+        m.(!pivot) <- tmp
+      end;
+      let pv = m.(!r).(!col) in
+      for j = 0 to cols - 1 do
+        m.(!r).(j) <- m.(!r).(j) /. pv
+      done;
+      for i = 0 to rows - 1 do
+        if i <> !r && Float.abs m.(i).(!col) > 0. then begin
+          let f = m.(i).(!col) in
+          for j = 0 to cols - 1 do
+            m.(i).(j) <- m.(i).(j) -. (f *. m.(!r).(j))
+          done
+        end
+      done;
+      pivots := (!r, !col) :: !pivots;
+      incr r;
+      incr col
+    end
+  done;
+  (m, List.rev !pivots)
+
+let rank ?(eps = 1e-9) a =
+  let _, pivots = row_echelon eps a in
+  List.length pivots
+
+let nullspace ?(eps = 1e-9) a =
+  let _, cols = Mat.dims a in
+  let m, pivots = row_echelon eps a in
+  let pivot_cols = List.map snd pivots in
+  let is_pivot j = List.mem j pivot_cols in
+  let free_cols =
+    List.filter (fun j -> not (is_pivot j)) (List.init cols (fun j -> j))
+  in
+  let basis_for free =
+    let v = Array.make cols 0. in
+    v.(free) <- 1.;
+    List.iter (fun (r, c) -> v.(c) <- -.m.(r).(free)) pivots;
+    v
+  in
+  List.map basis_for free_cols

@@ -1,0 +1,37 @@
+(** LU decomposition with partial pivoting.
+
+    Used to solve the linear systems of the semi-implicit (Rosenbrock) ODE
+    integrator and for conservation-law analysis of reaction networks. *)
+
+type t
+(** A factorization [P A = L U] of a square matrix. *)
+
+exception Singular
+(** Raised when the matrix is numerically singular (a pivot underflows). *)
+
+val decompose : Mat.t -> t
+(** Factor a square matrix. Raises [Singular] or [Invalid_argument] if the
+    matrix is not square. The input matrix is not modified. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] solves [A x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve for each column of a right-hand-side matrix. *)
+
+val det : t -> float
+(** Determinant of the factored matrix. *)
+
+val inverse : t -> Mat.t
+
+val solve_system : Mat.t -> Vec.t -> Vec.t
+(** One-shot [decompose]+[solve]. *)
+
+val rank : ?eps:float -> Mat.t -> int
+(** Numerical rank by row-echelon reduction with threshold [eps]
+    (default [1e-9]), for possibly non-square matrices. *)
+
+val nullspace : ?eps:float -> Mat.t -> Vec.t list
+(** Basis of the (right) null space of a possibly non-square matrix, used to
+    find conservation laws from a stoichiometry matrix. Each returned vector
+    [v] satisfies [A v = 0] up to round-off. *)

@@ -1,0 +1,70 @@
+type t = float array array
+
+let create r c x = Array.init r (fun _ -> Array.make c x)
+let init r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+let copy m = Array.map Array.copy m
+
+let dims m =
+  let r = Array.length m in
+  (r, if r = 0 then 0 else Array.length m.(0))
+
+let transpose m =
+  let r, c = dims m in
+  init c r (fun i j -> m.(j).(i))
+
+let check_same a b =
+  if dims a <> dims b then invalid_arg "Mat: dimension mismatch"
+
+let map2 f a b =
+  check_same a b;
+  let r, c = dims a in
+  init r c (fun i j -> f a.(i).(j) b.(i).(j))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s m = Array.map (Array.map (fun x -> s *. x)) m
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Mat.mul: inner dimension mismatch";
+  init ra cb (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to ca - 1 do
+        acc := !acc +. (a.(i).(k) *. b.(k).(j))
+      done;
+      !acc)
+
+let mul_vec m v =
+  let r, c = dims m in
+  if c <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init r (fun i ->
+      let acc = ref 0. in
+      for j = 0 to c - 1 do
+        acc := !acc +. (m.(i).(j) *. v.(j))
+      done;
+      !acc)
+
+let norm_inf m =
+  Array.fold_left
+    (fun acc row ->
+      let s = Array.fold_left (fun a x -> a +. Float.abs x) 0. row in
+      Float.max acc s)
+    0. m
+
+let equal ?(eps = 1e-12) a b =
+  dims a = dims b
+  &&
+  let r, c = dims a in
+  let ok = ref true in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      if Float.abs (a.(i).(j) -. b.(i).(j)) > eps then ok := false
+    done
+  done;
+  !ok
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  Array.iter (fun row -> Format.fprintf fmt "%a@," Vec.pp row) m;
+  Format.fprintf fmt "@]"

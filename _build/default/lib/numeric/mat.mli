@@ -1,0 +1,40 @@
+(** Dense row-major matrices of floats.
+
+    Sized for the Jacobians of chemical reaction networks (tens to a few
+    hundred species), so plain [float array array] storage with
+    straightforward algorithms is the right tradeoff. *)
+
+type t = float array array
+
+val create : int -> int -> float -> t
+(** [create r c x] is an [r] x [c] matrix filled with [x]. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val copy : t -> t
+
+val dims : t -> int * int
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product. Raises [Invalid_argument] on inner-dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix-vector product. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entry-wise comparison with tolerance (default [1e-12]). *)
+
+val pp : Format.formatter -> t -> unit

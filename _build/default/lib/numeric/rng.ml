@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let uint64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = uint64 t in
+  create (mix64 seed)
+
+(* 53-bit mantissa from the top bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let rec float_pos t =
+  let x = float t in
+  if x > 0. then x else float_pos t
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free for our purposes: modulo bias is < 2^-40 for n < 2^24 *)
+  let bits = Int64.shift_right_logical (uint64 t) 1 in
+  Int64.to_int (Int64.rem bits (Int64.of_int n))
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (float_pos t) /. rate
+
+let pick_weighted t weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Rng.pick_weighted: total weight not positive";
+  let target = float t *. total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else go (i + 1) acc
+  in
+  go 0 0.

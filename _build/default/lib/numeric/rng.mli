@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    A small self-contained generator so stochastic simulations are exactly
+    reproducible from a seed, independent of the OCaml stdlib's generator
+    evolving between compiler versions. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with the given value. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from the current state;
+    advances the parent. *)
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float_pos : t -> float
+(** Uniform in [(0, 1)] — never exactly [0.]; safe as the argument of
+    [log] when sampling exponentials. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples from Exp(rate): mean [1/rate]. Raises if
+    [rate <= 0]. *)
+
+val pick_weighted : t -> float array -> int
+(** Sample an index with probability proportional to its (non-negative)
+    weight. Raises [Invalid_argument] if the total weight is not positive. *)

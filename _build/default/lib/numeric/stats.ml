@@ -1,0 +1,59 @@
+let nonempty xs = if Array.length xs = 0 then invalid_arg "Stats: empty input"
+
+let mean xs =
+  nonempty xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  nonempty xs;
+  let ys = sorted xs in
+  let n = Array.length ys in
+  if n mod 2 = 1 then ys.(n / 2)
+  else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.
+
+let percentile xs p =
+  nonempty xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let pos = p /. 100. *. float_of_int (n - 1) in
+    let lo = min (n - 2) (int_of_float pos) in
+    let frac = pos -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(lo + 1) -. ys.(lo)))
+  end
+
+let minimum xs =
+  nonempty xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  nonempty xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let rms xs =
+  nonempty xs;
+  let acc = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let mean_ci95 xs =
+  let m = mean xs in
+  let n = float_of_int (Array.length xs) in
+  (m, 1.96 *. stddev xs /. sqrt n)

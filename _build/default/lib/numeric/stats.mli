@@ -1,0 +1,28 @@
+(** Summary statistics over float arrays, used by the analysis and
+    benchmark-reporting layers. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance ([0.] for fewer than two samples). *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median (average of middle two for even length). Does not modify the
+    input. Raises on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. *)
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val rms : float array -> float
+(** Root mean square. *)
+
+val mean_ci95 : float array -> float * float
+(** Mean and its 95% normal-approximation confidence half-width. *)

@@ -1,0 +1,89 @@
+type t = float array
+
+let create n x = Array.make n x
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_dim a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec: dimension mismatch"
+
+let blit ~src ~dst =
+  check_dim src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let map = Array.map
+
+let map2 f a b =
+  check_dim a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy a x y =
+  check_dim x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dim a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a =
+  let acc = ref 0. in
+  Array.iter (fun x -> if Float.abs x > !acc then acc := Float.abs x) a;
+  !acc
+
+let dist_inf a b =
+  check_dim a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = Float.abs (a.(i) -. b.(i)) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+let sum a = Array.fold_left ( +. ) 0. a
+
+let nonempty a = if Array.length a = 0 then invalid_arg "Vec: empty vector"
+
+let max_elt a =
+  nonempty a;
+  Array.fold_left Float.max a.(0) a
+
+let min_elt a =
+  nonempty a;
+  Array.fold_left Float.min a.(0) a
+
+let argmax a =
+  nonempty a;
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let clamp_nonneg a =
+  for i = 0 to Array.length a - 1 do
+    if a.(i) < 0. then a.(i) <- 0.
+  done
+
+let pp fmt a =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" x)
+    a;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,61 @@
+(** Dense vectors of floats.
+
+    Thin wrappers over [float array] used throughout the simulators. All
+    binary operations require operands of equal length and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is a vector of [n] copies of [x]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val fill : t -> float -> unit
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src] into [dst]; dimensions must agree. *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Maximum absolute entry; [0.] for the empty vector. *)
+
+val dist_inf : t -> t -> float
+(** Infinity-norm distance between two vectors. *)
+
+val sum : t -> float
+
+val max_elt : t -> float
+(** Largest entry. Raises [Invalid_argument] on the empty vector. *)
+
+val min_elt : t -> float
+
+val argmax : t -> int
+(** Index of the (first) largest entry. Raises on the empty vector. *)
+
+val clamp_nonneg : t -> unit
+(** Replace each negative entry with [0.] in place (concentrations cannot be
+    negative; integrators may undershoot by a rounding error). *)
+
+val pp : Format.formatter -> t -> unit

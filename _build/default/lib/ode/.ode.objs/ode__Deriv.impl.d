@@ -1,0 +1,1 @@
+lib/ode/deriv.ml: Array Crn List Numeric

@@ -1,0 +1,1 @@
+lib/ode/deriv.mli: Crn Numeric

@@ -1,0 +1,1 @@
+lib/ode/dopri5.ml: Array Deriv Float List Numeric

@@ -1,0 +1,1 @@
+lib/ode/dopri5.mli: Deriv Numeric

@@ -1,0 +1,1 @@
+lib/ode/driver.ml: Array Crn Deriv Dopri5 Fixed List Option Printf Rosenbrock Trace

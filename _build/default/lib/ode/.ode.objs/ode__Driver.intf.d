@@ -1,0 +1,1 @@
+lib/ode/driver.mli: Crn Numeric Trace

@@ -1,0 +1,1 @@
+lib/ode/fixed.ml: Array Deriv Float Numeric

@@ -1,0 +1,1 @@
+lib/ode/rosenbrock.ml: Array Deriv Float Numeric

@@ -1,0 +1,1 @@
+lib/ode/rosenbrock.mli: Deriv Numeric

@@ -1,0 +1,1 @@
+lib/ode/steady.ml: Crn Deriv Dopri5 Driver Fixed Float Numeric Rosenbrock

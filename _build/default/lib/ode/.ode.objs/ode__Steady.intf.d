@@ -1,0 +1,1 @@
+lib/ode/steady.mli: Crn Deriv Driver Numeric

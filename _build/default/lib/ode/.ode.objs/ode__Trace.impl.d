@@ -1,0 +1,1 @@
+lib/ode/trace.ml: Array Buffer List Numeric Printf

@@ -1,0 +1,29 @@
+(** Mass-action right-hand sides.
+
+    Compiles a {!Crn.Network.t} under a rate environment into the vector
+    field of its deterministic mass-action kinetics:
+    [dx_s/dt = sum_r nu_rs * k_r * prod_i x_i^(c_ri)], plus its analytic
+    Jacobian for the semi-implicit integrator. The compiled form is flat
+    arrays so the inner simulation loop allocates nothing per reaction. *)
+
+type t
+
+val compile : Crn.Rates.env -> Crn.Network.t -> t
+
+val dim : t -> int
+(** Number of species. *)
+
+val f : t -> float -> Numeric.Vec.t -> Numeric.Vec.t -> unit
+(** [f sys t x dx] writes the derivative of state [x] into [dx] (mass-action
+    kinetics are autonomous; [t] is accepted for interface uniformity). *)
+
+val eval : t -> Numeric.Vec.t -> Numeric.Vec.t
+(** Allocating convenience wrapper around {!f}. *)
+
+val jacobian : t -> Numeric.Vec.t -> Numeric.Mat.t
+(** Analytic Jacobian [d f_i / d x_j] at a state. *)
+
+val flux : t -> Numeric.Vec.t -> int -> float
+(** Instantaneous flux of reaction [i] at a state (for diagnostics). *)
+
+val n_reactions : t -> int

@@ -1,0 +1,140 @@
+type stats = { steps : int; rejected : int; evals : int }
+
+(* Dormand-Prince 5(4) Butcher tableau *)
+let c2 = 0.2
+let c3 = 0.3
+let c4 = 0.8
+let c5 = 8. /. 9.
+
+let a21 = 0.2
+let a31 = 3. /. 40.
+let a32 = 9. /. 40.
+let a41 = 44. /. 45.
+let a42 = -56. /. 15.
+let a43 = 32. /. 9.
+let a51 = 19372. /. 6561.
+let a52 = -25360. /. 2187.
+let a53 = 64448. /. 6561.
+let a54 = -212. /. 729.
+let a61 = 9017. /. 3168.
+let a62 = -355. /. 33.
+let a63 = 46732. /. 5247.
+let a64 = 49. /. 176.
+let a65 = -5103. /. 18656.
+
+(* 5th-order solution weights, which also form the seventh tableau row *)
+let b1 = 35. /. 384.
+let b3 = 500. /. 1113.
+let b4 = 125. /. 192.
+let b5 = -2187. /. 6784.
+let b6 = 11. /. 84.
+
+(* difference between 5th- and 4th-order weights, for the error estimate *)
+let e1 = b1 -. (5179. /. 57600.)
+let e3 = b3 -. (7571. /. 16695.)
+let e4 = b4 -. (393. /. 640.)
+let e5 = b5 -. (-92097. /. 339200.)
+let e6 = b6 -. (187. /. 2100.)
+let e7 = -1. /. 40.
+
+let initial_step sys t0 x0 rtol atol =
+  (* standard cheap heuristic: h ~ 0.01 * |x| / |f| in the tolerance norm *)
+  let f0 = Deriv.eval sys x0 in
+  ignore t0;
+  let wnorm v =
+    let n = Array.length v in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let sc = atol +. (rtol *. Float.abs x0.(i)) in
+      let r = v.(i) /. sc in
+      acc := !acc +. (r *. r)
+    done;
+    sqrt (!acc /. float_of_int n)
+  in
+  let d0 = wnorm x0 and d1 = wnorm f0 in
+  if d0 < 1e-5 || d1 < 1e-5 then 1e-6 else 0.01 *. (d0 /. d1)
+
+let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
+    ~t0 ~t1 ~on_sample sys x0 =
+  if t1 < t0 then invalid_arg "Dopri5.integrate: t1 < t0";
+  let n = Deriv.dim sys in
+  let x = Array.copy x0 in
+  let k1 = Array.make n 0. in
+  let k2 = Array.make n 0. in
+  let k3 = Array.make n 0. in
+  let k4 = Array.make n 0. in
+  let k5 = Array.make n 0. in
+  let k6 = Array.make n 0. in
+  let k7 = Array.make n 0. in
+  let tmp = Array.make n 0. in
+  let xnew = Array.make n 0. in
+  let evals = ref 0 in
+  let eval t y k =
+    incr evals;
+    Deriv.f sys t y k
+  in
+  let t = ref t0 in
+  let h = ref (match h0 with Some h -> h | None -> initial_step sys t0 x rtol atol) in
+  let steps = ref 0 and rejected = ref 0 in
+  on_sample !t x;
+  eval !t x k1 (* FSAL seed *);
+  while !t < t1 -. 1e-12 do
+    if !steps >= max_steps then failwith "Dopri5: max step count exceeded";
+    if !h < 1e-14 *. Float.max 1. (Float.abs !t) then
+      failwith "Dopri5: step size underflow (system too stiff)";
+    let hh = Float.min !h (t1 -. !t) in
+    let stage coeffs k_out c =
+      for i = 0 to n - 1 do
+        let acc = ref 0. in
+        List.iter (fun (a, (k : float array)) -> acc := !acc +. (a *. k.(i))) coeffs;
+        tmp.(i) <- x.(i) +. (hh *. !acc)
+      done;
+      eval (!t +. (c *. hh)) tmp k_out
+    in
+    stage [ (a21, k1) ] k2 c2;
+    stage [ (a31, k1); (a32, k2) ] k3 c3;
+    stage [ (a41, k1); (a42, k2); (a43, k3) ] k4 c4;
+    stage [ (a51, k1); (a52, k2); (a53, k3); (a54, k4) ] k5 c5;
+    stage [ (a61, k1); (a62, k2); (a63, k3); (a64, k4); (a65, k5) ] k6 1.;
+    (* 5th-order solution (b2 = b7 = 0) *)
+    for i = 0 to n - 1 do
+      xnew.(i) <-
+        x.(i)
+        +. hh
+           *. ((b1 *. k1.(i)) +. (b3 *. k3.(i)) +. (b4 *. k4.(i))
+              +. (b5 *. k5.(i)) +. (b6 *. k6.(i)))
+    done;
+    eval (!t +. hh) xnew k7;
+    (* weighted RMS error norm *)
+    let err =
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        let e =
+          hh
+          *. ((e1 *. k1.(i)) +. (e3 *. k3.(i)) +. (e4 *. k4.(i))
+             +. (e5 *. k5.(i)) +. (e6 *. k6.(i)) +. (e7 *. k7.(i)))
+        in
+        let sc =
+          atol +. (rtol *. Float.max (Float.abs x.(i)) (Float.abs xnew.(i)))
+        in
+        let r = e /. sc in
+        acc := !acc +. (r *. r)
+      done;
+      sqrt (!acc /. float_of_int n)
+    in
+    if err <= 1. then begin
+      t := !t +. hh;
+      Numeric.Vec.clamp_nonneg xnew;
+      Numeric.Vec.blit ~src:xnew ~dst:x;
+      Numeric.Vec.blit ~src:k7 ~dst:k1 (* FSAL *);
+      incr steps;
+      on_sample !t x
+    end
+    else incr rejected;
+    let factor =
+      if err = 0. then 5.
+      else Float.min 5. (Float.max 0.2 (0.9 *. (err ** -0.2)))
+    in
+    h := hh *. factor
+  done;
+  (Array.copy x, { steps = !steps; rejected = !rejected; evals = !evals })

@@ -1,0 +1,25 @@
+(** Adaptive Dormand–Prince 5(4) explicit Runge–Kutta integrator.
+
+    The workhorse integrator for the paper's ODE validations: embedded
+    4th-order error estimate, PI-free standard step controller, FSAL
+    (first-same-as-last) evaluation reuse. For very stiff rate separations
+    ([k_fast/k_slow >= 1e5]) prefer {!Rosenbrock}. *)
+
+type stats = { steps : int; rejected : int; evals : int }
+
+val integrate :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?max_steps:int ->
+  t0:float ->
+  t1:float ->
+  on_sample:(float -> Numeric.Vec.t -> unit) ->
+  Deriv.t ->
+  Numeric.Vec.t ->
+  Numeric.Vec.t * stats
+(** Integrate from [t0] to [t1] starting at the given state. [on_sample]
+    fires at the initial point and after every accepted step. Defaults:
+    [rtol = 1e-6], [atol = 1e-9], [h0] chosen automatically,
+    [max_steps = 10_000_000]. Raises [Failure] if the step count is
+    exhausted or the step size underflows (stiffness signal). *)

@@ -1,0 +1,47 @@
+let euler_step sys t x h =
+  let n = Deriv.dim sys in
+  let dx = Array.make n 0. in
+  Deriv.f sys t x dx;
+  let y = Array.copy x in
+  Numeric.Vec.axpy h dx y;
+  y
+
+let rk4_step sys t x h =
+  let n = Deriv.dim sys in
+  let k1 = Array.make n 0. in
+  let k2 = Array.make n 0. in
+  let k3 = Array.make n 0. in
+  let k4 = Array.make n 0. in
+  let tmp = Array.make n 0. in
+  Deriv.f sys t x k1;
+  Numeric.Vec.blit ~src:x ~dst:tmp;
+  Numeric.Vec.axpy (h /. 2.) k1 tmp;
+  Deriv.f sys (t +. (h /. 2.)) tmp k2;
+  Numeric.Vec.blit ~src:x ~dst:tmp;
+  Numeric.Vec.axpy (h /. 2.) k2 tmp;
+  Deriv.f sys (t +. (h /. 2.)) tmp k3;
+  Numeric.Vec.blit ~src:x ~dst:tmp;
+  Numeric.Vec.axpy h k3 tmp;
+  Deriv.f sys (t +. h) tmp k4;
+  let y = Array.copy x in
+  for i = 0 to n - 1 do
+    y.(i) <-
+      y.(i) +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
+  done;
+  y
+
+let integrate ~step ~h ~t0 ~t1 ~on_sample sys x0 =
+  if h <= 0. then invalid_arg "Fixed.integrate: step must be positive";
+  if t1 < t0 then invalid_arg "Fixed.integrate: t1 < t0";
+  let x = ref (Array.copy x0) in
+  let t = ref t0 in
+  on_sample !t !x;
+  while !t < t1 -. 1e-12 do
+    let hh = Float.min h (t1 -. !t) in
+    let y = step sys !t !x hh in
+    Numeric.Vec.clamp_nonneg y;
+    x := y;
+    t := !t +. hh;
+    on_sample !t !x
+  done;
+  !x

@@ -1,0 +1,26 @@
+(** Fixed-step explicit integrators (forward Euler and classic RK4).
+
+    Mainly reference implementations: tests cross-check the adaptive
+    integrators against RK4 with a tiny step, and the benchmark harness uses
+    them to measure raw step throughput. *)
+
+val euler_step : Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t
+(** [euler_step sys t x h] is the state after one explicit Euler step. *)
+
+val rk4_step : Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t
+(** One classic Runge–Kutta-4 step. *)
+
+val integrate :
+  step:(Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t) ->
+  h:float ->
+  t0:float ->
+  t1:float ->
+  on_sample:(float -> Numeric.Vec.t -> unit) ->
+  Deriv.t ->
+  Numeric.Vec.t ->
+  Numeric.Vec.t
+(** Repeatedly apply a step function from [t0] to [t1] (final partial step
+    shortened to land exactly on [t1]); [on_sample] fires at every step
+    including the initial state. Negative round-off undershoots are clamped
+    to zero. Returns the final state. Raises [Invalid_argument] if
+    [h <= 0.] or [t1 < t0]. *)

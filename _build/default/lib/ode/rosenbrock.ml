@@ -1,0 +1,75 @@
+type stats = { steps : int; rejected : int; factorizations : int }
+
+let gamma = 1. +. (1. /. sqrt 2.)
+
+(* ROS2 (Verwer et al.): with W = I - gamma h J,
+     W k1 = f(x)
+     W k2 = f(x + h k1) - 2 k1
+     x' = x + (h/2) (3 k1 + k2)
+   The first-order embedded solution x + h k1 yields the error estimate
+   (h/2) (k1 + k2). *)
+let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
+    ~t0 ~t1 ~on_sample sys x0 =
+  if t1 < t0 then invalid_arg "Rosenbrock.integrate: t1 < t0";
+  let n = Deriv.dim sys in
+  let x = Array.copy x0 in
+  let fx = Array.make n 0. in
+  let t = ref t0 in
+  let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
+  let steps = ref 0 and rejected = ref 0 and factorizations = ref 0 in
+  on_sample !t x;
+  while !t < t1 -. 1e-12 do
+    if !steps >= max_steps then failwith "Rosenbrock: max step count exceeded";
+    if !h < 1e-14 *. Float.max 1. (Float.abs !t) then
+      failwith "Rosenbrock: step size underflow";
+    let hh = Float.min !h (t1 -. !t) in
+    let jac = Deriv.jacobian sys x in
+    let w =
+      Numeric.Mat.init n n (fun i j ->
+          (if i = j then 1. else 0.) -. (gamma *. hh *. jac.(i).(j)))
+    in
+    (match Numeric.Lu.decompose w with
+    | exception Numeric.Lu.Singular ->
+        (* halve the step: a singular W means gamma*h*J hit an eigenvalue *)
+        h := hh /. 2.;
+        incr rejected
+    | lu ->
+        incr factorizations;
+        Deriv.f sys !t x fx;
+        let k1 = Numeric.Lu.solve lu fx in
+        let x1 = Array.copy x in
+        Numeric.Vec.axpy hh k1 x1;
+        Deriv.f sys (!t +. hh) x1 fx;
+        let rhs2 = Array.init n (fun i -> fx.(i) -. (2. *. k1.(i))) in
+        let k2 = Numeric.Lu.solve lu rhs2 in
+        let xnew =
+          Array.init n (fun i ->
+              x.(i) +. (hh /. 2. *. ((3. *. k1.(i)) +. k2.(i))))
+        in
+        let err =
+          let acc = ref 0. in
+          for i = 0 to n - 1 do
+            let e = hh /. 2. *. (k1.(i) +. k2.(i)) in
+            let sc =
+              atol +. (rtol *. Float.max (Float.abs x.(i)) (Float.abs xnew.(i)))
+            in
+            let r = e /. sc in
+            acc := !acc +. (r *. r)
+          done;
+          sqrt (!acc /. float_of_int n)
+        in
+        if err <= 1. then begin
+          t := !t +. hh;
+          Numeric.Vec.clamp_nonneg xnew;
+          Numeric.Vec.blit ~src:xnew ~dst:x;
+          incr steps;
+          on_sample !t x
+        end
+        else incr rejected;
+        let factor =
+          if err = 0. then 3.
+          else Float.min 3. (Float.max 0.2 (0.9 /. sqrt err))
+        in
+        h := hh *. factor)
+  done;
+  (Array.copy x, { steps = !steps; rejected = !rejected; factorizations = !factorizations })

@@ -1,0 +1,27 @@
+(** Adaptive second-order Rosenbrock (ROS2) semi-implicit integrator.
+
+    L-stable with [gamma = 1 + 1/sqrt 2], so it remains stable on the
+    stiff rate separations ([k_fast / k_slow >= 1e4]) where the explicit
+    integrator's step size collapses. Each step factorizes
+    [I - gamma h J] once (analytic Jacobian from {!Deriv.jacobian}) and
+    back-substitutes twice; the embedded first-order solution provides the
+    error estimate. *)
+
+type stats = { steps : int; rejected : int; factorizations : int }
+
+val integrate :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?max_steps:int ->
+  t0:float ->
+  t1:float ->
+  on_sample:(float -> Numeric.Vec.t -> unit) ->
+  Deriv.t ->
+  Numeric.Vec.t ->
+  Numeric.Vec.t * stats
+(** Same contract as {!Dopri5.integrate}. Defaults: [rtol = 1e-4],
+    [atol = 1e-7], [max_steps = 5_000_000] — looser than {!Dopri5}
+    because the embedded first-order error estimate is conservative, and
+    the clocked designs this integrator exists for only need phase-level
+    accuracy (validated against {!Dopri5} in the test suite). *)

@@ -1,0 +1,27 @@
+let is_steady ?(f_tol = 1e-7) sys x =
+  Numeric.Vec.norm_inf (Deriv.eval sys x) <= f_tol
+
+let find ?(env = Crn.Rates.default_env) ?(method_ = Driver.Dopri5)
+    ?(f_tol = 1e-7) ?(chunk = 10.) ?(t_max = 1000.) net =
+  if chunk <= 0. then invalid_arg "Steady.find: chunk must be positive";
+  let sys = Deriv.compile env net in
+  let rec go t x =
+    if is_steady ~f_tol sys x then Some (t, x)
+    else if t >= t_max then None
+    else begin
+      let t' = Float.min t_max (t +. chunk) in
+      let on_sample _ _ = () in
+      let x' =
+        match method_ with
+        | Driver.Dopri5 ->
+            fst (Dopri5.integrate ~t0:t ~t1:t' ~on_sample sys x)
+        | Driver.Rosenbrock ->
+            fst (Rosenbrock.integrate ~t0:t ~t1:t' ~on_sample sys x)
+        | Driver.Rk4 h ->
+            Fixed.integrate ~step:Fixed.rk4_step ~h ~t0:t ~t1:t' ~on_sample
+              sys x
+      in
+      go t' x'
+    end
+  in
+  go 0. (Crn.Network.initial_state net)

@@ -1,0 +1,23 @@
+(** Steady-state detection.
+
+    Combinational molecular modules "compute" by converging: the output is
+    read once the network reaches equilibrium. This module integrates in
+    chunks until the derivative norm falls below a tolerance. Note that the
+    clock never satisfies this — sustained oscillation is the point — so
+    {!find} on a clocked design reports [None]. *)
+
+val find :
+  ?env:Crn.Rates.env ->
+  ?method_:Driver.method_ ->
+  ?f_tol:float ->
+  ?chunk:float ->
+  ?t_max:float ->
+  Crn.Network.t ->
+  (float * Numeric.Vec.t) option
+(** [find net] is [Some (t, x)] with the first chunk boundary [t] at which
+    [||dx/dt||_inf <= f_tol] (default [1e-7]), integrating in chunks of
+    [chunk] (default [10.]) up to [t_max] (default [1000.]); [None] if the
+    system is still moving at [t_max]. *)
+
+val is_steady : ?f_tol:float -> Deriv.t -> Numeric.Vec.t -> bool
+(** Is the derivative norm below tolerance at this state? *)

@@ -1,0 +1,100 @@
+type t = {
+  names : string array;
+  mutable times : float array;
+  mutable states : float array array; (* row per sample *)
+  mutable len : int;
+}
+
+let create ~names =
+  { names; times = Array.make 64 0.; states = Array.make 64 [||]; len = 0 }
+
+let grow tr =
+  let cap = Array.length tr.times in
+  if tr.len = cap then begin
+    let times = Array.make (2 * cap) 0. in
+    Array.blit tr.times 0 times 0 cap;
+    tr.times <- times;
+    let states = Array.make (2 * cap) [||] in
+    Array.blit tr.states 0 states 0 cap;
+    tr.states <- states
+  end
+
+let record tr t x =
+  if Array.length x <> Array.length tr.names then
+    invalid_arg "Trace.record: state dimension mismatch";
+  if tr.len > 0 && t < tr.times.(tr.len - 1) then
+    invalid_arg "Trace.record: time went backwards";
+  grow tr;
+  tr.times.(tr.len) <- t;
+  tr.states.(tr.len) <- Array.copy x;
+  tr.len <- tr.len + 1
+
+let length tr = tr.len
+let names tr = tr.names
+let times tr = Array.sub tr.times 0 tr.len
+
+let check_index tr i =
+  if i < 0 || i >= tr.len then invalid_arg "Trace: sample index out of range"
+
+let state_at_index tr i =
+  check_index tr i;
+  Array.copy tr.states.(i)
+
+let column tr s =
+  if s < 0 || s >= Array.length tr.names then
+    invalid_arg "Trace.column: species index out of range";
+  Array.init tr.len (fun i -> tr.states.(i).(s))
+
+let species_index tr name =
+  let rec go i =
+    if i >= Array.length tr.names then raise Not_found
+    else if tr.names.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let column_named tr name = column tr (species_index tr name)
+
+let value_at tr ~species t =
+  Numeric.Interp.at ~times:(times tr) ~values:(column tr species) t
+
+let nonempty tr = if tr.len = 0 then invalid_arg "Trace: empty trace"
+
+let last_time tr =
+  nonempty tr;
+  tr.times.(tr.len - 1)
+
+let last_state tr =
+  nonempty tr;
+  Array.copy tr.states.(tr.len - 1)
+
+let final_value tr name =
+  nonempty tr;
+  tr.states.(tr.len - 1).(species_index tr name)
+
+let to_csv tr =
+  let buf = Buffer.create (tr.len * 32) in
+  Buffer.add_string buf "time";
+  Array.iter
+    (fun n ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf n)
+    tr.names;
+  Buffer.add_char buf '\n';
+  for i = 0 to tr.len - 1 do
+    Buffer.add_string buf (Printf.sprintf "%.6g" tr.times.(i));
+    Array.iter
+      (fun x -> Buffer.add_string buf (Printf.sprintf ",%.6g" x))
+      tr.states.(i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let restrict tr keep =
+  let indices = List.map (species_index tr) keep in
+  let sub = create ~names:(Array.of_list keep) in
+  for i = 0 to tr.len - 1 do
+    let row = Array.of_list (List.map (fun s -> tr.states.(i).(s)) indices) in
+    record sub tr.times.(i) row
+  done;
+  sub

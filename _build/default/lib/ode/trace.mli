@@ -1,0 +1,46 @@
+(** Recorded simulation trajectories.
+
+    A trace is a sequence of time points with the full state at each,
+    plus species names for lookup. Built incrementally by the drivers,
+    consumed by the analysis and plotting layers. *)
+
+type t
+
+val create : names:string array -> t
+
+val record : t -> float -> Numeric.Vec.t -> unit
+(** Append a sample (the state is copied). Times must be non-decreasing. *)
+
+val length : t -> int
+
+val names : t -> string array
+
+val times : t -> float array
+(** Fresh array of sample times. *)
+
+val state_at_index : t -> int -> Numeric.Vec.t
+(** Fresh copy of the recorded state at a sample index. *)
+
+val column : t -> int -> float array
+(** Time series of one species (by index). *)
+
+val column_named : t -> string -> float array
+(** Raises [Not_found] for an unknown name. *)
+
+val species_index : t -> string -> int
+(** Raises [Not_found]. *)
+
+val value_at : t -> species:int -> float -> float
+(** Linear interpolation of one species' series at an arbitrary time. *)
+
+val last_time : t -> float
+val last_state : t -> Numeric.Vec.t
+
+val final_value : t -> string -> float
+(** Last recorded value of a named species. *)
+
+val to_csv : t -> string
+(** Header [time,<species...>] then one row per sample. *)
+
+val restrict : t -> string list -> t
+(** Sub-trace containing only the named species (same times). *)

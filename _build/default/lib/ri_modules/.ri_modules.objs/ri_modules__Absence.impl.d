@@ -1,0 +1,1 @@
+lib/ri_modules/absence.ml: Crn List Printf

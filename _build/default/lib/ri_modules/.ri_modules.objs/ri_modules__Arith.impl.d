@@ -1,0 +1,1 @@
+lib/ri_modules/arith.ml: Builder Crn List Printf Rates

@@ -1,0 +1,1 @@
+lib/ri_modules/arith.mli: Crn

@@ -1,0 +1,1 @@
+lib/ri_modules/compare.mli: Crn

@@ -1,0 +1,1 @@
+lib/ri_modules/dual_rail.ml: Array Builder Crn List Printf Rates

@@ -1,0 +1,1 @@
+lib/ri_modules/dual_rail.mli: Crn Numeric

@@ -1,0 +1,19 @@
+let indicator b ~name ~watched =
+  if watched = [] then invalid_arg "Absence.indicator: empty watch list";
+  let i = Crn.Builder.species b name in
+  Crn.Builder.source ~label:(name ^ " generation") b Crn.Rates.slow i;
+  List.iter
+    (fun s ->
+      Crn.Builder.consume_by
+        ~label:(Printf.sprintf "%s consumed by %s" name (Crn.Builder.name b s))
+        b Crn.Rates.fast ~by:s i)
+    watched;
+  i
+
+let gate ?label b ~indicator x y =
+  Crn.Builder.react ?label b Crn.Rates.slow
+    [ (indicator, 1); (x, 1) ]
+    [ (y, 1) ]
+
+let gate_to ?label b ~indicator x products =
+  Crn.Builder.react ?label b Crn.Rates.slow [ (indicator, 1); (x, 1) ] products

@@ -1,0 +1,36 @@
+(** Absence indicators — the key sequencing primitive.
+
+    An absence indicator [i] for a set of watched species is generated
+    continuously at a slow, zero-order rate and consumed quickly
+    (catalytically) by any watched species that is present. It therefore
+    only accumulates when every watched species is absent, and reactions
+    gated on [i] fire only then. This is how the paper orders phases without
+    depending on specific rates: a phase cannot begin until the previous
+    phase's species have been completely consumed. *)
+
+val indicator : Crn.Builder.t -> name:string -> watched:int list -> int
+(** Create the indicator species (under the builder's scope) and its
+    generation/consumption reactions:
+    [0 ->slow i] and, per watched species [S], [i + S ->fast S].
+    Returns the indicator's species index. Raises [Invalid_argument] on an
+    empty watch list (an indicator of nothing would grow without bound). *)
+
+val gate :
+  ?label:string ->
+  Crn.Builder.t ->
+  indicator:int ->
+  int ->
+  int ->
+  unit
+(** [gate b ~indicator x y] adds the gated transfer [i + X ->slow Y]: one
+    unit of [X] becomes [Y], consuming one unit of the indicator — so the
+    transfer only proceeds while the watched species are absent. *)
+
+val gate_to :
+  ?label:string ->
+  Crn.Builder.t ->
+  indicator:int ->
+  int ->
+  (int * int) list ->
+  unit
+(** Generalized {!gate}: [i + X ->slow products]. *)

@@ -1,0 +1,87 @@
+open Crn
+
+let out_species b name = Builder.species b (name ^ ".out")
+
+let transfer ?(rate = Rates.slow) b ~name x =
+  let z = out_species b name in
+  Builder.transfer ~label:(name ^ ": transfer") b rate x z;
+  z
+
+let add ?(rate = Rates.slow) b ~name x1 x2 =
+  let z = out_species b name in
+  Builder.transfer ~label:(name ^ ": add lhs") b rate x1 z;
+  Builder.transfer ~label:(name ^ ": add rhs") b rate x2 z;
+  z
+
+let sum ?(rate = Rates.slow) b ~name inputs =
+  if inputs = [] then invalid_arg "Arith.sum: no inputs";
+  let z = out_species b name in
+  List.iteri
+    (fun i x ->
+      Builder.transfer ~label:(Printf.sprintf "%s: add #%d" name i) b rate x z)
+    inputs;
+  z
+
+let sub ?(rate = Rates.slow) b ~name x1 x2 =
+  let z = out_species b name in
+  let neg = Builder.species b (name ^ ".neg") in
+  Builder.transfer ~label:(name ^ ": minuend in") b rate x1 z;
+  Builder.transfer ~label:(name ^ ": subtrahend in") b rate x2 neg;
+  Builder.react ~label:(name ^ ": annihilation") b Rates.fast
+    [ (z, 1); (neg, 1) ]
+    [];
+  z
+
+let min_of ?(rate = Rates.slow) b ~name x1 x2 =
+  let z = out_species b name in
+  Builder.react ~label:(name ^ ": pairing") b rate
+    [ (x1, 1); (x2, 1) ]
+    [ (z, 1) ];
+  z
+
+let max_of ?(rate = Rates.slow) b ~name x1 x2 =
+  (* max(x1,x2) = (x1 + x2) - min(x1,x2); each input is fanned out to the
+     adder and the pairing module *)
+  let scoped = Builder.scoped b name in
+  let a1 = Builder.species scoped "a1"
+  and a2 = Builder.species scoped "a2"
+  and m1 = Builder.species scoped "m1"
+  and m2 = Builder.species scoped "m2" in
+  Builder.react ~label:(name ^ ": fan x1") b rate
+    [ (x1, 1) ]
+    [ (a1, 1); (m1, 1) ];
+  Builder.react ~label:(name ^ ": fan x2") b rate
+    [ (x2, 1) ]
+    [ (a2, 1); (m2, 1) ];
+  let total = add ~rate scoped ~name:"total" a1 a2 in
+  let minimum = min_of ~rate scoped ~name:"min" m1 m2 in
+  let z = out_species b name in
+  Builder.transfer ~label:(name ^ ": total in") b rate total z;
+  Builder.react ~label:(name ^ ": subtract min") b Rates.fast
+    [ (z, 1); (minimum, 1) ]
+    [];
+  z
+
+let scale ?(rate = Rates.slow) b ~name ~num ~den x =
+  if num < 1 || den < 1 then invalid_arg "Arith.scale: num and den must be >= 1";
+  let y = out_species b name in
+  Builder.react
+    ~label:(Printf.sprintf "%s: scale %d/%d" name num den)
+    b rate
+    [ (x, den) ]
+    [ (y, num) ];
+  y
+
+let double ?rate b ~name x = scale ?rate b ~name ~num:2 ~den:1 x
+let halve ?rate b ~name x = scale ?rate b ~name ~num:1 ~den:2 x
+
+let fanout ?(rate = Rates.slow) b ~name ~copies x =
+  if copies < 1 then invalid_arg "Arith.fanout: copies must be >= 1";
+  let outs =
+    List.init copies (fun i ->
+        Builder.species b (Printf.sprintf "%s.out%d" name i))
+  in
+  Builder.react ~label:(name ^ ": fanout") b rate
+    [ (x, 1) ]
+    (List.map (fun o -> (o, 1)) outs);
+  outs

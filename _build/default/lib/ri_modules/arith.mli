@@ -1,0 +1,58 @@
+(** Rate-independent arithmetic on concentrations.
+
+    These are the memoryless ("combinational") constructs of the group's
+    prior work: the computation is exact at steady state and depends only on
+    which reactions exist, never on their rates. Inputs are consumed
+    (signals in this paradigm are quantities that move, not levels that
+    hold); use {!fanout} first when an input feeds several modules.
+
+    Every constructor creates its output (and internals) under the given
+    instance [name] inside the builder's scope and returns the output
+    species.
+
+    The optional [rate] (default slow) sets the {e production} reactions'
+    category. Standalone combinational use keeps the default: exactness of
+    the annihilation-based modules ([sub], [max_of]) relies on annihilation
+    (always fast) dominating production. Clocked designs instead pass
+    [Crn.Rates.fast] so computation completes well within a clock phase, and
+    rely on the clock's guard phase to let annihilations settle. *)
+
+val transfer : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int -> int
+(** [Y := X]. Reaction [X -> Y]. *)
+
+val add : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int -> int -> int
+(** [Z := X1 + X2]. Reactions [X1 -> Z], [X2 -> Z]. *)
+
+val sum : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int list -> int
+(** n-ary {!add}. Raises [Invalid_argument] on the empty list. *)
+
+val sub : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int -> int -> int
+(** [Z := max(0, X1 - X2)]: [X1 -> Z] and fast pairwise annihilation
+    [Z + X2' -> 0] against the relabelled subtrahend. *)
+
+val min_of : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int -> int -> int
+(** [Z := min(X1, X2)] by pairing: [X1 + X2 -> Z] — pairs convert until
+    the smaller operand is exhausted. *)
+
+val max_of : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int -> int -> int
+(** [Z := max(X1, X2)] via [max = (x1 + x2) - min]: internally fans each
+    input out to an adder and a pairing module whose output annihilates the
+    sum's. *)
+
+val scale :
+  ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> num:int -> den:int -> int -> int
+(** [Y := (num/den) * X] (integer part when [den] does not divide the
+    quantity): reaction [den X -> num Y]. [den <= 2] keeps the network
+    DSD-compilable. Raises [Invalid_argument] unless [num >= 1],
+    [den >= 1]. *)
+
+val double : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int -> int
+(** [scale ~num:2 ~den:1]. *)
+
+val halve : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> int -> int
+(** [scale ~num:1 ~den:2] — used by the paper's moving-average filter. *)
+
+val fanout :
+  ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> copies:int -> int -> int list
+(** [copies] outputs each receiving the full quantity of the input:
+    [X -> Y1 + ... + Yn]. Raises [Invalid_argument] if [copies < 1]. *)

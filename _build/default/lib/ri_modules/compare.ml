@@ -1,0 +1,22 @@
+open Crn
+
+type result = { gt : int; lt : int }
+
+let compare b ~name x1 x2 =
+  let gt = Builder.species b (name ^ ".gt")
+  and lt = Builder.species b (name ^ ".lt") in
+  Builder.transfer ~label:(name ^ ": lhs in") b Rates.slow x1 gt;
+  Builder.transfer ~label:(name ^ ": rhs in") b Rates.slow x2 lt;
+  Builder.react ~label:(name ^ ": annihilation") b Rates.fast
+    [ (gt, 1); (lt, 1) ]
+    [];
+  { gt; lt }
+
+let threshold b ~name ~level x =
+  if level < 0. then invalid_arg "Compare.threshold: negative level";
+  let reference = Builder.species b (name ^ ".ref") in
+  Builder.init b reference level;
+  compare b ~name x reference
+
+let equal_indicator b ~name { gt; lt } =
+  Absence.indicator b ~name:(name ^ ".eq") ~watched:[ gt; lt ]

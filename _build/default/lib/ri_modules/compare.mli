@@ -1,0 +1,24 @@
+(** Rate-independent comparison.
+
+    Comparison by pairwise annihilation: equal quantities destroy each other
+    and whatever remains identifies the larger operand. Outputs are
+    dual-rail {e residues}: [gt] holds [max(0, x1 - x2)] and [lt] holds
+    [max(0, x2 - x1)]; at most one is nonzero, and both zero means the
+    operands were equal. Downstream logic treats "presence of [gt]" as the
+    boolean [x1 > x2] (per the paper's low/high concentration convention). *)
+
+type result = { gt : int; lt : int }
+
+val compare : Crn.Builder.t -> name:string -> int -> int -> result
+(** Consumes both inputs. Reactions: [X1 ->slow gt], [X2 ->slow lt],
+    [gt + lt ->fast 0]. *)
+
+val threshold : Crn.Builder.t -> name:string -> level:float -> int -> result
+(** Compare an input against a constant: an internal reference species is
+    initialized to [level] and compared. [gt] nonzero iff the input exceeds
+    [level]. Raises [Invalid_argument] if [level < 0.]. *)
+
+val equal_indicator :
+  Crn.Builder.t -> name:string -> result -> int
+(** An absence indicator over both residues: accumulates only when the
+    comparison came out equal. *)

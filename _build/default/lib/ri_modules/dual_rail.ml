@@ -1,0 +1,95 @@
+open Crn
+
+type signal = { t : int; f : int }
+
+let fresh b ~name =
+  { t = Builder.species b (name ^ ".t"); f = Builder.species b (name ^ ".f") }
+
+let set b s ~value ~level =
+  if level <= 0. then invalid_arg "Dual_rail.set: level must be positive";
+  Builder.init b (if value then s.t else s.f) level
+
+let const b ~name ~value ~level =
+  let s = fresh b ~name in
+  set b s ~value ~level;
+  s
+
+let read b s state =
+  ignore b;
+  let t = state.(s.t) and f = state.(s.f) in
+  if t > 3. *. f && t > 1e-6 then Some true
+  else if f > 3. *. t && f > 1e-6 then Some false
+  else None
+
+let notg ?rate _b ~name s =
+  ignore rate;
+  ignore name;
+  { t = s.f; f = s.t }
+
+let gate_by_table ?(rate = Rates.slow) b ~name ~table a bb =
+  let out = fresh b ~name in
+  let rail s v = if v then s.t else s.f in
+  List.iter
+    (fun (va, vb) ->
+      Builder.react
+        ~label:(Printf.sprintf "%s: %b,%b" name va vb)
+        b rate
+        [ (rail a va, 1); (rail bb vb, 1) ]
+        [ (rail out (table va vb), 1) ])
+    [ (false, false); (false, true); (true, false); (true, true) ];
+  out
+
+let andg ?rate b ~name a bb = gate_by_table ?rate b ~name ~table:( && ) a bb
+let org ?rate b ~name a bb = gate_by_table ?rate b ~name ~table:( || ) a bb
+
+let nandg ?rate b ~name a bb =
+  gate_by_table ?rate b ~name ~table:(fun x y -> not (x && y)) a bb
+
+let norg ?rate b ~name a bb =
+  gate_by_table ?rate b ~name ~table:(fun x y -> not (x || y)) a bb
+
+let xorg ?rate b ~name a bb =
+  gate_by_table ?rate b ~name ~table:( <> ) a bb
+
+let xnorg ?rate b ~name a bb =
+  gate_by_table ?rate b ~name ~table:( = ) a bb
+
+let fanout2 ?(rate = Rates.slow) b ~name s =
+  let c1 = fresh b ~name:(name ^ ".c1") in
+  let c2 = fresh b ~name:(name ^ ".c2") in
+  Builder.react ~label:(name ^ ": fan t") b rate
+    [ (s.t, 1) ]
+    [ (c1.t, 1); (c2.t, 1) ];
+  Builder.react ~label:(name ^ ": fan f") b rate
+    [ (s.f, 1) ]
+    [ (c1.f, 1); (c2.f, 1) ];
+  (c1, c2)
+
+let half_adder ?rate b ~name a bb =
+  let a1, a2 = fanout2 ?rate b ~name:(name ^ ".fa") a in
+  let b1, b2 = fanout2 ?rate b ~name:(name ^ ".fb") bb in
+  let sum = xorg ?rate b ~name:(name ^ ".sum") a1 b1 in
+  let carry = andg ?rate b ~name:(name ^ ".carry") a2 b2 in
+  (sum, carry)
+
+let full_adder ?rate b ~name a x cin =
+  let s1, c1 = half_adder ?rate b ~name:(name ^ ".ha1") a x in
+  let sum, c2 = half_adder ?rate b ~name:(name ^ ".ha2") s1 cin in
+  let carry = org ?rate b ~name:(name ^ ".cor") c1 c2 in
+  (sum, carry)
+
+let ripple_adder ?rate b ~name xs ys =
+  let n = List.length xs in
+  if n = 0 || List.length ys <> n then
+    invalid_arg "Dual_rail.ripple_adder: empty or unequal widths";
+  let carry0 = const b ~name:(name ^ ".c0") ~value:false ~level:10. in
+  let rec go i carry acc = function
+    | [], [] -> (List.rev acc, carry)
+    | x :: xs, y :: ys ->
+        let sum, carry' =
+          full_adder ?rate b ~name:(Printf.sprintf "%s.fa%d" name i) x y carry
+        in
+        go (i + 1) carry' (sum :: acc) (xs, ys)
+    | _ -> assert false
+  in
+  go 0 carry0 [] (xs, ys)

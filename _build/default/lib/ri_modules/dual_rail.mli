@@ -1,0 +1,92 @@
+(** Dual-rail Boolean logic with molecular reactions.
+
+    The group's follow-on work implements digital logic by representing
+    each Boolean signal as {e two} molecular types: the signal is 1 when
+    the [t] (true) rail holds the quantity and 0 when the [f] (false) rail
+    does. Gates are then pure pairing reactions — each combination of input
+    rails transfers into the appropriate output rail — which makes them
+    exact and rate-independent: no thresholds, no absence detection.
+
+    Inputs are consumed. Every input must be {e valid} (exactly one rail
+    holding the quantity); gates preserve validity and quantity, so gates
+    compose arbitrarily. Fanout duplicates both rails. *)
+
+type signal = { t : int; f : int }
+
+val fresh : Crn.Builder.t -> name:string -> signal
+(** Uninitialized signal (both rails 0): an output, or an input to set
+    later. Rails are named [<name>.t] and [<name>.f]. *)
+
+val const : Crn.Builder.t -> name:string -> value:bool -> level:float -> signal
+(** A signal preset to a Boolean value with the given quantity. *)
+
+val set : Crn.Builder.t -> signal -> value:bool -> level:float -> unit
+(** Preset an existing signal's initial condition. *)
+
+val read :
+  Crn.Builder.t -> signal -> Numeric.Vec.t -> bool option
+(** Decode a state: [Some v] when exactly one rail dominates (ratio >= 3),
+    [None] for invalid/undriven signals. *)
+
+val notg : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal
+(** NOT is free: the output is the input with rails swapped — no reactions
+    at all. The [name] is unused (kept for interface uniformity) and no
+    species are created. *)
+
+val andg : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal -> signal
+val org : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal -> signal
+val nandg : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal -> signal
+val norg : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal -> signal
+val xorg : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal -> signal
+val xnorg : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal -> signal
+(** Two-input gates: four pairing reactions
+    [a_rail + b_rail -> out_rail], one per input combination. [rate]
+    defaults to slow (standalone discipline); clocked designs pass fast. *)
+
+val fanout2 : ?rate:Crn.Rates.t -> Crn.Builder.t -> name:string -> signal -> signal * signal
+(** Duplicate a signal (each rail fans out to both copies' rails). *)
+
+val gate_by_table :
+  ?rate:Crn.Rates.t ->
+  Crn.Builder.t ->
+  name:string ->
+  table:(bool -> bool -> bool) ->
+  signal ->
+  signal ->
+  signal
+(** Generic two-input gate from a truth table (how the named gates are
+    built). *)
+
+val half_adder :
+  ?rate:Crn.Rates.t ->
+  Crn.Builder.t ->
+  name:string ->
+  signal ->
+  signal ->
+  signal * signal
+(** [(sum, carry)] — a worked composition: fans both inputs out to an XOR
+    and an AND. *)
+
+val full_adder :
+  ?rate:Crn.Rates.t ->
+  Crn.Builder.t ->
+  name:string ->
+  signal ->
+  signal ->
+  signal ->
+  signal * signal
+(** [full_adder b ~name a x cin] is [(sum, carry_out)]: two half adders
+    plus an OR on the carries. *)
+
+val ripple_adder :
+  ?rate:Crn.Rates.t ->
+  Crn.Builder.t ->
+  name:string ->
+  signal list ->
+  signal list ->
+  signal list * signal
+(** [ripple_adder b ~name xs ys] adds two equal-width little-endian
+    dual-rail words: [(sum bits, carry_out)]. Raises [Invalid_argument] on
+    empty or unequal widths. A molecular ripple-carry adder settles in one
+    combinational wave — every gate is just pairing reactions — so no
+    clocking is needed for a single addition. *)

@@ -1,0 +1,1 @@
+lib/ssa/compiled.ml: Array Crn List

@@ -1,0 +1,1 @@
+lib/ssa/gillespie.ml: Array Compiled Crn Float Numeric Ode Printf

@@ -1,0 +1,1 @@
+lib/ssa/gillespie.mli: Crn Ode

@@ -1,0 +1,1 @@
+lib/ssa/tau_leap.ml: Array Compiled Crn Float Numeric Ode

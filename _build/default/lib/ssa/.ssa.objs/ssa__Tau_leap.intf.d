@@ -1,0 +1,1 @@
+lib/ssa/tau_leap.mli: Crn Numeric Ode

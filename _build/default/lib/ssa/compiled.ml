@@ -1,0 +1,77 @@
+(* Shared compiled-reaction representation for the stochastic simulators:
+   flat arrays of reactant/update data plus combinatorial propensities. *)
+
+type reaction = {
+  k : float;
+  reactant_species : int array;
+  reactant_coeff : int array;
+  delta_species : int array;
+  delta : int array;
+}
+
+let compile env net =
+  let compile_reaction r =
+    let reactants = Array.of_list r.Crn.Reaction.reactants in
+    let net_list = Crn.Reaction.net_stoich r in
+    {
+      k = Crn.Rates.value env r.Crn.Reaction.rate;
+      reactant_species = Array.map fst reactants;
+      reactant_coeff = Array.map snd reactants;
+      delta_species = Array.of_list (List.map fst net_list);
+      delta = Array.of_list (List.map snd net_list);
+    }
+  in
+  Array.map compile_reaction (Crn.Network.reactions net)
+
+(* combinatorial propensity: a = k * prod_i binom(n_i, c_i) *)
+let propensity r (counts : int array) =
+  let acc = ref r.k in
+  (try
+     for i = 0 to Array.length r.reactant_species - 1 do
+       let n = counts.(r.reactant_species.(i)) in
+       let c = r.reactant_coeff.(i) in
+       if n < c then begin
+         acc := 0.;
+         raise Exit
+       end;
+       let b =
+         match c with
+         | 1 -> float_of_int n
+         | 2 -> float_of_int n *. float_of_int (n - 1) /. 2.
+         | 3 ->
+             float_of_int n *. float_of_int (n - 1) *. float_of_int (n - 2)
+             /. 6.
+         | _ ->
+             let rec fall acc i =
+               if i = c then acc else fall (acc *. float_of_int (n - i)) (i + 1)
+             in
+             let rec fact acc i =
+               if i <= 1 then acc else fact (acc *. float_of_int i) (i - 1)
+             in
+             fall 1. 0 /. fact 1. c
+       in
+       acc := !acc *. b
+     done
+   with Exit -> ());
+  !acc
+
+let apply r (counts : int array) times =
+  for i = 0 to Array.length r.delta_species - 1 do
+    counts.(r.delta_species.(i)) <-
+      counts.(r.delta_species.(i)) + (times * r.delta.(i))
+  done
+
+(* highest reactant molecularity each species participates in (Cao's g_i,
+   capped at 3); 1 for species that are never reactants *)
+let reactant_order_per_species n reactions =
+  let g = Array.make n 1 in
+  Array.iter
+    (fun r ->
+      let order =
+        Array.fold_left ( + ) 0 r.reactant_coeff
+      in
+      Array.iter
+        (fun s -> g.(s) <- max g.(s) (min order 3))
+        r.reactant_species)
+    reactions;
+  g

@@ -1,0 +1,79 @@
+type result = { trace : Ode.Trace.t; final : float array; n_events : int }
+
+let compile = Compiled.compile
+let propensity = Compiled.propensity
+
+let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
+    ?(max_events = 50_000_000) ~t1 net =
+  if t1 <= 0. then invalid_arg "Gillespie.run: t1 must be positive";
+  let sample_dt =
+    match sample_dt with
+    | Some dt when dt > 0. -> dt
+    | Some _ -> invalid_arg "Gillespie.run: sample_dt must be positive"
+    | None -> t1 /. 500.
+  in
+  let rng = Numeric.Rng.create seed in
+  let reactions = compile env net in
+  let n = Crn.Network.n_species net in
+  let counts =
+    Array.map
+      (fun x -> int_of_float (Float.round x))
+      (Crn.Network.initial_state net)
+  in
+  let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
+  let snapshot () = Array.map float_of_int counts in
+  let props = Array.make (Array.length reactions) 0. in
+  let t = ref 0. in
+  let next_sample = ref 0. in
+  let n_events = ref 0 in
+  let record_due_samples () =
+    while !next_sample <= !t && !next_sample <= t1 +. 1e-12 do
+      Ode.Trace.record trace !next_sample (snapshot ());
+      next_sample := !next_sample +. sample_dt
+    done
+  in
+  record_due_samples ();
+  (try
+     while !t < t1 do
+       if !n_events >= max_events then failwith "Gillespie: max event count exceeded";
+       Array.iteri (fun i r -> props.(i) <- propensity r counts) reactions;
+       let total = Array.fold_left ( +. ) 0. props in
+       if total <= 0. then begin
+         (* no reaction can fire: hold state to the end *)
+         t := t1;
+         record_due_samples ();
+         raise Exit
+       end;
+       let dt = Numeric.Rng.exponential rng total in
+       t := !t +. dt;
+       if !t > t1 then begin
+         t := t1;
+         record_due_samples ();
+         raise Exit
+       end;
+       record_due_samples ();
+       let j = Numeric.Rng.pick_weighted rng props in
+       Compiled.apply reactions.(j) counts 1;
+       incr n_events
+     done
+   with Exit -> ());
+  ignore n;
+  { trace; final = snapshot (); n_events = !n_events }
+
+let mean_final ?env ?(runs = 20) ?(seed = 42L) ~t1 net species =
+  if runs < 1 then invalid_arg "Gillespie.mean_final: runs must be >= 1";
+  let idx =
+    match Crn.Network.find_species net species with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Gillespie.mean_final: unknown species %S" species)
+  in
+  let root = Numeric.Rng.create seed in
+  let finals =
+    Array.init runs (fun _ ->
+        let s = Numeric.Rng.uint64 root in
+        let { final; _ } = run ?env ~seed:s ~t1 net in
+        final.(idx))
+  in
+  (Numeric.Stats.mean finals, Numeric.Stats.stddev finals)

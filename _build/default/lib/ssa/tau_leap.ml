@@ -1,0 +1,159 @@
+type result = {
+  trace : Ode.Trace.t;
+  final : float array;
+  n_leaps : int;
+  n_exact : int;
+}
+
+let poisson rng mean =
+  if mean < 0. then invalid_arg "Tau_leap.poisson: negative mean";
+  if mean = 0. then 0
+  else if mean < 30. then begin
+    (* Knuth inversion *)
+    let limit = exp (-.mean) in
+    let rec go k p =
+      let p = p *. Numeric.Rng.float_pos rng in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.
+  end
+  else begin
+    (* normal approximation with continuity correction *)
+    let u1 = Numeric.Rng.float_pos rng and u2 = Numeric.Rng.float_pos rng in
+    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    max 0 (int_of_float (Float.round (mean +. (sqrt mean *. z))))
+  end
+
+(* Cao/Gillespie/Petzold species-based tau selection *)
+let select_tau ~epsilon reactions props g counts =
+  let n = Array.length counts in
+  let mu = Array.make n 0. and sigma2 = Array.make n 0. in
+  Array.iteri
+    (fun j r ->
+      let a = props.(j) in
+      if a > 0. then
+        for i = 0 to Array.length r.Compiled.delta_species - 1 do
+          let s = r.Compiled.delta_species.(i) in
+          let v = float_of_int r.Compiled.delta.(i) in
+          mu.(s) <- mu.(s) +. (v *. a);
+          sigma2.(s) <- sigma2.(s) +. (v *. v *. a)
+        done)
+    reactions;
+  let tau = ref infinity in
+  for s = 0 to n - 1 do
+    if mu.(s) <> 0. || sigma2.(s) <> 0. then begin
+      let bound =
+        Float.max (epsilon *. float_of_int counts.(s) /. float_of_int g.(s)) 1.
+      in
+      if mu.(s) <> 0. then tau := Float.min !tau (bound /. Float.abs mu.(s));
+      if sigma2.(s) <> 0. then tau := Float.min !tau (bound *. bound /. sigma2.(s))
+    end
+  done;
+  !tau
+
+let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
+    ?(epsilon = 0.03) ?(max_steps = 10_000_000) ~t1 net =
+  if t1 <= 0. then invalid_arg "Tau_leap.run: t1 must be positive";
+  let sample_dt =
+    match sample_dt with
+    | Some dt when dt > 0. -> dt
+    | Some _ -> invalid_arg "Tau_leap.run: sample_dt must be positive"
+    | None -> t1 /. 500.
+  in
+  let rng = Numeric.Rng.create seed in
+  let reactions = Compiled.compile env net in
+  let n = Crn.Network.n_species net in
+  let counts =
+    Array.map
+      (fun x -> int_of_float (Float.round x))
+      (Crn.Network.initial_state net)
+  in
+  let g = Compiled.reactant_order_per_species n reactions in
+  let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
+  let snapshot () = Array.map float_of_int counts in
+  let m = Array.length reactions in
+  let props = Array.make m 0. in
+  let t = ref 0. in
+  let next_sample = ref 0. in
+  let n_leaps = ref 0 and n_exact = ref 0 and steps = ref 0 in
+  let record_due () =
+    while !next_sample <= !t && !next_sample <= t1 +. 1e-12 do
+      Ode.Trace.record trace !next_sample (snapshot ());
+      next_sample := !next_sample +. sample_dt
+    done
+  in
+  record_due ();
+  (try
+     while !t < t1 do
+       incr steps;
+       if !steps >= max_steps then failwith "Tau_leap: max step count exceeded";
+       Array.iteri (fun j r -> props.(j) <- Compiled.propensity r counts) reactions;
+       let total = Array.fold_left ( +. ) 0. props in
+       if total <= 0. then begin
+         t := t1;
+         record_due ();
+         raise Exit
+       end;
+       let tau = select_tau ~epsilon reactions props g counts in
+       if tau < 10. /. total then begin
+         (* leaping not worthwhile here: run a batch of exact
+            (direct-method) events before re-evaluating tau, so the
+            tau-selection overhead is amortized on stiff stretches *)
+         let batch = ref 50 in
+         let continue = ref true in
+         while !continue && !batch > 0 && !t < t1 do
+           Array.iteri
+             (fun j r -> props.(j) <- Compiled.propensity r counts)
+             reactions;
+           let total = Array.fold_left ( +. ) 0. props in
+           if total <= 0. then continue := false
+           else begin
+             let dt = Numeric.Rng.exponential rng total in
+             t := Float.min t1 (!t +. dt);
+             record_due ();
+             if !t < t1 then begin
+               let j = Numeric.Rng.pick_weighted rng props in
+               Compiled.apply reactions.(j) counts 1;
+               incr n_exact
+             end
+           end;
+           decr batch
+         done
+       end
+       else begin
+         (* try a leap, halving tau until no count goes negative *)
+         let rec attempt tau tries =
+           if tries = 0 then begin
+             (* degenerate: fall back to one exact event *)
+             let dt = Numeric.Rng.exponential rng total in
+             t := Float.min t1 (!t +. dt);
+             record_due ();
+             if !t < t1 then begin
+               let j = Numeric.Rng.pick_weighted rng props in
+               Compiled.apply reactions.(j) counts 1;
+               incr n_exact
+             end
+           end
+           else begin
+             let tau = Float.min tau (t1 -. !t) in
+             let fires = Array.map (fun a -> poisson rng (a *. tau)) props in
+             let saved = Array.copy counts in
+             Array.iteri
+               (fun j k -> if k > 0 then Compiled.apply reactions.(j) counts k)
+               fires;
+             if Array.exists (fun c -> c < 0) counts then begin
+               Array.blit saved 0 counts 0 n;
+               attempt (tau /. 2.) (tries - 1)
+             end
+             else begin
+               t := !t +. tau;
+               record_due ();
+               incr n_leaps
+             end
+           end
+         in
+         attempt tau 8
+       end
+     done
+   with Exit -> ());
+  { trace; final = snapshot (); n_leaps = !n_leaps; n_exact = !n_exact }

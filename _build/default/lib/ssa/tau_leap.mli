@@ -1,0 +1,36 @@
+(** Explicit tau-leaping: approximate stochastic simulation that fires many
+    reactions per step.
+
+    The direct method simulates every reaction event; busy networks (the
+    clock's feedback equilibrium churns thousands of events per time unit)
+    make that expensive. Tau-leaping picks a step [tau] small enough that
+    no propensity changes by more than a fraction [epsilon] (Cao, Gillespie
+    & Petzold's species-based bound), samples each reaction's firing count
+    from Poisson(a_j tau), and applies them in bulk — falling back to exact
+    single steps when [tau] would be smaller than a few direct-method event
+    times, and rejecting leaps that would drive any count negative. *)
+
+type result = {
+  trace : Ode.Trace.t;  (** states sampled every [sample_dt] *)
+  final : float array;
+  n_leaps : int;  (** bulk steps taken *)
+  n_exact : int;  (** direct-method fallback events *)
+}
+
+val run :
+  ?env:Crn.Rates.env ->
+  ?seed:int64 ->
+  ?sample_dt:float ->
+  ?epsilon:float ->
+  ?max_steps:int ->
+  t1:float ->
+  Crn.Network.t ->
+  result
+(** Simulate from 0 to [t1]. Defaults: [seed = 1L], [sample_dt = t1/500],
+    [epsilon = 0.03], [max_steps = 10_000_000] (raises [Failure] when
+    exhausted). *)
+
+val poisson : Numeric.Rng.t -> float -> int
+(** Sample Poisson(mean): inversion for small means, normal approximation
+    (rounded, clamped at 0) for means above 30. Exposed for testing.
+    Raises [Invalid_argument] on a negative mean. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Filename Float List Ode Option String Sys

@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Async_mol Crn Float List Ode

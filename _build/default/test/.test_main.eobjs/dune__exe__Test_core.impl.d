@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Crn Float Gen List Molclock Ode Printf QCheck QCheck_alcotest Test Unix

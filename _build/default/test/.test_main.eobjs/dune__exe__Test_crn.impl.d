@@ -1,0 +1,1 @@
+test/test_crn.ml: Alcotest Array Builder Conservation Crn Gen List Network Numeric Ode Parser Printf QCheck QCheck_alcotest Rates Reaction String Test Validate

@@ -1,0 +1,1 @@
+test/test_dsd.ml: Alcotest Array Crn Dsd Format Gen List Ode Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_dual_rail.ml: Alcotest Analysis Array Builder Crn Gen List Network Ode Printf QCheck QCheck_alcotest Rates Ri_modules Test

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Array Crn Designs Equiv Gen Int64 List Network Numeric Printf QCheck QCheck_alcotest Rates Reaction Test

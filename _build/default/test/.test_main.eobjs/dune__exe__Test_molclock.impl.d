@@ -1,0 +1,1 @@
+test/test_molclock.ml: Alcotest Array Crn Float List Molclock Numeric Ode Printf String

@@ -1,0 +1,1 @@
+test/test_networks.ml: Alcotest Analysis Array Crn Filename List Numeric Ode Ssa

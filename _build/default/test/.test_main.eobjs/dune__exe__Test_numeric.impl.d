@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Float Gen Interp List Lu Mat Numeric QCheck QCheck_alcotest Rng Stats Test Vec

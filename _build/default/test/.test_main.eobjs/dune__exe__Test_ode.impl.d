@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Crn Float Gen List Network Ode QCheck QCheck_alcotest Rates Reaction Test

@@ -1,0 +1,1 @@
+test/test_ri_modules.ml: Alcotest Array Builder Crn Float Gen List Network Ode QCheck QCheck_alcotest Rates Ri_modules Test

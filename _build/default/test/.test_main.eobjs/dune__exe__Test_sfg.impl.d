@@ -1,0 +1,1 @@
+test/test_sfg.ml: Alcotest Core Crn Float List

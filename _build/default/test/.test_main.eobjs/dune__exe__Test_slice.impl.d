@@ -1,0 +1,1 @@
+test/test_slice.ml: Alcotest Analysis Crn Designs Network Ode Rates Reaction Slice

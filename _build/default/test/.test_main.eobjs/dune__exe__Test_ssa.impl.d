@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Crn Float Gen Int64 List Network Numeric Ode Printf QCheck QCheck_alcotest Rates Reaction Ssa Test

@@ -1,0 +1,1 @@
+test/test_stochastic.ml: Alcotest Array Core Crn List Molclock Ode Printf Ssa

@@ -1,0 +1,248 @@
+(* Tests for trace decoding, oscillation measurement, accuracy metrics and
+   report rendering. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------------------------------------------------------- Decode *)
+
+let test_decode_bit () =
+  Alcotest.(check bool) "above" true (Analysis.Decode.bit ~threshold:5. 7.);
+  Alcotest.(check bool) "below" false (Analysis.Decode.bit ~threshold:5. 3.);
+  Alcotest.(check bool) "at threshold" true (Analysis.Decode.bit ~threshold:5. 5.)
+
+let test_decode_pair () =
+  Alcotest.(check bool) "one rail" true (Analysis.Decode.bit_of_pair 1. 9.);
+  Alcotest.(check bool) "zero rail" false (Analysis.Decode.bit_of_pair 9. 1.)
+
+let test_decode_int_of_bits () =
+  Alcotest.(check int) "101 lsb-first" 5
+    (Analysis.Decode.int_of_bits [ true; false; true ]);
+  Alcotest.(check int) "empty" 0 (Analysis.Decode.int_of_bits []);
+  Alcotest.(check int) "110 lsb-first" 3
+    (Analysis.Decode.int_of_bits [ true; true; false ])
+
+let test_decode_bits_of_int () =
+  Alcotest.(check (list bool)) "5 as 3 bits" [ true; false; true ]
+    (Analysis.Decode.bits_of_int ~width:3 5);
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Decode.bits_of_int: value does not fit") (fun () ->
+      ignore (Analysis.Decode.bits_of_int ~width:2 5))
+
+let test_decode_roundtrip () =
+  for v = 0 to 31 do
+    Alcotest.(check int) "roundtrip" v
+      (Analysis.Decode.int_of_bits (Analysis.Decode.bits_of_int ~width:5 v))
+  done
+
+let trace_of_rows names rows =
+  let tr = Ode.Trace.create ~names in
+  List.iter (fun (t, row) -> Ode.Trace.record tr t row) rows;
+  tr
+
+let test_decode_from_trace () =
+  let tr =
+    trace_of_rows [| "b0"; "b1" |]
+      [ (0., [| 9.; 1. |]); (1., [| 9.; 9. |]) ]
+  in
+  Alcotest.(check int) "t=0 -> 1" 1
+    (Analysis.Decode.int_at ~threshold:5. tr [ "b0"; "b1" ] 0.);
+  Alcotest.(check int) "t=1 -> 3" 3
+    (Analysis.Decode.int_at ~threshold:5. tr [ "b0"; "b1" ] 1.)
+
+let test_decode_onehot () =
+  let tr =
+    trace_of_rows [| "s0"; "s1"; "s2" |]
+      [ (0., [| 9.; 0.; 0. |]); (1., [| 0.; 9.; 9. |]); (2., [| 0.; 0.; 0. |]) ]
+  in
+  let names = [ "s0"; "s1"; "s2" ] in
+  Alcotest.(check (option int)) "valid" (Some 0)
+    (Analysis.Decode.onehot_at ~threshold:5. tr names 0.);
+  Alcotest.(check (option int)) "two high" None
+    (Analysis.Decode.onehot_at ~threshold:5. tr names 1.);
+  Alcotest.(check (option int)) "none high" None
+    (Analysis.Decode.onehot_at ~threshold:5. tr names 2.)
+
+(* ----------------------------------------------------------- Oscillation *)
+
+let sine_series ~n ~period =
+  let times = Array.init n (fun i -> float_of_int i *. 0.1) in
+  let values =
+    Array.map (fun t -> 50. +. (50. *. sin (2. *. Float.pi *. t /. period))) times
+  in
+  (times, values)
+
+let test_oscillation_crossings () =
+  let times = [| 0.; 1.; 2.; 3. |] and values = [| 0.; 10.; 0.; 10. |] in
+  let cs = Analysis.Oscillation.crossings ~threshold:5. ~times ~values in
+  Alcotest.(check int) "three crossings" 3 (List.length cs);
+  match cs with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "rising" true a.Analysis.Oscillation.rising;
+      Alcotest.(check bool) "falling" false b.Analysis.Oscillation.rising;
+      Alcotest.(check bool) "rising again" true c.Analysis.Oscillation.rising;
+      check_float "interpolated position" 0.5 a.Analysis.Oscillation.at
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_oscillation_period () =
+  let times, values = sine_series ~n:400 ~period:8. in
+  match Analysis.Oscillation.period ~times ~values () with
+  | None -> Alcotest.fail "expected a period"
+  | Some p -> Alcotest.(check (float 0.05)) "sine period" 8. p
+
+let test_oscillation_jitter_of_clean_signal () =
+  let times, values = sine_series ~n:400 ~period:8. in
+  match Analysis.Oscillation.period_jitter ~times ~values () with
+  | None -> Alcotest.fail "expected jitter"
+  | Some j -> Alcotest.(check bool) "tiny jitter" true (j < 0.05)
+
+let test_oscillation_not_sustained () =
+  let times = Array.init 50 (fun i -> float_of_int i) in
+  let values = Array.map (fun t -> exp (-.t)) times in
+  Alcotest.(check bool) "decay is not sustained" false
+    (Analysis.Oscillation.is_sustained ~threshold:0.5 ~times ~values ());
+  Alcotest.(check (option reject)) "no period" None
+    (Analysis.Oscillation.period ~threshold:0.5 ~times ~values ()
+    |> Option.map (fun _ -> ()))
+
+let test_oscillation_amplitude () =
+  check_float "amplitude" 7. (Analysis.Oscillation.amplitude ~values:[| 1.; 8.; 3. |])
+
+let test_oscillation_high_intervals () =
+  let times = [| 0.; 1.; 2.; 3.; 4. |] in
+  let values = [| 0.; 10.; 10.; 0.; 10. |] in
+  let ivs = Analysis.Oscillation.high_intervals ~threshold:5. ~times ~values in
+  Alcotest.(check int) "two intervals" 2 (List.length ivs);
+  (match ivs with
+  | [ (a, b); (c, d) ] ->
+      check_float "start 1" 0.5 a;
+      check_float "end 1" 2.5 b;
+      check_float "start 2" 3.5 c;
+      check_float "end 2 clipped" 4. d
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check (float 1e-9)) "duty" ((2. +. 0.5) /. 4.)
+    (Analysis.Oscillation.duty_cycle ~threshold:5. ~times ~values)
+
+let test_oscillation_always_high () =
+  let times = [| 0.; 1. |] and values = [| 9.; 9. |] in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "whole range" [ (0., 1.) ]
+    (Analysis.Oscillation.high_intervals ~threshold:5. ~times ~values);
+  check_float "duty 1" 1.
+    (Analysis.Oscillation.duty_cycle ~threshold:5. ~times ~values)
+
+(* -------------------------------------------------------------- Accuracy *)
+
+let test_accuracy_relative () =
+  check_float "basic" 0.1 (Analysis.Accuracy.relative_error ~expected:10. 11.);
+  check_float "zero expected is absolute scaled" 1e12
+    (Analysis.Accuracy.relative_error ~expected:0. 1.);
+  Alcotest.(check bool) "within" true
+    (Analysis.Accuracy.within ~tol:0.05 ~expected:100. 104.9);
+  Alcotest.(check bool) "not within" false
+    (Analysis.Accuracy.within ~tol:0.05 ~expected:100. 106.)
+
+let test_accuracy_settling () =
+  let times = [| 0.; 1.; 2.; 3.; 4. |] in
+  let values = [| 0.; 5.; 9.9; 10.; 10. |] in
+  (* the settling time is the last moment outside the band: 5 at t=1 is
+     outside a 2% band around the final 10, 9.9 at t=2 is inside *)
+  let st = Analysis.Accuracy.settling_time ~tol:0.02 ~times ~values () in
+  check_float "last violation at 1" 1. st;
+  (* a 60% band admits the 5 as well, leaving only t=0 outside *)
+  let st2 = Analysis.Accuracy.settling_time ~tol:0.6 ~times ~values () in
+  check_float "loose tolerance" 0. st2
+
+let test_accuracy_worst_over () =
+  check_float "max" 3.
+    (Analysis.Accuracy.worst_over [ (fun () -> 1.); (fun () -> 3.); (fun () -> 2.) ]);
+  Alcotest.(check bool) "empty is neg_infinity" true
+    (Analysis.Accuracy.worst_over [] = neg_infinity)
+
+(* ----------------------------------------------------------------- Table *)
+
+let test_table_render () =
+  let t = Analysis.Table.create [ "design"; "n" ] in
+  Analysis.Table.add_row t [ "counter"; "42" ];
+  Analysis.Table.add_rowf t "%s|%d" "lfsr" 7;
+  let s = Analysis.Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 6 = "design");
+  Alcotest.(check bool) "has separator" true (String.contains s '+');
+  Alcotest.(check bool) "contains rows" true
+    (let contains needle =
+       let n = String.length needle and m = String.length s in
+       let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+       go 0
+     in
+     contains "counter" && contains "lfsr" && contains "42")
+
+let test_table_mismatch () =
+  let t = Analysis.Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Analysis.Table.add_row t [ "only one" ])
+
+(* ------------------------------------------------------------------- Csv *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Analysis.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Analysis.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Analysis.Csv.escape "a\"b")
+
+let test_csv_write () =
+  let path = Filename.temp_file "mrsc" ".csv" in
+  Analysis.Csv.write_rows ~path ~header:[ "x"; "y" ] [ [ "1"; "2" ] ];
+  let ic = open_in path in
+  let line1 = input_line ic in
+  let line2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "x,y" line1;
+  Alcotest.(check string) "row" "1,2" line2
+
+(* ------------------------------------------------------------ Ascii_plot *)
+
+let test_ascii_plot () =
+  let tr =
+    trace_of_rows [| "a"; "b" |]
+      [ (0., [| 0.; 5. |]); (1., [| 10.; 5. |]); (2., [| 0.; 5. |]) ]
+  in
+  let s =
+    Analysis.Ascii_plot.render ~width:40 ~height:8 ~title:"demo"
+      (Analysis.Ascii_plot.of_trace tr [ "a"; "b" ])
+  in
+  Alcotest.(check bool) "has title" true (String.sub s 0 4 = "demo");
+  Alcotest.(check bool) "has legend" true (String.contains s '=');
+  Alcotest.(check bool) "plots both glyphs" true
+    (String.contains s '*' && String.contains s '+')
+
+let test_ascii_plot_empty () =
+  Alcotest.check_raises "no data" (Invalid_argument "Ascii_plot.render: no data")
+    (fun () -> ignore (Analysis.Ascii_plot.render []))
+
+let suite =
+  [
+    ("decode bit", `Quick, test_decode_bit);
+    ("decode dual rail", `Quick, test_decode_pair);
+    ("decode int of bits", `Quick, test_decode_int_of_bits);
+    ("decode bits of int", `Quick, test_decode_bits_of_int);
+    ("decode roundtrip", `Quick, test_decode_roundtrip);
+    ("decode from trace", `Quick, test_decode_from_trace);
+    ("decode onehot", `Quick, test_decode_onehot);
+    ("oscillation crossings", `Quick, test_oscillation_crossings);
+    ("oscillation period", `Quick, test_oscillation_period);
+    ("oscillation jitter", `Quick, test_oscillation_jitter_of_clean_signal);
+    ("oscillation not sustained", `Quick, test_oscillation_not_sustained);
+    ("oscillation amplitude", `Quick, test_oscillation_amplitude);
+    ("oscillation high intervals", `Quick, test_oscillation_high_intervals);
+    ("oscillation always high", `Quick, test_oscillation_always_high);
+    ("accuracy relative", `Quick, test_accuracy_relative);
+    ("accuracy settling", `Quick, test_accuracy_settling);
+    ("accuracy worst_over", `Quick, test_accuracy_worst_over);
+    ("table render", `Quick, test_table_render);
+    ("table mismatch", `Quick, test_table_mismatch);
+    ("csv escape", `Quick, test_csv_escape);
+    ("csv write", `Quick, test_csv_write);
+    ("ascii plot", `Quick, test_ascii_plot);
+    ("ascii plot empty", `Quick, test_ascii_plot_empty);
+  ]

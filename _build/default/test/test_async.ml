@@ -1,0 +1,135 @@
+(* Tests for the asynchronous (self-timed) delay-chain scheme of the
+   companion abstract. *)
+
+let test_chain_structure () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let c = Async_mol.Delay_chain.make ~input:40. b ~n:2 in
+  Alcotest.(check string) "input is B0" "B0" (Async_mol.Delay_chain.x_name c);
+  Alcotest.(check string) "output is R3" "R3" (Async_mol.Delay_chain.y_name c);
+  (* 3 reds + 2 greens + 3 blues = 8 signal species *)
+  Alcotest.(check int) "signal species" 8
+    (List.length (Async_mol.Delay_chain.species_names c));
+  (* exactly three absence indicators regardless of n *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Crn.Network.find_species net name <> None))
+    [ "r"; "g"; "b" ];
+  Alcotest.(check (float 0.)) "input preset" 40.
+    (Crn.Network.init_of net (Crn.Network.species net "B0"))
+
+let test_indicator_count_constant () =
+  (* "there are only these three absence indicators regardless of the
+     number of delay elements" — the zero-order sources count the
+     indicators *)
+  let sources n =
+    let net = Crn.Network.create () in
+    let b = Crn.Builder.on net in
+    let _ = Async_mol.Delay_chain.make b ~n in
+    Array.fold_left
+      (fun acc r -> if Crn.Reaction.order r = 0 then acc + 1 else acc)
+      0 (Crn.Network.reactions net)
+  in
+  Alcotest.(check int) "n=1" 3 (sources 1);
+  Alcotest.(check int) "n=4" 3 (sources 4)
+
+let test_chain_conservative () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let c = Async_mol.Delay_chain.make ~input:10. b ~n:3 in
+  Alcotest.(check bool) "signal mass conserved" true
+    (Async_mol.Delay_chain.is_conservative c)
+
+let test_transfer_completes () =
+  (* the headline behaviour: X ripples to Y, undiminished *)
+  let trace, chain = Async_mol.Delay_chain.simulate ~input:80. ~t1:60. ~n:2 () in
+  let final_y =
+    Async_mol.Delay_chain.output_total chain trace (Ode.Trace.last_time trace)
+  in
+  Alcotest.(check (float 2.)) "Y receives the input" 80. final_y;
+  match Async_mol.Delay_chain.completion_time ~frac:0.95 chain trace with
+  | None -> Alcotest.fail "never completed"
+  | Some t -> Alcotest.(check bool) "completes well before horizon" true (t < 40.)
+
+let test_transfer_is_ordered () =
+  (* adjacent color categories legitimately co-exist during a handover, but
+     phases two steps apart must not: by the time any blue appears, the red
+     of the same wave must have completely drained *)
+  let trace, _chain = Async_mol.Delay_chain.simulate ~input:50. ~t1:40. ~n:1 () in
+  let r1 = Ode.Trace.column_named trace "R1" in
+  let b1 = Ode.Trace.column_named trace "B1" in
+  let worst_copresence = ref 0. in
+  Array.iteri
+    (fun i r -> worst_copresence := Float.max !worst_copresence (Float.min r b1.(i)))
+    r1;
+  Alcotest.(check bool) "R1/B1 nearly disjoint" true (!worst_copresence < 2.)
+
+let test_longer_chain_takes_longer () =
+  let t_of n =
+    let trace, chain =
+      Async_mol.Delay_chain.simulate ~input:50. ~t1:150. ~n ()
+    in
+    match Async_mol.Delay_chain.completion_time ~frac:0.9 chain trace with
+    | Some t -> t
+    | None -> Alcotest.failf "chain n=%d never completed" n
+  in
+  let t2 = t_of 2 and t4 = t_of 4 in
+  Alcotest.(check bool) "4 elements slower than 2" true (t4 > t2 *. 1.3)
+
+let test_feedback_ablation_less_crisp () =
+  (* without the positive-feedback reactions the transfer still happens
+     (the handshake alone is enough) but takes longer to complete *)
+  let run feedback =
+    let net = Crn.Network.create () in
+    let b = Crn.Builder.on net in
+    let chain = Async_mol.Delay_chain.make ~feedback ~input:50. b ~n:1 in
+    let trace =
+      Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:120. net
+    in
+    Async_mol.Delay_chain.completion_time ~frac:0.9 chain trace
+  in
+  match (run true, run false) with
+  | Some with_fb, Some without_fb ->
+      Alcotest.(check bool) "feedback accelerates completion" true
+        (with_fb < without_fb)
+  | Some _, None -> () (* even stronger: never completes in the horizon *)
+  | None, _ -> Alcotest.fail "chain with feedback failed to complete"
+
+let test_rate_ratio_robustness () =
+  (* the transfer result is independent of the specific rates *)
+  List.iter
+    (fun ratio ->
+      let env = Crn.Rates.env_with_ratio ratio in
+      let trace, chain =
+        Async_mol.Delay_chain.simulate ~env ~input:60. ~t1:80. ~n:2 ()
+      in
+      let y =
+        Async_mol.Delay_chain.output_total chain trace
+          (Ode.Trace.last_time trace)
+      in
+      if Float.abs (y -. 60.) > 6. then
+        Alcotest.failf "ratio %g: Y = %g, expected 60" ratio y)
+    [ 100.; 1000.; 10000. ]
+
+let test_invalid_args () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Delay_chain.make: need at least one element")
+    (fun () -> ignore (Async_mol.Delay_chain.make b ~n:0));
+  Alcotest.check_raises "negative input"
+    (Invalid_argument "Delay_chain.make: negative input") (fun () ->
+      ignore (Async_mol.Delay_chain.make ~input:(-1.) b ~n:1))
+
+let suite =
+  [
+    ("chain structure", `Quick, test_chain_structure);
+    ("three indicators always", `Quick, test_indicator_count_constant);
+    ("chain conservative", `Quick, test_chain_conservative);
+    ("transfer completes", `Quick, test_transfer_completes);
+    ("transfer ordered", `Quick, test_transfer_is_ordered);
+    ("longer chain slower", `Slow, test_longer_chain_takes_longer);
+    ("feedback ablation", `Slow, test_feedback_ablation_less_crisp);
+    ("rate ratio robustness", `Slow, test_rate_ratio_robustness);
+    ("invalid args", `Quick, test_invalid_args);
+  ]

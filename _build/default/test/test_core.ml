@@ -1,0 +1,487 @@
+(* Tests for the paper's primary contribution: synchronous sequential
+   computation — the design discipline, latches, FSM synthesis, counters,
+   LFSRs, filters and the iterative arithmetic units. *)
+
+let fresh () =
+  let net = Crn.Network.create () in
+  (net, Core.Sync_design.make net)
+
+(* ----------------------------------------------------------- Sync_design *)
+
+let test_design_basics () =
+  let net, d = fresh () in
+  Alcotest.(check (float 0.)) "signal mass" 10. d.Core.Sync_design.signal_mass;
+  Alcotest.(check int) "clock phases" 4
+    (Molclock.Oscillator.n_phases d.Core.Sync_design.clock);
+  (* phase species exist in the network under clk. *)
+  Alcotest.(check bool) "P0 exists" true
+    (Crn.Network.find_species net "clk.P0" <> None);
+  Alcotest.(check bool) "distinct roles" true
+    (Core.Sync_design.release_phase d <> Core.Sync_design.capture_phase d)
+
+let test_design_timing () =
+  let _, d = fresh () in
+  let p = Core.Sync_design.period d in
+  Alcotest.(check bool) "plausible period" true (p > 3. && p < 12.);
+  Alcotest.(check (float 1e-9)) "cycle 0 starts at 0" 0.
+    (Core.Sync_design.cycle_time d ~cycle:0);
+  Alcotest.(check (float 1e-9)) "cycle 3" (3. *. p)
+    (Core.Sync_design.cycle_time d ~cycle:3);
+  Alcotest.(check bool) "injection before sample" true
+    (Core.Sync_design.injection_time d ~cycle:2
+    < Core.Sync_design.sample_time d ~cycle:2);
+  Alcotest.check_raises "negative cycle"
+    (Invalid_argument "Sync_design.cycle_time: negative cycle") (fun () ->
+      ignore (Core.Sync_design.cycle_time d ~cycle:(-1)))
+
+let test_design_period_cached () =
+  let _, d = fresh () in
+  let t0 = Unix.gettimeofday () in
+  let p1 = Core.Sync_design.period d in
+  let _warm = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let p2 = Core.Sync_design.period d in
+  let cached = Unix.gettimeofday () -. t1 in
+  Alcotest.(check (float 1e-12)) "same period" p1 p2;
+  Alcotest.(check bool) "second call instant" true (cached < 0.05)
+
+(* ----------------------------------------------------------------- Latch *)
+
+let test_latch_delays_by_one_cycle () =
+  let net, d = fresh () in
+  let l = Core.Latch.make d ~name:"d0" in
+  ignore net;
+  (* deposit a value into the latch input during cycle 0 *)
+  let inj =
+    {
+      Ode.Driver.at = Core.Sync_design.injection_time d ~cycle:0;
+      species = "d0.in";
+      amount = 7.;
+    }
+  in
+  let tr = Core.Sync_design.simulate ~injections:[ inj ] ~cycles:3 d in
+  ignore l;
+  (* captured during cycle 0, held, released at cycle 1 into the output *)
+  let store_mid =
+    Ode.Trace.value_at tr
+      ~species:(Ode.Trace.species_index tr "d0.store")
+      (Core.Sync_design.sample_time d ~cycle:0)
+  in
+  Alcotest.(check (float 0.3)) "stored after capture" 7. store_mid;
+  let out_next =
+    Ode.Trace.value_at tr
+      ~species:(Ode.Trace.species_index tr "d0.out")
+      (Core.Sync_design.sample_time d ~cycle:1)
+  in
+  Alcotest.(check (float 0.5)) "released next cycle" 7. out_next
+
+let test_latch_chain_shifts () =
+  let _, d = fresh () in
+  let latches = Core.Latch.chain ~init_first:8. d ~name:"sr" 3 in
+  Alcotest.(check int) "three latches" 3 (List.length latches);
+  let tr = Core.Sync_design.simulate ~cycles:4 d in
+  (* the value shifts one stage per cycle: after cycle k it is in stage k *)
+  let store_of i cycle =
+    Ode.Trace.value_at tr
+      ~species:(Ode.Trace.species_index tr (Printf.sprintf "sr%d.store" i))
+      (Core.Sync_design.sample_time d ~cycle)
+  in
+  Alcotest.(check (float 0.6)) "stage 1 after cycle 0" 8. (store_of 1 0);
+  Alcotest.(check (float 0.6)) "stage 2 after cycle 1" 8. (store_of 2 1);
+  Alcotest.(check (float 0.6)) "stage 0 empty after shift" 0. (store_of 0 1)
+
+let test_latch_invalid () =
+  let _, d = fresh () in
+  Alcotest.check_raises "empty chain"
+    (Invalid_argument "Latch.chain: need at least one latch") (fun () ->
+      ignore (Core.Latch.chain d ~name:"x" 0))
+
+(* ------------------------------------------------------------------- Fsm *)
+
+let test_fsm_validation () =
+  let _, d = fresh () in
+  let base =
+    {
+      Core.Fsm.name = "m";
+      n_states = 2;
+      n_symbols = 1;
+      transition = (fun q _ -> 1 - q);
+      initial = 0;
+      outputs = [];
+    }
+  in
+  Alcotest.check_raises "no states"
+    (Invalid_argument "Fsm: need at least one state") (fun () ->
+      ignore (Core.Fsm.synthesize d { base with n_states = 0 }));
+  Alcotest.check_raises "bad initial"
+    (Invalid_argument "Fsm: initial state out of range") (fun () ->
+      ignore (Core.Fsm.synthesize d { base with initial = 5 }));
+  Alcotest.check_raises "bad transition"
+    (Invalid_argument "Fsm: transition 0/0 out of range") (fun () ->
+      ignore
+        (Core.Fsm.synthesize d { base with transition = (fun _ _ -> 9) }));
+  Alcotest.check_raises "dup outputs"
+    (Invalid_argument "Fsm: duplicate output names") (fun () ->
+      ignore
+        (Core.Fsm.synthesize d
+           {
+             base with
+             outputs = [ ("o", fun _ -> true); ("o", fun _ -> false) ];
+           }))
+
+let test_fsm_toggle () =
+  (* a two-state autonomous toggle *)
+  let _, d = fresh () in
+  let m =
+    Core.Fsm.synthesize d
+      {
+        Core.Fsm.name = "tog";
+        n_states = 2;
+        n_symbols = 1;
+        transition = (fun q _ -> 1 - q);
+        initial = 0;
+        outputs = [ ("on", fun q -> q = 1) ];
+      }
+  in
+  let tr = Core.Sync_design.simulate ~cycles:5 d in
+  let states = List.init 4 (fun c -> Core.Fsm.state_at m tr ~cycle:c) in
+  Alcotest.(check (list (option int)))
+    "alternates"
+    [ Some 1; Some 0; Some 1; Some 0 ]
+    states;
+  (* the Moore output tracks state 1: high after cycles 0 and 2 *)
+  let out_at c =
+    Ode.Trace.value_at tr
+      ~species:(Ode.Trace.species_index tr "tog.on")
+      (Core.Sync_design.sample_time d ~cycle:c)
+  in
+  Alcotest.(check bool) "output high in state 1" true (out_at 0 > 5.);
+  Alcotest.(check bool) "output low in state 0" true (out_at 1 < 5.)
+
+let test_fsm_with_inputs () =
+  (* symbol 1 advances, symbol 0 holds *)
+  let _, d = fresh () in
+  let m =
+    Core.Fsm.synthesize d
+      {
+        Core.Fsm.name = "gate";
+        n_states = 3;
+        n_symbols = 2;
+        transition = (fun q s -> if s = 1 then (q + 1) mod 3 else q);
+        initial = 0;
+        outputs = [];
+      }
+  in
+  let _, states = Core.Fsm.run m ~symbols:[ 1; 0; 1; 1 ] in
+  Alcotest.(check (list (option int)))
+    "advance, hold, advance, advance"
+    [ Some 1; Some 1; Some 2; Some 0 ]
+    states
+
+let test_fsm_autonomous_rejects_symbols () =
+  let _, d = fresh () in
+  let m =
+    Core.Fsm.synthesize d
+      {
+        Core.Fsm.name = "a";
+        n_states = 2;
+        n_symbols = 1;
+        transition = (fun q _ -> q);
+        initial = 0;
+        outputs = [];
+      }
+  in
+  Alcotest.check_raises "no symbols on autonomous"
+    (Invalid_argument "Fsm.inject_symbol: autonomous machine") (fun () ->
+      ignore (Core.Fsm.inject_symbol m ~cycle:0 ~symbol:0))
+
+(* --------------------------------------------------------------- Counter *)
+
+let test_counter_free_running () =
+  let _, d = fresh () in
+  let ctr = Core.Counter.free_running d ~bits:2 in
+  let tr = Core.Sync_design.simulate ~cycles:9 d in
+  let states = List.init 8 (fun c -> Core.Counter.value_at ctr tr ~cycle:c) in
+  Alcotest.(check (list (option int)))
+    "counts mod 4"
+    [ Some 1; Some 2; Some 3; Some 0; Some 1; Some 2; Some 3; Some 0 ]
+    states;
+  (* the binary-weighted output waveforms agree *)
+  let bits = List.init 8 (fun c -> Core.Counter.bits_at ctr tr ~cycle:c) in
+  Alcotest.(check (list int)) "bit outputs" [ 1; 2; 3; 0; 1; 2; 3; 0 ] bits
+
+let test_counter_gated () =
+  let _, d = fresh () in
+  let ctr = Core.Counter.gated d ~bits:2 in
+  let _, states = Core.Fsm.run ctr.Core.Counter.fsm ~symbols:[ 1; 1; 0; 1 ] in
+  Alcotest.(check (list (option int)))
+    "counts only on 1s"
+    [ Some 1; Some 2; Some 2; Some 3 ]
+    states
+
+let test_counter_gray () =
+  let _, d = fresh () in
+  let ctr = Core.Counter.gray d ~bits:2 in
+  let tr = Core.Sync_design.simulate ~cycles:6 d in
+  (* gray sequence for steps 1..5: 1 3 2 0 1 (gray(q) = q xor q>>1, and
+     value_at still reports the step) *)
+  let grays = List.init 5 (fun c -> Core.Counter.bits_at ctr tr ~cycle:c) in
+  Alcotest.(check (list int)) "gray codewords" [ 1; 3; 2; 0; 1 ] grays;
+  (* exactly one output bit flips per cycle *)
+  let rec single_flips = function
+    | a :: (b :: _ as rest) ->
+        let popcount x =
+          let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+          go 0 x
+        in
+        popcount (a lxor b) = 1 && single_flips rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "one bit per cycle" true (single_flips grays)
+
+let test_counter_invalid () =
+  let _, d = fresh () in
+  Alcotest.check_raises "bits range"
+    (Invalid_argument "Counter: bits must be between 1 and 8") (fun () ->
+      ignore (Core.Counter.free_running d ~bits:0))
+
+(* ------------------------------------------------------------------ Lfsr *)
+
+let test_lfsr_reference_model () =
+  (* 3-bit maximal LFSR: period 7, visits all nonzero states *)
+  let seq = Core.Lfsr.reference ~bits:3 ~taps:[ 1; 2 ] ~seed:1 ~n:7 in
+  Alcotest.(check int) "returns to seed" 1 (List.nth seq 6);
+  Alcotest.(check int) "7 distinct states" 7
+    (List.length (List.sort_uniq compare seq))
+
+let test_lfsr_matches_reference () =
+  let _, d = fresh () in
+  let l = Core.Lfsr.make d ~bits:3 ~taps:[ 1; 2 ] ~seed:1 in
+  let tr = Core.Sync_design.simulate ~cycles:8 d in
+  let got = List.init 8 (fun c -> Core.Lfsr.state_at l tr ~cycle:c) in
+  let want = Core.Lfsr.reference ~bits:3 ~taps:[ 1; 2 ] ~seed:1 ~n:8 in
+  Alcotest.(check (list int)) "full period matches" want got
+
+let test_lfsr_other_seed () =
+  let _, d = fresh () in
+  let l = Core.Lfsr.make d ~bits:3 ~taps:[ 1; 2 ] ~seed:5 in
+  let tr = Core.Sync_design.simulate ~cycles:4 d in
+  let got = List.init 4 (fun c -> Core.Lfsr.state_at l tr ~cycle:c) in
+  let want = Core.Lfsr.reference ~bits:3 ~taps:[ 1; 2 ] ~seed:5 ~n:4 in
+  Alcotest.(check (list int)) "seed 5" want got
+
+let test_lfsr_validation () =
+  let _, d = fresh () in
+  let mk ?(bits = 3) ?(taps = [ 1; 2 ]) ?(seed = 1) () =
+    ignore (Core.Lfsr.make d ~bits ~taps ~seed)
+  in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "1 bit" (fun () -> mk ~bits:1 ());
+  expect_invalid "1 tap" (fun () -> mk ~taps:[ 1 ] ());
+  expect_invalid "3 taps" (fun () -> mk ~taps:[ 0; 1; 2 ] ());
+  expect_invalid "dup taps" (fun () -> mk ~taps:[ 1; 1 ] ());
+  expect_invalid "tap range" (fun () -> mk ~taps:[ 1; 7 ] ());
+  expect_invalid "zero seed" (fun () -> mk ~seed:0 ());
+  expect_invalid "wide seed" (fun () -> mk ~seed:9 ())
+
+(* ---------------------------------------------------------------- Filter *)
+
+let test_ma2_step_response () =
+  let _, d = fresh () in
+  let f = Core.Filter.moving_average d ~taps:2 in
+  let samples = [ 8.; 8.; 0.; 4. ] in
+  let got = Core.Filter.response f samples in
+  let want = Core.Filter.reference_moving_average ~taps:2 samples in
+  List.iter2
+    (fun g w ->
+      if Float.abs (g -. w) > 0.3 then
+        Alcotest.failf "ma2: got %g want %g" g w)
+    got want
+
+let test_ma4 () =
+  let _, d = fresh () in
+  let f = Core.Filter.moving_average d ~taps:4 in
+  let samples = [ 8.; 8.; 8.; 8.; 0.; 0. ] in
+  let got = Core.Filter.response f samples in
+  let want = Core.Filter.reference_moving_average ~taps:4 samples in
+  List.iter2
+    (fun g w ->
+      if Float.abs (g -. w) > 0.5 then
+        Alcotest.failf "ma4: got %g want %g" g w)
+    got want
+
+let test_ma1_passthrough () =
+  let _, d = fresh () in
+  let f = Core.Filter.moving_average d ~taps:1 in
+  let got = Core.Filter.response f [ 5.; 2. ] in
+  (match got with
+  | [ a; b ] ->
+      Alcotest.(check (float 0.2)) "y0" 5. a;
+      Alcotest.(check (float 0.2)) "y1" 2. b
+  | _ -> Alcotest.fail "shape");
+  Alcotest.check_raises "bad taps"
+    (Invalid_argument "Filter.moving_average: taps must be 1, 2 or 4")
+    (fun () ->
+      let _, d2 = fresh () in
+      ignore (Core.Filter.moving_average d2 ~taps:3))
+
+let test_iir_smoother () =
+  let _, d = fresh () in
+  let f = Core.Filter.iir_smoother d in
+  let samples = [ 8.; 8.; 8.; 0. ] in
+  let got = Core.Filter.response f samples in
+  let want = Core.Filter.reference_iir samples in
+  List.iter2
+    (fun g w ->
+      if Float.abs (g -. w) > 0.35 then
+        Alcotest.failf "iir: got %g want %g" g w)
+    got want
+
+let test_filter_invalid_sample () =
+  let _, d = fresh () in
+  let f = Core.Filter.moving_average d ~taps:2 in
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Filter.inject_sample: negative sample") (fun () ->
+      ignore (Core.Filter.inject_sample f ~cycle:0 (-1.)))
+
+(* ------------------------------------------------------------- Iterative *)
+
+let test_multiplier () =
+  let _, d = fresh () in
+  let m = Core.Iterative.multiplier d ~a:3. ~count:4 in
+  Alcotest.(check (float 0.4)) "3*4" 12. (Core.Iterative.run m)
+
+let test_multiplier_zero () =
+  let _, d = fresh () in
+  let m = Core.Iterative.multiplier d ~a:5. ~count:0 in
+  Alcotest.(check (float 0.05)) "5*0" 0. (Core.Iterative.run m)
+
+let test_power2 () =
+  let _, d = fresh () in
+  let p = Core.Iterative.power2 d ~n:5 in
+  (* doubling compounds the per-cycle leak: allow ~8% *)
+  let v = Core.Iterative.run p in
+  Alcotest.(check bool) "2^5 within 8%" true (Float.abs (v -. 32.) < 2.6)
+
+let test_power2_zero () =
+  let _, d = fresh () in
+  let p = Core.Iterative.power2 d ~n:0 in
+  Alcotest.(check (float 0.05)) "2^0" 1. (Core.Iterative.run p)
+
+let test_log2 () =
+  let _, d = fresh () in
+  let l = Core.Iterative.log2floor d ~a:8. in
+  let v = Core.Iterative.run l in
+  (* deterministic kinetics: converges to the fractional sum, not the floor *)
+  Alcotest.(check bool) "log2(8) near ODE expectation" true
+    (Float.abs (v -. l.Core.Iterative.expected) < 0.4)
+
+let test_iterative_invalid () =
+  let _, d = fresh () in
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Iterative.multiplier: negative count") (fun () ->
+      ignore (Core.Iterative.multiplier d ~a:1. ~count:(-1)));
+  Alcotest.check_raises "big n"
+    (Invalid_argument "Iterative.power2: n must be in 0..20") (fun () ->
+      ignore (Core.Iterative.power2 d ~n:21));
+  Alcotest.check_raises "log below 1"
+    (Invalid_argument "Iterative.log2floor: input must be >= 1") (fun () ->
+      ignore (Core.Iterative.log2floor d ~a:0.5))
+
+(* -------------------------------------------- randomized FSM integration *)
+
+(* synthesize a random 3-state, 2-symbol machine, drive it with a random
+   4-symbol word, and compare against a pure-OCaml interpreter *)
+let qcheck_fsm_tests =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* table = array_size (return 6) (int_range 0 2) in
+      let* word = list_size (return 4) (int_range 0 1) in
+      return (table, word))
+  in
+  [
+    Test.make ~name:"random FSM matches its interpreter" ~count:5 (make gen)
+      (fun (table, word) ->
+        let transition q s = table.((2 * q) + s) in
+        let net = Crn.Network.create () in
+        let d = Core.Sync_design.make net in
+        let m =
+          Core.Fsm.synthesize d
+            {
+              Core.Fsm.name = "rnd";
+              n_states = 3;
+              n_symbols = 2;
+              transition;
+              initial = 0;
+              outputs = [];
+            }
+        in
+        let _, got = Core.Fsm.run m ~symbols:word in
+        let want =
+          List.rev
+            (snd
+               (List.fold_left
+                  (fun (q, acc) s ->
+                    let q' = transition q s in
+                    (q', Some q' :: acc))
+                  (0, []) word))
+        in
+        got = want);
+  ]
+
+(* --------------------------------------------------------------- Compile *)
+
+let test_compile_stats () =
+  let net, d = fresh () in
+  let _ = Core.Counter.free_running d ~bits:2 in
+  let stats = Core.Compile.stats_of ~name:"ctr2" net in
+  Alcotest.(check string) "name" "ctr2" stats.Core.Compile.design;
+  Alcotest.(check int) "species counted" (Crn.Network.n_species net)
+    stats.Core.Compile.species;
+  Alcotest.(check int) "reactions counted" (Crn.Network.n_reactions net)
+    stats.Core.Compile.reactions;
+  Alcotest.(check int) "split adds up" stats.Core.Compile.reactions
+    (stats.Core.Compile.fast_reactions + stats.Core.Compile.slow_reactions);
+  Alcotest.(check int) "clock sources" 4 stats.Core.Compile.zero_order_sources;
+  Alcotest.(check int) "row arity" (List.length Core.Compile.header)
+    (List.length (Core.Compile.row stats))
+
+let suite =
+  [
+    ("design basics", `Quick, test_design_basics);
+    ("design timing", `Quick, test_design_timing);
+    ("design period cached", `Quick, test_design_period_cached);
+    ("latch delays one cycle", `Quick, test_latch_delays_by_one_cycle);
+    ("latch chain shifts", `Quick, test_latch_chain_shifts);
+    ("latch invalid", `Quick, test_latch_invalid);
+    ("fsm validation", `Quick, test_fsm_validation);
+    ("fsm toggle", `Quick, test_fsm_toggle);
+    ("fsm with inputs", `Quick, test_fsm_with_inputs);
+    ("fsm autonomous rejects symbols", `Quick, test_fsm_autonomous_rejects_symbols);
+    ("counter free running", `Quick, test_counter_free_running);
+    ("counter gated", `Quick, test_counter_gated);
+    ("counter gray", `Quick, test_counter_gray);
+    ("counter invalid", `Quick, test_counter_invalid);
+    ("lfsr reference model", `Quick, test_lfsr_reference_model);
+    ("lfsr matches reference", `Quick, test_lfsr_matches_reference);
+    ("lfsr other seed", `Quick, test_lfsr_other_seed);
+    ("lfsr validation", `Quick, test_lfsr_validation);
+    ("ma2 response", `Quick, test_ma2_step_response);
+    ("ma4 response", `Quick, test_ma4);
+    ("ma1 passthrough", `Quick, test_ma1_passthrough);
+    ("iir smoother", `Quick, test_iir_smoother);
+    ("filter invalid sample", `Quick, test_filter_invalid_sample);
+    ("multiplier", `Quick, test_multiplier);
+    ("multiplier zero", `Quick, test_multiplier_zero);
+    ("power2", `Quick, test_power2);
+    ("power2 zero", `Quick, test_power2_zero);
+    ("log2", `Quick, test_log2);
+    ("iterative invalid", `Quick, test_iterative_invalid);
+    ("compile stats", `Quick, test_compile_stats);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_fsm_tests

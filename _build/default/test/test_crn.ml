@@ -1,0 +1,459 @@
+(* Unit and property tests for the CRN representation layer. *)
+
+open Crn
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------------------------------------------------------- Rates *)
+
+let test_rates_value () =
+  let env = { Rates.k_fast = 1000.; k_slow = 2. } in
+  check_float "fast" 1000. (Rates.value env Rates.fast);
+  check_float "slow" 2. (Rates.value env Rates.slow);
+  check_float "scaled" 500. (Rates.value env (Rates.fast_scaled 0.5))
+
+let test_rates_ratio_env () =
+  let env = Rates.env_with_ratio 100. in
+  check_float "k_fast" 100. env.Rates.k_fast;
+  check_float "k_slow" 1. env.Rates.k_slow;
+  Alcotest.check_raises "bad ratio"
+    (Invalid_argument "Rates.env_with_ratio: ratio must be positive")
+    (fun () -> ignore (Rates.env_with_ratio 0.))
+
+let test_rates_bad_scale () =
+  Alcotest.check_raises "zero scale"
+    (Invalid_argument "Rates: scale must be positive") (fun () ->
+      ignore (Rates.fast_scaled 0.))
+
+(* ------------------------------------------------------------- Reaction *)
+
+let test_reaction_normalize () =
+  let r = Reaction.make ~reactants:[ (1, 1); (0, 2); (1, 1) ] ~products:[ (2, 1) ] Rates.fast in
+  Alcotest.(check (list (pair int int)))
+    "duplicates merged, sorted" [ (0, 2); (1, 2) ] r.Reaction.reactants
+
+let test_reaction_order () =
+  let r = Reaction.make ~reactants:[ (0, 2); (1, 1) ] ~products:[] Rates.slow in
+  Alcotest.(check int) "order" 3 (Reaction.order r);
+  let src = Reaction.make ~reactants:[] ~products:[ (0, 1) ] Rates.slow in
+  Alcotest.(check int) "source order" 0 (Reaction.order src)
+
+let test_reaction_net_stoich () =
+  (* X + C -> Y + C : catalyst C nets to zero *)
+  let r =
+    Reaction.make ~reactants:[ (0, 1); (2, 1) ] ~products:[ (1, 1); (2, 1) ]
+      Rates.fast
+  in
+  Alcotest.(check (list (pair int int)))
+    "net" [ (0, -1); (1, 1) ] (Reaction.net_stoich r);
+  Alcotest.(check bool) "catalytic in C" true (Reaction.is_catalytic_in r 2);
+  Alcotest.(check bool) "not catalytic in X" false (Reaction.is_catalytic_in r 0)
+
+let test_reaction_species () =
+  let r = Reaction.make ~reactants:[ (3, 1) ] ~products:[ (1, 2); (3, 1) ] Rates.slow in
+  Alcotest.(check (list int)) "species" [ 1; 3 ] (Reaction.species r)
+
+let test_reaction_invalid () =
+  Alcotest.check_raises "both sides empty"
+    (Invalid_argument "Reaction: both sides empty") (fun () ->
+      ignore (Reaction.make ~reactants:[] ~products:[] Rates.fast));
+  Alcotest.check_raises "bad coefficient"
+    (Invalid_argument "Reaction: coefficient must be positive") (fun () ->
+      ignore (Reaction.make ~reactants:[ (0, 0) ] ~products:[] Rates.fast))
+
+let test_reaction_rename () =
+  let r = Reaction.make ~reactants:[ (0, 1) ] ~products:[ (1, 1) ] Rates.fast in
+  let r' = Reaction.rename (fun s -> s + 10) r in
+  Alcotest.(check (list (pair int int))) "renamed" [ (10, 1) ] r'.Reaction.reactants;
+  Alcotest.(check (list (pair int int))) "renamed" [ (11, 1) ] r'.Reaction.products
+
+(* -------------------------------------------------------------- Network *)
+
+let test_network_interning () =
+  let net = Network.create () in
+  let x = Network.species net "X" in
+  let y = Network.species net "Y" in
+  Alcotest.(check bool) "distinct" true (x <> y);
+  Alcotest.(check int) "idempotent" x (Network.species net "X");
+  Alcotest.(check int) "count" 2 (Network.n_species net);
+  Alcotest.(check (option int)) "find" (Some y) (Network.find_species net "Y");
+  Alcotest.(check (option int)) "find missing" None (Network.find_species net "Z");
+  Alcotest.(check string) "name" "X" (Network.species_name net x)
+
+let test_network_invalid_name () =
+  let net = Network.create () in
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises
+        (Printf.sprintf "reject %S" bad)
+        (Invalid_argument (Printf.sprintf "Network.species: invalid name %S" bad))
+        (fun () -> ignore (Network.species net bad)))
+    [ ""; "a b"; "x#y"; "p{q"; "p}q"; "a>b" ]
+
+let test_network_many_species () =
+  (* exercise table growth past the initial capacity *)
+  let net = Network.create () in
+  for i = 0 to 99 do
+    ignore (Network.species net (Printf.sprintf "s%d" i))
+  done;
+  Alcotest.(check int) "100 species" 100 (Network.n_species net);
+  Alcotest.(check string) "late name" "s73" (Network.species_name net 73)
+
+let test_network_init () =
+  let net = Network.create () in
+  let x = Network.species net "X" in
+  Network.set_init net x 50.;
+  check_float "init" 50. (Network.init_of net x);
+  let state = Network.initial_state net in
+  check_float "state" 50. state.(x);
+  Alcotest.check_raises "negative init"
+    (Invalid_argument "Network.set_init: negative initial value") (fun () ->
+      Network.set_init net x (-1.))
+
+let test_network_reactions () =
+  let net = Network.create () in
+  let x = Network.species net "X" and y = Network.species net "Y" in
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 1) ] ~products:[ (y, 1) ] Rates.slow);
+  Alcotest.(check int) "count" 1 (Network.n_reactions net);
+  Alcotest.check_raises "unknown index"
+    (Invalid_argument "Network.add_reaction: unknown species index")
+    (fun () ->
+      Network.add_reaction net
+        (Reaction.make ~reactants:[ (99, 1) ] ~products:[] Rates.slow))
+
+let test_network_merge () =
+  let a = Network.create () in
+  let x = Network.species a "X" in
+  Network.set_init a x 10.;
+  Network.add_reaction a
+    (Reaction.make ~reactants:[ (x, 1) ] ~products:[] Rates.slow);
+  let dst = Network.create () in
+  let _ = Network.species dst "keep" in
+  let rename = Network.add_to ~prefix:"blk" ~dst a in
+  Alcotest.(check (option int))
+    "prefixed name" (Some (rename x))
+    (Network.find_species dst "blk.X");
+  check_float "init carried" 10. (Network.init_of dst (rename x));
+  Alcotest.(check int) "reaction carried" 1 (Network.n_reactions dst)
+
+let test_network_merge_unify () =
+  (* empty prefix: same names unify and initials add *)
+  let a = Network.create () in
+  let x = Network.species a "X" in
+  Network.set_init a x 5.;
+  let dst = Network.create () in
+  let x' = Network.species dst "X" in
+  Network.set_init dst x' 7.;
+  let (_ : int -> int) = Network.add_to ~prefix:"" ~dst a in
+  check_float "initials added" 12. (Network.init_of dst x');
+  Alcotest.(check int) "no duplicate species" 1 (Network.n_species dst)
+
+let test_network_stoichiometry () =
+  let net = Network.create () in
+  let x = Network.species net "X" and y = Network.species net "Y" in
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 2) ] ~products:[ (y, 1) ] Rates.slow);
+  let s = Network.stoichiometry net in
+  check_float "X loses 2" (-2.) s.(x).(0);
+  check_float "Y gains 1" 1. s.(y).(0)
+
+(* ------------------------------------------------------------- Builder *)
+
+let test_builder_scoping () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let inner = Builder.scoped (Builder.scoped b "a") "b" in
+  let s = Builder.species inner "X" in
+  Alcotest.(check string) "nested prefix" "a.b.X" (Network.species_name net s);
+  let g = Builder.global inner "CLK" in
+  Alcotest.(check string) "global unprefixed" "CLK" (Network.species_name net g)
+
+let test_builder_helpers () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let x = Builder.species b "X"
+  and y = Builder.species b "Y"
+  and c = Builder.species b "C" in
+  Builder.source b Rates.slow x;
+  Builder.decay b Rates.slow y;
+  Builder.transfer b Rates.slow x y;
+  Builder.transfer_cat b Rates.fast ~cat:c x y;
+  Builder.consume_by b Rates.fast ~by:c x;
+  Alcotest.(check int) "five reactions" 5 (Network.n_reactions net);
+  let rs = Network.reactions net in
+  (* transfer_cat preserves the catalyst *)
+  Alcotest.(check bool) "catalytic" true (Reaction.is_catalytic_in rs.(3) c);
+  (* consume_by consumes x catalytically by c *)
+  Alcotest.(check (list (pair int int)))
+    "consume_by net effect"
+    [ (x, -1) ]
+    (Reaction.net_stoich rs.(4))
+
+(* --------------------------------------------------------- Conservation *)
+
+let test_conservation_closed () =
+  (* X <-> Y : total X+Y conserved *)
+  let net = Network.create () in
+  let x = Network.species net "X" and y = Network.species net "Y" in
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 1) ] ~products:[ (y, 1) ] Rates.slow);
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (y, 1) ] ~products:[ (x, 1) ] Rates.fast);
+  let laws = Conservation.laws net in
+  Alcotest.(check int) "one law" 1 (List.length laws);
+  Alcotest.(check bool) "uniform weighting invariant" true
+    (Conservation.is_invariant net (Conservation.uniform_over net [ "X"; "Y" ]))
+
+let test_conservation_open () =
+  (* a zero-order source destroys conservation *)
+  let net = Network.create () in
+  let x = Network.species net "X" in
+  Network.add_reaction net
+    (Reaction.make ~reactants:[] ~products:[ (x, 1) ] Rates.slow);
+  Alcotest.(check int) "no laws" 0 (List.length (Conservation.laws net));
+  Alcotest.(check bool) "not invariant" false
+    (Conservation.is_invariant net (Conservation.uniform_over net [ "X" ]))
+
+let test_conservation_weighted () =
+  (* 2X -> Y conserves X + 2Y *)
+  let net = Network.create () in
+  let x = Network.species net "X" and y = Network.species net "Y" in
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 2) ] ~products:[ (y, 1) ] Rates.slow);
+  let w = Array.make 2 0. in
+  w.(x) <- 1.;
+  w.(y) <- 2.;
+  Alcotest.(check bool) "x + 2y invariant" true (Conservation.is_invariant net w);
+  Alcotest.(check bool) "x + y not invariant" false
+    (Conservation.is_invariant net (Conservation.uniform_over net [ "X"; "Y" ]));
+  check_float "weighted total" 14. (Conservation.weighted_total w [| 10.; 2. |])
+
+(* ------------------------------------------------------------- Validate *)
+
+let test_validate_clean () =
+  let net = Network.create () in
+  let x = Network.species net "X" and y = Network.species net "Y" in
+  Network.set_init net x 10.;
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 1) ] ~products:[ (y, 1) ] Rates.slow);
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (y, 1) ] ~products:[ (x, 1) ] Rates.slow);
+  Alcotest.(check (list reject)) "no issues" [] (Validate.check net |> List.map (fun _ -> ()))
+
+let test_validate_issues () =
+  let net = Network.create () in
+  let x = Network.species net "X" in
+  let _unused = Network.species net "unused" in
+  let y = Network.species net "Y" in
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 1) ] ~products:[ (y, 1) ] Rates.slow);
+  let issues = Validate.check net in
+  let has p = List.exists p issues in
+  Alcotest.(check bool) "unused reported" true
+    (has (function Validate.Unused_species _ -> true | _ -> false));
+  Alcotest.(check bool) "never produced (X, init 0)" true
+    (has (function Validate.Never_produced s -> s = x | _ -> false));
+  Alcotest.(check bool) "never consumed (Y)" true
+    (has (function Validate.Never_consumed s -> s = y | _ -> false));
+  Alcotest.(check bool) "report is non-empty" true
+    (String.length (Validate.report net) > 0)
+
+let test_validate_high_order () =
+  let net = Network.create () in
+  let x = Network.species net "X" in
+  Network.set_init net x 1.;
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 3) ] ~products:[ (x, 1) ] Rates.slow);
+  Alcotest.(check bool) "trimolecular flagged" true
+    (List.exists
+       (function Validate.High_order (_, 3) -> true | _ -> false)
+       (Validate.check net));
+  Alcotest.(check bool) "not dsd compilable" false (Validate.is_dsd_compilable net)
+
+let test_validate_duplicates () =
+  let net = Network.create () in
+  let x = Network.species net "X" in
+  Network.set_init net x 1.;
+  let r = Reaction.make ~reactants:[ (x, 1) ] ~products:[ (x, 2) ] Rates.slow in
+  Network.add_reaction net r;
+  Network.add_reaction net r;
+  Alcotest.(check bool) "duplicate flagged" true
+    (List.exists
+       (function Validate.Duplicate_reaction (0, 1) -> true | _ -> false)
+       (Validate.check net))
+
+(* --------------------------------------------------------------- Parser *)
+
+let test_parser_basic () =
+  let net =
+    Parser.network_of_string
+      "# a comment\ninit X 100\nX + 2 Y ->{fast} Z\n0 ->{slow} r # src\nA ->{fast*2.5} 0\n"
+  in
+  Alcotest.(check int) "species" 5 (Network.n_species net);
+  Alcotest.(check int) "reactions" 3 (Network.n_reactions net);
+  check_float "init" 100. (Network.init_of net (Network.species net "X"));
+  let rs = Network.reactions net in
+  Alcotest.(check int) "order of first" 3 (Reaction.order rs.(0));
+  Alcotest.(check int) "source order" 0 (Reaction.order rs.(1));
+  check_float "scaled rate" 2.5 rs.(2).Reaction.rate.Rates.scale
+
+let test_parser_errors () =
+  let expect_error s =
+    match Parser.network_of_string s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  expect_error "X ->{sideways} Y";
+  expect_error "X -> Y";
+  expect_error "init X minus";
+  expect_error "init X";
+  expect_error "X + ->{fast} Y";
+  expect_error "X ->{fast*0} Y";
+  expect_error "nonsense line"
+
+let test_parser_error_line_number () =
+  match Parser.network_of_string "init A 1\ninit B 2\nbogus\n" with
+  | exception Parser.Parse_error (3, _) -> ()
+  | exception Parser.Parse_error (n, _) ->
+      Alcotest.failf "wrong line: %d" n
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parser_reversible () =
+  let net = Parser.network_of_string "init G 4\n2 G <->{slow}{fast} I\n" in
+  Alcotest.(check int) "two reactions" 2 (Network.n_reactions net);
+  let rs = Network.reactions net in
+  Alcotest.(check int) "fwd order" 2 (Reaction.order rs.(0));
+  Alcotest.(check int) "rev order" 1 (Reaction.order rs.(1));
+  Alcotest.(check bool) "fwd slow" true
+    (rs.(0).Reaction.rate.Rates.category = Rates.Slow);
+  Alcotest.(check bool) "rev fast" true
+    (rs.(1).Reaction.rate.Rates.category = Rates.Fast);
+  (* equilibrium check: 2G <-> I settles at I ~ (k_slow/k_fast) G^2 *)
+  let xf = Ode.Driver.final_state ~t1:5. net in
+  let g = xf.(Network.species net "G") and i = xf.(Network.species net "I") in
+  Alcotest.(check (float 1e-3)) "equilibrium" (g *. g /. 1000.) i;
+  (* malformed variants *)
+  let expect_error s =
+    match Parser.network_of_string s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  expect_error "A <->{slow} B";
+  expect_error "A <->{slow}{nope} B"
+
+let test_parser_roundtrip () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let x = Builder.species b "X"
+  and y = Builder.species b "Y"
+  and z = Builder.species b "Z.sub" in
+  Builder.init b x 42.5;
+  Builder.fast b [ (x, 1); (y, 2) ] [ (z, 1) ];
+  Builder.slow b [] [ (y, 1) ];
+  Builder.react b (Rates.slow_scaled 3.) [ (z, 1) ] [];
+  let net' = Parser.roundtrip net in
+  Alcotest.(check int) "species preserved" (Network.n_species net)
+    (Network.n_species net');
+  Alcotest.(check int) "reactions preserved" (Network.n_reactions net)
+    (Network.n_reactions net');
+  Alcotest.(check string) "stable text form" (Network.to_string net)
+    (Network.to_string net')
+
+(* ------------------------------------------------------- property tests *)
+
+let qcheck_tests =
+  let open QCheck in
+  let name_gen =
+    Gen.map
+      (fun (c, s) -> Printf.sprintf "%c%s" c s)
+      Gen.(pair (char_range 'A' 'Z') (string_size ~gen:(char_range 'a' 'z') (int_range 0 6)))
+  in
+  let side_gen n_species =
+    Gen.(list_size (int_range 0 3) (pair (int_range 0 (n_species - 1)) (int_range 1 2)))
+  in
+  let network_gen =
+    Gen.(
+      let* names = list_size (int_range 2 6) name_gen in
+      let names = List.sort_uniq compare names in
+      let n = List.length names in
+      let* sides = list_size (int_range 1 8) (pair (side_gen n) (side_gen n)) in
+      let* inits = list_size (return n) (float_bound_exclusive 50.) in
+      return (names, sides, inits))
+  in
+  let build (names, sides, inits) =
+    let net = Network.create () in
+    List.iter (fun nm -> ignore (Network.species net nm)) names;
+    List.iteri (fun i x -> Network.set_init net i x) inits;
+    List.iter
+      (fun (l, r) ->
+        if l <> [] || r <> [] then
+          Network.add_reaction net
+            (Reaction.make ~reactants:l ~products:r Rates.slow))
+      sides;
+    net
+  in
+  [
+    Test.make ~name:"parser/printer roundtrip is stable" ~count:100
+      (make network_gen) (fun spec ->
+        let net = build spec in
+        let net' = Parser.roundtrip net in
+        Network.to_string net = Network.to_string net'
+        && Network.n_species net = Network.n_species net'
+        && Network.n_reactions net = Network.n_reactions net');
+    Test.make ~name:"conservation laws annihilate stoichiometry" ~count:100
+      (make network_gen) (fun spec ->
+        let net = build spec in
+        let s = Network.stoichiometry net in
+        let st = Numeric.Mat.transpose s in
+        List.for_all
+          (fun w -> Numeric.Vec.norm_inf (Numeric.Mat.mul_vec st w) < 1e-7)
+          (Conservation.laws net));
+    Test.make ~name:"net stoich of catalytic reaction omits catalyst"
+      ~count:100
+      (make Gen.(pair (int_range 0 4) (int_range 1 3)))
+      (fun (cat, coeff) ->
+        let r =
+          Reaction.make
+            ~reactants:[ (cat, coeff); (5, 1) ]
+            ~products:[ (cat, coeff); (6, 1) ]
+            Rates.fast
+        in
+        not (List.mem_assoc cat (Reaction.net_stoich r)));
+  ]
+
+let suite =
+  [
+    ("rates value", `Quick, test_rates_value);
+    ("rates ratio env", `Quick, test_rates_ratio_env);
+    ("rates bad scale", `Quick, test_rates_bad_scale);
+    ("reaction normalize", `Quick, test_reaction_normalize);
+    ("reaction order", `Quick, test_reaction_order);
+    ("reaction net stoich", `Quick, test_reaction_net_stoich);
+    ("reaction species", `Quick, test_reaction_species);
+    ("reaction invalid", `Quick, test_reaction_invalid);
+    ("reaction rename", `Quick, test_reaction_rename);
+    ("network interning", `Quick, test_network_interning);
+    ("network invalid names", `Quick, test_network_invalid_name);
+    ("network growth", `Quick, test_network_many_species);
+    ("network init", `Quick, test_network_init);
+    ("network reactions", `Quick, test_network_reactions);
+    ("network merge prefixed", `Quick, test_network_merge);
+    ("network merge unify", `Quick, test_network_merge_unify);
+    ("network stoichiometry", `Quick, test_network_stoichiometry);
+    ("builder scoping", `Quick, test_builder_scoping);
+    ("builder helpers", `Quick, test_builder_helpers);
+    ("conservation closed", `Quick, test_conservation_closed);
+    ("conservation open", `Quick, test_conservation_open);
+    ("conservation weighted", `Quick, test_conservation_weighted);
+    ("validate clean", `Quick, test_validate_clean);
+    ("validate issues", `Quick, test_validate_issues);
+    ("validate high order", `Quick, test_validate_high_order);
+    ("validate duplicates", `Quick, test_validate_duplicates);
+    ("parser basic", `Quick, test_parser_basic);
+    ("parser errors", `Quick, test_parser_errors);
+    ("parser error line", `Quick, test_parser_error_line_number);
+    ("parser reversible", `Quick, test_parser_reversible);
+    ("parser roundtrip", `Quick, test_parser_roundtrip);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,337 @@
+(* Tests for the DNA strand-displacement compilation layer. *)
+
+let simple_net () =
+  let net = Crn.Network.create () in
+  let a = Crn.Network.species net "A"
+  and b = Crn.Network.species net "B"
+  and c = Crn.Network.species net "C" in
+  Crn.Network.set_init net a 30.;
+  Crn.Network.set_init net b 20.;
+  Crn.Network.add_reaction net
+    (Crn.Reaction.make ~reactants:[ (a, 1) ] ~products:[ (c, 1) ] Crn.Rates.slow);
+  Crn.Network.add_reaction net
+    (Crn.Reaction.make
+       ~reactants:[ (a, 1); (b, 1) ]
+       ~products:[ (c, 2) ]
+       (Crn.Rates.slow_scaled 0.1));
+  net
+
+(* ---------------------------------------------------------------- Domain *)
+
+let test_domain_signal_strand () =
+  let s = Dsd.Domain.signal_strand ~species_name:"X" in
+  Alcotest.(check int) "two domains" 2 (Dsd.Domain.strand_length s);
+  match s with
+  | [ t; d ] ->
+      Alcotest.(check bool) "toehold first" true (t.Dsd.Domain.kind = Dsd.Domain.Toehold);
+      Alcotest.(check bool) "recognition second" true
+        (d.Dsd.Domain.kind = Dsd.Domain.Recognition);
+      Alcotest.(check string) "toehold name" "t.X" t.Dsd.Domain.name
+  | _ -> Alcotest.fail "shape"
+
+let test_domain_pp () =
+  let s = Dsd.Domain.signal_strand ~species_name:"X" in
+  Alcotest.(check string) "render" "<t.X^ d.X>"
+    (Format.asprintf "%a" Dsd.Domain.pp_strand s)
+
+let test_domain_distinct () =
+  let c1 =
+    { Dsd.Domain.label = "a"; strands = [ Dsd.Domain.signal_strand ~species_name:"X" ] }
+  in
+  let c2 =
+    { Dsd.Domain.label = "b"; strands = [ Dsd.Domain.signal_strand ~species_name:"X" ] }
+  in
+  Alcotest.(check (list string)) "dedup" [ "d.X"; "t.X" ]
+    (Dsd.Domain.distinct_domains [ c1; c2 ])
+
+(* ------------------------------------------------------------- Translate *)
+
+let test_translate_counts () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate net in
+  (* unimolecular: bind+translate (2); bimolecular: join/unbind/join/fork (4) *)
+  Alcotest.(check int) "reactions" 6
+    (Crn.Network.n_reactions t.Dsd.Translate.compiled);
+  (* formal 3 + r0: G,T,O,W + r1: J,T,H,O,W *)
+  Alcotest.(check int) "species" 12
+    (Crn.Network.n_species t.Dsd.Translate.compiled);
+  Alcotest.(check int) "formal reactions recorded" 2
+    t.Dsd.Translate.n_formal_reactions;
+  (* fuels: r0.G, r0.T, r1.J, r1.T *)
+  Alcotest.(check int) "fuel species" 4 (List.length t.Dsd.Translate.fuel_species)
+
+let test_translate_preserves_formal () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate net in
+  let c = t.Dsd.Translate.compiled in
+  Alcotest.(check bool) "A kept" true (Crn.Network.find_species c "A" <> None);
+  Alcotest.(check (float 0.)) "A init kept" 30.
+    (Crn.Network.init_of c (Crn.Network.species c "A"));
+  (* fuel stocked at c_max *)
+  Alcotest.(check (float 0.)) "fuel stocked" 10000.
+    (Crn.Network.init_of c (Crn.Network.species c "dsd.r0.G"))
+
+let test_translate_max_order_two () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate net in
+  Alcotest.(check bool) "compiled network is itself DSD-clean" true
+    (Crn.Validate.is_dsd_compilable t.Dsd.Translate.compiled)
+
+let test_translate_rejects_trimolecular () =
+  let net = Crn.Network.create () in
+  let a = Crn.Network.species net "A" in
+  Crn.Network.add_reaction net
+    (Crn.Reaction.make ~reactants:[ (a, 3) ] ~products:[ (a, 1) ] Crn.Rates.slow);
+  match Dsd.Translate.translate net with
+  | exception Dsd.Translate.Not_compilable _ -> ()
+  | _ -> Alcotest.fail "expected Not_compilable"
+
+let test_translate_zero_order () =
+  let net = Crn.Network.create () in
+  let x = Crn.Network.species net "X" in
+  Crn.Network.add_reaction net
+    (Crn.Reaction.make ~reactants:[] ~products:[ (x, 1) ] Crn.Rates.slow);
+  let t = Dsd.Translate.translate ~c_max:1000. net in
+  (* the source gate releases X at ~k_slow = 1 per time unit *)
+  let xf =
+    Ode.Driver.final_state ~method_:Ode.Driver.Rosenbrock ~t1:20.
+      t.Dsd.Translate.compiled
+  in
+  let idx = Crn.Network.species t.Dsd.Translate.compiled "X" in
+  Alcotest.(check (float 0.5)) "release rate emulated" 20. xf.(idx)
+
+let test_fuel_remaining () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate ~c_max:100. net in
+  let x0 = Crn.Network.initial_state t.Dsd.Translate.compiled in
+  Alcotest.(check (float 1e-9)) "full at start" 1.
+    (Dsd.Translate.fuel_remaining t x0);
+  let xf =
+    Ode.Driver.final_state ~method_:Ode.Driver.Rosenbrock ~t1:10.
+      t.Dsd.Translate.compiled
+  in
+  let remaining = Dsd.Translate.fuel_remaining t xf in
+  Alcotest.(check bool) "consumed but not exhausted" true
+    (remaining < 1. && remaining > 0.2)
+
+let test_inventory () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate net in
+  let inv = Dsd.Translate.inventory t in
+  (* every formal species and every fuel complex appears *)
+  Alcotest.(check bool) "at least formal+fuel complexes" true
+    (List.length inv >= 3 + List.length t.Dsd.Translate.fuel_species);
+  let labels = List.map (fun c -> c.Dsd.Domain.label) inv in
+  Alcotest.(check bool) "contains A" true (List.mem "A" labels)
+
+(* ------------------------------------------------------------------ Gate *)
+
+(* the structural view (Gate steps) and the kinetic view (Translate's
+   compiled reactions) must agree exactly *)
+let test_gate_steps_match_translate () =
+  let net = simple_net () in
+  let c_max = 1000. in
+  let gates = Dsd.Gate.all ~c_max net in
+  let t = Dsd.Translate.translate ~c_max net in
+  let compiled = Crn.Network.reactions t.Dsd.Translate.compiled in
+  let compiled_keys =
+    Array.to_list compiled
+    |> List.map (fun r ->
+           let side s =
+             List.map
+               (fun (sp, c) ->
+                 (Crn.Network.species_name t.Dsd.Translate.compiled sp, c))
+               s
+             |> List.sort compare
+           in
+           (side r.Crn.Reaction.reactants, side r.Crn.Reaction.products,
+            r.Crn.Reaction.rate))
+    |> List.sort compare
+  in
+  let step_keys =
+    List.concat_map (fun g -> g.Dsd.Gate.steps) gates
+    |> List.map (fun s ->
+           (List.sort compare s.Dsd.Gate.consumed,
+            List.sort compare s.Dsd.Gate.produced, s.Dsd.Gate.rate))
+    |> List.sort compare
+  in
+  Alcotest.(check int) "same number of steps" (List.length compiled_keys)
+    (List.length step_keys);
+  List.iter2
+    (fun a b ->
+      if a <> b then Alcotest.fail "structural and kinetic views diverge")
+    compiled_keys step_keys
+
+let test_gate_kinds_and_strands () =
+  let net = simple_net () in
+  let gates = Dsd.Gate.all net in
+  match gates with
+  | [ unary; binary ] ->
+      Alcotest.(check bool) "first is unary" true (unary.Dsd.Gate.kind = Dsd.Gate.Unary);
+      Alcotest.(check bool) "second is binary" true (binary.Dsd.Gate.kind = Dsd.Gate.Binary);
+      (* unary A -> C: G (2 strands) + T (1 bottom + 1 product) = 4 *)
+      Alcotest.(check int) "unary strands" 4 (Dsd.Gate.strand_count unary);
+      (* binary A+B -> 2C: J (2) + T (1 + 2 product units) = 5 *)
+      Alcotest.(check int) "binary strands" 5 (Dsd.Gate.strand_count binary)
+  | _ -> Alcotest.fail "expected two gates"
+
+let test_gate_source_kind () =
+  let net = Crn.Network.create () in
+  let x = Crn.Network.species net "X" in
+  Crn.Network.add_reaction net
+    (Crn.Reaction.make ~reactants:[] ~products:[ (x, 1) ] Crn.Rates.slow);
+  match Dsd.Gate.all net with
+  | [ g ] ->
+      Alcotest.(check bool) "source" true (g.Dsd.Gate.kind = Dsd.Gate.Source);
+      Alcotest.(check int) "two strands" 2 (Dsd.Gate.strand_count g);
+      Alcotest.(check int) "one step" 1 (List.length g.Dsd.Gate.steps)
+  | _ -> Alcotest.fail "expected one gate"
+
+let test_gate_rejects_trimolecular () =
+  let net = Crn.Network.create () in
+  let a = Crn.Network.species net "A" in
+  Crn.Network.add_reaction net
+    (Crn.Reaction.make ~reactants:[ (a, 3) ] ~products:[ (a, 1) ] Crn.Rates.slow);
+  match Dsd.Gate.all net with
+  | exception Dsd.Translate.Not_compilable _ -> ()
+  | _ -> Alcotest.fail "expected Not_compilable"
+
+let test_gate_pp () =
+  let net = simple_net () in
+  let g = List.hd (Dsd.Gate.all net) in
+  let s = Format.asprintf "%a" Dsd.Gate.pp g in
+  Alcotest.(check bool) "mentions the gate" true (String.length s > 40)
+
+(* ---------------------------------------------------------------- Export *)
+
+let test_export_visual_dsd () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate ~c_max:1000. net in
+  let s = Dsd.Export.visual_dsd ~duration:10. t in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "directive" true (contains "directive duration 10");
+  Alcotest.(check bool) "signal strand with amount" true
+    (contains "30 * <t.A^ d.A>");
+  Alcotest.(check bool) "fuel reference" true (contains "Fuel_dsd_r0_G()");
+  Alcotest.(check bool) "fuel definition" true (contains "def Fuel_dsd_r0_G()");
+  (* waste and intermediate species (zero initial) stay out of the soup *)
+  Alcotest.(check bool) "no waste in soup" false (contains "<t.dsd.r0.W^")
+
+(* ---------------------------------------------------------------- Verify *)
+
+let test_verify_equivalence () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate net in
+  let r = Dsd.Verify.compare ~t1:5. net t in
+  Alcotest.(check bool)
+    (Printf.sprintf "trajectories agree (dev %g)" r.Dsd.Verify.max_abs_deviation)
+    true
+    (r.Dsd.Verify.max_abs_deviation < 0.2);
+  Alcotest.(check bool) "final states agree" true (r.Dsd.Verify.final_deviation < 0.1);
+  Alcotest.(check bool) "fuel barely touched" true (r.Dsd.Verify.fuel_remaining > 0.99)
+
+let test_verify_fidelity_improves_with_fuel () =
+  (* smaller fuel buffers distort the kinetics more *)
+  let net = simple_net () in
+  let dev c_max =
+    let t = Dsd.Translate.translate ~c_max net in
+    (Dsd.Verify.compare ~t1:5. net t).Dsd.Verify.max_abs_deviation
+  in
+  let d_small = dev 100. and d_large = dev 10000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "dev(100)=%g > dev(10000)=%g" d_small d_large)
+    true (d_small > d_large)
+
+let test_verify_unknown_species () =
+  let net = simple_net () in
+  let t = Dsd.Translate.translate net in
+  Alcotest.check_raises "unknown species"
+    (Invalid_argument "Verify.compare: unknown species \"zz\"") (fun () ->
+      ignore (Dsd.Verify.compare ~species:[ "zz" ] ~t1:1. net t))
+
+let test_verify_fast_reactions_distorted_less_with_headroom () =
+  (* a fast annihilation compiled through gates whose q_max is 10x the fast
+     category still tracks the formal network *)
+  let net = Crn.Network.create () in
+  let a = Crn.Network.species net "A" and b = Crn.Network.species net "B" in
+  Crn.Network.set_init net a 10.;
+  Crn.Network.set_init net b 6.;
+  Crn.Network.add_reaction net
+    (Crn.Reaction.make ~reactants:[ (a, 1); (b, 1) ] ~products:[] Crn.Rates.fast);
+  let t = Dsd.Translate.translate net in
+  let r = Dsd.Verify.compare ~t1:1. net t in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast annihilation tracked (final dev %g)"
+       r.Dsd.Verify.final_deviation)
+    true
+    (r.Dsd.Verify.final_deviation < 0.5)
+
+let qcheck_tests =
+  let open QCheck in
+  (* random small bimolecular networks: the compilation preserves the
+     formal species' end states *)
+  let gen =
+    Gen.(
+      let* n = int_range 2 4 in
+      let* rxns =
+        list_size (int_range 1 4)
+          (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+             (int_range 0 (n - 1)))
+      in
+      let* inits = list_size (return n) (int_range 1 20) in
+      return (n, rxns, inits))
+  in
+  [
+    Test.make ~name:"compilation preserves end states (random nets)"
+      ~count:15 (make gen)
+      (fun (n, rxns, inits) ->
+        let net = Crn.Network.create () in
+        let sp =
+          Array.init n (fun i ->
+              Crn.Network.species net (Printf.sprintf "S%d" i))
+        in
+        List.iteri
+          (fun i v -> Crn.Network.set_init net sp.(i) (float_of_int v))
+          inits;
+        List.iter
+          (fun (a, b, c) ->
+            (* A + B -> C, always slow: a generic bimolecular soup *)
+            Crn.Network.add_reaction net
+              (Crn.Reaction.make
+                 ~reactants:[ (sp.(a), 1); (sp.(b), 1) ]
+                 ~products:[ (sp.(c), 1) ]
+                 (Crn.Rates.slow_scaled 0.05)))
+          rxns;
+        let t = Dsd.Translate.translate ~c_max:10_000. net in
+        let r = Dsd.Verify.compare ~t1:4. net t in
+        r.Dsd.Verify.final_deviation < 0.5);
+  ]
+
+let suite =
+  [
+    ("domain signal strand", `Quick, test_domain_signal_strand);
+    ("domain pp", `Quick, test_domain_pp);
+    ("domain distinct", `Quick, test_domain_distinct);
+    ("translate counts", `Quick, test_translate_counts);
+    ("translate preserves formal", `Quick, test_translate_preserves_formal);
+    ("translate max order 2", `Quick, test_translate_max_order_two);
+    ("translate rejects trimolecular", `Quick, test_translate_rejects_trimolecular);
+    ("translate zero order", `Quick, test_translate_zero_order);
+    ("fuel remaining", `Quick, test_fuel_remaining);
+    ("inventory", `Quick, test_inventory);
+    ("verify equivalence", `Quick, test_verify_equivalence);
+    ("verify fuel sweep", `Slow, test_verify_fidelity_improves_with_fuel);
+    ("gate steps match translate", `Quick, test_gate_steps_match_translate);
+    ("gate kinds and strands", `Quick, test_gate_kinds_and_strands);
+    ("gate source kind", `Quick, test_gate_source_kind);
+    ("gate rejects trimolecular", `Quick, test_gate_rejects_trimolecular);
+    ("gate pp", `Quick, test_gate_pp);
+    ("export visual dsd", `Quick, test_export_visual_dsd);
+    ("verify unknown species", `Quick, test_verify_unknown_species);
+    ("verify fast reaction", `Quick, test_verify_fast_reactions_distorted_less_with_headroom);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

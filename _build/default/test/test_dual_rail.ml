@@ -1,0 +1,272 @@
+(* Tests for dual-rail Boolean logic: every gate against its truth table,
+   composition (half adder), fanout, validity, and rate independence. *)
+
+open Crn
+
+let level = 10.
+
+let eval_gate gate a_val b_val =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let sa = Ri_modules.Dual_rail.const b ~name:"a" ~value:a_val ~level in
+  let sb = Ri_modules.Dual_rail.const b ~name:"b" ~value:b_val ~level in
+  let out = gate b sa sb in
+  let state = Ode.Driver.final_state ~t1:40. net in
+  Ri_modules.Dual_rail.read b out state
+
+let check_table name gate table =
+  List.iter
+    (fun (a, b) ->
+      let got = eval_gate gate a b in
+      let want = table a b in
+      if got <> Some want then
+        Alcotest.failf "%s(%b,%b): got %s, want %b" name a b
+          (match got with
+          | Some v -> string_of_bool v
+          | None -> "invalid")
+          want)
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_and () =
+  check_table "and" (fun b x y -> Ri_modules.Dual_rail.andg b ~name:"g" x y) ( && )
+
+let test_or () =
+  check_table "or" (fun b x y -> Ri_modules.Dual_rail.org b ~name:"g" x y) ( || )
+
+let test_nand () =
+  check_table "nand"
+    (fun b x y -> Ri_modules.Dual_rail.nandg b ~name:"g" x y)
+    (fun x y -> not (x && y))
+
+let test_nor () =
+  check_table "nor"
+    (fun b x y -> Ri_modules.Dual_rail.norg b ~name:"g" x y)
+    (fun x y -> not (x || y))
+
+let test_xor () =
+  check_table "xor" (fun b x y -> Ri_modules.Dual_rail.xorg b ~name:"g" x y) ( <> )
+
+let test_xnor () =
+  check_table "xnor" (fun b x y -> Ri_modules.Dual_rail.xnorg b ~name:"g" x y) ( = )
+
+let test_not_is_free () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let s = Ri_modules.Dual_rail.const b ~name:"a" ~value:true ~level in
+  let inverted = Ri_modules.Dual_rail.notg b ~name:"n" s in
+  (* no reactions were added and no species created *)
+  Alcotest.(check int) "no reactions" 0 (Network.n_reactions net);
+  Alcotest.(check int) "no new species" 2 (Network.n_species net);
+  let state = Network.initial_state net in
+  Alcotest.(check (option bool)) "reads inverted" (Some false)
+    (Ri_modules.Dual_rail.read b inverted state)
+
+let test_gate_preserves_quantity () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let sa = Ri_modules.Dual_rail.const b ~name:"a" ~value:true ~level in
+  let sb = Ri_modules.Dual_rail.const b ~name:"b" ~value:false ~level in
+  let out = Ri_modules.Dual_rail.andg b ~name:"g" sa sb in
+  let state = Ode.Driver.final_state ~t1:40. net in
+  Alcotest.(check (float 0.1)) "full level on false rail" level
+    state.(out.Ri_modules.Dual_rail.f);
+  Alcotest.(check (float 0.1)) "true rail empty" 0.
+    state.(out.Ri_modules.Dual_rail.t)
+
+let test_undriven_reads_invalid () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let s = Ri_modules.Dual_rail.fresh b ~name:"x" in
+  Alcotest.(check (option bool)) "undriven is invalid" None
+    (Ri_modules.Dual_rail.read b s (Network.initial_state net))
+
+let test_fanout () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let s = Ri_modules.Dual_rail.const b ~name:"a" ~value:true ~level in
+  let c1, c2 = Ri_modules.Dual_rail.fanout2 b ~name:"f" s in
+  let state = Ode.Driver.final_state ~t1:40. net in
+  Alcotest.(check (option bool)) "copy 1" (Some true)
+    (Ri_modules.Dual_rail.read b c1 state);
+  Alcotest.(check (option bool)) "copy 2" (Some true)
+    (Ri_modules.Dual_rail.read b c2 state)
+
+let test_half_adder () =
+  List.iter
+    (fun (a, b_) ->
+      let net = Network.create () in
+      let b = Builder.on net in
+      let sa = Ri_modules.Dual_rail.const b ~name:"a" ~value:a ~level in
+      let sb = Ri_modules.Dual_rail.const b ~name:"b" ~value:b_ ~level in
+      let sum, carry = Ri_modules.Dual_rail.half_adder b ~name:"ha" sa sb in
+      let state = Ode.Driver.final_state ~t1:60. net in
+      Alcotest.(check (option bool))
+        (Printf.sprintf "sum %b+%b" a b_)
+        (Some (a <> b_))
+        (Ri_modules.Dual_rail.read b sum state);
+      Alcotest.(check (option bool))
+        (Printf.sprintf "carry %b+%b" a b_)
+        (Some (a && b_))
+        (Ri_modules.Dual_rail.read b carry state))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_full_adder () =
+  List.iter
+    (fun (a, x, cin) ->
+      let net = Network.create () in
+      let b = Builder.on net in
+      let sa = Ri_modules.Dual_rail.const b ~name:"a" ~value:a ~level in
+      let sx = Ri_modules.Dual_rail.const b ~name:"x" ~value:x ~level in
+      let sc = Ri_modules.Dual_rail.const b ~name:"c" ~value:cin ~level in
+      let sum, carry = Ri_modules.Dual_rail.full_adder b ~name:"fa" sa sx sc in
+      let state = Ode.Driver.final_state ~t1:80. net in
+      let total =
+        (if a then 1 else 0) + (if x then 1 else 0) + if cin then 1 else 0
+      in
+      Alcotest.(check (option bool))
+        (Printf.sprintf "sum %b %b %b" a x cin)
+        (Some (total land 1 = 1))
+        (Ri_modules.Dual_rail.read b sum state);
+      Alcotest.(check (option bool))
+        (Printf.sprintf "carry %b %b %b" a x cin)
+        (Some (total >= 2))
+        (Ri_modules.Dual_rail.read b carry state))
+    [
+      (false, false, false);
+      (true, false, false);
+      (true, true, false);
+      (false, true, true);
+      (true, true, true);
+    ]
+
+let test_ripple_adder () =
+  (* 2-bit + 2-bit over every operand pair *)
+  for av = 0 to 3 do
+    for bv = 0 to 3 do
+      let net = Network.create () in
+      let b = Builder.on net in
+      let word name v =
+        List.init 2 (fun i ->
+            Ri_modules.Dual_rail.const b
+              ~name:(Printf.sprintf "%s%d" name i)
+              ~value:((v lsr i) land 1 = 1)
+              ~level)
+      in
+      let xs = word "a" av and ys = word "b" bv in
+      let sums, carry = Ri_modules.Dual_rail.ripple_adder b ~name:"add" xs ys in
+      let state = Ode.Driver.final_state ~t1:150. net in
+      let bits =
+        List.map
+          (fun s ->
+            match Ri_modules.Dual_rail.read b s state with
+            | Some v -> v
+            | None -> Alcotest.failf "invalid sum bit for %d+%d" av bv)
+          sums
+      in
+      let carry_bit =
+        match Ri_modules.Dual_rail.read b carry state with
+        | Some v -> v
+        | None -> Alcotest.failf "invalid carry for %d+%d" av bv
+      in
+      let got =
+        Analysis.Decode.int_of_bits (bits @ [ carry_bit ])
+      in
+      Alcotest.(check int) (Printf.sprintf "%d+%d" av bv) (av + bv) got
+    done
+  done
+
+let test_ripple_adder_validation () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  Alcotest.check_raises "unequal widths"
+    (Invalid_argument "Dual_rail.ripple_adder: empty or unequal widths")
+    (fun () ->
+      let s = Ri_modules.Dual_rail.const b ~name:"x" ~value:true ~level in
+      ignore (Ri_modules.Dual_rail.ripple_adder b ~name:"r" [ s ] []))
+
+let test_composition_chain () =
+  (* (a AND b) XOR (a OR b) = a XOR b for the two mixed cases; build the
+     whole expression and check one case end-to-end *)
+  let net = Network.create () in
+  let b = Builder.on net in
+  let sa = Ri_modules.Dual_rail.const b ~name:"a" ~value:true ~level in
+  let sb = Ri_modules.Dual_rail.const b ~name:"b" ~value:false ~level in
+  let a1, a2 = Ri_modules.Dual_rail.fanout2 b ~name:"fa" sa in
+  let b1, b2 = Ri_modules.Dual_rail.fanout2 b ~name:"fb" sb in
+  let conj = Ri_modules.Dual_rail.andg b ~name:"and" a1 b1 in
+  let disj = Ri_modules.Dual_rail.org b ~name:"or" a2 b2 in
+  let out = Ri_modules.Dual_rail.xorg b ~name:"xor" conj disj in
+  let state = Ode.Driver.final_state ~t1:80. net in
+  Alcotest.(check (option bool)) "(t&&f) xor (t||f) = true" (Some true)
+    (Ri_modules.Dual_rail.read b out state)
+
+let test_rate_independence () =
+  List.iter
+    (fun ratio ->
+      let net = Network.create () in
+      let b = Builder.on net in
+      let sa = Ri_modules.Dual_rail.const b ~name:"a" ~value:true ~level in
+      let sb = Ri_modules.Dual_rail.const b ~name:"b" ~value:true ~level in
+      let out = Ri_modules.Dual_rail.andg b ~name:"g" sa sb in
+      let env = Rates.env_with_ratio ratio in
+      let state = Ode.Driver.final_state ~env ~t1:40. net in
+      Alcotest.(check (option bool))
+        (Printf.sprintf "and at ratio %g" ratio)
+        (Some true)
+        (Ri_modules.Dual_rail.read b out state))
+    [ 10.; 1000. ]
+
+let test_set_invalid_level () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let s = Ri_modules.Dual_rail.fresh b ~name:"x" in
+  Alcotest.check_raises "zero level"
+    (Invalid_argument "Dual_rail.set: level must be positive") (fun () ->
+      Ri_modules.Dual_rail.set b s ~value:true ~level:0.)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"random truth tables realized exactly" ~count:12
+      (make Gen.(quad bool bool bool bool))
+      (fun (r00, r01, r10, r11) ->
+        let table a b =
+          match (a, b) with
+          | false, false -> r00
+          | false, true -> r01
+          | true, false -> r10
+          | true, true -> r11
+        in
+        List.for_all
+          (fun (a, b_) ->
+            let net = Network.create () in
+            let b = Builder.on net in
+            let sa = Ri_modules.Dual_rail.const b ~name:"a" ~value:a ~level in
+            let sb = Ri_modules.Dual_rail.const b ~name:"b" ~value:b_ ~level in
+            let out = Ri_modules.Dual_rail.gate_by_table b ~name:"g" ~table sa sb in
+            let state = Ode.Driver.final_state ~t1:40. net in
+            Ri_modules.Dual_rail.read b out state = Some (table a b_))
+          [ (false, false); (false, true); (true, false); (true, true) ]);
+  ]
+
+let suite =
+  [
+    ("and", `Quick, test_and);
+    ("or", `Quick, test_or);
+    ("nand", `Quick, test_nand);
+    ("nor", `Quick, test_nor);
+    ("xor", `Quick, test_xor);
+    ("xnor", `Quick, test_xnor);
+    ("not is free", `Quick, test_not_is_free);
+    ("quantity preserved", `Quick, test_gate_preserves_quantity);
+    ("undriven invalid", `Quick, test_undriven_reads_invalid);
+    ("fanout", `Quick, test_fanout);
+    ("half adder", `Quick, test_half_adder);
+    ("full adder", `Quick, test_full_adder);
+    ("ripple adder", `Slow, test_ripple_adder);
+    ("ripple adder validation", `Quick, test_ripple_adder_validation);
+    ("composition", `Quick, test_composition_chain);
+    ("rate independence", `Quick, test_rate_independence);
+    ("set invalid level", `Quick, test_set_invalid_level);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "mrsc"
+    [
+      ("numeric", Test_numeric.suite);
+      ("crn", Test_crn.suite);
+      ("equiv", Test_equiv.suite);
+      ("slice", Test_slice.suite);
+      ("ode", Test_ode.suite);
+      ("ssa", Test_ssa.suite);
+      ("analysis", Test_analysis.suite);
+      ("ri_modules", Test_ri_modules.suite);
+      ("dual_rail", Test_dual_rail.suite);
+      ("molclock", Test_molclock.suite);
+      ("core", Test_core.suite);
+      ("sfg", Test_sfg.suite);
+      ("async", Test_async.suite);
+      ("dsd", Test_dsd.suite);
+      ("stochastic", Test_stochastic.suite);
+      ("networks", Test_networks.suite);
+    ]

@@ -1,0 +1,189 @@
+(* Tests for the molecular clock: sustained oscillation, period scaling,
+   phase non-overlap, conservation, and the feedback ablation. *)
+
+let simulate_clock ?(feedback = true) ?(t1 = 120.) ?(mass = 100.) n_phases =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let clk =
+    Molclock.Oscillator.create ~feedback ~n_phases ~mass
+      (Crn.Builder.scoped b "clk")
+  in
+  let trace =
+    Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1 net
+  in
+  (net, clk, trace)
+
+let test_structure () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let clk = Molclock.Oscillator.create ~n_phases:3 ~mass:50. b in
+  Alcotest.(check int) "phases" 3 (Molclock.Oscillator.n_phases clk);
+  Alcotest.(check (float 0.)) "mass" 50. (Molclock.Oscillator.mass clk);
+  Alcotest.(check (float 0.)) "threshold" 25.
+    (Molclock.Oscillator.high_threshold clk);
+  Alcotest.(check int) "r is phase 0" (Molclock.Oscillator.phase clk 0)
+    (Molclock.Oscillator.r clk);
+  Alcotest.(check int) "phase wraps" (Molclock.Oscillator.phase clk 0)
+    (Molclock.Oscillator.phase clk 3);
+  Alcotest.(check (list string)) "names" [ "P0"; "P1"; "P2"; "P3" ]
+    (let net4 = Crn.Network.create () in
+     let clk4 =
+       Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.on net4)
+     in
+     Molclock.Oscillator.phase_names clk4);
+  (* all clock mass starts in phase 0 *)
+  Alcotest.(check (float 0.)) "initial mass placement" 50.
+    (Crn.Network.init_of net (Molclock.Oscillator.r clk))
+
+let test_invalid_args () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  Alcotest.check_raises "too few phases"
+    (Invalid_argument "Oscillator.create: need at least 3 phases") (fun () ->
+      ignore (Molclock.Oscillator.create ~n_phases:2 b));
+  Alcotest.check_raises "bad mass"
+    (Invalid_argument "Oscillator.create: mass must be positive") (fun () ->
+      ignore (Molclock.Oscillator.create ~mass:0. b))
+
+let test_three_phase_oscillates () =
+  let _, clk, trace = simulate_clock 3 in
+  Alcotest.(check bool) "sustained" true
+    (Molclock.Clock_analysis.is_sustained ~min_cycles:5 trace clk);
+  match Molclock.Clock_analysis.period trace clk with
+  | None -> Alcotest.fail "no period"
+  | Some p -> Alcotest.(check (float 0.5)) "period ~4.75" 4.75 p
+
+let test_period_scales_with_phase_count () =
+  let _, clk3, tr3 = simulate_clock 3 in
+  let _, clk5, tr5 = simulate_clock 5 in
+  match
+    ( Molclock.Clock_analysis.period tr3 clk3,
+      Molclock.Clock_analysis.period tr5 clk5 )
+  with
+  | Some p3, Some p5 ->
+      Alcotest.(check (float 0.1)) "period ratio = phase ratio" (5. /. 3.)
+        (p5 /. p3)
+  | _ -> Alcotest.fail "missing period"
+
+let test_four_phase_non_overlap () =
+  let _, clk, trace = simulate_clock 4 in
+  Alcotest.(check bool) "sustained" true
+    (Molclock.Clock_analysis.is_sustained trace clk);
+  Alcotest.(check bool) "P0/P2 disjoint" true
+    (Molclock.Clock_analysis.overlap trace clk 0 2 < 0.01);
+  Alcotest.(check bool) "P1/P3 disjoint" true
+    (Molclock.Clock_analysis.overlap trace clk 1 3 < 0.01);
+  Alcotest.(check bool) "adjacent phases do overlap (handover)" true
+    (Molclock.Clock_analysis.overlap trace clk 0 1 > 0.3);
+  Alcotest.(check bool) "worst non-adjacent overlap small" true
+    (Molclock.Clock_analysis.worst_adjacent_overlap trace clk < 0.01)
+
+let test_feedback_ablation () =
+  (* without positive feedback the transfers smear out and the oscillation
+     dies — the crispness the feedback reactions buy is essential *)
+  let _, clk, trace = simulate_clock ~feedback:false 4 in
+  Alcotest.(check bool) "not sustained without feedback" false
+    (Molclock.Clock_analysis.is_sustained ~min_cycles:5 trace clk)
+
+let test_clock_mass_rotates () =
+  (* total phase mass (plus dimer-held pairs) is conserved *)
+  let net, clk, trace = simulate_clock ~t1:50. 4 in
+  let w = Array.make (Crn.Network.n_species net) 0. in
+  Array.iter (fun p -> w.(p) <- 1.) (Molclock.Oscillator.phases clk);
+  for s = 0 to Crn.Network.n_species net - 1 do
+    let name = Crn.Network.species_name net s in
+    (* dimer species are named clk.I<k> *)
+    if String.length name >= 5 && String.sub name 0 5 = "clk.I" then
+      w.(s) <- 2.
+  done;
+  Alcotest.(check bool) "weighting is a conservation law" true
+    (Crn.Conservation.is_invariant net w);
+  let total_at i =
+    Numeric.Vec.dot w (Ode.Trace.state_at_index trace i)
+  in
+  let t0 = total_at 0 in
+  Alcotest.(check (float 1e-3)) "mass at start" 100. t0;
+  Alcotest.(check (float 0.1)) "mass at end" t0
+    (total_at (Ode.Trace.length trace - 1))
+
+let test_phase_high_at () =
+  let _, clk, trace = simulate_clock ~t1:40. 4 in
+  (* at t=0 phase 0 holds the whole mass *)
+  Alcotest.(check (option int)) "phase 0 at start" (Some 0)
+    (Molclock.Clock_analysis.phase_high_at trace clk 0.01)
+
+let test_cycle_starts_spacing () =
+  let _, clk, trace = simulate_clock ~t1:80. 4 in
+  let starts = Molclock.Clock_analysis.cycle_starts trace clk in
+  Alcotest.(check bool) "several cycles" true (List.length starts >= 8);
+  (* consecutive spacings agree with the measured period *)
+  let p =
+    match Molclock.Clock_analysis.period trace clk with
+    | Some p -> p
+    | None -> Alcotest.fail "no period"
+  in
+  let rec check_spacing = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check (float 0.5)) "spacing = period" p (b -. a);
+        check_spacing rest
+    | _ -> ()
+  in
+  check_spacing starts
+
+let test_rate_ratio_sweep () =
+  (* the clock must oscillate for any fast/slow separation; the period is
+     set by the slow timescale so it stays roughly constant as k_fast
+     grows *)
+  let periods =
+    List.map
+      (fun ratio ->
+        let net = Crn.Network.create () in
+        let b = Crn.Builder.on net in
+        let clk =
+          Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.scoped b "clk")
+        in
+        let env = Crn.Rates.env_with_ratio ratio in
+        let trace =
+          Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~env ~thin:5
+            ~t1:120. net
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "sustained at ratio %g" ratio)
+          true
+          (Molclock.Clock_analysis.is_sustained trace clk);
+        match Molclock.Clock_analysis.period trace clk with
+        | Some p -> p
+        | None -> Alcotest.fail "no period")
+      [ 100.; 1000.; 10000. ]
+  in
+  match periods with
+  | [ p1; p2; p3 ] ->
+      Alcotest.(check bool) "period stable across ratios" true
+        (Float.abs (p1 -. p3) /. p2 < 0.25)
+  | _ -> assert false
+
+let test_mass_changes_period_little () =
+  (* the period is dominated by indicator accumulation, not clock mass *)
+  let _, clk1, tr1 = simulate_clock ~mass:50. 4 in
+  let _, clk2, tr2 = simulate_clock ~mass:200. 4 in
+  match
+    (Molclock.Clock_analysis.period tr1 clk1, Molclock.Clock_analysis.period tr2 clk2)
+  with
+  | Some p1, Some p2 ->
+      Alcotest.(check bool) "within 2x" true (p2 /. p1 < 2. && p1 /. p2 < 2.)
+  | _ -> Alcotest.fail "missing period"
+
+let suite =
+  [
+    ("structure", `Quick, test_structure);
+    ("invalid args", `Quick, test_invalid_args);
+    ("three-phase oscillates", `Quick, test_three_phase_oscillates);
+    ("period scales with phases", `Quick, test_period_scales_with_phase_count);
+    ("four-phase non-overlap", `Quick, test_four_phase_non_overlap);
+    ("feedback ablation", `Quick, test_feedback_ablation);
+    ("clock mass rotates", `Quick, test_clock_mass_rotates);
+    ("phase high at", `Quick, test_phase_high_at);
+    ("cycle starts spacing", `Quick, test_cycle_starts_spacing);
+    ("rate ratio sweep", `Slow, test_rate_ratio_sweep);
+    ("mass vs period", `Slow, test_mass_changes_period_little);
+  ]

@@ -1,0 +1,94 @@
+(* Integration tests over the shipped .crn example networks: the parser,
+   the simulators and the analysis layer against classic chemistry. *)
+
+let path name = Filename.concat "../examples/networks" name
+
+let load name = Crn.Parser.network_of_file (path name)
+
+let test_parse_all () =
+  List.iter
+    (fun name ->
+      let net = load name in
+      Alcotest.(check bool)
+        (name ^ " nonempty")
+        true
+        (Crn.Network.n_reactions net > 0);
+      (* and they roundtrip through the printer *)
+      let net' = Crn.Parser.roundtrip net in
+      Alcotest.(check string)
+        (name ^ " roundtrips")
+        (Crn.Network.to_string net)
+        (Crn.Network.to_string net'))
+    [
+      "oregonator.crn";
+      "lotka_volterra.crn";
+      "approximate_majority.crn";
+      "brusselator.crn";
+    ]
+
+let test_lotka_volterra_oscillates () =
+  let net = load "lotka_volterra.crn" in
+  let trace = Ode.Driver.simulate ~t1:40. net in
+  let times = Ode.Trace.times trace in
+  let x = Ode.Trace.column_named trace "X" in
+  Alcotest.(check bool) "prey oscillates" true
+    (Analysis.Oscillation.is_sustained ~threshold:1. ~min_cycles:4 ~times
+       ~values:x ());
+  (* Lotka-Volterra conserves nothing linear, but stays positive & bounded *)
+  Alcotest.(check bool) "bounded" true (Numeric.Stats.maximum x < 50.)
+
+let test_oregonator_oscillates () =
+  let net = load "oregonator.crn" in
+  let trace = Ode.Driver.simulate ~t1:40. net in
+  let times = Ode.Trace.times trace in
+  (* X cycles repeatedly; Z has one giant start-up spike, so judge the
+     sustained oscillation on X and only the relaxation amplitude on Z *)
+  let x = Ode.Trace.column_named trace "X" in
+  Alcotest.(check bool) "X oscillates" true
+    (Analysis.Oscillation.is_sustained
+       ~threshold:(Numeric.Stats.maximum x /. 2.)
+       ~min_cycles:4 ~times ~values:x ());
+  let z = Ode.Trace.column_named trace "Z" in
+  Alcotest.(check bool) "Z relaxation amplitude" true
+    (Analysis.Oscillation.amplitude ~values:z > 50.)
+
+let test_brusselator_limit_cycle () =
+  let net = load "brusselator.crn" in
+  let trace = Ode.Driver.simulate ~t1:80. net in
+  let times = Ode.Trace.times trace in
+  let x = Ode.Trace.column_named trace "X" in
+  (* judge sustained oscillation on the second half (past the transient) *)
+  Alcotest.(check bool) "X oscillates" true
+    (Analysis.Oscillation.is_sustained ~threshold:1.5 ~min_cycles:4 ~times
+       ~values:x ());
+  (* the classic network is trimolecular: not DSD-compilable, and the lint
+     pass says so *)
+  Alcotest.(check bool) "trimolecular flagged" false
+    (Crn.Validate.is_dsd_compilable net)
+
+let test_approximate_majority_converges () =
+  let net = load "approximate_majority.crn" in
+  (* deterministic: initial majority X=60 vs Y=40 takes the population *)
+  let xf = Ode.Driver.final_state ~t1:5. net in
+  let sp name = Crn.Network.species net name in
+  Alcotest.(check (float 0.5)) "X wins all 100" 100. xf.(sp "X");
+  Alcotest.(check (float 0.5)) "Y extinct" 0. xf.(sp "Y");
+  (* stochastic: strong majority wins almost surely *)
+  let mean, _ = Ssa.Gillespie.mean_final ~runs:8 ~seed:11L ~t1:5. net "X" in
+  Alcotest.(check bool) "SSA majority outcome" true (mean > 90.)
+
+let test_majority_conserves_population () =
+  let net = load "approximate_majority.crn" in
+  let w = Crn.Conservation.uniform_over net [ "X"; "Y"; "B" ] in
+  Alcotest.(check bool) "X+Y+B invariant" true
+    (Crn.Conservation.is_invariant net w)
+
+let suite =
+  [
+    ("parse + roundtrip all", `Quick, test_parse_all);
+    ("lotka-volterra oscillates", `Quick, test_lotka_volterra_oscillates);
+    ("oregonator oscillates", `Quick, test_oregonator_oscillates);
+    ("brusselator limit cycle", `Quick, test_brusselator_limit_cycle);
+    ("approximate majority converges", `Quick, test_approximate_majority_converges);
+    ("majority conserves population", `Quick, test_majority_conserves_population);
+  ]

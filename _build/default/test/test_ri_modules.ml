@@ -1,0 +1,386 @@
+(* Tests for the rate-independent combinational module library. Each module
+   is built standalone (slow production / fast annihilation), simulated to
+   (near) steady state, and its output compared with the ideal value. *)
+
+open Crn
+
+let build f =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let handle = f b in
+  (net, b, handle)
+
+let settle ?(t1 = 40.) net = Ode.Driver.final_state ~t1 net
+
+let value net state name =
+  match Network.find_species net name with
+  | Some s -> state.(s)
+  | None -> Alcotest.failf "unknown species %s" name
+
+let check_value ?(tol = 1e-3) net state name expected =
+  let v = value net state name in
+  if Float.abs (v -. expected) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" name expected v
+
+(* ----------------------------------------------------------------- Arith *)
+
+let test_transfer () =
+  let net, b, _ =
+    build (fun b ->
+        let x = Builder.species b "X" in
+        Builder.init b x 12.;
+        Ri_modules.Arith.transfer b ~name:"t" x)
+  in
+  ignore b;
+  let s = settle net in
+  check_value net s "t.out" 12.;
+  check_value net s "X" 0.
+
+let test_add () =
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 7.;
+        Builder.init b x2 5.;
+        Ri_modules.Arith.add b ~name:"a" x1 x2)
+  in
+  check_value net (settle net) "a.out" 12.
+
+let test_sum () =
+  let net, _, _ =
+    build (fun b ->
+        let xs =
+          List.map
+            (fun (n, v) ->
+              let s = Builder.species b n in
+              Builder.init b s v;
+              s)
+            [ ("X1", 1.); ("X2", 2.); ("X3", 3.); ("X4", 4.) ]
+        in
+        Ri_modules.Arith.sum b ~name:"s" xs)
+  in
+  check_value net (settle net) "s.out" 10.
+
+let test_sub_positive () =
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 9.;
+        Builder.init b x2 4.;
+        Ri_modules.Arith.sub b ~name:"d" x1 x2)
+  in
+  check_value ~tol:5e-3 net (settle net) "d.out" 5.
+
+let test_sub_clamps_at_zero () =
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 4.;
+        Builder.init b x2 9.;
+        Ri_modules.Arith.sub b ~name:"d" x1 x2)
+  in
+  check_value ~tol:5e-3 net (settle net) "d.out" 0.
+
+let test_min () =
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 9.;
+        Builder.init b x2 4.;
+        Ri_modules.Arith.min_of b ~name:"m" x1 x2)
+  in
+  let s = settle net in
+  check_value ~tol:5e-3 net s "m.out" 4.;
+  (* the larger operand's residue remains *)
+  check_value ~tol:5e-3 net s "X1" 5.
+
+let test_max () =
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 3.;
+        Builder.init b x2 11.;
+        Ri_modules.Arith.max_of b ~name:"mx" x1 x2)
+  in
+  check_value ~tol:1e-2 net (settle ~t1:80. net) "mx.out" 11.
+
+let test_max_equal_inputs () =
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 6.;
+        Builder.init b x2 6.;
+        Ri_modules.Arith.max_of b ~name:"mx" x1 x2)
+  in
+  check_value ~tol:1e-2 net (settle ~t1:80. net) "mx.out" 6.
+
+let test_scale () =
+  let net, _, _ =
+    build (fun b ->
+        let x = Builder.species b "X" in
+        Builder.init b x 12.;
+        Ri_modules.Arith.scale b ~name:"s" ~num:3 ~den:2 x)
+  in
+  (* 12 * 3/2 = 18; bimolecular drain has an algebraic tail, so allow 1% *)
+  check_value ~tol:1e-2 net (settle ~t1:100. net) "s.out" 18.
+
+let test_halve_double () =
+  let net, _, _ =
+    build (fun b ->
+        let x = Builder.species b "X" and y = Builder.species b "Y" in
+        Builder.init b x 10.;
+        Builder.init b y 10.;
+        let h = Ri_modules.Arith.halve b ~name:"h" x in
+        let d = Ri_modules.Arith.double b ~name:"d" y in
+        (h, d))
+  in
+  let s = settle ~t1:100. net in
+  check_value ~tol:1e-2 net s "h.out" 5.;
+  check_value ~tol:1e-3 net s "d.out" 20.
+
+let test_fanout () =
+  let net, _, outs =
+    build (fun b ->
+        let x = Builder.species b "X" in
+        Builder.init b x 8.;
+        Ri_modules.Arith.fanout b ~name:"f" ~copies:3 x)
+  in
+  Alcotest.(check int) "three outputs" 3 (List.length outs);
+  let s = settle net in
+  check_value net s "f.out0" 8.;
+  check_value net s "f.out1" 8.;
+  check_value net s "f.out2" 8.
+
+let test_arith_invalid () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let x = Builder.species b "X" in
+  Alcotest.check_raises "bad scale"
+    (Invalid_argument "Arith.scale: num and den must be >= 1") (fun () ->
+      ignore (Ri_modules.Arith.scale b ~name:"s" ~num:0 ~den:1 x));
+  Alcotest.check_raises "bad fanout"
+    (Invalid_argument "Arith.fanout: copies must be >= 1") (fun () ->
+      ignore (Ri_modules.Arith.fanout b ~name:"f" ~copies:0 x));
+  Alcotest.check_raises "empty sum" (Invalid_argument "Arith.sum: no inputs")
+    (fun () -> ignore (Ri_modules.Arith.sum b ~name:"s" []))
+
+(* --------------------------------------------------------------- Compare *)
+
+let test_compare_greater () =
+  let net, _, r =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 9.;
+        Builder.init b x2 4.;
+        Ri_modules.Compare.compare b ~name:"c" x1 x2)
+  in
+  let s = settle net in
+  ignore r;
+  check_value ~tol:5e-3 net s "c.gt" 5.;
+  check_value ~tol:5e-3 net s "c.lt" 0.
+
+let test_compare_less () =
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 2.;
+        Builder.init b x2 10.;
+        Ri_modules.Compare.compare b ~name:"c" x1 x2)
+  in
+  let s = settle net in
+  check_value ~tol:5e-3 net s "c.gt" 0.;
+  check_value ~tol:5e-3 net s "c.lt" 8.
+
+let test_threshold () =
+  let net, _, _ =
+    build (fun b ->
+        let x = Builder.species b "X" in
+        Builder.init b x 12.;
+        Ri_modules.Compare.threshold b ~name:"th" ~level:10. x)
+  in
+  let s = settle net in
+  check_value ~tol:5e-3 net s "th.gt" 2.;
+  check_value ~tol:5e-3 net s "th.lt" 0.
+
+let test_threshold_invalid () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  let x = Builder.species b "X" in
+  Alcotest.check_raises "negative level"
+    (Invalid_argument "Compare.threshold: negative level") (fun () ->
+      ignore (Ri_modules.Compare.threshold b ~name:"t" ~level:(-1.) x))
+
+let test_equal_indicator () =
+  (* equal inputs: both residues empty, the indicator accumulates *)
+  let net, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 6.;
+        Builder.init b x2 6.;
+        let r = Ri_modules.Compare.compare b ~name:"c" x1 x2 in
+        Ri_modules.Compare.equal_indicator b ~name:"c" r)
+  in
+  let s = settle ~t1:30. net in
+  Alcotest.(check bool) "indicator grows when equal" true
+    (value net s "c.eq" > 1.);
+  (* unequal inputs: residue suppresses the indicator *)
+  let net2, _, _ =
+    build (fun b ->
+        let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+        Builder.init b x1 9.;
+        Builder.init b x2 6.;
+        let r = Ri_modules.Compare.compare b ~name:"c" x1 x2 in
+        Ri_modules.Compare.equal_indicator b ~name:"c" r)
+  in
+  let s2 = settle ~t1:30. net2 in
+  Alcotest.(check bool) "indicator suppressed when unequal" true
+    (value net2 s2 "c.eq" < 0.1)
+
+(* --------------------------------------------------------------- Absence *)
+
+let test_absence_indicator () =
+  (* watched species present: the indicator is held near k_slow/(k_fast S) *)
+  let net, _, _ =
+    build (fun b ->
+        let s = Builder.species b "S" in
+        Builder.init b s 10.;
+        Ri_modules.Absence.indicator b ~name:"i" ~watched:[ s ])
+  in
+  let x = settle ~t1:10. net in
+  Alcotest.(check bool) "suppressed while S present" true
+    (value net x "i" < 0.01)
+
+let test_absence_indicator_accumulates () =
+  let net, _, _ =
+    build (fun b ->
+        let s = Builder.species b "S" in
+        (* S starts at zero: indicator accumulates at the slow rate *)
+        Ri_modules.Absence.indicator b ~name:"i" ~watched:[ s ])
+  in
+  let x = settle ~t1:10. net in
+  Alcotest.(check (float 0.2)) "~ k_slow * t" 10. (value net x "i")
+
+let test_absence_gate_orders_transfer () =
+  (* the gated transfer X -> Y must not proceed while the watched species W
+     is present, and proceeds once W has drained *)
+  let net, _, _ =
+    build (fun b ->
+        let w = Builder.species b "W" in
+        let x = Builder.species b "X" in
+        let y = Builder.species b "Y" in
+        Builder.init b w 10.;
+        Builder.init b x 10.;
+        (* W drains away slowly on its own *)
+        Builder.decay b Rates.slow w;
+        let i = Ri_modules.Absence.indicator b ~name:"i" ~watched:[ w ] in
+        Ri_modules.Absence.gate b ~indicator:i x y;
+        (x, y))
+  in
+  (* early: W still present, transfer blocked *)
+  let early = Ode.Driver.final_state ~t1:1. net in
+  Alcotest.(check bool) "blocked while W present" true
+    (value net early "Y" < 0.2);
+  (* late: W gone, transfer completed *)
+  let late = Ode.Driver.final_state ~t1:60. net in
+  Alcotest.(check bool) "completed after W absent" true
+    (value net late "Y" > 9.5)
+
+let test_absence_empty_watchlist () =
+  let net = Network.create () in
+  let b = Builder.on net in
+  Alcotest.check_raises "empty watch list"
+    (Invalid_argument "Absence.indicator: empty watch list") (fun () ->
+      ignore (Ri_modules.Absence.indicator b ~name:"i" ~watched:[]))
+
+(* ------------------------------------------------- rate independence *)
+
+let test_rate_independence_of_sub () =
+  (* the defining claim: results do not depend on the specific rates, only
+     on the categories; sweep the separation ratio *)
+  List.iter
+    (fun ratio ->
+      let net, _, _ =
+        build (fun b ->
+            let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+            Builder.init b x1 9.;
+            Builder.init b x2 4.;
+            Ri_modules.Arith.sub b ~name:"d" x1 x2)
+      in
+      let env = Rates.env_with_ratio ratio in
+      let s = Ode.Driver.final_state ~env ~t1:60. net in
+      let v = value net s "d.out" in
+      if Float.abs (v -. 5.) > 0.2 then
+        Alcotest.failf "ratio %g: expected 5, got %g" ratio v)
+    [ 10.; 100.; 1000.; 10000. ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"add computes x1 + x2 for random inputs" ~count:20
+      (make Gen.(pair (float_range 0.5 30.) (float_range 0.5 30.)))
+      (fun (v1, v2) ->
+        let net, _, _ =
+          build (fun b ->
+              let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+              Builder.init b x1 v1;
+              Builder.init b x2 v2;
+              Ri_modules.Arith.add b ~name:"a" x1 x2)
+        in
+        let s = settle net in
+        Float.abs (value net s "a.out" -. (v1 +. v2)) < 1e-2 *. (v1 +. v2));
+    Test.make ~name:"sub computes max(0, x1 - x2) for random inputs"
+      ~count:20
+      (make Gen.(pair (float_range 0.5 30.) (float_range 0.5 30.)))
+      (fun (v1, v2) ->
+        let net, _, _ =
+          build (fun b ->
+              let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+              Builder.init b x1 v1;
+              Builder.init b x2 v2;
+              Ri_modules.Arith.sub b ~name:"d" x1 x2)
+        in
+        let s = settle ~t1:60. net in
+        let expected = Float.max 0. (v1 -. v2) in
+        Float.abs (value net s "d.out" -. expected)
+        < 0.02 *. Float.max 1. (v1 +. v2));
+    Test.make ~name:"min pairs down to the smaller operand" ~count:20
+      (make Gen.(pair (float_range 0.5 30.) (float_range 0.5 30.)))
+      (fun (v1, v2) ->
+        let net, _, _ =
+          build (fun b ->
+              let x1 = Builder.species b "X1" and x2 = Builder.species b "X2" in
+              Builder.init b x1 v1;
+              Builder.init b x2 v2;
+              Ri_modules.Arith.min_of b ~name:"m" x1 x2)
+        in
+        let s = settle ~t1:60. net in
+        Float.abs (value net s "m.out" -. Float.min v1 v2)
+        < 0.02 *. Float.max 1. (Float.min v1 v2));
+  ]
+
+let suite =
+  [
+    ("transfer", `Quick, test_transfer);
+    ("add", `Quick, test_add);
+    ("sum", `Quick, test_sum);
+    ("sub positive", `Quick, test_sub_positive);
+    ("sub clamps", `Quick, test_sub_clamps_at_zero);
+    ("min", `Quick, test_min);
+    ("max", `Quick, test_max);
+    ("max equal", `Quick, test_max_equal_inputs);
+    ("scale", `Quick, test_scale);
+    ("halve double", `Quick, test_halve_double);
+    ("fanout", `Quick, test_fanout);
+    ("arith invalid", `Quick, test_arith_invalid);
+    ("compare greater", `Quick, test_compare_greater);
+    ("compare less", `Quick, test_compare_less);
+    ("threshold", `Quick, test_threshold);
+    ("threshold invalid", `Quick, test_threshold_invalid);
+    ("equal indicator", `Quick, test_equal_indicator);
+    ("absence suppressed", `Quick, test_absence_indicator);
+    ("absence accumulates", `Quick, test_absence_indicator_accumulates);
+    ("absence gate orders transfer", `Quick, test_absence_gate_orders_transfer);
+    ("absence empty watchlist", `Quick, test_absence_empty_watchlist);
+    ("rate independence of sub", `Slow, test_rate_independence_of_sub);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

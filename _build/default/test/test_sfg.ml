@@ -1,0 +1,256 @@
+(* Tests for the signal-flow-graph compiler: graph construction rules, the
+   software reference interpreter, and compiled-chemistry equivalence. *)
+
+let fresh () =
+  let net = Crn.Network.create () in
+  (net, Core.Sync_design.make net)
+
+(* ------------------------------------------------- construction rules *)
+
+let test_gain_validation () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  Alcotest.check_raises "negative num"
+    (Invalid_argument "Sfg.gain: negative numerator") (fun () ->
+      ignore (Core.Sfg.gain g ~num:(-1) ~den:1 x));
+  Alcotest.check_raises "den not power of two"
+    (Invalid_argument "Sfg.gain: denominator must be a positive power of two")
+    (fun () -> ignore (Core.Sfg.gain g ~num:1 ~den:3 x));
+  Alcotest.check_raises "den zero"
+    (Invalid_argument "Sfg.gain: denominator must be a positive power of two")
+    (fun () -> ignore (Core.Sfg.gain g ~num:1 ~den:0 x))
+
+let test_add_needs_two () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  Alcotest.check_raises "one operand"
+    (Invalid_argument "Sfg.add: need at least two operands") (fun () ->
+      ignore (Core.Sfg.add g [ x ]))
+
+let test_compile_requires_output () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let _ = Core.Sfg.input g in
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Sfg.compile: no outputs declared") (fun () ->
+      ignore (Core.Sfg.compile g))
+
+let test_unresolved_forward_rejected () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let f = Core.Sfg.forward g in
+  Core.Sfg.output g f;
+  Alcotest.check_raises "unresolved"
+    (Invalid_argument "Sfg.compile: unresolved forward wire") (fun () ->
+      ignore (Core.Sfg.compile g))
+
+let test_define_validation () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  let f = Core.Sfg.forward g in
+  Alcotest.check_raises "not a forward"
+    (Invalid_argument "Sfg.define: not a forward wire") (fun () ->
+      Core.Sfg.define g x x);
+  Core.Sfg.define g f x;
+  Alcotest.check_raises "double define"
+    (Invalid_argument "Sfg.define: forward already defined") (fun () ->
+      Core.Sfg.define g f x)
+
+let test_algebraic_loop_rejected () =
+  (* y = x + y/2 with no delay in the loop *)
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  let f = Core.Sfg.forward g in
+  let y = Core.Sfg.add g [ x; Core.Sfg.gain g ~num:1 ~den:2 f ] in
+  Core.Sfg.define g f y;
+  Core.Sfg.output g y;
+  Alcotest.check_raises "algebraic loop"
+    (Invalid_argument "Sfg.compile: algebraic loop (feedback without a delay)")
+    (fun () -> ignore (Core.Sfg.compile g))
+
+let test_compile_once () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  Core.Sfg.output g x;
+  let _ = Core.Sfg.compile g in
+  Alcotest.check_raises "second compile"
+    (Invalid_argument "Sfg.compile: graph already compiled") (fun () ->
+      ignore (Core.Sfg.compile g))
+
+(* --------------------------------------------- reference interpreter *)
+
+let test_reference_moving_average () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  let xd = Core.Sfg.delay g x in
+  let y = Core.Sfg.gain g ~num:1 ~den:2 (Core.Sfg.add g [ x; xd ]) in
+  Core.Sfg.output g y;
+  let stream = [ 8.; 4.; 0.; 6. ] in
+  let got = List.hd (Core.Sfg.reference g [ stream ]) in
+  let want = Core.Filter.reference_moving_average ~taps:2 stream in
+  Alcotest.(check (list (float 1e-9))) "matches Filter's model" want got
+
+let test_reference_iir () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  let f = Core.Sfg.forward g in
+  let yd = Core.Sfg.delay g f in
+  let y = Core.Sfg.gain g ~num:1 ~den:2 (Core.Sfg.add g [ x; yd ]) in
+  Core.Sfg.define g f y;
+  Core.Sfg.output g y;
+  let stream = [ 8.; 8.; 8.; 0. ] in
+  let got = List.hd (Core.Sfg.reference g [ stream ]) in
+  let want = Core.Filter.reference_iir stream in
+  Alcotest.(check (list (float 1e-9))) "matches IIR recurrence" want got
+
+let test_reference_multi_io () =
+  (* two inputs, two outputs: y0 = a + b, y1 = 2 (a delayed) *)
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let a = Core.Sfg.input g in
+  let b = Core.Sfg.input g in
+  Core.Sfg.output g (Core.Sfg.add g [ a; b ]);
+  Core.Sfg.output g (Core.Sfg.gain g ~num:2 ~den:1 (Core.Sfg.delay g a));
+  let got = Core.Sfg.reference g [ [ 1.; 2. ]; [ 10.; 20. ] ] in
+  Alcotest.(check (list (list (float 1e-9))))
+    "both outputs"
+    [ [ 11.; 22. ]; [ 0.; 2. ] ]
+    got
+
+let test_reference_stream_validation () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"g" in
+  let x = Core.Sfg.input g in
+  Core.Sfg.output g x;
+  Alcotest.check_raises "stream count"
+    (Invalid_argument "Sfg.reference: stream count mismatch") (fun () ->
+      ignore (Core.Sfg.reference g []))
+
+(* ------------------------------------------------ compiled chemistry *)
+
+let check_close tol got want =
+  List.iter2
+    (fun g w ->
+      if Float.abs (g -. w) > tol then
+        Alcotest.failf "got %g want %g (tol %g)" g w tol)
+    got want
+
+let test_compiled_matches_reference_fir () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"fir" in
+  let x = Core.Sfg.input g in
+  let xd = Core.Sfg.delay g x in
+  let xdd = Core.Sfg.delay g xd in
+  (* y = x/2 + x[n-1]/4 + x[n-2]/4 *)
+  let y =
+    Core.Sfg.add g
+      [
+        Core.Sfg.gain g ~num:1 ~den:2 x;
+        Core.Sfg.gain g ~num:1 ~den:4 xd;
+        Core.Sfg.gain g ~num:1 ~den:4 xdd;
+      ]
+  in
+  Core.Sfg.output g y;
+  let c = Core.Sfg.compile g in
+  let stream = [ 8.; 0.; 8.; 4. ] in
+  let got = List.hd (Core.Sfg.response c [ stream ]) in
+  let want = List.hd (Core.Sfg.reference g [ stream ]) in
+  check_close 0.25 got want
+
+let test_compiled_biquad () =
+  let _, d = fresh () in
+  let g =
+    Core.Sfg.biquad d ~b0:(1, 2) ~b1:(1, 4) ~b2:(1, 8) ~a1:(1, 4) ~a2:(1, 8)
+  in
+  let c = Core.Sfg.compile g in
+  let stream = [ 8.; 8.; 8.; 0.; 0.; 0. ] in
+  let got = List.hd (Core.Sfg.response c [ stream ]) in
+  let want = List.hd (Core.Sfg.reference g [ stream ]) in
+  (* feedback compounds the per-cycle trickle; 3% of the ~10 peak *)
+  check_close 0.35 got want
+
+let test_compiled_fanout_gain () =
+  (* one wire consumed three times, with an integer gain *)
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"fan" in
+  let x = Core.Sfg.input g in
+  let y = Core.Sfg.add g [ x; x; Core.Sfg.gain g ~num:3 ~den:1 x ] in
+  Core.Sfg.output g y;
+  let c = Core.Sfg.compile g in
+  let got = List.hd (Core.Sfg.response c [ [ 2.; 4. ] ]) in
+  (* y = x + x + 3x = 5x, within the ~1.5% clock trickle *)
+  check_close 0.45 got [ 10.; 20. ]
+
+let test_compiled_gain_zero_sink () =
+  let _, d = fresh () in
+  let g = Core.Sfg.create d ~name:"sink" in
+  let x = Core.Sfg.input g in
+  let y = Core.Sfg.add g [ x; Core.Sfg.gain g ~num:0 ~den:1 x ] in
+  Core.Sfg.output g y;
+  let c = Core.Sfg.compile g in
+  let got = List.hd (Core.Sfg.response c [ [ 6. ] ]) in
+  check_close 0.2 got [ 6. ]
+
+(* -------------------------------------------------- frequency response *)
+
+let test_estimate_gain_pure_sine () =
+  let omega = Float.pi /. 5. in
+  let samples =
+    List.init 60 (fun n -> 4. +. (2.5 *. sin (omega *. float_of_int n)))
+  in
+  Alcotest.(check (float 0.05)) "recovers amplitude" 2.5
+    (Core.Freq_response.estimate_gain ~omega ~skip:10 samples)
+
+let test_biquad_theory_dc_and_nyquist () =
+  (* at omega=0: H = (b0+b1+b2)/(1-a1-a2); with all = 1/2,1/4,1/8,1/4,1/8:
+     (0.875)/(0.625) = 1.4 *)
+  let b0 = (1, 2) and b1 = (1, 4) and b2 = (1, 8) and a1 = (1, 4) and a2 = (1, 8) in
+  Alcotest.(check (float 1e-9)) "DC gain" 1.4
+    (Core.Freq_response.biquad_theory ~b0 ~b1 ~b2 ~a1 ~a2 ~omega:0.);
+  (* at omega=pi: (b0-b1+b2)/(1+a1-a2) = 0.375/1.125 *)
+  Alcotest.(check (float 1e-9)) "Nyquist gain" (0.375 /. 1.125)
+    (Core.Freq_response.biquad_theory ~b0 ~b1 ~b2 ~a1 ~a2 ~omega:Float.pi)
+
+let test_measured_gain_tracks_theory () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make net in
+  ignore net;
+  let b0 = (1, 2) and b1 = (1, 4) and b2 = (1, 8) and a1 = (1, 4) and a2 = (1, 8) in
+  let g = Core.Sfg.biquad d ~b0 ~b1 ~b2 ~a1 ~a2 in
+  let c = Core.Sfg.compile g in
+  let omega = Float.pi /. 4. in
+  let p = Core.Freq_response.measure c ~omega in
+  let theory = Core.Freq_response.biquad_theory ~b0 ~b1 ~b2 ~a1 ~a2 ~omega in
+  Alcotest.(check (float 0.02)) "golden estimator matches closed form" theory
+    p.Core.Freq_response.ideal;
+  Alcotest.(check (float 0.05)) "chemistry tracks theory" theory
+    p.Core.Freq_response.measured
+
+let suite =
+  [
+    ("gain validation", `Quick, test_gain_validation);
+    ("add needs two", `Quick, test_add_needs_two);
+    ("compile requires output", `Quick, test_compile_requires_output);
+    ("unresolved forward", `Quick, test_unresolved_forward_rejected);
+    ("define validation", `Quick, test_define_validation);
+    ("algebraic loop rejected", `Quick, test_algebraic_loop_rejected);
+    ("compile once", `Quick, test_compile_once);
+    ("reference: moving average", `Quick, test_reference_moving_average);
+    ("reference: iir", `Quick, test_reference_iir);
+    ("reference: multi io", `Quick, test_reference_multi_io);
+    ("reference: stream validation", `Quick, test_reference_stream_validation);
+    ("compiled fir matches reference", `Quick, test_compiled_matches_reference_fir);
+    ("compiled biquad", `Quick, test_compiled_biquad);
+    ("compiled fanout + gain", `Quick, test_compiled_fanout_gain);
+    ("compiled gain-zero sink", `Quick, test_compiled_gain_zero_sink);
+    ("estimate gain on sine", `Quick, test_estimate_gain_pure_sine);
+    ("biquad theory endpoints", `Quick, test_biquad_theory_dc_and_nyquist);
+    ("measured gain tracks theory", `Slow, test_measured_gain_tracks_theory);
+  ]

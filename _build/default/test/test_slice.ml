@@ -1,0 +1,120 @@
+(* Tests for cone-of-influence slicing. *)
+
+open Crn
+
+let build () =
+  (* A -> B -> C (tracked chain) plus a disconnected D -> E, plus a
+     byproduct: B -> C + J where J feeds nothing *)
+  let net = Network.create () in
+  let a = Network.species net "A"
+  and b = Network.species net "B"
+  and c = Network.species net "C"
+  and d = Network.species net "D"
+  and e = Network.species net "E"
+  and j = Network.species net "J" in
+  Network.set_init net a 10.;
+  Network.set_init net d 7.;
+  let arrow ?(products = []) x y =
+    Network.add_reaction net
+      (Reaction.make ~reactants:[ (x, 1) ]
+         ~products:((y, 1) :: products)
+         Rates.slow)
+  in
+  arrow a b;
+  arrow b c ~products:[ (j, 1) ];
+  arrow d e;
+  (net, a, b, c, d, e, j)
+
+let test_influencing () =
+  let net, a, b, c, _, _, _ = build () in
+  let infl = Slice.influencing net [ "C" ] in
+  Alcotest.(check (list int)) "A, B, C influence C" [ a; b; c ] infl
+
+let test_extract_drops_unrelated () =
+  let net, _, _, _, _, _, _ = build () in
+  let slice = Slice.extract net [ "C" ] in
+  Alcotest.(check (option int)) "D gone" None (Network.find_species slice "D");
+  Alcotest.(check (option int)) "E gone" None (Network.find_species slice "E");
+  Alcotest.(check int) "two reactions kept" 2 (Network.n_reactions slice);
+  (* the byproduct J rides along as a passenger *)
+  Alcotest.(check bool) "J present as passenger" true
+    (Network.find_species slice "J" <> None)
+
+let test_extract_preserves_dynamics () =
+  let net, _, _, _, _, _, _ = build () in
+  let slice = Slice.extract net [ "C" ] in
+  let full = Ode.Driver.simulate ~t1:3. net in
+  let cut = Ode.Driver.simulate ~t1:3. slice in
+  Alcotest.(check (float 1e-6)) "C(3) identical"
+    (Ode.Trace.final_value full "C")
+    (Ode.Trace.final_value cut "C");
+  Alcotest.(check (float 1e-6)) "B(3) identical"
+    (Ode.Trace.final_value full "B")
+    (Ode.Trace.final_value cut "B")
+
+let test_extract_keeps_catalysts () =
+  (* X -> Y catalyzed by K: K influences Y even though it is never
+     consumed *)
+  let net = Network.create () in
+  let x = Network.species net "X"
+  and y = Network.species net "Y"
+  and k = Network.species net "K" in
+  Network.set_init net x 5.;
+  Network.set_init net k 2.;
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (x, 1); (k, 1) ] ~products:[ (y, 1); (k, 1) ]
+       Rates.fast);
+  let infl = Slice.influencing net [ "Y" ] in
+  Alcotest.(check (list int)) "catalyst included" [ x; y; k ] infl;
+  let slice = Slice.extract net [ "Y" ] in
+  Alcotest.(check (float 0.)) "catalyst init kept" 2.
+    (Network.init_of slice (Network.species slice "K"))
+
+let test_catalytic_only_reactions_dropped () =
+  (* a reaction that merely uses C catalytically does not affect C *)
+  let net = Network.create () in
+  let c = Network.species net "C" and w = Network.species net "W" in
+  Network.set_init net c 3.;
+  Network.set_init net w 9.;
+  Network.add_reaction net
+    (Reaction.make ~reactants:[ (w, 1); (c, 1) ] ~products:[ (c, 1) ] Rates.fast);
+  let slice = Slice.extract net [ "C" ] in
+  Alcotest.(check int) "no reactions affect C" 0 (Network.n_reactions slice);
+  Alcotest.(check (option int)) "W not pulled in" None
+    (Network.find_species slice "W")
+
+let test_slice_of_design () =
+  (* slicing a whole counter to its clock reproduces the clock's period *)
+  let net = Designs.Catalog.build "counter2" in
+  let slice = Slice.extract net [ "clk.P0"; "clk.P1"; "clk.P2"; "clk.P3" ] in
+  Alcotest.(check bool) "slice is smaller" true
+    (Network.n_reactions slice < Network.n_reactions net);
+  (* the counter reactions are catalytic in the phases, so the clock's
+     own dynamics are unchanged *)
+  let full = Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:30. net in
+  let cut = Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:30. slice in
+  let period trace =
+    Analysis.Oscillation.period ~threshold:50.
+      ~times:(Ode.Trace.times trace)
+      ~values:(Ode.Trace.column_named trace "clk.P0")
+      ()
+  in
+  match (period full, period cut) with
+  | Some p1, Some p2 -> Alcotest.(check (float 0.05)) "same period" p1 p2
+  | _ -> Alcotest.fail "clock not oscillating"
+
+let test_unknown_species () =
+  let net, _, _, _, _, _, _ = build () in
+  Alcotest.check_raises "unknown" (Invalid_argument "Slice: unknown species \"zz\"")
+    (fun () -> ignore (Slice.influencing net [ "zz" ]))
+
+let suite =
+  [
+    ("influencing", `Quick, test_influencing);
+    ("extract drops unrelated", `Quick, test_extract_drops_unrelated);
+    ("extract preserves dynamics", `Quick, test_extract_preserves_dynamics);
+    ("extract keeps catalysts", `Quick, test_extract_keeps_catalysts);
+    ("catalytic-only dropped", `Quick, test_catalytic_only_reactions_dropped);
+    ("slice of a design", `Quick, test_slice_of_design);
+    ("unknown species", `Quick, test_unknown_species);
+  ]

@@ -1,0 +1,100 @@
+(* Stochastic (molecule-count) validation of the sequential designs: the
+   extension experiments showing the constructs survive discrete noise. *)
+
+let test_increments_by_one () =
+  let open Core.Stochastic in
+  Alcotest.(check bool) "good run" true
+    (increments_by_one [ Some 2; Some 3; Some 0; Some 1 ] ~modulo:4);
+  Alcotest.(check bool) "jump" false
+    (increments_by_one [ Some 1; Some 3 ] ~modulo:4);
+  Alcotest.(check bool) "invalid sample" false
+    (increments_by_one [ Some 1; None; Some 3 ] ~modulo:4);
+  Alcotest.(check bool) "single" true (increments_by_one [ Some 7 ] ~modulo:8);
+  Alcotest.(check bool) "empty" true (increments_by_one [] ~modulo:8);
+  Alcotest.check_raises "bad modulo"
+    (Invalid_argument "Stochastic.increments_by_one: bad modulo") (fun () ->
+      ignore (increments_by_one [] ~modulo:0))
+
+let test_stochastic_clock_sustains () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let clk =
+    Molclock.Oscillator.create ~n_phases:4 ~mass:100.
+      (Crn.Builder.scoped b "clk")
+  in
+  let { Ssa.Gillespie.trace; _ } =
+    Ssa.Gillespie.run ~seed:3L ~sample_dt:0.05 ~t1:60. net
+  in
+  Alcotest.(check bool) "sustained with discrete molecules" true
+    (Molclock.Clock_analysis.is_sustained trace clk);
+  (* the latching guarantee survives too *)
+  Alcotest.(check bool) "P0/P2 disjoint" true
+    (Molclock.Clock_analysis.overlap trace clk 0 2 < 0.05);
+  (* discrete indicator arrivals slow the bootstrap: the period grows *)
+  match Molclock.Clock_analysis.period trace clk with
+  | None -> Alcotest.fail "no period"
+  | Some p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "period %.2f longer than deterministic 6.33" p)
+        true (p > 6.33)
+
+let test_stochastic_counter_counts () =
+  let net = Crn.Network.create () in
+  let d = Core.Sync_design.make ~signal_mass:30. net in
+  let ctr = Core.Counter.free_running d ~bits:2 in
+  let { Ssa.Gillespie.trace; _ } =
+    Ssa.Gillespie.run ~seed:5L ~sample_dt:0.05 ~t1:120. net
+  in
+  let states = Core.Stochastic.counter_states trace ctr in
+  Alcotest.(check bool)
+    (Printf.sprintf "several cycles decoded (%d)" (List.length states))
+    true
+    (List.length states >= 5);
+  Alcotest.(check bool) "every step increments by one" true
+    (Core.Stochastic.increments_by_one states ~modulo:4)
+
+let test_cycle_sample_times_ordering () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let clk =
+    Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.scoped b "clk")
+  in
+  let trace =
+    Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:60. net
+  in
+  let ts = Core.Stochastic.cycle_sample_times trace clk in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (increasing ts);
+  Alcotest.(check bool) "several cycles" true (List.length ts >= 6)
+
+let test_log2_floor_exact_over_counts () =
+  (* the documented semantic split: deterministic kinetics relax "floor" to
+     a fractional sum, but over discrete molecule counts the construct is
+     exact — including for non-powers of two *)
+  List.iter
+    (fun (a, want) ->
+      let net = Crn.Network.create () in
+      let d = Core.Sync_design.make ~signal_mass:30. net in
+      let it = Core.Iterative.log2floor d ~a in
+      let t1 =
+        3. *. Core.Sync_design.period d
+        *. float_of_int it.Core.Iterative.cycles_needed
+      in
+      let { Ssa.Gillespie.final; _ } = Ssa.Gillespie.run ~seed:7L ~t1 net in
+      let y = final.(Crn.Network.species net it.Core.Iterative.output_name) in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "floor(log2 %g)" a)
+        (float_of_int want) y)
+    [ (8., 3); (5., 2); (1., 0) ]
+
+let suite =
+  [
+    ("increments_by_one", `Quick, test_increments_by_one);
+    ("stochastic clock sustains", `Slow, test_stochastic_clock_sustains);
+    ("stochastic counter counts", `Slow, test_stochastic_counter_counts);
+    ("cycle sample times", `Quick, test_cycle_sample_times_ordering);
+    ("log2 floor exact over counts", `Slow, test_log2_floor_exact_over_counts);
+  ]
