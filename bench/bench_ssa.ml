@@ -1,0 +1,261 @@
+(* SSA engine benchmark: incremental-propensity direct method vs the naive
+   (recompute-everything) baseline, plus multicore ensemble scaling.
+
+   Emits machine-readable BENCH_ssa.json in the current directory so the
+   perf trajectory is tracked PR over PR:
+
+     dune exec bench/bench_ssa.exe            # full suite
+     dune exec bench/bench_ssa.exe -- quick   # smaller horizons (CI smoke)
+
+   JSON schema (mrsc-bench-ssa/1):
+     engine.networks[]: per-network events/sec for baseline and
+       incremental engines, their ratio ("speedup"), and dependency-graph
+       stats (n_reactions, mean/max affected-set size);
+     ensemble: wall time for the same root seed at jobs=1 and jobs=N,
+       the scaling ratio, and whether the statistics were byte-identical
+       across job counts (they must be). *)
+
+(* The seed implementation of Gillespie.run, kept verbatim as the
+   baseline: every propensity and the full sum recomputed per event,
+   selection by flat linear scan. The propensity function is also the
+   seed's copy (exception-based early exit, bounds-checked accesses), so
+   the comparison is against the actual pre-optimization code, not the
+   current shared hot path. *)
+let naive_propensity r (counts : int array) =
+  let open Ssa.Compiled in
+  let acc = ref r.k in
+  (try
+     for i = 0 to Array.length r.reactant_species - 1 do
+       let n = counts.(r.reactant_species.(i)) in
+       let c = r.reactant_coeff.(i) in
+       if n < c then begin
+         acc := 0.;
+         raise Exit
+       end;
+       let b =
+         match c with
+         | 1 -> float_of_int n
+         | 2 -> float_of_int n *. float_of_int (n - 1) /. 2.
+         | 3 ->
+             float_of_int n *. float_of_int (n - 1) *. float_of_int (n - 2)
+             /. 6.
+         | _ ->
+             let rec fall acc i =
+               if i = c then acc else fall (acc *. float_of_int (n - i)) (i + 1)
+             in
+             let rec fact acc i =
+               if i <= 1 then acc else fact (acc *. float_of_int i) (i - 1)
+             in
+             fall 1. 0 /. fact 1. c
+       in
+       acc := !acc *. b
+     done
+   with Exit -> ());
+  !acc
+
+let run_naive ?(seed = 1L) ?sample_dt ~t1 net =
+  let sample_dt = match sample_dt with Some dt -> dt | None -> t1 /. 500. in
+  let rng = Numeric.Rng.create seed in
+  let reactions = Ssa.Compiled.compile Crn.Rates.default_env net in
+  let counts =
+    Array.map
+      (fun x -> int_of_float (Float.round x))
+      (Crn.Network.initial_state net)
+  in
+  let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
+  let snapshot () = Array.map float_of_int counts in
+  let props = Array.make (Array.length reactions) 0. in
+  let t = ref 0. in
+  let next_sample = ref 0. in
+  let n_events = ref 0 in
+  let record_due_samples () =
+    while !next_sample <= !t && !next_sample <= t1 +. 1e-12 do
+      Ode.Trace.record trace !next_sample (snapshot ());
+      next_sample := !next_sample +. sample_dt
+    done
+  in
+  record_due_samples ();
+  (try
+     while !t < t1 do
+       Array.iteri (fun i r -> props.(i) <- naive_propensity r counts) reactions;
+       let total = Array.fold_left ( +. ) 0. props in
+       if total <= 0. then raise Exit;
+       let dt = Numeric.Rng.exponential rng total in
+       t := !t +. dt;
+       if !t > t1 then raise Exit;
+       record_due_samples ();
+       let j = Numeric.Rng.pick_weighted rng props in
+       Ssa.Compiled.apply reactions.(j) counts 1;
+       incr n_events
+     done
+   with Exit -> ());
+  !n_events
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+type engine_row = {
+  network : string;
+  t1 : float;
+  base_events : int;
+  base_wall : float;
+  incr_events : int;
+  incr_wall : float;
+  n_reactions : int;
+  mean_deps : float;
+  max_deps : int;
+}
+
+let bench_network ~name ~t1 build =
+  let net = build () in
+  let reactions = Ssa.Compiled.compile Crn.Rates.default_env net in
+  let deps =
+    Ssa.Dep_graph.build reactions ~n_species:(Crn.Network.n_species net)
+  in
+  (* warm both engines on a short horizon, then time one full run each *)
+  ignore (run_naive ~t1:(t1 /. 20.) net);
+  ignore (Ssa.Gillespie.run ~t1:(t1 /. 20.) net);
+  let base_events, base_wall = time (fun () -> run_naive ~t1 net) in
+  let incr_events, incr_wall =
+    time (fun () -> (Ssa.Gillespie.run ~t1 net).Ssa.Gillespie.n_events)
+  in
+  let row =
+    {
+      network = name;
+      t1;
+      base_events;
+      base_wall;
+      incr_events;
+      incr_wall;
+      n_reactions = Array.length reactions;
+      mean_deps = Ssa.Dep_graph.mean_out_degree deps;
+      max_deps = Ssa.Dep_graph.max_out_degree deps;
+    }
+  in
+  let eps events wall = float_of_int events /. wall in
+  Printf.printf
+    "%-10s R=%-4d deps(mean/max)=%.1f/%d   baseline %8.0f ev/s   incremental \
+     %8.0f ev/s   speedup %.2fx\n%!"
+    name row.n_reactions row.mean_deps row.max_deps
+    (eps base_events base_wall)
+    (eps incr_events incr_wall)
+    (eps incr_events incr_wall /. eps base_events base_wall);
+  row
+
+type ensemble_row = {
+  e_network : string;
+  e_t1 : float;
+  runs : int;
+  jobs_n : int;
+  wall_1 : float;
+  wall_n : float;
+  identical : bool;
+}
+
+let bench_ensemble ~name ~t1 ~runs build =
+  let net = build () in
+  let go jobs =
+    time (fun () ->
+        Ssa.Ensemble.map ~jobs ~seed:42L ~runs (fun _ s ->
+            (Ssa.Gillespie.run ~seed:s ~t1 net).Ssa.Gillespie.final))
+  in
+  let jobs_n = max 2 (Ssa.Ensemble.default_jobs ()) in
+  let f1, wall_1 = go 1 in
+  let fn, wall_n = go jobs_n in
+  let identical = f1 = fn in
+  Printf.printf
+    "ensemble %-10s %d runs: jobs=1 %.2fs   jobs=%d %.2fs   scaling %.2fx   \
+     identical=%b\n%!"
+    name runs wall_1 jobs_n wall_n (wall_1 /. wall_n) identical;
+  { e_network = name; e_t1 = t1; runs; jobs_n; wall_1; wall_n; identical }
+
+(* ------------------------------------------------------------- JSON *)
+
+let json_engine_row b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"network\": %S, \"t1\": %g, \"n_reactions\": %d,\n\
+       \     \"deps_mean\": %.3f, \"deps_max\": %d,\n\
+       \     \"baseline\": {\"events\": %d, \"wall_s\": %.4f, \
+        \"events_per_sec\": %.1f},\n\
+       \     \"incremental\": {\"events\": %d, \"wall_s\": %.4f, \
+        \"events_per_sec\": %.1f},\n\
+       \     \"speedup\": %.3f}"
+       r.network r.t1 r.n_reactions r.mean_deps r.max_deps r.base_events
+       r.base_wall
+       (float_of_int r.base_events /. r.base_wall)
+       r.incr_events r.incr_wall
+       (float_of_int r.incr_events /. r.incr_wall)
+       (float_of_int r.incr_events /. r.incr_wall
+       /. (float_of_int r.base_events /. r.base_wall)))
+
+let json_ensemble_row b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"network\": %S, \"t1\": %g, \"runs\": %d, \"jobs\": %d,\n\
+       \     \"jobs_1_wall_s\": %.4f, \"jobs_n_wall_s\": %.4f, \
+        \"scaling\": %.3f, \"identical\": %b}"
+       r.e_network r.e_t1 r.runs r.jobs_n r.wall_1 r.wall_n
+       (r.wall_1 /. r.wall_n) r.identical)
+
+let write_json ~path engine_rows ensemble_rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ssa/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Ssa.Ensemble.default_jobs ()));
+  Buffer.add_string b "  \"engine\": {\"networks\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_engine_row b r)
+    engine_rows;
+  Buffer.add_string b "\n  ]},\n  \"ensemble\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_ensemble_row b r)
+    ensemble_rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let () =
+  let quick = Array.exists (( = ) "quick") Sys.argv in
+  let s = if quick then 0.25 else 1. in
+  let engine_rows =
+    [
+      bench_network ~name:"decay" ~t1:(40. *. s) (fun () ->
+          let net = Crn.Network.create () in
+          let a = Crn.Network.species net "A"
+          and bsp = Crn.Network.species net "B" in
+          Crn.Network.set_init net a 200000.;
+          Crn.Network.add_reaction net
+            (Crn.Reaction.make ~reactants:[ (a, 1) ] ~products:[ (bsp, 1) ]
+               (Crn.Rates.slow_scaled 0.1));
+          net);
+      bench_network ~name:"clock4" ~t1:(40. *. s) (fun () ->
+          Designs.Catalog.build "clock4");
+      bench_network ~name:"counter2" ~t1:(60. *. s) (fun () ->
+          Designs.Catalog.build "counter2");
+      bench_network ~name:"counter3" ~t1:(40. *. s) (fun () ->
+          Designs.Catalog.build "counter3");
+    ]
+  in
+  let ensemble_rows =
+    [
+      bench_ensemble ~name:"counter2" ~t1:(30. *. s)
+        ~runs:(if quick then 4 else 8) (fun () ->
+          Designs.Catalog.build "counter2");
+    ]
+  in
+  write_json ~path:"BENCH_ssa.json" engine_rows ensemble_rows;
+  let bad = List.filter (fun r -> not r.identical) ensemble_rows in
+  if bad <> [] then begin
+    prerr_endline "FAIL: parallel ensemble not identical to sequential";
+    exit 1
+  end

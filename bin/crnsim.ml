@@ -26,8 +26,47 @@ let method_of_string = function
       | Some h when h > 0. -> Ode.Driver.Rk4 h
       | _ -> failwith "method must be dopri5, rosenbrock, or an rk4 step size")
 
-let run source t1 ratio method_name csv_out plot_species stochastic seed
-    final_only focus =
+(* ensemble mode: many stochastic trajectories fanned across domains;
+   reports per-species mean +- std of the final state instead of a trace *)
+let run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out net =
+  let t0 = Unix.gettimeofday () in
+  let finals =
+    Ssa.Ensemble.map ?jobs ~seed:(Int64.of_int seed) ~runs (fun _ s ->
+        (Ssa.Gillespie.run ~env ~seed:s ~t1 net).Ssa.Gillespie.final)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let jobs_used =
+    match jobs with Some j -> min j runs | None -> min (Ssa.Ensemble.default_jobs ()) runs
+  in
+  Printf.eprintf "ensemble: %d stochastic runs on %d domain(s) in %.2fs\n" runs
+    jobs_used wall;
+  let names = Crn.Network.species_names net in
+  let column i = Array.map (fun f -> f.(i)) finals in
+  let stats =
+    Array.mapi
+      (fun i name ->
+        let xs = column i in
+        (name, Numeric.Stats.mean xs, Numeric.Stats.stddev xs))
+      names
+  in
+  (match csv_out with
+  | Some path ->
+      Analysis.Csv.write_rows ~path ~header:[ "species"; "mean"; "std" ]
+        (Array.to_list
+           (Array.map
+              (fun (name, m, s) ->
+                [ name; Printf.sprintf "%.17g" m; Printf.sprintf "%.17g" s ])
+              stats));
+      Printf.printf "wrote final-state statistics to %s\n" path
+  | None -> ());
+  Printf.printf "final state at t = %g (mean +- std over %d runs):\n" t1 runs;
+  Array.iter
+    (fun (name, m, s) ->
+      if m > 1e-6 then Printf.printf "  %-24s %10.4f +- %8.4f\n" name m s)
+    stats
+
+let run source t1 ratio method_name csv_out plot_species stochastic seed runs
+    jobs final_only focus =
   try
     let net = load source in
     let net =
@@ -46,6 +85,14 @@ let run source t1 ratio method_name csv_out plot_species stochastic seed
     (match Crn.Validate.report net with
     | "" -> ()
     | report -> Printf.eprintf "lint:\n%s\n" report);
+    if runs < 1 then failwith "--runs must be >= 1";
+    if stochastic && runs > 1 then begin
+      if plot_species <> [] then
+        Printf.eprintf "note: --plot is ignored when --runs > 1\n";
+      run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out net;
+      0
+    end
+    else begin
     let trace =
       if stochastic then
         let { Ssa.Gillespie.trace; n_events; _ } =
@@ -77,9 +124,13 @@ let run source t1 ratio method_name csv_out plot_species stochastic seed
         (Ode.Trace.names trace)
     end;
     0
+    end
   with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "crnsim: %s\n" msg;
+      1
+  | Ssa.Gillespie.Error err ->
+      Printf.eprintf "crnsim: %s\n" (Ssa.Gillespie.error_to_string err);
       1
   | Crn.Parser.Parse_error (line, msg) ->
       Printf.eprintf "crnsim: parse error at line %d: %s\n" line msg;
@@ -117,6 +168,20 @@ let seed =
   let doc = "Random seed for the stochastic simulator." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+let runs =
+  let doc =
+    "With --stochastic, simulate $(docv) independent trajectories (streams \
+     split off --seed) and report mean +- std of the final state."
+  in
+  Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc)
+
+let jobs =
+  let doc =
+    "Domains for the ensemble (default: all recommended cores). Results \
+     are identical for every job count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let final_only =
   let doc = "Print the final state even when plotting or dumping CSV." in
   Arg.(value & flag & info [ "final" ] ~doc)
@@ -134,6 +199,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ source $ t1 $ ratio $ method_name $ csv_out $ plot_species
-      $ stochastic $ seed $ final_only $ focus)
+      $ stochastic $ seed $ runs $ jobs $ final_only $ focus)
 
 let () = exit (Cmd.eval' cmd)

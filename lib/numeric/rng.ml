@@ -13,9 +13,8 @@ let uint64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
-let split t =
-  let seed = uint64 t in
-  create (mix64 seed)
+let split_seed t = mix64 (uint64 t)
+let split t = create (split_seed t)
 
 (* 53-bit mantissa from the top bits. *)
 let float t =

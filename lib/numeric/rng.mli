@@ -13,6 +13,12 @@ val split : t -> t
 (** A statistically independent generator derived from the current state;
     advances the parent. *)
 
+val split_seed : t -> int64
+(** The seed of the generator that the next {!split} would return;
+    advances the parent. [create (split_seed t)] is equivalent to
+    [split t]. Used to hand independent streams to APIs that take a seed
+    (e.g. one stream per trajectory of a stochastic ensemble). *)
+
 val uint64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -23,42 +23,49 @@ let compile env net =
   in
   Array.map compile_reaction (Crn.Network.reactions net)
 
-(* combinatorial propensity: a = k * prod_i binom(n_i, c_i) *)
+(* combinatorial propensity: a = k * prod_i binom(n_i, c_i).
+
+   This is the single hottest function of the stochastic simulators (called
+   |deps(j)| times per SSA event), so it is branch- and bounds-check-lean:
+   no exception for the early-zero case, and unsafe array reads justified
+   by the [compile] invariant that every stored species index was validated
+   by [Crn.Network.add_reaction]. *)
 let propensity r (counts : int array) =
+  let ns = Array.length r.reactant_species in
   let acc = ref r.k in
-  (try
-     for i = 0 to Array.length r.reactant_species - 1 do
-       let n = counts.(r.reactant_species.(i)) in
-       let c = r.reactant_coeff.(i) in
-       if n < c then begin
-         acc := 0.;
-         raise Exit
-       end;
-       let b =
-         match c with
-         | 1 -> float_of_int n
-         | 2 -> float_of_int n *. float_of_int (n - 1) /. 2.
-         | 3 ->
-             float_of_int n *. float_of_int (n - 1) *. float_of_int (n - 2)
-             /. 6.
-         | _ ->
-             let rec fall acc i =
-               if i = c then acc else fall (acc *. float_of_int (n - i)) (i + 1)
-             in
-             let rec fact acc i =
-               if i <= 1 then acc else fact (acc *. float_of_int i) (i - 1)
-             in
-             fall 1. 0 /. fact 1. c
-       in
-       acc := !acc *. b
-     done
-   with Exit -> ());
+  let i = ref 0 in
+  while !acc <> 0. && !i < ns do
+    let n = Array.unsafe_get counts (Array.unsafe_get r.reactant_species !i) in
+    let c = Array.unsafe_get r.reactant_coeff !i in
+    if n < c then acc := 0.
+    else begin
+      let b =
+        match c with
+        | 1 -> float_of_int n
+        | 2 -> float_of_int n *. float_of_int (n - 1) /. 2.
+        | 3 ->
+            float_of_int n *. float_of_int (n - 1) *. float_of_int (n - 2)
+            /. 6.
+        | _ ->
+            let rec fall acc j =
+              if j = c then acc else fall (acc *. float_of_int (n - j)) (j + 1)
+            in
+            let rec fact acc j =
+              if j <= 1 then acc else fact (acc *. float_of_int j) (j - 1)
+            in
+            fall 1. 0 /. fact 1. c
+      in
+      acc := !acc *. b
+    end;
+    incr i
+  done;
   !acc
 
 let apply r (counts : int array) times =
   for i = 0 to Array.length r.delta_species - 1 do
-    counts.(r.delta_species.(i)) <-
-      counts.(r.delta_species.(i)) + (times * r.delta.(i))
+    let s = Array.unsafe_get r.delta_species i in
+    Array.unsafe_set counts s
+      (Array.unsafe_get counts s + (times * Array.unsafe_get r.delta i))
   done
 
 (* highest reactant molecularity each species participates in (Cao's g_i,

@@ -1,0 +1,31 @@
+(** Deterministic multicore ensemble runner.
+
+    Stochastic validation needs many independent trajectories of the same
+    network; they are embarrassingly parallel. This module fans them
+    across OCaml 5 [Domain]s with a fixed hand-rolled pool and a
+    deterministic seed→trajectory assignment: trajectory [i] always gets
+    the [i]-th stream split off the root generator
+    ({!Numeric.Rng.split_seed}), and results come back in trajectory
+    order, so the output is byte-identical regardless of the job count.
+
+    The mapped function runs concurrently in several domains: it must not
+    mutate shared state. Simulating a shared {!Crn.Network.t} is safe —
+    the simulators only read it. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+val seeds : seed:int64 -> runs:int -> int64 array
+(** The per-trajectory seed streams split off [seed]; exposed so callers
+    can reproduce a single trajectory of an ensemble in isolation. *)
+
+val map : ?jobs:int -> ?seed:int64 -> runs:int -> (int -> int64 -> 'a) -> 'a array
+(** [map ~runs f] computes [|f 0 s0; f 1 s1; ...|] where [si] are the
+    split streams of [seed] (default [42L]), using up to [jobs] domains
+    (default {!default_jobs}, clamped to [runs]). Raises
+    [Invalid_argument] if [runs < 1] or [jobs < 1]. Exceptions raised by
+    [f] in a worker domain are re-raised on join. *)
+
+val mean_std :
+  ?jobs:int -> ?seed:int64 -> runs:int -> (int -> int64 -> float) -> float * float
+(** Mean and sample standard deviation of [map]'s results. *)

@@ -1,11 +1,157 @@
+(* Gillespie direct method with incremental propensity maintenance.
+
+   The naive direct method recomputes every propensity and their full sum
+   after each event — O(R) per event. Here the compiled network's
+   dependency graph (Dep_graph) tells us which propensities an event can
+   actually change, so each event costs O(|deps(j)|) propensity updates:
+
+   - props.(i) always equals the from-scratch propensity of reaction i
+     (affected entries are recomputed exactly, not patched), so the
+     incremental state cannot drift from the full recompute;
+   - the running total is maintained by compensated (Kahan) accumulation
+     of the exact deltas, and both it and the per-group partial sums are
+     rebuilt from scratch every [refresh_every] events to bound float
+     drift;
+   - selection replaces the flat linear scan with a two-level search:
+     find the group by scanning ~sqrt(R) group sums, then scan inside the
+     one group. If accumulated drift makes the drawn target land on a
+     zero-propensity slot, we rebuild and re-search with the same uniform
+     draw (no extra RNG consumption, so trajectories stay seed-stable). *)
+
 type result = { trace : Ode.Trace.t; final : float array; n_events : int }
+
+type error = Max_events_exceeded of { max_events : int; t : float }
+
+exception Error of error
+
+let error_to_string = function
+  | Max_events_exceeded { max_events; t } ->
+      Printf.sprintf "Gillespie: max event count %d exceeded at t = %g"
+        max_events t
 
 let compile = Compiled.compile
 let propensity = Compiled.propensity
 
-let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
-    ?(max_events = 50_000_000) ~t1 net =
+(* ------------------------------------------------------------ engine *)
+
+(* [acc] packs the compensated running total — acc.(0) is the total,
+   acc.(1) the Kahan compensation — in a float array so the hot loop's
+   mutations stay unboxed (mutable float fields of a mixed record would
+   allocate on every write). *)
+type engine = {
+  reactions : Compiled.reaction array;
+  deps : Dep_graph.t;
+  props : float array;
+  group_sum : float array;
+  group_size : int;
+  n_groups : int;
+  acc : float array;
+  mutable since_refresh : int;
+}
+
+let total e = Array.unsafe_get e.acc 0
+
+let make_engine reactions ~n_species =
+  let m = Array.length reactions in
+  let group_size =
+    max 1 (int_of_float (ceil (sqrt (float_of_int (max m 1)))))
+  in
+  let n_groups = max 1 ((m + group_size - 1) / group_size) in
+  {
+    reactions;
+    deps = Dep_graph.build reactions ~n_species;
+    props = Array.make m 0.;
+    group_sum = Array.make n_groups 0.;
+    group_size;
+    n_groups;
+    acc = Array.make 2 0.;
+    since_refresh = 0;
+  }
+
+(* full rebuild: every propensity, the group partial sums, and the total *)
+let refresh e counts =
+  let m = Array.length e.props in
+  Array.fill e.group_sum 0 e.n_groups 0.;
+  let total = ref 0. in
+  for i = 0 to m - 1 do
+    let a = propensity e.reactions.(i) counts in
+    e.props.(i) <- a;
+    let g = i / e.group_size in
+    e.group_sum.(g) <- e.group_sum.(g) +. a;
+    total := !total +. a
+  done;
+  e.acc.(0) <- !total;
+  e.acc.(1) <- 0.;
+  e.since_refresh <- 0
+
+(* after firing reaction j, recompute exactly the affected propensities;
+   unsafe accesses are justified by Dep_graph/compile producing only
+   in-range indices *)
+let update e counts j =
+  let aff = Dep_graph.affected e.deps j in
+  for k = 0 to Array.length aff - 1 do
+    let i = Array.unsafe_get aff k in
+    let a = propensity (Array.unsafe_get e.reactions i) counts in
+    let d = a -. Array.unsafe_get e.props i in
+    if d <> 0. then begin
+      Array.unsafe_set e.props i a;
+      let g = i / e.group_size in
+      Array.unsafe_set e.group_sum g (Array.unsafe_get e.group_sum g +. d);
+      (* Kahan: acc.(0) += d with compensation in acc.(1) *)
+      let y = d -. Array.unsafe_get e.acc 1 in
+      let t = Array.unsafe_get e.acc 0 +. y in
+      Array.unsafe_set e.acc 1 (t -. Array.unsafe_get e.acc 0 -. y);
+      Array.unsafe_set e.acc 0 t
+    end
+  done;
+  e.since_refresh <- e.since_refresh + 1
+
+(* two-level search for the reaction at cumulative weight [target]; returns
+   -1 when drift strands the target on an empty slot (caller refreshes) *)
+let search e target =
+  let m = Array.length e.props in
+  let g = ref 0 and acc = ref 0. in
+  while
+    !g < e.n_groups - 1
+    && !acc +. Array.unsafe_get e.group_sum !g <= target
+  do
+    acc := !acc +. Array.unsafe_get e.group_sum !g;
+    incr g
+  done;
+  let lo = !g * e.group_size in
+  let hi = min m (lo + e.group_size) in
+  let i = ref lo in
+  while !i < hi - 1 && !acc +. Array.unsafe_get e.props !i <= target do
+    acc := !acc +. Array.unsafe_get e.props !i;
+    incr i
+  done;
+  if Array.unsafe_get e.props !i > 0. then !i else -1
+
+(* select with the uniform draw [u]; on a drift miss rebuild once and
+   re-search, then fall back to the last positive propensity *)
+let select e counts u =
+  let j = search e (u *. total e) in
+  if j >= 0 then j
+  else begin
+    refresh e counts;
+    if total e <= 0. then -1
+    else
+      let j = search e (u *. total e) in
+      if j >= 0 then j
+      else begin
+        let last = ref (-1) in
+        Array.iteri (fun i a -> if a > 0. then last := i) e.props;
+        !last
+      end
+  end
+
+(* --------------------------------------------------------------- runs *)
+
+let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
+    ?(max_events = 50_000_000) ?(refresh_every = 4096) ~t1 net =
   if t1 <= 0. then invalid_arg "Gillespie.run: t1 must be positive";
+  if refresh_every < 1 then
+    invalid_arg "Gillespie.run: refresh_every must be >= 1";
   let sample_dt =
     match sample_dt with
     | Some dt when dt > 0. -> dt
@@ -14,7 +160,6 @@ let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   in
   let rng = Numeric.Rng.create seed in
   let reactions = compile env net in
-  let n = Crn.Network.n_species net in
   let counts =
     Array.map
       (fun x -> int_of_float (Float.round x))
@@ -22,10 +167,11 @@ let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   in
   let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
   let snapshot () = Array.map float_of_int counts in
-  let props = Array.make (Array.length reactions) 0. in
+  let e = make_engine reactions ~n_species:(Crn.Network.n_species net) in
   let t = ref 0. in
   let next_sample = ref 0. in
   let n_events = ref 0 in
+  let failure = ref None in
   let record_due_samples () =
     while !next_sample <= !t && !next_sample <= t1 +. 1e-12 do
       Ode.Trace.record trace !next_sample (snapshot ());
@@ -33,18 +179,26 @@ let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
     done
   in
   record_due_samples ();
+  refresh e counts;
   (try
      while !t < t1 do
-       if !n_events >= max_events then failwith "Gillespie: max event count exceeded";
-       Array.iteri (fun i r -> props.(i) <- propensity r counts) reactions;
-       let total = Array.fold_left ( +. ) 0. props in
-       if total <= 0. then begin
-         (* no reaction can fire: hold state to the end *)
-         t := t1;
-         record_due_samples ();
+       if !n_events >= max_events then begin
+         failure := Some (Max_events_exceeded { max_events; t = !t });
          raise Exit
        end;
-       let dt = Numeric.Rng.exponential rng total in
+       if e.since_refresh >= refresh_every then refresh e counts;
+       if total e <= 0. then begin
+         (* the compensated total has decayed to zero (or drifted): rebuild
+            before declaring the system dead *)
+         refresh e counts;
+         if total e <= 0. then begin
+           (* no reaction can fire: hold state to the end *)
+           t := t1;
+           record_due_samples ();
+           raise Exit
+         end
+       end;
+       let dt = Numeric.Rng.exponential rng (total e) in
        t := !t +. dt;
        if !t > t1 then begin
          t := t1;
@@ -52,15 +206,28 @@ let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
          raise Exit
        end;
        record_due_samples ();
-       let j = Numeric.Rng.pick_weighted rng props in
+       let u = Numeric.Rng.float rng in
+       let j = select e counts u in
+       if j < 0 then begin
+         t := t1;
+         record_due_samples ();
+         raise Exit
+       end;
        Compiled.apply reactions.(j) counts 1;
+       update e counts j;
        incr n_events
      done
    with Exit -> ());
-  ignore n;
-  { trace; final = snapshot (); n_events = !n_events }
+  match !failure with
+  | Some err -> Stdlib.Error err
+  | None -> Ok { trace; final = snapshot (); n_events = !n_events }
 
-let mean_final ?env ?(runs = 20) ?(seed = 42L) ~t1 net species =
+let run ?env ?seed ?sample_dt ?max_events ?refresh_every ~t1 net =
+  match run_result ?env ?seed ?sample_dt ?max_events ?refresh_every ~t1 net with
+  | Ok r -> r
+  | Stdlib.Error err -> raise (Error err)
+
+let mean_final ?env ?(runs = 20) ?jobs ?(seed = 42L) ~t1 net species =
   if runs < 1 then invalid_arg "Gillespie.mean_final: runs must be >= 1";
   let idx =
     match Crn.Network.find_species net species with
@@ -69,11 +236,6 @@ let mean_final ?env ?(runs = 20) ?(seed = 42L) ~t1 net species =
         invalid_arg
           (Printf.sprintf "Gillespie.mean_final: unknown species %S" species)
   in
-  let root = Numeric.Rng.create seed in
-  let finals =
-    Array.init runs (fun _ ->
-        let s = Numeric.Rng.uint64 root in
-        let { final; _ } = run ?env ~seed:s ~t1 net in
-        final.(idx))
-  in
-  (Numeric.Stats.mean finals, Numeric.Stats.stddev finals)
+  Ensemble.mean_std ?jobs ~seed ~runs (fun _ s ->
+      let { final; _ } = run ?env ~seed:s ~t1 net in
+      final.(idx))

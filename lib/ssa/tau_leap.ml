@@ -5,6 +5,15 @@ type result = {
   n_exact : int;
 }
 
+type error = Max_steps_exceeded of { max_steps : int; t : float }
+
+exception Error of error
+
+let error_to_string = function
+  | Max_steps_exceeded { max_steps; t } ->
+      Printf.sprintf "Tau_leap: max step count %d exceeded at t = %g"
+        max_steps t
+
 let poisson rng mean =
   if mean < 0. then invalid_arg "Tau_leap.poisson: negative mean";
   if mean = 0. then 0
@@ -51,7 +60,7 @@ let select_tau ~epsilon reactions props g counts =
   done;
   !tau
 
-let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
+let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
     ?(epsilon = 0.03) ?(max_steps = 10_000_000) ~t1 net =
   if t1 <= 0. then invalid_arg "Tau_leap.run: t1 must be positive";
   let sample_dt =
@@ -76,6 +85,7 @@ let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   let t = ref 0. in
   let next_sample = ref 0. in
   let n_leaps = ref 0 and n_exact = ref 0 and steps = ref 0 in
+  let failure = ref None in
   let record_due () =
     while !next_sample <= !t && !next_sample <= t1 +. 1e-12 do
       Ode.Trace.record trace !next_sample (snapshot ());
@@ -86,7 +96,10 @@ let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   (try
      while !t < t1 do
        incr steps;
-       if !steps >= max_steps then failwith "Tau_leap: max step count exceeded";
+       if !steps >= max_steps then begin
+         failure := Some (Max_steps_exceeded { max_steps; t = !t });
+         raise Exit
+       end;
        Array.iteri (fun j r -> props.(j) <- Compiled.propensity r counts) reactions;
        let total = Array.fold_left ( +. ) 0. props in
        if total <= 0. then begin
@@ -156,4 +169,25 @@ let run ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
        end
      done
    with Exit -> ());
-  { trace; final = snapshot (); n_leaps = !n_leaps; n_exact = !n_exact }
+  match !failure with
+  | Some err -> Stdlib.Error err
+  | None ->
+      Ok { trace; final = snapshot (); n_leaps = !n_leaps; n_exact = !n_exact }
+
+let run ?env ?seed ?sample_dt ?epsilon ?max_steps ~t1 net =
+  match run_result ?env ?seed ?sample_dt ?epsilon ?max_steps ~t1 net with
+  | Ok r -> r
+  | Stdlib.Error err -> raise (Error err)
+
+let mean_final ?env ?(runs = 20) ?jobs ?(seed = 42L) ~t1 net species =
+  if runs < 1 then invalid_arg "Tau_leap.mean_final: runs must be >= 1";
+  let idx =
+    match Crn.Network.find_species net species with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Tau_leap.mean_final: unknown species %S" species)
+  in
+  Ensemble.mean_std ?jobs ~seed ~runs (fun _ s ->
+      let { final; _ } = run ?env ~seed:s ~t1 net in
+      final.(idx))

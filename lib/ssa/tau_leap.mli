@@ -17,6 +17,27 @@ type result = {
   n_exact : int;  (** direct-method fallback events *)
 }
 
+type error =
+  | Max_steps_exceeded of { max_steps : int; t : float }
+      (** the step budget ran out at simulated time [t] *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val run_result :
+  ?env:Crn.Rates.env ->
+  ?seed:int64 ->
+  ?sample_dt:float ->
+  ?epsilon:float ->
+  ?max_steps:int ->
+  t1:float ->
+  Crn.Network.t ->
+  (result, error) Stdlib.result
+(** Simulate from 0 to [t1]. Defaults: [seed = 1L], [sample_dt = t1/500],
+    [epsilon = 0.03], [max_steps = 10_000_000]. Returns [Error] instead of
+    raising when the step budget is exhausted. *)
+
 val run :
   ?env:Crn.Rates.env ->
   ?seed:int64 ->
@@ -26,9 +47,21 @@ val run :
   t1:float ->
   Crn.Network.t ->
   result
-(** Simulate from 0 to [t1]. Defaults: [seed = 1L], [sample_dt = t1/500],
-    [epsilon = 0.03], [max_steps = 10_000_000] (raises [Failure] when
-    exhausted). *)
+(** Like {!run_result} but raises {!Error} on an exhausted step budget. *)
+
+val mean_final :
+  ?env:Crn.Rates.env ->
+  ?runs:int ->
+  ?jobs:int ->
+  ?seed:int64 ->
+  t1:float ->
+  Crn.Network.t ->
+  string ->
+  float * float
+(** Tau-leaping counterpart of {!Gillespie.mean_final}: [runs]
+    trajectories with split per-trajectory streams, fanned across [jobs]
+    domains via {!Ensemble}; returns mean and sample standard deviation
+    of the species' final count. *)
 
 val poisson : Numeric.Rng.t -> float -> int
 (** Sample Poisson(mean): inversion for small means, normal approximation

@@ -7,6 +7,7 @@ let () =
       ("slice", Test_slice.suite);
       ("ode", Test_ode.suite);
       ("ssa", Test_ssa.suite);
+      ("ensemble", Test_ensemble.suite);
       ("analysis", Test_analysis.suite);
       ("ri_modules", Test_ri_modules.suite);
       ("dual_rail", Test_dual_rail.suite);
