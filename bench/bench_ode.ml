@@ -1,0 +1,220 @@
+(* ODE engine benchmark: the CSR flat RHS/Jacobian kernel vs the retained
+   boxed-record baseline (Deriv.Reference), plus multicore scaling of the
+   deterministic sweep engine.
+
+   Emits machine-readable BENCH_ode.json in the current directory so the
+   perf trajectory is tracked PR over PR:
+
+     dune exec bench/bench_ode.exe             # full suite
+     dune exec bench/bench_ode.exe -- --quick  # smaller workloads (CI smoke)
+
+   JSON schema (mrsc-bench-ode/1):
+     kernel.networks[]: per-network RHS and Jacobian evals/sec for the
+       boxed baseline and the flat CSR kernel, and their ratio
+       ("speedup"); both kernels are evaluated at the same
+       mid-trajectory state and agree bitwise (asserted here and in the
+       test suite);
+     sweep: wall time for the same rate-robustness sweep at jobs=1 and
+       jobs=4, the scaling ratio, and whether the results were
+       byte-identical across job counts (they must be). *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* run f in batches until [floor_s] of wall time is spent; returns
+   (calls, wall) *)
+let time_throughput ~floor_s ~batch f =
+  let calls = ref 0 in
+  let wall = ref 0. in
+  while !wall < floor_s do
+    let (), dt =
+      time (fun () ->
+          for _ = 1 to batch do
+            f ()
+          done)
+    in
+    calls := !calls + batch;
+    wall := !wall +. dt
+  done;
+  (!calls, !wall)
+
+type kernel_row = {
+  network : string;
+  n_species : int;
+  n_reactions : int;
+  jac_nnz : int;
+  rhs_ref : float;  (* evals/sec *)
+  rhs_csr : float;
+  jac_ref : float;
+  jac_csr : float;
+}
+
+let bench_kernel ~quick ~name build =
+  let net = build () in
+  let env = Crn.Rates.default_env in
+  let sys = Ode.Deriv.compile env net in
+  let refsys = Ode.Deriv.Reference.compile env net in
+  let n = Ode.Deriv.dim sys in
+  (* a mid-trajectory state, so fluxes are nonzero and representative *)
+  let x =
+    Ode.Driver.final_state ~method_:Ode.Driver.Rosenbrock ~env ~t1:5. net
+  in
+  let dx = Array.make n 0. in
+  let dx' = Array.make n 0. in
+  (* the two kernels must agree bitwise before we bother timing them *)
+  Ode.Deriv.f sys 0. x dx;
+  Ode.Deriv.Reference.f refsys 0. x dx';
+  if dx <> dx' then failwith (name ^ ": CSR RHS disagrees with reference");
+  let jac = Numeric.Mat.create n n 0. in
+  Ode.Deriv.jacobian_into sys x jac;
+  if jac <> Ode.Deriv.Reference.jacobian refsys x then
+    failwith (name ^ ": CSR Jacobian disagrees with reference");
+  let floor_s = if quick then 0.1 else 0.5 in
+  let rhs_batch = 20_000 and jac_batch = 2_000 in
+  let throughput ~batch f =
+    let calls, wall = time_throughput ~floor_s ~batch f in
+    float_of_int calls /. wall
+  in
+  (* warm up, then measure *)
+  ignore (time_throughput ~floor_s:(floor_s /. 5.) ~batch:rhs_batch (fun () ->
+      Ode.Deriv.f sys 0. x dx));
+  let rhs_csr = throughput ~batch:rhs_batch (fun () -> Ode.Deriv.f sys 0. x dx) in
+  let rhs_ref =
+    throughput ~batch:rhs_batch (fun () -> Ode.Deriv.Reference.f refsys 0. x dx')
+  in
+  let jac_csr =
+    throughput ~batch:jac_batch (fun () -> Ode.Deriv.jacobian_into sys x jac)
+  in
+  let jac_ref =
+    throughput ~batch:jac_batch (fun () ->
+        ignore (Ode.Deriv.Reference.jacobian refsys x))
+  in
+  let row =
+    {
+      network = name;
+      n_species = n;
+      n_reactions = Ode.Deriv.n_reactions sys;
+      jac_nnz = Ode.Deriv.jac_nnz sys;
+      rhs_ref;
+      rhs_csr;
+      jac_ref;
+      jac_csr;
+    }
+  in
+  Printf.printf
+    "%-10s n=%-3d R=%-3d   RHS boxed %10.0f/s   flat %10.0f/s   speedup \
+     %.2fx   | jac boxed %8.0f/s   in-place %8.0f/s   speedup %.2fx\n%!"
+    name n row.n_reactions rhs_ref rhs_csr (rhs_csr /. rhs_ref) jac_ref jac_csr
+    (jac_csr /. jac_ref);
+  row
+
+type sweep_row = {
+  s_network : string;
+  s_t1 : float;
+  points : int;
+  jobs_n : int;
+  wall_1 : float;
+  wall_n : float;
+  identical : bool;
+}
+
+let bench_sweep ~quick ~name build =
+  let net = build () in
+  let t1 = if quick then 10. else 40. in
+  let n_points = if quick then 4 else 8 in
+  let ratios =
+    Array.init n_points (fun i -> 100. *. (1.3 ** float_of_int i))
+  in
+  let go jobs =
+    time (fun () -> Ode.Sweep.final_states ~jobs ~t1 net ~ratios)
+  in
+  let jobs_n = 4 in
+  ignore (go 1) (* warm-up *);
+  let f1, wall_1 = go 1 in
+  let fn, wall_n = go jobs_n in
+  let identical = f1 = fn in
+  Printf.printf
+    "sweep %-10s %d points: jobs=1 %.2fs   jobs=%d %.2fs   scaling %.2fx   \
+     identical=%b\n%!"
+    name n_points wall_1 jobs_n wall_n (wall_1 /. wall_n) identical;
+  {
+    s_network = name;
+    s_t1 = t1;
+    points = n_points;
+    jobs_n;
+    wall_1;
+    wall_n;
+    identical;
+  }
+
+(* ------------------------------------------------------------- JSON *)
+
+let json_kernel_row b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"network\": %S, \"n_species\": %d, \"n_reactions\": %d, \
+        \"jac_nnz\": %d,\n\
+       \     \"rhs\": {\"baseline_evals_per_sec\": %.1f, \
+        \"csr_evals_per_sec\": %.1f, \"speedup\": %.3f},\n\
+       \     \"jacobian\": {\"baseline_evals_per_sec\": %.1f, \
+        \"inplace_evals_per_sec\": %.1f, \"speedup\": %.3f}}"
+       r.network r.n_species r.n_reactions r.jac_nnz r.rhs_ref r.rhs_csr
+       (r.rhs_csr /. r.rhs_ref)
+       r.jac_ref r.jac_csr
+       (r.jac_csr /. r.jac_ref))
+
+let json_sweep_row b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"network\": %S, \"t1\": %g, \"points\": %d, \"jobs\": %d,\n\
+       \     \"jobs_1_wall_s\": %.4f, \"jobs_n_wall_s\": %.4f, \
+        \"scaling\": %.3f, \"identical\": %b}"
+       r.s_network r.s_t1 r.points r.jobs_n r.wall_1 r.wall_n
+       (r.wall_1 /. r.wall_n) r.identical)
+
+let write_json ~path kernel_rows sweep_rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ode/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Numeric.Domain_pool.default_jobs ()));
+  Buffer.add_string b "  \"kernel\": {\"networks\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_kernel_row b r)
+    kernel_rows;
+  Buffer.add_string b "\n  ]},\n  \"sweep\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_sweep_row b r)
+    sweep_rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let () =
+  let quick =
+    Array.exists (fun a -> a = "quick" || a = "--quick") Sys.argv
+  in
+  let catalog = [ "clock4"; "counter2"; "counter3"; "biquad" ] in
+  let kernel_rows =
+    List.map
+      (fun name ->
+        bench_kernel ~quick ~name (fun () -> Designs.Catalog.build name))
+      catalog
+  in
+  let sweep_rows =
+    [ bench_sweep ~quick ~name:"clock4" (fun () -> Designs.Catalog.build "clock4") ]
+  in
+  write_json ~path:"BENCH_ode.json" kernel_rows sweep_rows;
+  let bad = List.filter (fun r -> not r.identical) sweep_rows in
+  if bad <> [] then begin
+    prerr_endline "FAIL: parallel sweep not identical to sequential";
+    exit 1
+  end

@@ -34,8 +34,13 @@ let measure ?env ?(cycles = 28) ?(dc = 5.) ?(amp = 3.) compiled ~omega =
     ideal = estimate_gain ~omega ~skip want /. input_gain;
   }
 
-let sweep ?env ?cycles compiled ~omegas =
-  List.map (fun omega -> measure ?env ?cycles compiled ~omega) omegas
+let sweep ?env ?cycles ?jobs compiled ~omegas =
+  (* each point is a full clocked simulation; fan them over domains —
+     measurement only reads the compiled design's network *)
+  Array.to_list
+    (Ode.Sweep.map ?jobs
+       (fun omega -> measure ?env ?cycles compiled ~omega)
+       (Array.of_list omegas))
 
 let biquad_theory ~b0 ~b1 ~b2 ~a1 ~a2 ~omega =
   let f (num, den) = float_of_int num /. float_of_int den in

@@ -34,9 +34,13 @@ val measure :
 val sweep :
   ?env:Crn.Rates.env ->
   ?cycles:int ->
+  ?jobs:int ->
   Sfg.compiled ->
   omegas:float list ->
   point list
+(** {!measure} at every frequency, fanned over up to [jobs] domains via
+    {!Ode.Sweep} (default: all recommended cores). Results are in
+    [omegas] order and identical for every job count. *)
 
 val biquad_theory :
   b0:int * int ->

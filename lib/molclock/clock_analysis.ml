@@ -48,6 +48,37 @@ let phase_high_at trace clock t =
     (Oscillator.phase_names clock)
     t
 
+(* ------------------------------------------- rate-perturbation sweep *)
+
+type rate_point = {
+  ratio : float;
+  period : float option;
+  sustained : bool;
+  worst_overlap : float;
+}
+
+let rate_sweep ?jobs ?(n_phases = 3) ?(mass = 100.) ?(t1 = 150.) ~ratios () =
+  (* each point builds its own clock network, so workers share nothing *)
+  Ode.Sweep.map ?jobs
+    (fun ratio ->
+      let net = Crn.Network.create () in
+      let clock =
+        Oscillator.create ~n_phases ~mass
+          (Crn.Builder.scoped (Crn.Builder.on net) "clk")
+      in
+      let env = Crn.Rates.env_with_ratio ratio in
+      let trace =
+        Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~env ~thin:5 ~t1
+          net
+      in
+      {
+        ratio;
+        period = period trace clock;
+        sustained = is_sustained trace clock;
+        worst_overlap = worst_adjacent_overlap trace clock;
+      })
+    ratios
+
 let cycle_starts trace clock =
   let times, values = series trace clock 0 in
   Analysis.Oscillation.crossings

@@ -1,0 +1,37 @@
+(* Fixed fan-out over OCaml 5 domains, shared by the stochastic ensemble
+   runner and the deterministic sweep engine.
+
+   Work is partitioned into contiguous static slices, one per worker (a
+   hand-rolled fixed pool; sibling tasks of one fan-out have similar
+   cost, so dynamic stealing would buy little and cost atomics). Results
+   always come back in task-index order, so a deterministic task
+   function yields byte-identical output for every job count. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run ?jobs ~tasks f =
+  if tasks < 1 then invalid_arg "Domain_pool.run: tasks must be >= 1";
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> min j tasks
+    | Some _ -> invalid_arg "Domain_pool.run: jobs must be >= 1"
+    | None -> min (default_jobs ()) tasks
+  in
+  if jobs = 1 then Array.init tasks f
+  else begin
+    let base = tasks / jobs and extra = tasks mod jobs in
+    let slice w =
+      let lo = (w * base) + min w extra in
+      let hi = lo + base + if w < extra then 1 else 0 in
+      (lo, hi)
+    in
+    let work (lo, hi) () = Array.init (hi - lo) (fun k -> f (lo + k)) in
+    (* workers 1..jobs-1 run in spawned domains; slice 0 runs here so the
+       calling domain is not idle *)
+    let domains =
+      Array.init (jobs - 1) (fun w -> Domain.spawn (work (slice (w + 1))))
+    in
+    let first = work (slice 0) () in
+    let rest = Array.map Domain.join domains in
+    Array.concat (first :: Array.to_list rest)
+  end

@@ -1,0 +1,22 @@
+(** Deterministic fan-out of indexed tasks over OCaml 5 [Domain]s.
+
+    The shared multicore substrate of the simulation layers: the
+    stochastic ensemble runner ([Ssa.Ensemble]) fans trajectories over
+    it, and the deterministic sweep engine ([Ode.Sweep]) fans parameter
+    points. Tasks are partitioned into contiguous static slices, one per
+    worker, and results return in task-index order — so a task function
+    whose result depends only on its index produces byte-identical
+    output for every job count.
+
+    The task function runs concurrently in several domains: it must not
+    mutate shared state. Reading a shared {!Crn.Network.t} from the
+    simulators is safe — they never write it. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+val run : ?jobs:int -> tasks:int -> (int -> 'a) -> 'a array
+(** [run ~tasks f] computes [[| f 0; ...; f (tasks - 1) |]] using up to
+    [jobs] domains (default {!default_jobs}, clamped to [tasks]). Raises
+    [Invalid_argument] if [tasks < 1] or [jobs < 1]. Exceptions raised
+    by [f] in a worker domain are re-raised on join. *)

@@ -1,13 +1,21 @@
-type t = { lu : Mat.t; perm : int array; sign : float }
+type t = { lu : Mat.t; perm : int array; mutable sign : float }
 
 exception Singular
 
-let decompose a =
+let workspace n =
+  if n < 0 then invalid_arg "Lu.workspace: negative size";
+  { lu = Mat.create n n 0.; perm = Array.init n (fun i -> i); sign = 1. }
+
+let refactor t a =
   let n, m = Mat.dims a in
-  if n <> m then invalid_arg "Lu.decompose: matrix not square";
-  let lu = Mat.copy a in
-  let perm = Array.init n (fun i -> i) in
-  let sign = ref 1. in
+  if n <> m then invalid_arg "Lu.refactor: matrix not square";
+  if Array.length t.perm <> n then invalid_arg "Lu.refactor: size mismatch";
+  let lu = t.lu in
+  for i = 0 to n - 1 do
+    Array.blit a.(i) 0 lu.(i) 0 n;
+    t.perm.(i) <- i
+  done;
+  t.sign <- 1.;
   for k = 0 to n - 1 do
     (* partial pivoting: pick the largest magnitude entry in column k *)
     let pivot = ref k in
@@ -18,10 +26,10 @@ let decompose a =
       let tmp = lu.(k) in
       lu.(k) <- lu.(!pivot);
       lu.(!pivot) <- tmp;
-      let tp = perm.(k) in
-      perm.(k) <- perm.(!pivot);
-      perm.(!pivot) <- tp;
-      sign := -. !sign
+      let tp = t.perm.(k) in
+      t.perm.(k) <- t.perm.(!pivot);
+      t.perm.(!pivot) <- tp;
+      t.sign <- -.t.sign
     end;
     let pv = lu.(k).(k) in
     if Float.abs pv < 1e-300 then raise Singular;
@@ -32,13 +40,23 @@ let decompose a =
         lu.(i).(j) <- lu.(i).(j) -. (f *. lu.(k).(j))
       done
     done
-  done;
-  { lu; perm; sign = !sign }
+  done
 
-let solve { lu; perm; _ } b =
+let decompose a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Lu.decompose: matrix not square";
+  let t = workspace n in
+  refactor t a;
+  t
+
+let solve_into { lu; perm; _ } b x =
   let n = Array.length perm in
-  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Lu.solve: dimension mismatch";
+  if b == x then invalid_arg "Lu.solve_into: aliased arrays";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
   (* forward substitution: L y = P b *)
   for i = 1 to n - 1 do
     for j = 0 to i - 1 do
@@ -51,7 +69,11 @@ let solve { lu; perm; _ } b =
       x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
     done;
     x.(i) <- x.(i) /. lu.(i).(i)
-  done;
+  done
+
+let solve t b =
+  let x = Array.make (Array.length t.perm) 0. in
+  solve_into t b x;
   x
 
 let solve_mat lu b =

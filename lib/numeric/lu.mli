@@ -13,8 +13,25 @@ val decompose : Mat.t -> t
 (** Factor a square matrix. Raises [Singular] or [Invalid_argument] if the
     matrix is not square. The input matrix is not modified. *)
 
+val workspace : int -> t
+(** Preallocate an [n] x [n] factorization workspace for {!refactor}, so a
+    caller factoring many same-sized matrices (the semi-implicit ODE
+    integrator) allocates nothing per factorization. The workspace holds
+    the identity factorization until first refactored. *)
+
+val refactor : t -> Mat.t -> unit
+(** [refactor t a] copies [a] into [t]'s storage and factors it in place.
+    Raises [Singular] (leaving the workspace in an unspecified state that
+    a later [refactor] fully overwrites) or [Invalid_argument] on a size
+    mismatch. The input matrix is not modified. *)
+
 val solve : t -> Vec.t -> Vec.t
 (** [solve lu b] solves [A x = b]. *)
+
+val solve_into : t -> Vec.t -> Vec.t -> unit
+(** [solve_into lu b x] writes the solution of [A x = b] into [x] without
+    allocating. [b] is left unmodified; raises [Invalid_argument] if [b]
+    and [x] are the same array or sizes mismatch. *)
 
 val solve_mat : t -> Mat.t -> Mat.t
 (** Solve for each column of a right-hand-side matrix. *)

@@ -3,8 +3,16 @@
     Compiles a {!Crn.Network.t} under a rate environment into the vector
     field of its deterministic mass-action kinetics:
     [dx_s/dt = sum_r nu_rs * k_r * prod_i x_i^(c_ri)], plus its analytic
-    Jacobian for the semi-implicit integrator. The compiled form is flat
-    arrays so the inner simulation loop allocates nothing per reaction. *)
+    Jacobian for the semi-implicit integrator.
+
+    The compiled form is CSR-style flat arrays — contiguous int/float
+    arrays of reactant indices/coefficients and net-stoichiometry updates
+    delimited by per-reaction offsets — walked with unchecked accesses,
+    so the inner simulation loop allocates nothing and chases no
+    per-reaction pointers. {!Reference} retains the original boxed-record
+    implementation with identical arithmetic ordering; the test suite
+    checks the flat kernel against it bitwise, and [bench_ode] measures
+    the speedup. *)
 
 type t
 
@@ -23,7 +31,33 @@ val eval : t -> Numeric.Vec.t -> Numeric.Vec.t
 val jacobian : t -> Numeric.Vec.t -> Numeric.Mat.t
 (** Analytic Jacobian [d f_i / d x_j] at a state. *)
 
+val jacobian_into : t -> Numeric.Vec.t -> Numeric.Mat.t -> unit
+(** [jacobian_into sys x jac] writes the Jacobian at [x] into [jac]
+    without allocating: only the entries of the precomputed sparsity
+    pattern are zeroed and re-accumulated, so a caller-held matrix whose
+    remaining entries are zero (e.g. fresh from [Mat.create n n 0.])
+    stays correct across repeated calls. The semi-implicit integrator
+    reuses one matrix for the whole integration this way. *)
+
+val jac_nnz : t -> int
+(** Number of structurally non-zero Jacobian entries (the sparsity
+    pattern's size). *)
+
 val flux : t -> Numeric.Vec.t -> int -> float
 (** Instantaneous flux of reaction [i] at a state (for diagnostics). *)
 
 val n_reactions : t -> int
+
+(** The retained pre-optimization implementation: an array of boxed
+    per-reaction records, walked with bounds-checked accesses. Same
+    compilation order and arithmetic ordering as the flat kernel, so
+    results agree bitwise; kept as the qcheck/golden oracle and the
+    benchmark baseline. *)
+module Reference : sig
+  type t
+
+  val compile : Crn.Rates.env -> Crn.Network.t -> t
+  val dim : t -> int
+  val f : t -> float -> Numeric.Vec.t -> Numeric.Vec.t -> unit
+  val jacobian : t -> Numeric.Vec.t -> Numeric.Mat.t
+end

@@ -59,13 +59,16 @@ let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
   if t1 < t0 then invalid_arg "Dopri5.integrate: t1 < t0";
   let n = Deriv.dim sys in
   let x = Array.copy x0 in
-  let k1 = Array.make n 0. in
+  (* k1 and k7 are swapped on acceptance (FSAL: the last stage of an
+     accepted step evaluates f at the new state, which is exactly the
+     first stage of the next step), so both live in refs *)
+  let rk1 = ref (Array.make n 0.) in
   let k2 = Array.make n 0. in
   let k3 = Array.make n 0. in
   let k4 = Array.make n 0. in
   let k5 = Array.make n 0. in
   let k6 = Array.make n 0. in
-  let k7 = Array.make n 0. in
+  let rk7 = ref (Array.make n 0.) in
   let tmp = Array.make n 0. in
   let xnew = Array.make n 0. in
   let evals = ref 0 in
@@ -77,12 +80,13 @@ let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
   let h = ref (match h0 with Some h -> h | None -> initial_step sys t0 x rtol atol) in
   let steps = ref 0 and rejected = ref 0 in
   on_sample !t x;
-  eval !t x k1 (* FSAL seed *);
+  eval !t x !rk1 (* FSAL seed: the only stage-1 evaluation of the run *);
   while !t < t1 -. 1e-12 do
     if !steps >= max_steps then failwith "Dopri5: max step count exceeded";
     if !h < 1e-14 *. Float.max 1. (Float.abs !t) then
       failwith "Dopri5: step size underflow (system too stiff)";
     let hh = Float.min !h (t1 -. !t) in
+    let k1 = !rk1 and k7 = !rk7 in
     let stage coeffs k_out c =
       for i = 0 to n - 1 do
         let acc = ref 0. in
@@ -126,7 +130,10 @@ let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
       t := !t +. hh;
       Numeric.Vec.clamp_nonneg xnew;
       Numeric.Vec.blit ~src:xnew ~dst:x;
-      Numeric.Vec.blit ~src:k7 ~dst:k1 (* FSAL *);
+      (* FSAL: swap the buffers so k7 becomes the next step's k1 — a
+         pointer exchange, not a copy *)
+      rk1 := k7;
+      rk7 := k1;
       incr steps;
       on_sample !t x
     end

@@ -6,6 +6,11 @@
     ([k_fast/k_slow >= 1e5]) prefer {!Rosenbrock}. *)
 
 type stats = { steps : int; rejected : int; evals : int }
+(** [evals] counts RHS evaluations. FSAL makes each attempted step cost
+    exactly six evaluations (stages 2–7; stage 1 is the previous step's
+    stage 7, exchanged by pointer swap), so a completed run satisfies
+    [evals = 1 + 6 * (steps + rejected)] — the [1] is the seed
+    evaluation before the first step. *)
 
 val integrate :
   ?rtol:float ->

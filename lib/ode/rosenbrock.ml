@@ -1,4 +1,10 @@
-type stats = { steps : int; rejected : int; factorizations : int }
+type stats = {
+  steps : int;
+  rejected : int;
+  factorizations : int;
+  jac_evals : int;
+  jac_reused : int;
+}
 
 let gamma = 1. +. (1. /. sqrt 2.)
 
@@ -7,45 +13,73 @@ let gamma = 1. +. (1. /. sqrt 2.)
      W k2 = f(x + h k1) - 2 k1
      x' = x + (h/2) (3 k1 + k2)
    The first-order embedded solution x + h k1 yields the error estimate
-   (h/2) (k1 + k2). *)
+   (h/2) (k1 + k2).
+
+   All per-step storage — the Jacobian, W, the LU workspace, and the
+   stage vectors — is allocated once up front: the Jacobian is written
+   in place over its sparsity pattern ({!Deriv.jacobian_into}) and W is
+   refactored into a reused {!Numeric.Lu} workspace. The Jacobian
+   depends only on the state, so after a step-size rejection (state
+   unchanged, only h shrank) it is reused rather than rebuilt;
+   [jac_reused] counts the rebuilds saved that way, while
+   [factorizations] counts actual LU factorizations of W (which must be
+   redone whenever h changes, since W depends on h). *)
 let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
     ~t0 ~t1 ~on_sample sys x0 =
   if t1 < t0 then invalid_arg "Rosenbrock.integrate: t1 < t0";
   let n = Deriv.dim sys in
   let x = Array.copy x0 in
   let fx = Array.make n 0. in
+  let jac = Numeric.Mat.create n n 0. in
+  let w = Numeric.Mat.create n n 0. in
+  let lu = Numeric.Lu.workspace n in
+  let k1 = Array.make n 0. in
+  let k2 = Array.make n 0. in
+  let x1 = Array.make n 0. in
+  let rhs2 = Array.make n 0. in
+  let xnew = Array.make n 0. in
   let t = ref t0 in
   let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
   let steps = ref 0 and rejected = ref 0 and factorizations = ref 0 in
+  let jac_evals = ref 0 and jac_reused = ref 0 in
+  let jac_fresh = ref false in
   on_sample !t x;
   while !t < t1 -. 1e-12 do
     if !steps >= max_steps then failwith "Rosenbrock: max step count exceeded";
     if !h < 1e-14 *. Float.max 1. (Float.abs !t) then
       failwith "Rosenbrock: step size underflow";
     let hh = Float.min !h (t1 -. !t) in
-    let jac = Deriv.jacobian sys x in
-    let w =
-      Numeric.Mat.init n n (fun i j ->
-          (if i = j then 1. else 0.) -. (gamma *. hh *. jac.(i).(j)))
-    in
-    (match Numeric.Lu.decompose w with
+    if !jac_fresh then incr jac_reused
+    else begin
+      Deriv.jacobian_into sys x jac;
+      incr jac_evals;
+      jac_fresh := true
+    end;
+    for i = 0 to n - 1 do
+      let wi = w.(i) and ji = jac.(i) in
+      for j = 0 to n - 1 do
+        wi.(j) <- (if i = j then 1. else 0.) -. (gamma *. hh *. ji.(j))
+      done
+    done;
+    (match Numeric.Lu.refactor lu w with
     | exception Numeric.Lu.Singular ->
         (* halve the step: a singular W means gamma*h*J hit an eigenvalue *)
         h := hh /. 2.;
         incr rejected
-    | lu ->
+    | () ->
         incr factorizations;
         Deriv.f sys !t x fx;
-        let k1 = Numeric.Lu.solve lu fx in
-        let x1 = Array.copy x in
+        Numeric.Lu.solve_into lu fx k1;
+        Numeric.Vec.blit ~src:x ~dst:x1;
         Numeric.Vec.axpy hh k1 x1;
         Deriv.f sys (!t +. hh) x1 fx;
-        let rhs2 = Array.init n (fun i -> fx.(i) -. (2. *. k1.(i))) in
-        let k2 = Numeric.Lu.solve lu rhs2 in
-        let xnew =
-          Array.init n (fun i ->
-              x.(i) +. (hh /. 2. *. ((3. *. k1.(i)) +. k2.(i))))
-        in
+        for i = 0 to n - 1 do
+          rhs2.(i) <- fx.(i) -. (2. *. k1.(i))
+        done;
+        Numeric.Lu.solve_into lu rhs2 k2;
+        for i = 0 to n - 1 do
+          xnew.(i) <- x.(i) +. (hh /. 2. *. ((3. *. k1.(i)) +. k2.(i)))
+        done;
         let err =
           let acc = ref 0. in
           for i = 0 to n - 1 do
@@ -62,6 +96,7 @@ let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
           t := !t +. hh;
           Numeric.Vec.clamp_nonneg xnew;
           Numeric.Vec.blit ~src:xnew ~dst:x;
+          jac_fresh := false;
           incr steps;
           on_sample !t x
         end
@@ -72,4 +107,11 @@ let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
         in
         h := hh *. factor)
   done;
-  (Array.copy x, { steps = !steps; rejected = !rejected; factorizations = !factorizations })
+  ( Array.copy x,
+    {
+      steps = !steps;
+      rejected = !rejected;
+      factorizations = !factorizations;
+      jac_evals = !jac_evals;
+      jac_reused = !jac_reused;
+    } )

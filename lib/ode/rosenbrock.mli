@@ -3,11 +3,23 @@
     L-stable with [gamma = 1 + 1/sqrt 2], so it remains stable on the
     stiff rate separations ([k_fast / k_slow >= 1e4]) where the explicit
     integrator's step size collapses. Each step factorizes
-    [I - gamma h J] once (analytic Jacobian from {!Deriv.jacobian}) and
-    back-substitutes twice; the embedded first-order solution provides the
-    error estimate. *)
+    [I - gamma h J] once (analytic Jacobian written in place by
+    {!Deriv.jacobian_into}) and back-substitutes twice; the embedded
+    first-order solution provides the error estimate. All per-step
+    storage — Jacobian, W, LU workspace, stage vectors — is allocated
+    once per [integrate] call, and the Jacobian is reused across
+    step-size rejections (the state has not changed, only [h]). *)
 
-type stats = { steps : int; rejected : int; factorizations : int }
+type stats = {
+  steps : int;  (** accepted steps *)
+  rejected : int;  (** rejected step attempts (error or singular W) *)
+  factorizations : int;  (** LU factorizations of [W = I - gamma h J] *)
+  jac_evals : int;  (** Jacobian constructions performed *)
+  jac_reused : int;
+      (** factorization setups that reused the cached Jacobian — the
+          rebuilds saved by rejection reuse; equals [rejected] on a run
+          that completes normally *)
+}
 
 val integrate :
   ?rtol:float ->

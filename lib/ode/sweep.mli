@@ -1,0 +1,35 @@
+(** Deterministic multicore parameter sweeps over the ODE path.
+
+    The headline deterministic experiments — rate-robustness studies,
+    transfer curves, frequency responses — evaluate the same pure
+    simulation at many parameter points. This module fans those points
+    over the shared {!Numeric.Domain_pool}: point [i] of the input array
+    always maps to slot [i] of the output array, so a pure point
+    function gives byte-identical results for every job count (mirroring
+    the stochastic ensemble's contract).
+
+    The point function runs concurrently in several domains: it must not
+    mutate shared state. Simulating a shared {!Crn.Network.t} is safe —
+    the compilers and integrators only read it; building a fresh network
+    per point inside the function is also safe. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f points] evaluates [f] on every point using up to [jobs]
+    domains (default {!Numeric.Domain_pool.default_jobs}), returning
+    results in point order. An empty input returns an empty output
+    without spawning. Raises [Invalid_argument] if [jobs < 1];
+    exceptions raised by [f] in a worker are re-raised. *)
+
+val final_states :
+  ?jobs:int ->
+  ?method_:Driver.method_ ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?injections:Driver.injection list ->
+  t1:float ->
+  Crn.Network.t ->
+  ratios:float array ->
+  Numeric.Vec.t array
+(** Rate-robustness convenience: simulate [net] to [t1] once per
+    fast/slow ratio ({!Crn.Rates.env_with_ratio}) and return the final
+    state at each ratio — the sweep behind [crnsim --sweep-ratio]. *)

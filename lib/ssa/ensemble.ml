@@ -1,13 +1,12 @@
-(* Multicore ensemble runner: fan independent trajectories across domains.
+(* Multicore ensemble runner: fan independent trajectories across domains
+   via the shared Numeric.Domain_pool.
 
    Determinism contract: trajectory i always receives seeds.(i), the i-th
    stream split off the root generator, and results are returned in
    trajectory order — so the output is byte-identical for every job
-   count. Work is partitioned into contiguous static slices, one per
-   worker (a hand-rolled fixed pool; trajectories of a given network have
-   similar cost, so dynamic stealing would buy little and cost atomics). *)
+   count. *)
 
-let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let default_jobs = Numeric.Domain_pool.default_jobs
 
 let seeds ~seed ~runs =
   let root = Numeric.Rng.create seed in
@@ -15,33 +14,11 @@ let seeds ~seed ~runs =
 
 let map ?jobs ?(seed = 42L) ~runs f =
   if runs < 1 then invalid_arg "Ensemble.map: runs must be >= 1";
-  let jobs =
-    match jobs with
-    | Some j when j >= 1 -> min j runs
-    | Some _ -> invalid_arg "Ensemble.map: jobs must be >= 1"
-    | None -> min (default_jobs ()) runs
-  in
+  (match jobs with
+  | Some j when j < 1 -> invalid_arg "Ensemble.map: jobs must be >= 1"
+  | _ -> ());
   let seeds = seeds ~seed ~runs in
-  if jobs = 1 then Array.init runs (fun i -> f i seeds.(i))
-  else begin
-    let base = runs / jobs and extra = runs mod jobs in
-    let slice w =
-      let lo = (w * base) + min w extra in
-      let hi = lo + base + if w < extra then 1 else 0 in
-      (lo, hi)
-    in
-    let work (lo, hi) () =
-      Array.init (hi - lo) (fun k -> f (lo + k) seeds.(lo + k))
-    in
-    (* workers 1..jobs-1 run in spawned domains; slice 0 runs here so the
-       calling domain is not idle *)
-    let domains =
-      Array.init (jobs - 1) (fun w -> Domain.spawn (work (slice (w + 1))))
-    in
-    let first = work (slice 0) () in
-    let rest = Array.map Domain.join domains in
-    Array.concat (first :: Array.to_list rest)
-  end
+  Numeric.Domain_pool.run ?jobs ~tasks:runs (fun i -> f i seeds.(i))
 
 let mean_std ?jobs ?seed ~runs f =
   let xs = map ?jobs ?seed ~runs f in

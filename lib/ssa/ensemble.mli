@@ -1,12 +1,12 @@
 (** Deterministic multicore ensemble runner.
 
     Stochastic validation needs many independent trajectories of the same
-    network; they are embarrassingly parallel. This module fans them
-    across OCaml 5 [Domain]s with a fixed hand-rolled pool and a
-    deterministic seed→trajectory assignment: trajectory [i] always gets
-    the [i]-th stream split off the root generator
-    ({!Numeric.Rng.split_seed}), and results come back in trajectory
-    order, so the output is byte-identical regardless of the job count.
+    network; they are embarrassingly parallel. This module fans them over
+    the shared {!Numeric.Domain_pool} with a deterministic
+    seed→trajectory assignment: trajectory [i] always gets the [i]-th
+    stream split off the root generator ({!Numeric.Rng.split_seed}), and
+    results come back in trajectory order, so the output is
+    byte-identical regardless of the job count.
 
     The mapped function runs concurrently in several domains: it must not
     mutate shared state. Simulating a shared {!Crn.Network.t} is safe —

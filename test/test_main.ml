@@ -8,6 +8,7 @@ let () =
       ("ode", Test_ode.suite);
       ("ssa", Test_ssa.suite);
       ("ensemble", Test_ensemble.suite);
+      ("sweep", Test_sweep.suite);
       ("analysis", Test_analysis.suite);
       ("ri_modules", Test_ri_modules.suite);
       ("dual_rail", Test_dual_rail.suite);

@@ -229,6 +229,33 @@ let test_trace_restrict () =
   Alcotest.(check (array string)) "names" [| "C"; "A" |] (Ode.Trace.names sub);
   Alcotest.(check (array (float 1e-12))) "row" [| 3.; 1. |] (Ode.Trace.state_at_index sub 0)
 
+let test_trace_chunk_boundaries () =
+  (* 10 species puts ~409 rows per storage chunk; 2000 rows span several
+     chunks, so every accessor is exercised across chunk seams *)
+  let names = Array.init 10 (fun i -> Printf.sprintf "S%d" i) in
+  let tr = Ode.Trace.create ~names in
+  for i = 0 to 1999 do
+    Ode.Trace.record tr (float_of_int i)
+      (Array.init 10 (fun s -> float_of_int ((i * 10) + s)))
+  done;
+  Alcotest.(check int) "length" 2000 (Ode.Trace.length tr);
+  List.iter
+    (fun i ->
+      let row = Ode.Trace.state_at_index tr i in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "row %d" i)
+        (float_of_int ((i * 10) + 3))
+        row.(3))
+    [ 0; 408; 409; 817; 818; 1999 ];
+  let col = Ode.Trace.column tr 7 in
+  Alcotest.(check (float 0.)) "column across chunks"
+    (float_of_int ((1500 * 10) + 7))
+    col.(1500);
+  let sub = Ode.Trace.restrict tr [ "S9"; "S0" ] in
+  Alcotest.(check (float 0.)) "restrict across chunks"
+    (float_of_int ((1234 * 10) + 9))
+    (Ode.Trace.state_at_index sub 1234).(0)
+
 (* --------------------------------------------------------------- Driver *)
 
 let test_driver_simulate () =
@@ -351,6 +378,105 @@ let test_steady_not_found () =
   Alcotest.(check bool) "none" true
     (Ode.Steady.find ~chunk:1. ~t_max:5. net = None)
 
+(* ----------------------------------------- CSR kernel vs boxed reference *)
+
+(* The flat CSR kernel compiles reactions in the same order with the same
+   arithmetic ordering as the retained boxed implementation, so f and the
+   Jacobian must agree *bitwise* — no tolerance. *)
+
+let test_csr_matches_reference_on_catalog () =
+  List.iter
+    (fun entry ->
+      let net = entry.Designs.Catalog.build () in
+      let env = Rates.default_env in
+      let sys = Ode.Deriv.compile env net in
+      let rsys = Ode.Deriv.Reference.compile env net in
+      let n = Ode.Deriv.dim sys in
+      let check label x =
+        let dx = Array.make n 0. and dx' = Array.make n 0. in
+        Ode.Deriv.f sys 0. x dx;
+        Ode.Deriv.Reference.f rsys 0. x dx';
+        if dx <> dx' then
+          Alcotest.failf "%s (%s): flat RHS differs from reference"
+            entry.Designs.Catalog.name label;
+        if Ode.Deriv.jacobian sys x <> Ode.Deriv.Reference.jacobian rsys x then
+          Alcotest.failf "%s (%s): flat Jacobian differs from reference"
+            entry.Designs.Catalog.name label
+      in
+      let x0 = Network.initial_state net in
+      check "initial" x0;
+      (* a strictly positive off-equilibrium state *)
+      check "perturbed"
+        (Array.mapi
+           (fun i v -> v +. (0.125 *. float_of_int (1 + (i mod 7))))
+           x0))
+    (Designs.Catalog.all ())
+
+(* a deterministic pseudo-random network with float concentrations and
+   stoichiometric coefficients up to 4, so every pow_int branch runs *)
+let random_float_network rng ~ns ~nr =
+  let net = Network.create () in
+  let species =
+    Array.init ns (fun i -> Network.species net (Printf.sprintf "S%d" i))
+  in
+  Array.iter
+    (fun s -> Network.set_init net s (20. *. Numeric.Rng.float rng))
+    species;
+  let side max_len max_coeff =
+    let len = Numeric.Rng.int rng (max_len + 1) in
+    List.init len (fun _ ->
+        (species.(Numeric.Rng.int rng ns), 1 + Numeric.Rng.int rng max_coeff))
+  in
+  let added = ref 0 in
+  while !added < nr do
+    let reactants = side 3 4 and products = side 2 2 in
+    if reactants <> [] || products <> [] then begin
+      Network.add_reaction net
+        (Reaction.make ~reactants ~products
+           (Rates.slow_scaled (0.5 +. Numeric.Rng.float rng)));
+      incr added
+    end
+  done;
+  net
+
+(* ------------------------------------------------- integrator counters *)
+
+let test_dopri5_fsal_evals () =
+  (* stage 7 of an accepted step is stage 1 of the next (pointer swap), so
+     every attempt costs exactly six fresh evaluations after the seed one *)
+  let net = Designs.Catalog.build "clock3" in
+  let sys = Ode.Deriv.compile Rates.default_env net in
+  let _, st =
+    Ode.Dopri5.integrate ~t0:0. ~t1:20.
+      ~on_sample:(fun _ _ -> ())
+      sys (Network.initial_state net)
+  in
+  Alcotest.(check bool) "made progress" true (st.Ode.Dopri5.steps > 0);
+  Alcotest.(check int) "evals = 1 + 6 (steps + rejected)"
+    (1 + (6 * (st.Ode.Dopri5.steps + st.Ode.Dopri5.rejected)))
+    st.Ode.Dopri5.evals
+
+let test_rosenbrock_jacobian_reuse () =
+  (* a rejection retries the same state with a smaller h, so the cached
+     Jacobian is reused and only W is refactorized *)
+  let net = Designs.Catalog.build "clock3" in
+  let sys = Ode.Deriv.compile Rates.default_env net in
+  let _, st =
+    Ode.Rosenbrock.integrate ~t0:0. ~t1:30.
+      ~on_sample:(fun _ _ -> ())
+      sys (Network.initial_state net)
+  in
+  Alcotest.(check int) "jac_evals = steps" st.Ode.Rosenbrock.steps
+    st.Ode.Rosenbrock.jac_evals;
+  Alcotest.(check int) "jac_reused = rejected" st.Ode.Rosenbrock.rejected
+    st.Ode.Rosenbrock.jac_reused;
+  (* each accepted step factorized once; each error rejection also
+     factorized (singular-W rejections bail before counting) *)
+  Alcotest.(check bool) "factorizations bounded by attempts" true
+    (st.Ode.Rosenbrock.factorizations >= st.Ode.Rosenbrock.steps
+    && st.Ode.Rosenbrock.factorizations
+       <= st.Ode.Rosenbrock.steps + st.Ode.Rosenbrock.rejected)
+
 (* ------------------------------------------------------- property tests *)
 
 let qcheck_tests =
@@ -388,6 +514,41 @@ let qcheck_tests =
             (Ode.Trace.state_at_index tr i)
         done;
         !ok);
+    Test.make ~name:"ode: flat CSR kernel equals boxed reference bitwise"
+      ~count:100
+      (make Gen.(pair (int_range 0 1_000_000) (int_range 0 1_000_000)))
+      (fun (net_seed, state_seed) ->
+        let rng = Numeric.Rng.create (Int64.of_int net_seed) in
+        let ns = 1 + Numeric.Rng.int rng 6
+        and nr = 1 + Numeric.Rng.int rng 10 in
+        let net = random_float_network rng ~ns ~nr in
+        let sys = Ode.Deriv.compile Rates.default_env net in
+        let rsys = Ode.Deriv.Reference.compile Rates.default_env net in
+        let n = Network.n_species net in
+        let srng = Numeric.Rng.create (Int64.of_int state_seed) in
+        let x = Array.init n (fun _ -> 10. *. Numeric.Rng.float srng) in
+        let dx = Array.make n 0. and dx' = Array.make n 0. in
+        Ode.Deriv.f sys 0. x dx;
+        Ode.Deriv.Reference.f rsys 0. x dx';
+        dx = dx'
+        && Ode.Deriv.jacobian sys x = Ode.Deriv.Reference.jacobian rsys x);
+    Test.make ~name:"ode: jacobian_into leaves no residue in a reused matrix"
+      ~count:100
+      (make Gen.(pair (int_range 0 1_000_000) (int_range 0 1_000_000)))
+      (fun (net_seed, state_seed) ->
+        let rng = Numeric.Rng.create (Int64.of_int net_seed) in
+        let ns = 1 + Numeric.Rng.int rng 6
+        and nr = 1 + Numeric.Rng.int rng 10 in
+        let net = random_float_network rng ~ns ~nr in
+        let sys = Ode.Deriv.compile Rates.default_env net in
+        let n = Network.n_species net in
+        let srng = Numeric.Rng.create (Int64.of_int state_seed) in
+        let x1 = Array.init n (fun _ -> 10. *. Numeric.Rng.float srng) in
+        let x2 = Array.init n (fun _ -> 10. *. Numeric.Rng.float srng) in
+        let jac = Numeric.Mat.create n n 0. in
+        Ode.Deriv.jacobian_into sys x1 jac;
+        Ode.Deriv.jacobian_into sys x2 jac;
+        jac = Ode.Deriv.jacobian sys x2);
   ]
 
 let suite =
@@ -409,6 +570,10 @@ let suite =
     ("trace monotonic times", `Quick, test_trace_monotonic_times);
     ("trace csv", `Quick, test_trace_csv);
     ("trace restrict", `Quick, test_trace_restrict);
+    ("trace chunk boundaries", `Quick, test_trace_chunk_boundaries);
+    ("csr matches reference on catalog", `Quick, test_csr_matches_reference_on_catalog);
+    ("dopri5 fsal eval count", `Quick, test_dopri5_fsal_evals);
+    ("rosenbrock jacobian reuse", `Quick, test_rosenbrock_jacobian_reuse);
     ("driver simulate", `Quick, test_driver_simulate);
     ("driver methods agree", `Quick, test_driver_methods_agree);
     ("driver injection", `Quick, test_driver_injection);

@@ -1,0 +1,87 @@
+(* Tests for the shared domain pool and the deterministic sweep engine:
+   results must come back in point order and be byte-identical for every
+   job count, mirroring the stochastic ensemble's contract. *)
+
+(* ---------------------------------------------------------- Domain_pool *)
+
+let test_pool_order () =
+  let got = Numeric.Domain_pool.run ~jobs:3 ~tasks:10 (fun i -> i * i) in
+  Alcotest.(check (array int)) "in index order"
+    (Array.init 10 (fun i -> i * i))
+    got
+
+let test_pool_more_jobs_than_tasks () =
+  let got = Numeric.Domain_pool.run ~jobs:8 ~tasks:3 (fun i -> i) in
+  Alcotest.(check (array int)) "jobs clamped to tasks" [| 0; 1; 2 |] got
+
+let test_pool_single_task () =
+  Alcotest.(check (array int)) "one task" [| 7 |]
+    (Numeric.Domain_pool.run ~jobs:4 ~tasks:1 (fun _ -> 7))
+
+let test_pool_invalid_args () =
+  Alcotest.check_raises "bad tasks"
+    (Invalid_argument "Domain_pool.run: tasks must be >= 1") (fun () ->
+      ignore (Numeric.Domain_pool.run ~tasks:0 (fun i -> i)));
+  Alcotest.check_raises "bad jobs"
+    (Invalid_argument "Domain_pool.run: jobs must be >= 1") (fun () ->
+      ignore (Numeric.Domain_pool.run ~jobs:0 ~tasks:2 (fun i -> i)))
+
+let test_pool_worker_exception_propagates () =
+  match
+    Numeric.Domain_pool.run ~jobs:2 ~tasks:4 (fun i ->
+        if i = 2 then failwith "pool boom" else i)
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "pool boom" msg
+
+(* ------------------------------------------------------------ Ode.Sweep *)
+
+let test_sweep_empty () =
+  Alcotest.(check (array int)) "empty sweep" [||]
+    (Ode.Sweep.map (fun x -> x) [||])
+
+let test_sweep_map_order () =
+  let got = Ode.Sweep.map ~jobs:3 (fun x -> 2 * x) [| 1; 2; 3; 4; 5 |] in
+  Alcotest.(check (array int)) "point order" [| 2; 4; 6; 8; 10 |] got
+
+let test_sweep_parallel_identical () =
+  (* the deterministic mirror of the ensemble's acceptance property:
+     final states are byte-identical regardless of the job count *)
+  let net = Designs.Catalog.build "clock4" in
+  let ratios = [| 100.; 300.; 1000.; 3000. |] in
+  let go jobs = Ode.Sweep.final_states ~jobs ~t1:8. net ~ratios in
+  let seq = go 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
+        true
+        (go jobs = seq))
+    [ 2; 3; 8 ]
+
+(* --------------------------------------------- sweeping client modules *)
+
+let test_rate_sweep_jobs_invariant () =
+  let ratios = [| 200.; 1000. |] in
+  let go jobs = Molclock.Clock_analysis.rate_sweep ~jobs ~t1:40. ~ratios () in
+  let a = go 1 in
+  Alcotest.(check bool) "jobs=2 identical to jobs=1" true (go 2 = a);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "ratio %d round-trips" i)
+        ratios.(i) p.Molclock.Clock_analysis.ratio)
+    a
+
+let suite =
+  [
+    ("pool order", `Quick, test_pool_order);
+    ("pool more jobs than tasks", `Quick, test_pool_more_jobs_than_tasks);
+    ("pool single task", `Quick, test_pool_single_task);
+    ("pool invalid args", `Quick, test_pool_invalid_args);
+    ("pool worker exception propagates", `Quick, test_pool_worker_exception_propagates);
+    ("sweep empty", `Quick, test_sweep_empty);
+    ("sweep map order", `Quick, test_sweep_map_order);
+    ("parallel sweep identical", `Slow, test_sweep_parallel_identical);
+    ("rate_sweep jobs invariant", `Slow, test_rate_sweep_jobs_invariant);
+  ]
