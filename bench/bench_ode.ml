@@ -5,8 +5,9 @@
    Emits machine-readable BENCH_ode.json in the current directory so the
    perf trajectory is tracked PR over PR:
 
-     dune exec bench/bench_ode.exe             # full suite
-     dune exec bench/bench_ode.exe -- --quick  # smaller workloads (CI smoke)
+     dune exec bench/bench_ode.exe                       # full suite
+     dune exec bench/bench_ode.exe -- --quick            # CI smoke
+     dune exec bench/bench_ode.exe -- --out path.json    # explicit output
 
    JSON schema (mrsc-bench-ode/1):
      kernel.networks[]: per-network RHS and Jacobian evals/sec for the
@@ -198,10 +199,27 @@ let write_json ~path kernel_rows sweep_rows =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
-let () =
+(* minimal CLI: [quick]/[--quick] shrinks workloads for CI smoke;
+   [--out PATH] overrides the JSON destination (CI passes it explicitly
+   so artifacts land where the workflow expects them) *)
+let parse_args () =
   let quick =
     Array.exists (fun a -> a = "quick" || a = "--quick") Sys.argv
   in
+  let out = ref "BENCH_ode.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" then
+        if i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)
+        else begin
+          prerr_endline "bench_ode: --out needs a path";
+          exit 2
+        end)
+    Sys.argv;
+  (quick, !out)
+
+let () =
+  let quick, out = parse_args () in
   let catalog = [ "clock4"; "counter2"; "counter3"; "biquad" ] in
   let kernel_rows =
     List.map
@@ -212,7 +230,7 @@ let () =
   let sweep_rows =
     [ bench_sweep ~quick ~name:"clock4" (fun () -> Designs.Catalog.build "clock4") ]
   in
-  write_json ~path:"BENCH_ode.json" kernel_rows sweep_rows;
+  write_json ~path:out kernel_rows sweep_rows;
   let bad = List.filter (fun r -> not r.identical) sweep_rows in
   if bad <> [] then begin
     prerr_endline "FAIL: parallel sweep not identical to sequential";

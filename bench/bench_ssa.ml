@@ -4,8 +4,9 @@
    Emits machine-readable BENCH_ssa.json in the current directory so the
    perf trajectory is tracked PR over PR:
 
-     dune exec bench/bench_ssa.exe            # full suite
-     dune exec bench/bench_ssa.exe -- quick   # smaller horizons (CI smoke)
+     dune exec bench/bench_ssa.exe                       # full suite
+     dune exec bench/bench_ssa.exe -- quick              # CI smoke
+     dune exec bench/bench_ssa.exe -- --out path.json    # explicit output
 
    JSON schema (mrsc-bench-ssa/1):
      engine.networks[]: per-network events/sec for baseline and
@@ -224,8 +225,27 @@ let write_json ~path engine_rows ensemble_rows =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* minimal CLI: [quick]/[--quick] shrinks workloads for CI smoke;
+   [--out PATH] overrides the JSON destination (CI passes it explicitly
+   so artifacts land where the workflow expects them) *)
+let parse_args () =
+  let quick =
+    Array.exists (fun a -> a = "quick" || a = "--quick") Sys.argv
+  in
+  let out = ref "BENCH_ssa.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" then
+        if i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)
+        else begin
+          prerr_endline "bench_ssa: --out needs a path";
+          exit 2
+        end)
+    Sys.argv;
+  (quick, !out)
+
 let () =
-  let quick = Array.exists (( = ) "quick") Sys.argv in
+  let quick, out = parse_args () in
   let s = if quick then 0.25 else 1. in
   let engine_rows =
     [
@@ -253,7 +273,7 @@ let () =
           Designs.Catalog.build "counter2");
     ]
   in
-  write_json ~path:"BENCH_ssa.json" engine_rows ensemble_rows;
+  write_json ~path:out engine_rows ensemble_rows;
   let bad = List.filter (fun r -> not r.identical) ensemble_rows in
   if bad <> [] then begin
     prerr_endline "FAIL: parallel ensemble not identical to sequential";

@@ -1,0 +1,111 @@
+(* crnserved — the persistent simulation daemon.
+
+   Serves parse/ODE/SSA/ensemble/sweep/DSD requests over a
+   length-prefixed JSON protocol (Unix-domain socket or TCP), with a
+   compiled-model cache, a bounded worker queue, and per-request
+   deadlines. SIGTERM / SIGINT shut it down cleanly: the listen socket
+   closes, accepted jobs finish, worker domains join, and a Unix socket
+   file is unlinked. *)
+
+open Cmdliner
+
+let stop_requested = ref false
+
+let run listen jobs queue_bound cache_capacity deadline_ms verbose =
+  match Service.Addr.of_string listen with
+  | Error msg ->
+      Printf.eprintf "crnserved: %s\n" msg;
+      2
+  | Ok address -> (
+      let config =
+        let base = Service.Server.default_config address in
+        {
+          base with
+          Service.Server.jobs =
+            Option.value ~default:base.Service.Server.jobs jobs;
+          queue_bound;
+          cache_capacity;
+          default_deadline_ms = deadline_ms;
+          log = verbose;
+        }
+      in
+      if config.Service.Server.jobs < 1 then begin
+        Printf.eprintf "crnserved: --jobs must be >= 1\n";
+        2
+      end
+      else if queue_bound < 1 then begin
+        Printf.eprintf "crnserved: --queue-bound must be >= 1\n";
+        2
+      end
+      else if cache_capacity < 1 then begin
+        Printf.eprintf "crnserved: --cache-capacity must be >= 1\n";
+        2
+      end
+      else begin
+        List.iter
+          (fun signal ->
+            Sys.set_signal signal
+              (Sys.Signal_handle (fun _ -> stop_requested := true)))
+          [ Sys.sigterm; Sys.sigint ];
+        (* a client hanging up mid-write must be an EPIPE, not a kill *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        try
+          Service.Server.run ~stop:(fun () -> !stop_requested) config;
+          0
+        with
+        | Unix.Unix_error (e, fn, arg) ->
+            Printf.eprintf "crnserved: %s(%s): %s\n" fn arg
+              (Unix.error_message e);
+            1
+        | Failure msg ->
+            Printf.eprintf "crnserved: %s\n" msg;
+            1
+      end)
+
+let listen =
+  let doc =
+    "Listen address: unix:\\$(b,PATH), a socket path starting with / or ., \
+     or \\$(b,HOST:PORT) for TCP."
+  in
+  Arg.(
+    value
+    & opt string "/tmp/crnserved.sock"
+    & info [ "l"; "listen" ] ~docv:"ADDR" ~doc)
+
+let jobs =
+  let doc = "Worker domains (default: all recommended cores minus one)." in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let queue_bound =
+  let doc =
+    "Maximum queued jobs; requests beyond this are refused immediately with \
+     a structured $(i,overloaded) error."
+  in
+  Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N" ~doc)
+
+let cache_capacity =
+  let doc = "Compiled-model LRU cache entries." in
+  Arg.(value & opt int 32 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+
+let deadline_ms =
+  let doc =
+    "Default per-request deadline in milliseconds, applied when a request \
+     carries no deadline_ms field. A run that exceeds it is cancelled and \
+     answered with $(i,deadline_exceeded)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let verbose =
+  let doc = "Log one stderr line per connection event." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let cmd =
+  let doc = "persistent simulation daemon with compiled-model caching" in
+  let info = Cmd.info "crnserved" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ listen $ jobs $ queue_bound $ cache_capacity $ deadline_ms
+      $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -2,7 +2,12 @@
 
    The network comes either from a .crn file (see Crn.Parser for the
    format) or from the built-in design catalog. Output is a CSV dump, an
-   ASCII plot of selected species, or a final-state summary. *)
+   ASCII plot of selected species, or a final-state summary.
+
+   With --connect the simulation is delegated to a running crnserved
+   daemon over its length-prefixed JSON protocol; stdout is
+   byte-identical to direct execution for the final-state, ensemble and
+   sweep modes. *)
 
 open Cmdliner
 
@@ -28,11 +33,11 @@ let method_of_string = function
 
 (* ensemble mode: many stochastic trajectories fanned across domains;
    reports per-species mean +- std of the final state instead of a trace *)
-let run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out net =
+let run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out ~cancel net =
   let t0 = Unix.gettimeofday () in
   let finals =
     Ssa.Ensemble.map ?jobs ~seed:(Int64.of_int seed) ~runs (fun _ s ->
-        (Ssa.Gillespie.run ~env ~seed:s ~t1 net).Ssa.Gillespie.final)
+        (Ssa.Gillespie.run ~env ~seed:s ~cancel ~t1 net).Ssa.Gillespie.final)
   in
   let wall = Unix.gettimeofday () -. t0 in
   let jobs_used =
@@ -68,12 +73,12 @@ let run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out net =
 (* rate-ratio sweep mode: the same network simulated deterministically at
    many fast/slow separations, fanned across domains; reports the final
    state at each ratio (identical for every --sweep-jobs value) *)
-let run_rate_sweep ~t1 ~method_name ~sweep_jobs ~csv_out net ratios =
+let run_rate_sweep ~t1 ~method_name ~sweep_jobs ~csv_out ~cancel net ratios =
   let ratios = Array.of_list ratios in
   let t0 = Unix.gettimeofday () in
   let finals =
     Ode.Sweep.final_states ?jobs:sweep_jobs
-      ~method_:(method_of_string method_name) ~t1 net ~ratios
+      ~method_:(method_of_string method_name) ~cancel ~t1 net ~ratios
   in
   let wall = Unix.gettimeofday () -. t0 in
   let n = Array.length ratios in
@@ -108,9 +113,308 @@ let run_rate_sweep ~t1 ~method_name ~sweep_jobs ~csv_out net ratios =
         names)
     finals
 
+(* ------------------------------------------------- client (--connect) *)
+
+module J = Service.Json
+
+let json_floats j =
+  match J.to_list j with
+  | Some xs ->
+      Array.of_list
+        (List.map
+           (fun x ->
+             match J.to_float x with
+             | Some f -> f
+             | None -> failwith "malformed server response (expected number)")
+           xs)
+  | None -> failwith "malformed server response (expected array)"
+
+let json_strings j =
+  match J.to_list j with
+  | Some xs ->
+      Array.of_list
+        (List.map
+           (fun x ->
+             match J.to_str x with
+             | Some s -> s
+             | None -> failwith "malformed server response (expected string)")
+           xs)
+  | None -> failwith "malformed server response (expected array)"
+
+let json_field result key =
+  match J.member key result with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "malformed server response (no %S)" key)
+
+(* the network as the request ships it: catalog designs by name (so the
+   daemon's source memo keys on the name), files as inline text; --focus
+   slices locally and ships the slice as canonical text *)
+let network_json source focus =
+  match focus with
+  | [] ->
+      if Option.is_some (Designs.Catalog.find source) then
+        J.Obj [ ("catalog", J.str source) ]
+      else if Sys.file_exists source then
+        J.Obj
+          [ ("text", J.str (In_channel.with_open_bin source In_channel.input_all)) ]
+      else
+        failwith
+          (Printf.sprintf
+             "%S is neither a file nor a built-in design (available: %s)"
+             source
+             (String.concat ", " (Designs.Catalog.names ())))
+  | names ->
+      let slice = Crn.Slice.extract (load source) names in
+      Printf.eprintf "focused on %s: %d species, %d reactions\n"
+        (String.concat ", " names)
+        (Crn.Network.n_species slice)
+        (Crn.Network.n_reactions slice);
+      J.Obj [ ("text", J.str (Crn.Network.to_string slice)) ]
+
+exception Remote_error of int
+
+let remote_call client req =
+  let resp = Service.Client.request client req in
+  (match resp.Service.Client.metrics with
+  | Some m ->
+      let f key =
+        Option.value ~default:0. (Option.bind (J.member key m) J.to_float)
+      in
+      let cache =
+        Option.value ~default:"n/a"
+          (Option.bind (J.member "cache" m) J.to_str)
+      in
+      Printf.eprintf
+        "server: cache %s, queue %.1f ms, compile %.1f ms, run %.1f ms, \
+         total %.1f ms\n"
+        cache (f "queue_wait_ms") (f "compile_ms") (f "run_ms") (f "total_ms")
+  | None -> ());
+  if resp.Service.Client.ok then
+    match resp.Service.Client.result with
+    | Some result -> result
+    | None -> failwith "malformed server response (ok without result)"
+  else begin
+    Printf.eprintf "crnsim: %s\n"
+      (Option.value ~default:"unknown server error"
+         resp.Service.Client.error_message);
+    raise
+      (Remote_error
+         (match resp.Service.Client.error with
+         | Some err -> Service.Error.exit_code err
+         | None -> 70))
+  end
+
+let print_final_block ~t1 names finals =
+  Printf.printf "final state at t = %g:\n" t1;
+  Array.iteri
+    (fun i name ->
+      if finals.(i) > 1e-6 then
+        Printf.printf "  %-24s %10.4f\n" name finals.(i))
+    names
+
+let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
+    ~plot_species ~stochastic ~seed ~runs ~jobs ~focus ~sweep_ratios
+    ~sweep_jobs ~deadline_ms =
+  if plot_species <> [] then failwith "--plot is not supported with --connect";
+  if runs < 1 then failwith "--runs must be >= 1";
+  let address =
+    match Service.Addr.of_string connect with
+    | Ok a -> a
+    | Error msg -> failwith msg
+  in
+  let network = network_json source focus in
+  let opt_int key = function
+    | Some v -> [ (key, J.int v) ]
+    | None -> []
+  in
+  let deadline =
+    match deadline_ms with
+    | Some ms -> [ ("deadline_ms", J.num ms) ]
+    | None -> []
+  in
+  let client = Service.Client.connect address in
+  Fun.protect
+    ~finally:(fun () -> Service.Client.close client)
+    (fun () ->
+      if sweep_ratios <> [] then begin
+        if stochastic then
+          failwith "--sweep-ratio is a deterministic mode; drop --stochastic";
+        List.iter
+          (fun r ->
+            if r <= 0. then failwith "--sweep-ratio values must be > 0")
+          sweep_ratios;
+        let result =
+          remote_call client
+            (J.Obj
+               ([
+                  ("op", J.str "sweep");
+                  ("network", network);
+                  ("t1", J.num t1);
+                  ("method", J.str method_name);
+                  ("ratios", J.List (List.map J.num sweep_ratios));
+                ]
+               @ opt_int "jobs" sweep_jobs @ deadline))
+        in
+        let names = json_strings (json_field result "species") in
+        let ratios = json_floats (json_field result "ratios") in
+        let finals =
+          match J.to_list (json_field result "finals") with
+          | Some xs -> Array.of_list (List.map json_floats xs)
+          | None -> failwith "malformed server response (expected array)"
+        in
+        (match csv_out with
+        | Some path ->
+            Analysis.Csv.write_rows ~path
+              ~header:("ratio" :: Array.to_list names)
+              (Array.to_list
+                 (Array.mapi
+                    (fun i final ->
+                      Printf.sprintf "%.17g" ratios.(i)
+                      :: Array.to_list
+                           (Array.map (Printf.sprintf "%.17g") final))
+                    finals));
+            Printf.printf "wrote final states for %d ratios to %s\n"
+              (Array.length ratios) path
+        | None -> ());
+        Array.iteri
+          (fun i final ->
+            Printf.printf "ratio %g: final state at t = %g:\n" ratios.(i) t1;
+            Array.iteri
+              (fun s name ->
+                if final.(s) > 1e-6 then
+                  Printf.printf "  %-24s %10.4f\n" name final.(s))
+              names)
+          finals
+      end
+      else if stochastic && runs > 1 then begin
+        if plot_species <> [] then
+          Printf.eprintf "note: --plot is ignored when --runs > 1\n";
+        let result =
+          remote_call client
+            (J.Obj
+               ([
+                  ("op", J.str "ensemble");
+                  ("network", network);
+                  ("t1", J.num t1);
+                  ("ratio", J.num ratio);
+                  ("seed", J.int seed);
+                  ("runs", J.int runs);
+                ]
+               @ opt_int "jobs" jobs @ deadline))
+        in
+        let names = json_strings (json_field result "species") in
+        let mean = json_floats (json_field result "mean") in
+        let std = json_floats (json_field result "std") in
+        (match csv_out with
+        | Some path ->
+            Analysis.Csv.write_rows ~path
+              ~header:[ "species"; "mean"; "std" ]
+              (Array.to_list
+                 (Array.mapi
+                    (fun i name ->
+                      [
+                        name;
+                        Printf.sprintf "%.17g" mean.(i);
+                        Printf.sprintf "%.17g" std.(i);
+                      ])
+                    names));
+            Printf.printf "wrote final-state statistics to %s\n" path
+        | None -> ());
+        Printf.printf "final state at t = %g (mean +- std over %d runs):\n" t1
+          runs;
+        Array.iteri
+          (fun i name ->
+            if mean.(i) > 1e-6 then
+              Printf.printf "  %-24s %10.4f +- %8.4f\n" name mean.(i) std.(i))
+          names
+      end
+      else if stochastic then begin
+        if csv_out <> None then
+          failwith "--csv needs the trace; not supported with --connect";
+        let result =
+          remote_call client
+            (J.Obj
+               ([
+                  ("op", J.str "ssa");
+                  ("network", network);
+                  ("t1", J.num t1);
+                  ("ratio", J.num ratio);
+                  ("seed", J.int seed);
+                ]
+               @ deadline))
+        in
+        (match Option.bind (J.member "n_events" result) J.to_int with
+        | Some n ->
+            Printf.eprintf "stochastic simulation: %d reaction events\n" n
+        | None -> ());
+        print_final_block ~t1
+          (json_strings (json_field result "species"))
+          (json_floats (json_field result "final"))
+      end
+      else begin
+        if csv_out <> None then
+          failwith "--csv needs the trace; not supported with --connect";
+        let result =
+          remote_call client
+            (J.Obj
+               ([
+                  ("op", J.str "ode");
+                  ("network", network);
+                  ("t1", J.num t1);
+                  ("ratio", J.num ratio);
+                  ("method", J.str method_name);
+                ]
+               @ deadline))
+        in
+        print_final_block ~t1
+          (json_strings (json_field result "species"))
+          (json_floats (json_field result "final"))
+      end)
+
+(* map everything a simulation can die of to a one-line message and the
+   structured exit code shared with the service protocol: 2 input, 3
+   budget/solver, 4 deadline, 5 overloaded, 70 internal *)
+let report_error e =
+  match Service.Error.of_exn e with
+  | Some err ->
+      Printf.eprintf "crnsim: %s\n" (Service.Error.message err);
+      Service.Error.exit_code err
+  | None -> (
+      match e with
+      | Failure msg | Invalid_argument msg ->
+          Printf.eprintf "crnsim: %s\n" msg;
+          2
+      | Remote_error exit_code -> exit_code
+      | Numeric.Cancel.Cancelled ->
+          Printf.eprintf "crnsim: deadline exceeded\n";
+          4
+      | Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "crnsim: %s(%s): %s\n" fn arg
+            (Unix.error_message err);
+          70
+      | e -> raise e)
+
 let run source t1 ratio method_name csv_out plot_species stochastic seed runs
-    jobs final_only focus sweep_ratios sweep_jobs =
+    jobs final_only focus sweep_ratios sweep_jobs connect deadline_ms =
+  match connect with
+  | Some connect -> (
+      try
+        run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
+          ~plot_species ~stochastic ~seed ~runs ~jobs ~focus ~sweep_ratios
+          ~sweep_jobs ~deadline_ms;
+        0
+      with e -> report_error e)
+  | None -> (
   try
+    (* a local deadline uses the same cooperative-cancellation tokens the
+       daemon arms, so both paths fail the same way (exit 4) *)
+    let cancel =
+      match deadline_ms with
+      | Some ms when ms > 0. ->
+          let expires = Unix.gettimeofday () +. (ms /. 1000.) in
+          Numeric.Cancel.of_fun (fun () -> Unix.gettimeofday () > expires)
+      | _ -> Numeric.Cancel.never
+    in
     let net = load source in
     let net =
       match focus with
@@ -135,26 +439,27 @@ let run source t1 ratio method_name csv_out plot_species stochastic seed runs
       List.iter
         (fun r -> if r <= 0. then failwith "--sweep-ratio values must be > 0")
         sweep_ratios;
-      run_rate_sweep ~t1 ~method_name ~sweep_jobs ~csv_out net sweep_ratios;
+      run_rate_sweep ~t1 ~method_name ~sweep_jobs ~csv_out ~cancel net
+        sweep_ratios;
       0
     end
     else if stochastic && runs > 1 then begin
       if plot_species <> [] then
         Printf.eprintf "note: --plot is ignored when --runs > 1\n";
-      run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out net;
+      run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out ~cancel net;
       0
     end
     else begin
     let trace =
       if stochastic then
         let { Ssa.Gillespie.trace; n_events; _ } =
-          Ssa.Gillespie.run ~env ~seed:(Int64.of_int seed) ~t1 net
+          Ssa.Gillespie.run ~env ~seed:(Int64.of_int seed) ~cancel ~t1 net
         in
         Printf.eprintf "stochastic simulation: %d reaction events\n" n_events;
         trace
       else
         Ode.Driver.simulate ~method_:(method_of_string method_name) ~env
-          ~thin:5 ~t1 net
+          ~cancel ~thin:5 ~t1 net
     in
     (match csv_out with
     | Some path ->
@@ -177,16 +482,7 @@ let run source t1 ratio method_name csv_out plot_species stochastic seed runs
     end;
     0
     end
-  with
-  | Failure msg | Invalid_argument msg ->
-      Printf.eprintf "crnsim: %s\n" msg;
-      1
-  | Ssa.Gillespie.Error err ->
-      Printf.eprintf "crnsim: %s\n" (Ssa.Gillespie.error_to_string err);
-      1
-  | Crn.Parser.Parse_error (line, msg) ->
-      Printf.eprintf "crnsim: parse error at line %d: %s\n" line msg;
-      1
+  with e -> report_error e)
 
 let source =
   let doc = "A .crn file or a built-in design name." in
@@ -260,6 +556,24 @@ let sweep_jobs =
   in
   Arg.(value & opt (some int) None & info [ "sweep-jobs" ] ~docv:"N" ~doc)
 
+let connect =
+  let doc =
+    "Delegate the simulation to a running crnserved daemon at $(docv) \
+     (unix:PATH, a socket path, or HOST:PORT) instead of executing \
+     locally. Final-state, ensemble and sweep output is byte-identical \
+     to direct execution; trace output (--csv of a trajectory, --plot) \
+     needs the local engines."
+  in
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let deadline_ms =
+  let doc =
+    "Give up after $(docv) milliseconds of simulation (exit code 4). With \
+     --connect the deadline is enforced by the daemon."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let cmd =
   let doc = "simulate a chemical reaction network" in
   let info = Cmd.info "crnsim" ~version:"1.0" ~doc in
@@ -267,6 +581,6 @@ let cmd =
     Term.(
       const run $ source $ t1 $ ratio $ method_name $ csv_out $ plot_species
       $ stochastic $ seed $ runs $ jobs $ final_only $ focus $ sweep_ratios
-      $ sweep_jobs)
+      $ sweep_jobs $ connect $ deadline_ms)
 
 let () = exit (Cmd.eval' cmd)

@@ -43,26 +43,29 @@ let species_key info colors s =
   Printf.sprintf "%d|%s" colors.(s)
     (String.concat ";" (List.sort compare !parts))
 
+(* Rank signature strings across all networks jointly: equal keys get
+   equal colors (comparability between the networks being matched), and
+   the numbers are the sorted ranks of the keys rather than first-come
+   interning — so the coloring, and everything derived from it
+   (fingerprints, cache keys), is independent of species index order. *)
+let rank_colors keyss =
+  let all =
+    List.concat_map Array.to_list keyss |> List.sort_uniq compare
+  in
+  let rank = Hashtbl.create 64 in
+  List.iteri (fun i k -> Hashtbl.add rank k i) all;
+  List.map (Array.map (Hashtbl.find rank)) keyss
+
 (* one joint refinement round; returns new colorings and whether anything
    split *)
 let refine_round infos colorings =
-  let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  let next = ref 0 in
-  let intern key =
-    match Hashtbl.find_opt table key with
-    | Some c -> c
-    | None ->
-        let c = !next in
-        incr next;
-        Hashtbl.add table key c;
-        c
-  in
   let changed = ref false in
   let recolored =
-    List.map2
-      (fun info colors ->
-        Array.init info.n (fun s -> intern (species_key info colors s)))
-      infos colorings
+    rank_colors
+      (List.map2
+         (fun info colors ->
+           Array.init info.n (fun s -> species_key info colors s))
+         infos colorings)
   in
   (* detect whether the partition got finer anywhere *)
   List.iter2
@@ -78,20 +81,11 @@ let refine_round infos colorings =
   (recolored, !changed)
 
 let initial_colors infos =
-  let table : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let next = ref 0 in
-  List.map
-    (fun info ->
-      Array.init info.n (fun s ->
-          let key = Printf.sprintf "%.12g" info.init.(s) in
-          match Hashtbl.find_opt table key with
-          | Some c -> c
-          | None ->
-              let c = !next in
-              incr next;
-              Hashtbl.add table key c;
-              c))
-    infos
+  rank_colors
+    (List.map
+       (fun info ->
+         Array.init info.n (fun s -> Printf.sprintf "%.12g" info.init.(s)))
+       infos)
 
 let rec refine infos colorings fuel =
   if fuel = 0 then colorings
@@ -225,3 +219,30 @@ let fingerprint net =
   in
   Digest.to_hex
     (Digest.string (class_profile ^ "#" ^ String.concat "\n" reaction_keys))
+
+(* The fingerprint quotients away names, species index order and
+   reaction order — exactly the invariances a compiled-model cache must
+   NOT have: simulation output carries the species-name array in index
+   order, and the stochastic engine's trajectories are reproducible only
+   for a fixed reaction ordering. The cache key is the fingerprint
+   extended with that concrete binding — the name array (pinning index
+   order), full-precision initial conditions, and the textual reaction
+   list — so equal keys guarantee identical observable behavior while
+   the structural component keeps the digest collision-resistant across
+   the many near-identical synthesized networks a service sees. *)
+let cache_key net =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (fingerprint net);
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun name ->
+      Buffer.add_string b name;
+      Buffer.add_char b '\x00')
+    (Network.species_names net);
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun x -> Buffer.add_string b (Printf.sprintf "%.17g\x00" x))
+    (Network.initial_state net);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Network.to_string net);
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -21,6 +21,18 @@ val isomorphic : Network.t -> Network.t -> bool
 
 val fingerprint : Network.t -> string
 (** A renaming-invariant digest (the stable refinement's class profile plus
-    the color-labelled reaction multiset). Equal fingerprints do {e not}
-    prove isomorphism (symmetric networks can collide), but different
-    fingerprints disprove it; useful as a fast regression check. *)
+    the color-labelled reaction multiset). Colors are the sorted ranks of
+    their signature strings, so the digest is also invariant under species
+    index order and reaction order — re-serializing and re-parsing a
+    network preserves it. Equal fingerprints do {e not} prove isomorphism
+    (symmetric networks can collide), but different fingerprints disprove
+    it; useful as a fast regression check. *)
+
+val cache_key : Network.t -> string
+(** {!fingerprint} extended into a compiled-model cache key: the
+    structural digest strengthened with the concrete species-name
+    binding, reaction order and initial conditions. Equal keys guarantee
+    the two networks compile to byte-identical simulators (same species
+    names and indices, same reaction indices), which the
+    renaming-invariant fingerprint alone cannot promise; the simulation
+    service keys its compiled-model cache on this. *)

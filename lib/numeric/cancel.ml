@@ -1,0 +1,20 @@
+(* Cooperative cancellation tokens.
+
+   A token is just a cheap predicate the long-running numeric kernels
+   poll between iterations; [never] is a constant constructor so the
+   common no-cancellation case costs one tag test per poll. Deadline
+   semantics live with the caller (the service layer builds tokens over
+   wall-clock checks) — this module deliberately knows nothing about
+   clocks so the numeric library stays dependency-free. *)
+
+type t = Never | Check of (unit -> bool)
+
+exception Cancelled
+
+let never = Never
+
+let of_fun f = Check f
+
+let cancelled = function Never -> false | Check f -> f ()
+
+let guard t = match t with Never -> () | Check f -> if f () then raise Cancelled

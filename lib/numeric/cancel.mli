@@ -1,0 +1,27 @@
+(** Cooperative cancellation for long-running numeric kernels.
+
+    The simulators ({!Ssa}'s event loops, the adaptive ODE steppers, the
+    sweep fan-out) accept a token and poll it periodically; when the
+    token reports cancellation they raise {!Cancelled} out of the run.
+    Tokens are plain predicates — the caller decides what cancellation
+    means (a wall-clock deadline, an operator request, a closed
+    connection). A token's predicate may be polled concurrently from
+    several domains (the sweep and ensemble engines do), so it must be
+    safe to call from any domain; reading an immutable deadline is the
+    typical case. *)
+
+type t
+
+exception Cancelled
+
+val never : t
+(** The token that never cancels; polling it costs one tag test. *)
+
+val of_fun : (unit -> bool) -> t
+(** [of_fun f] cancels once [f ()] returns [true]. [f] should be cheap:
+    kernels poll every few hundred iterations. *)
+
+val cancelled : t -> bool
+
+val guard : t -> unit
+(** Raise {!Cancelled} if the token reports cancellation. *)

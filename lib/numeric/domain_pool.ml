@@ -9,6 +9,107 @@
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Persistent variant: long-lived worker domains pulling from a bounded
+   queue. This is the service layer's scheduler substrate — submissions
+   beyond the bound are refused (the caller turns that into explicit
+   backpressure) rather than queued without limit. *)
+module Bounded = struct
+  type t = {
+    queue : (unit -> unit) Queue.t;
+    bound : int;
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    drained : Condition.t;
+    mutable running : int; (* jobs currently executing in workers *)
+    mutable stopping : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let worker pool () =
+    let rec loop () =
+      Mutex.lock pool.mutex;
+      while Queue.is_empty pool.queue && not pool.stopping do
+        Condition.wait pool.nonempty pool.mutex
+      done;
+      if Queue.is_empty pool.queue then begin
+        (* stopping and nothing left to drain *)
+        Mutex.unlock pool.mutex;
+        ()
+      end
+      else begin
+        let job = Queue.pop pool.queue in
+        pool.running <- pool.running + 1;
+        Mutex.unlock pool.mutex;
+        (* jobs own their error handling; a raising job must not take the
+           worker down with it *)
+        (try job () with _ -> ());
+        Mutex.lock pool.mutex;
+        pool.running <- pool.running - 1;
+        if pool.running = 0 && Queue.is_empty pool.queue then
+          Condition.broadcast pool.drained;
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?(queue_bound = 64) ~jobs () =
+    if jobs < 1 then invalid_arg "Domain_pool.Bounded.create: jobs must be >= 1";
+    if queue_bound < 1 then
+      invalid_arg "Domain_pool.Bounded.create: queue_bound must be >= 1";
+    let pool =
+      {
+        queue = Queue.create ();
+        bound = queue_bound;
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        drained = Condition.create ();
+        running = 0;
+        stopping = false;
+        workers = [||];
+      }
+    in
+    pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let jobs pool = Array.length pool.workers
+
+  let queue_bound pool = pool.bound
+
+  let backlog pool =
+    Mutex.lock pool.mutex;
+    let n = Queue.length pool.queue + pool.running in
+    Mutex.unlock pool.mutex;
+    n
+
+  let try_submit pool job =
+    Mutex.lock pool.mutex;
+    let accepted =
+      (not pool.stopping) && Queue.length pool.queue < pool.bound
+    in
+    if accepted then begin
+      Queue.push job pool.queue;
+      Condition.signal pool.nonempty
+    end;
+    Mutex.unlock pool.mutex;
+    accepted
+
+  let drain pool =
+    Mutex.lock pool.mutex;
+    while not (Queue.is_empty pool.queue && pool.running = 0) do
+      Condition.wait pool.drained pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+
+  let shutdown pool =
+    Mutex.lock pool.mutex;
+    pool.stopping <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+end
+
 let run ?jobs ~tasks f =
   if tasks < 1 then invalid_arg "Domain_pool.run: tasks must be >= 1";
   let jobs =

@@ -20,3 +20,41 @@ val run : ?jobs:int -> tasks:int -> (int -> 'a) -> 'a array
     [jobs] domains (default {!default_jobs}, clamped to [tasks]). Raises
     [Invalid_argument] if [tasks < 1] or [jobs < 1]. Exceptions raised
     by [f] in a worker domain are re-raised on join. *)
+
+(** Persistent worker pool over a bounded job queue.
+
+    Where {!run} is a one-shot fan-out (spawn, compute, join), this is a
+    long-lived pool for servers: worker domains block on a shared queue,
+    {!Bounded.try_submit} refuses work beyond the queue bound so the
+    caller can apply explicit backpressure, and {!Bounded.shutdown}
+    drains what was accepted and joins the workers. Jobs are thunks that
+    own their error handling — an exception escaping a job is swallowed
+    (the worker survives); report failures through the job's own channel
+    (the service layer writes an error response). *)
+module Bounded : sig
+  type t
+
+  val create : ?queue_bound:int -> jobs:int -> unit -> t
+  (** Spawn [jobs] worker domains sharing one queue of capacity
+      [queue_bound] (default 64). Raises [Invalid_argument] if either is
+      [< 1]. *)
+
+  val jobs : t -> int
+
+  val queue_bound : t -> int
+
+  val backlog : t -> int
+  (** Jobs queued plus jobs currently executing. *)
+
+  val try_submit : t -> (unit -> unit) -> bool
+  (** Enqueue a job; [false] when the queue is at its bound (or the pool
+      is shutting down) — the job was {e not} accepted. *)
+
+  val drain : t -> unit
+  (** Block until no job is queued or running. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting work, let the workers finish everything already
+      accepted, and join them. Idempotent-ish: a second call returns
+      immediately. *)
+end

@@ -55,7 +55,7 @@ let initial_step sys t0 x0 rtol atol =
   if d0 < 1e-5 || d1 < 1e-5 then 1e-6 else 0.01 *. (d0 /. d1)
 
 let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
-    ~t0 ~t1 ~on_sample sys x0 =
+    ?(cancel = Numeric.Cancel.never) ~t0 ~t1 ~on_sample sys x0 =
   if t1 < t0 then invalid_arg "Dopri5.integrate: t1 < t0";
   let n = Deriv.dim sys in
   let x = Array.copy x0 in
@@ -82,9 +82,12 @@ let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
   on_sample !t x;
   eval !t x !rk1 (* FSAL seed: the only stage-1 evaluation of the run *);
   while !t < t1 -. 1e-12 do
-    if !steps >= max_steps then failwith "Dopri5: max step count exceeded";
+    Numeric.Cancel.guard cancel;
+    if !steps >= max_steps then
+      Solver_error.raise_ ~solver:"Dopri5" ~t:!t
+        (Solver_error.Max_steps max_steps);
     if !h < 1e-14 *. Float.max 1. (Float.abs !t) then
-      failwith "Dopri5: step size underflow (system too stiff)";
+      Solver_error.raise_ ~solver:"Dopri5" ~t:!t Solver_error.Step_underflow;
     let hh = Float.min !h (t1 -. !t) in
     let k1 = !rk1 and k7 = !rk7 in
     let stage coeffs k_out c =

@@ -17,6 +17,7 @@ val integrate :
   ?atol:float ->
   ?h0:float ->
   ?max_steps:int ->
+  ?cancel:Numeric.Cancel.t ->
   t0:float ->
   t1:float ->
   on_sample:(float -> Numeric.Vec.t -> unit) ->
@@ -24,7 +25,9 @@ val integrate :
   Numeric.Vec.t ->
   Numeric.Vec.t * stats
 (** Integrate from [t0] to [t1] starting at the given state. [on_sample]
-    fires at the initial point and after every accepted step. Defaults:
-    [rtol = 1e-6], [atol = 1e-9], [h0] chosen automatically,
-    [max_steps = 10_000_000]. Raises [Failure] if the step count is
-    exhausted or the step size underflows (stiffness signal). *)
+    fires at the initial point and after every accepted step. Raises
+    {!Solver_error.Error} if the step count is exhausted or the step
+    size underflows (stiffness signal), and {!Numeric.Cancel.Cancelled}
+    when [cancel] (polled once per attempted step, default
+    {!Numeric.Cancel.never}) fires. Defaults: [rtol = 1e-6],
+    [atol = 1e-9], [h0] chosen automatically, [max_steps = 10_000_000]. *)

@@ -3,22 +3,26 @@ type injection = { at : float; species : string; amount : float }
 
 (* tolerance defaults are per method: the semi-implicit integrator's
    first-order error estimate is conservative, so it gets looser targets *)
-let run_segment method_ ~rtol ~atol ~t0 ~t1 ~on_sample sys x =
+let run_segment method_ ~rtol ~atol ~cancel ~t0 ~t1 ~on_sample sys x =
   if t1 <= t0 then Array.copy x
   else
     match method_ with
     | Dopri5 ->
         let rtol = Option.value ~default:1e-6 rtol
         and atol = Option.value ~default:1e-9 atol in
-        let x', _ = Dopri5.integrate ~rtol ~atol ~t0 ~t1 ~on_sample sys x in
+        let x', _ =
+          Dopri5.integrate ~rtol ~atol ~cancel ~t0 ~t1 ~on_sample sys x
+        in
         x'
     | Rosenbrock ->
         let rtol = Option.value ~default:1e-4 rtol
         and atol = Option.value ~default:1e-7 atol in
-        let x', _ = Rosenbrock.integrate ~rtol ~atol ~t0 ~t1 ~on_sample sys x in
+        let x', _ =
+          Rosenbrock.integrate ~rtol ~atol ~cancel ~t0 ~t1 ~on_sample sys x
+        in
         x'
     | Rk4 h ->
-        Fixed.integrate ~step:Fixed.rk4_step ~h ~t0 ~t1 ~on_sample sys x
+        Fixed.integrate ~cancel ~step:Fixed.rk4_step ~h ~t0 ~t1 ~on_sample sys x
 
 let prepare net injections =
   let resolve { at; species; amount } =
@@ -33,8 +37,11 @@ let prepare net injections =
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let simulate_gen ~record_step ~record_boundary ?(method_ = Dopri5) ?rtol
-    ?atol ?(env = Crn.Rates.default_env) ?(injections = []) ~t1 net =
-  let sys = Deriv.compile env net in
+    ?atol ?(env = Crn.Rates.default_env) ?(injections = []) ?sys
+    ?(cancel = Numeric.Cancel.never) ~t1 net =
+  (* [sys] lets a caller (the simulation service) reuse a cached compiled
+     model; it must have been compiled from this [net] under [env] *)
+  let sys = match sys with Some s -> s | None -> Deriv.compile env net in
   let events =
     List.filter (fun (at, _, _) -> at < t1) (prepare net injections)
   in
@@ -48,7 +55,7 @@ let simulate_gen ~record_step ~record_boundary ?(method_ = Dopri5) ?rtol
     let on_sample ts xs =
       if !first then first := false else record_step ts xs
     in
-    x := run_segment method_ ~rtol ~atol ~t0:!t ~t1:t_end ~on_sample sys !x;
+    x := run_segment method_ ~rtol ~atol ~cancel ~t0:!t ~t1:t_end ~on_sample sys !x;
     t := t_end
   in
   record_boundary 0. !x;
@@ -61,7 +68,8 @@ let simulate_gen ~record_step ~record_boundary ?(method_ = Dopri5) ?rtol
   run_to t1;
   !x
 
-let simulate ?method_ ?rtol ?atol ?env ?injections ?(thin = 1) ~t1 net =
+let simulate ?method_ ?rtol ?atol ?env ?injections ?sys ?cancel ?(thin = 1)
+    ~t1 net =
   if thin < 1 then invalid_arg "Driver.simulate: thin must be >= 1";
   let trace = Trace.create ~names:(Crn.Network.species_names net) in
   let countdown = ref 0 in
@@ -74,14 +82,14 @@ let simulate ?method_ ?rtol ?atol ?env ?injections ?(thin = 1) ~t1 net =
   in
   let final =
     simulate_gen ~record_step ~record_boundary ?method_ ?rtol ?atol ?env
-      ?injections ~t1 net
+      ?injections ?sys ?cancel ~t1 net
   in
   (* always include the final state even when thinning dropped it *)
   if Trace.length trace = 0 || Trace.last_time trace < t1 then
     Trace.record trace t1 final;
   trace
 
-let final_state ?method_ ?rtol ?atol ?env ?injections ~t1 net =
+let final_state ?method_ ?rtol ?atol ?env ?injections ?sys ?cancel ~t1 net =
   let drop _ _ = () in
   simulate_gen ~record_step:drop ~record_boundary:drop ?method_ ?rtol ?atol
-    ?env ?injections ~t1 net
+    ?env ?injections ?sys ?cancel ~t1 net

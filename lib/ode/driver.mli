@@ -24,6 +24,8 @@ val simulate :
   ?atol:float ->
   ?env:Crn.Rates.env ->
   ?injections:injection list ->
+  ?sys:Deriv.t ->
+  ?cancel:Numeric.Cancel.t ->
   ?thin:int ->
   t1:float ->
   Crn.Network.t ->
@@ -34,8 +36,13 @@ val simulate :
     [thin] (default 1) records only every n-th accepted integrator step —
     stiff clocked designs take hundreds of thousands of steps and the
     analysis layers interpolate anyway; segment boundaries are always
-    recorded. Raises [Invalid_argument] for an unknown injection species, a
-    negative injection time, or [thin < 1]. *)
+    recorded. [sys] supplies an already-compiled model (it must come from
+    [Deriv.compile env net] for the same [env] and [net] — the simulation
+    service's compiled-model cache uses this to skip recompilation);
+    [cancel] (default {!Numeric.Cancel.never}) is polled each integrator
+    step and aborts the run with {!Numeric.Cancel.Cancelled}. Raises
+    [Invalid_argument] for an unknown injection species, a negative
+    injection time, or [thin < 1]. *)
 
 val final_state :
   ?method_:method_ ->
@@ -43,6 +50,8 @@ val final_state :
   ?atol:float ->
   ?env:Crn.Rates.env ->
   ?injections:injection list ->
+  ?sys:Deriv.t ->
+  ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
   Numeric.Vec.t

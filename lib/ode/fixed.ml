@@ -30,13 +30,15 @@ let rk4_step sys t x h =
   done;
   y
 
-let integrate ~step ~h ~t0 ~t1 ~on_sample sys x0 =
+let integrate ?(cancel = Numeric.Cancel.never) ~step ~h ~t0 ~t1 ~on_sample sys
+    x0 =
   if h <= 0. then invalid_arg "Fixed.integrate: step must be positive";
   if t1 < t0 then invalid_arg "Fixed.integrate: t1 < t0";
   let x = ref (Array.copy x0) in
   let t = ref t0 in
   on_sample !t !x;
   while !t < t1 -. 1e-12 do
+    Numeric.Cancel.guard cancel;
     let hh = Float.min h (t1 -. !t) in
     let y = step sys !t !x hh in
     Numeric.Vec.clamp_nonneg y;

@@ -11,6 +11,7 @@ val rk4_step : Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t
 (** One classic Runge–Kutta-4 step. *)
 
 val integrate :
+  ?cancel:Numeric.Cancel.t ->
   step:(Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t) ->
   h:float ->
   t0:float ->

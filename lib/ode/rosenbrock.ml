@@ -25,7 +25,7 @@ let gamma = 1. +. (1. /. sqrt 2.)
    [factorizations] counts actual LU factorizations of W (which must be
    redone whenever h changes, since W depends on h). *)
 let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
-    ~t0 ~t1 ~on_sample sys x0 =
+    ?(cancel = Numeric.Cancel.never) ~t0 ~t1 ~on_sample sys x0 =
   if t1 < t0 then invalid_arg "Rosenbrock.integrate: t1 < t0";
   let n = Deriv.dim sys in
   let x = Array.copy x0 in
@@ -45,9 +45,12 @@ let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
   let jac_fresh = ref false in
   on_sample !t x;
   while !t < t1 -. 1e-12 do
-    if !steps >= max_steps then failwith "Rosenbrock: max step count exceeded";
+    Numeric.Cancel.guard cancel;
+    if !steps >= max_steps then
+      Solver_error.raise_ ~solver:"Rosenbrock" ~t:!t
+        (Solver_error.Max_steps max_steps);
     if !h < 1e-14 *. Float.max 1. (Float.abs !t) then
-      failwith "Rosenbrock: step size underflow";
+      Solver_error.raise_ ~solver:"Rosenbrock" ~t:!t Solver_error.Step_underflow;
     let hh = Float.min !h (t1 -. !t) in
     if !jac_fresh then incr jac_reused
     else begin

@@ -26,6 +26,7 @@ val integrate :
   ?atol:float ->
   ?h0:float ->
   ?max_steps:int ->
+  ?cancel:Numeric.Cancel.t ->
   t0:float ->
   t1:float ->
   on_sample:(float -> Numeric.Vec.t -> unit) ->

@@ -1,0 +1,22 @@
+(* Structured non-convergence errors shared by the adaptive steppers.
+
+   The original code signalled these with [failwith], which callers could
+   only pattern-match by message string; the command-line tools and the
+   simulation service both need to distinguish "the solver gave up" from
+   arbitrary failures to map it to a clean exit code / wire response. *)
+
+type reason = Max_steps of int | Step_underflow
+
+type t = { solver : string; reason : reason; t : float }
+
+exception Error of t
+
+let to_string { solver; reason; t } =
+  match reason with
+  | Max_steps n ->
+      Printf.sprintf "%s: max step count %d exceeded at t = %g" solver n t
+  | Step_underflow ->
+      Printf.sprintf "%s: step size underflow at t = %g (system too stiff)"
+        solver t
+
+let raise_ ~solver ~t reason = raise (Error { solver; reason; t })

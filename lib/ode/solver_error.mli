@@ -1,0 +1,23 @@
+(** Structured non-convergence errors from the adaptive steppers.
+
+    {!Dopri5} and {!Rosenbrock} raise {!Error} (instead of a bare
+    [Failure]) when they exhaust their step budget or the step size
+    underflows, so callers — the [crnsim] tool, the simulation service —
+    can map solver failure to a clean one-line message and a stable
+    error code rather than an uncaught-exception backtrace. *)
+
+type reason =
+  | Max_steps of int  (** the step budget was exhausted *)
+  | Step_underflow  (** the step shrank below resolvable precision *)
+
+type t = {
+  solver : string;  (** ["Dopri5"] or ["Rosenbrock"] *)
+  reason : reason;
+  t : float;  (** integration time reached when the solver gave up *)
+}
+
+exception Error of t
+
+val to_string : t -> string
+
+val raise_ : solver:string -> t:float -> reason -> 'a

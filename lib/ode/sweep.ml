@@ -3,9 +3,10 @@ let map ?jobs f points =
   if n = 0 then [||]
   else Numeric.Domain_pool.run ?jobs ~tasks:n (fun i -> f points.(i))
 
-let final_states ?jobs ?method_ ?rtol ?atol ?injections ~t1 net ~ratios =
+let final_states ?jobs ?method_ ?rtol ?atol ?injections ?cancel ~t1 net
+    ~ratios =
   map ?jobs
     (fun ratio ->
       let env = Crn.Rates.env_with_ratio ratio in
-      Driver.final_state ?method_ ?rtol ?atol ~env ?injections ~t1 net)
+      Driver.final_state ?method_ ?rtol ?atol ~env ?injections ?cancel ~t1 net)
     ratios

@@ -26,10 +26,14 @@ val final_states :
   ?rtol:float ->
   ?atol:float ->
   ?injections:Driver.injection list ->
+  ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
   ratios:float array ->
   Numeric.Vec.t array
 (** Rate-robustness convenience: simulate [net] to [t1] once per
     fast/slow ratio ({!Crn.Rates.env_with_ratio}) and return the final
-    state at each ratio — the sweep behind [crnsim --sweep-ratio]. *)
+    state at each ratio — the sweep behind [crnsim --sweep-ratio].
+    [cancel] is shared by every point (its predicate is polled from all
+    worker domains); when it fires, the whole sweep aborts with
+    {!Numeric.Cancel.Cancelled}. *)

@@ -1,0 +1,19 @@
+(** Service addresses: Unix-domain socket path or TCP host:port. *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Accepts ["unix:PATH"], a path starting with ['/'] or ['.'], or
+    ["HOST:PORT"] (empty host means 127.0.0.1, e.g. [":7421"]). *)
+
+val connect : t -> Unix.file_descr
+(** Client-side connect ([TCP_NODELAY] set on TCP). *)
+
+val listen : ?backlog:int -> t -> Unix.file_descr
+(** Bind + listen; removes a stale Unix socket file first, sets
+    [SO_REUSEADDR] on TCP. *)
+
+val cleanup : t -> unit
+(** Unlink the Unix socket file (no-op for TCP); for daemon shutdown. *)

@@ -1,0 +1,43 @@
+(* Blocking client for the service protocol: one connection, one
+   request in flight at a time, so responses pair with requests by
+   order. *)
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect addr = { fd = Addr.connect addr; closed = false }
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with _ -> ()
+  end
+
+let call c req =
+  if c.closed then failwith "Service.Client.call: connection closed";
+  Wire.write_frame c.fd (Json.to_string req);
+  match Wire.read_frame c.fd with
+  | Some payload -> Json.of_string payload
+  | None -> failwith "Service.Client.call: server closed the connection"
+
+type response = {
+  ok : bool;
+  result : Json.t option;
+  error : Error.t option;
+  error_message : string option;
+  metrics : Json.t option;
+}
+
+let response_of_json j =
+  let member k = Json.member k j in
+  let error_obj = member "error" in
+  {
+    ok = Option.value ~default:false (Option.bind (member "ok") Json.to_bool);
+    result = member "result";
+    error = Option.map Error.of_json error_obj;
+    error_message =
+      Option.bind error_obj (fun e ->
+          Option.bind (Json.member "message" e) Json.to_str);
+    metrics = member "metrics";
+  }
+
+let request c req = response_of_json (call c req)

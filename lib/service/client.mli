@@ -1,0 +1,32 @@
+(** Blocking client for the service protocol.
+
+    One connection, one request in flight at a time: {!call} writes a
+    frame and blocks for the next frame back, so responses pair with
+    requests by order. For pipelined use, open several clients. *)
+
+type t
+
+val connect : Addr.t -> t
+
+val close : t -> unit
+
+val call : t -> Json.t -> Json.t
+(** Send a request object, return the raw response object. Raises
+    [Failure] on a closed connection and {!Wire.Framing_error} on a
+    corrupt stream. *)
+
+(** Decoded view of a response envelope. [error_message] is the wire's
+    own message string (display it as-is); [error] is the typed decode
+    for dispatch on the code. *)
+type response = {
+  ok : bool;
+  result : Json.t option;
+  error : Error.t option;
+  error_message : string option;
+  metrics : Json.t option;
+}
+
+val response_of_json : Json.t -> response
+
+val request : t -> Json.t -> response
+(** [call] + [response_of_json]. *)

@@ -1,0 +1,116 @@
+(* The one error vocabulary shared by the daemon's wire responses and
+   the command-line tools' exit paths: every failure a simulation
+   request can hit maps to a stable machine code, a one-line human
+   message, and (for the CLI) a documented exit code. *)
+
+type t =
+  | Bad_request of string
+  | Parse_error of { line : int; msg : string }
+  | Unknown_design of string
+  | Max_events_exceeded of { max_events : int; t : float }
+  | Max_steps_exceeded of { max_steps : int; t : float }
+  | Solver_failure of { solver : string; msg : string }
+  | Not_compilable of string
+  | Deadline_exceeded of { budget_ms : float }
+  | Overloaded of { queue_bound : int }
+  | Internal of string
+
+let code = function
+  | Bad_request _ -> "bad_request"
+  | Parse_error _ -> "parse_error"
+  | Unknown_design _ -> "unknown_design"
+  | Max_events_exceeded _ -> "max_events_exceeded"
+  | Max_steps_exceeded _ -> "max_steps_exceeded"
+  | Solver_failure _ -> "solver_failure"
+  | Not_compilable _ -> "not_compilable"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Overloaded _ -> "overloaded"
+  | Internal _ -> "internal"
+
+let message = function
+  | Bad_request msg -> msg
+  | Parse_error { line; msg } ->
+      Printf.sprintf "parse error at line %d: %s" line msg
+  | Unknown_design name ->
+      Printf.sprintf
+        "%S is neither a file nor a built-in design (available: %s)" name
+        (String.concat ", " (Designs.Catalog.names ()))
+  | Max_events_exceeded { max_events; t } ->
+      Printf.sprintf "max event count %d exceeded at t = %g" max_events t
+  | Max_steps_exceeded { max_steps; t } ->
+      Printf.sprintf "max step count %d exceeded at t = %g" max_steps t
+  | Solver_failure { msg; _ } -> msg
+  | Not_compilable msg -> Printf.sprintf "not DSD-compilable: %s" msg
+  | Deadline_exceeded { budget_ms } ->
+      Printf.sprintf "deadline of %g ms exceeded" budget_ms
+  | Overloaded { queue_bound } ->
+      Printf.sprintf "server overloaded (queue bound %d reached); retry later"
+        queue_bound
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+(* exit codes: 1 reserved for generic CLI failure, 2 for usage/input
+   errors (cmdliner's own convention), then one code per runtime class
+   so scripts can branch on how a simulation died *)
+let exit_code = function
+  | Bad_request _ | Parse_error _ | Unknown_design _ | Not_compilable _ -> 2
+  | Max_events_exceeded _ | Max_steps_exceeded _ | Solver_failure _ -> 3
+  | Deadline_exceeded _ -> 4
+  | Overloaded _ -> 5
+  | Internal _ -> 70 (* EX_SOFTWARE *)
+
+let of_exn = function
+  | Crn.Parser.Parse_error (line, msg) -> Some (Parse_error { line; msg })
+  | Ssa.Gillespie.Error (Ssa.Gillespie.Max_events_exceeded { max_events; t })
+    ->
+      Some (Max_events_exceeded { max_events; t })
+  | Ssa.Tau_leap.Error (Ssa.Tau_leap.Max_steps_exceeded { max_steps; t }) ->
+      Some (Max_steps_exceeded { max_steps; t })
+  | Ode.Solver_error.Error ({ solver; _ } as e) ->
+      Some (Solver_failure { solver; msg = Ode.Solver_error.to_string e })
+  | Dsd.Translate.Not_compilable msg -> Some (Not_compilable msg)
+  | _ -> None
+
+(* ---------------------------------------------------------------- wire *)
+
+let to_json err =
+  let fields =
+    match err with
+    | Parse_error { line; _ } -> [ ("line", Json.int line) ]
+    | Max_events_exceeded { max_events; t } ->
+        [ ("max_events", Json.int max_events); ("t", Json.num t) ]
+    | Max_steps_exceeded { max_steps; t } ->
+        [ ("max_steps", Json.int max_steps); ("t", Json.num t) ]
+    | Solver_failure { solver; _ } -> [ ("solver", Json.str solver) ]
+    | Deadline_exceeded { budget_ms } -> [ ("budget_ms", Json.num budget_ms) ]
+    | Overloaded { queue_bound } -> [ ("queue_bound", Json.int queue_bound) ]
+    | _ -> []
+  in
+  Json.Obj
+    (("code", Json.str (code err))
+    :: ("message", Json.str (message err))
+    :: fields)
+
+let of_json j =
+  let geti key d = Option.bind (Json.member key j) Json.to_int |> Option.value ~default:d in
+  let getf key d = Option.bind (Json.member key j) Json.to_float |> Option.value ~default:d in
+  let gets key d = Option.bind (Json.member key j) Json.to_str |> Option.value ~default:d in
+  let msg = gets "message" "" in
+  match Option.bind (Json.member "code" j) Json.to_str with
+  | Some "bad_request" -> Bad_request msg
+  | Some "parse_error" ->
+      (* message re-renders through [message]: strip nothing, keep raw *)
+      Parse_error { line = geti "line" 0; msg }
+  | Some "unknown_design" -> Unknown_design msg
+  | Some "max_events_exceeded" ->
+      Max_events_exceeded { max_events = geti "max_events" 0; t = getf "t" 0. }
+  | Some "max_steps_exceeded" ->
+      Max_steps_exceeded { max_steps = geti "max_steps" 0; t = getf "t" 0. }
+  | Some "solver_failure" ->
+      Solver_failure { solver = gets "solver" "?"; msg }
+  | Some "not_compilable" -> Not_compilable msg
+  | Some "deadline_exceeded" ->
+      Deadline_exceeded { budget_ms = getf "budget_ms" 0. }
+  | Some "overloaded" -> Overloaded { queue_bound = geti "queue_bound" 0 }
+  | Some "internal" -> Internal msg
+  | Some other -> Internal (Printf.sprintf "unknown error code %S: %s" other msg)
+  | None -> Internal "malformed error object"

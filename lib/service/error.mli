@@ -1,0 +1,46 @@
+(** Structured errors shared by the service wire protocol and the
+    command-line tools.
+
+    One vocabulary for everything a simulation request can die of:
+    each case carries a stable machine [code] (what goes over the wire
+    and what scripts match on), a one-line human [message], and a
+    documented CLI [exit_code] — so [crnsim] prints a clean line instead
+    of an uncaught-exception backtrace, and the daemon answers with the
+    same classification. *)
+
+type t =
+  | Bad_request of string  (** malformed or unsupported request *)
+  | Parse_error of { line : int; msg : string }  (** .crn text parse *)
+  | Unknown_design of string  (** not a file, not a catalog name *)
+  | Max_events_exceeded of { max_events : int; t : float }
+  | Max_steps_exceeded of { max_steps : int; t : float }
+  | Solver_failure of { solver : string; msg : string }
+      (** ODE non-convergence: step budget or step-size underflow *)
+  | Not_compilable of string  (** DSD compilation of molecularity > 2 *)
+  | Deadline_exceeded of { budget_ms : float }
+  | Overloaded of { queue_bound : int }  (** bounded queue refused the job *)
+  | Internal of string
+
+val code : t -> string
+(** Stable machine string, e.g. ["deadline_exceeded"]. *)
+
+val message : t -> string
+
+val exit_code : t -> int
+(** 2 input/usage, 3 simulation budget/solver, 4 deadline, 5 overloaded,
+    70 internal. *)
+
+val of_exn : exn -> t option
+(** Classify the structured exceptions of the simulation stack
+    ({!Crn.Parser.Parse_error}, {!Ssa.Gillespie.Error},
+    {!Ssa.Tau_leap.Error}, {!Ode.Solver_error.Error},
+    {!Dsd.Translate.Not_compilable}); [None] for anything else. *)
+
+val to_json : t -> Json.t
+(** [{"code": ..., "message": ..., <payload fields>}]. *)
+
+val of_json : Json.t -> t
+(** Inverse of {!to_json} for typed dispatch on [code] and payload
+    fields. Display the wire object's ["message"] field directly rather
+    than re-rendering through {!message} (which would re-prefix some
+    cases). Malformed objects decode to {!Internal}. *)

@@ -1,0 +1,270 @@
+(* Minimal JSON for the wire protocol. The repo deliberately takes no
+   dependency beyond the OCaml toolchain, so this is a small hand-rolled
+   codec: a strict recursive-descent parser and a printer whose floats
+   round-trip bit-exactly (%.17g; integral values print as integers) —
+   the service's byte-identical-results contract rests on that. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------ printing *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_num b x =
+  if Float.is_nan x then
+    (* strict JSON has no non-finite numbers; use the Python-json
+       extension tokens so a diverged simulation (fixed-step RK4 on a
+       stiff network, say) still round-trips instead of degrading to
+       null and breaking the byte-identity contract *)
+    Buffer.add_string b "NaN"
+  else if x = infinity then Buffer.add_string b "Infinity"
+  else if x = neg_infinity then Buffer.add_string b "-Infinity"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num x -> add_num b x
+  | Str s -> escape b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          add b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          add b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------- parsing *)
+
+type cursor = { s : string; mutable i : int }
+
+let fail msg = raise (Parse_error msg)
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let advance c = c.i <- c.i + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail (Printf.sprintf "expected %C at offset %d" ch c.i)
+
+let literal c word v =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    v
+  end
+  else fail (Printf.sprintf "bad literal at offset %d" c.i)
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string"
+    | Some '"' ->
+        advance c;
+        Buffer.contents b
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char b '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char b '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char b '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char b '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char b '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.i + 4 > String.length c.s then fail "bad \\u escape";
+            let hex = String.sub c.s c.i 4 in
+            c.i <- c.i + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape"
+            in
+            (* encode the code point as UTF-8 (surrogates are passed
+               through as-is; the protocol only ever ships ASCII) *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.i in
+  let num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> num_char ch | None -> false) do
+    advance c
+  done;
+  if c.i = start then fail (Printf.sprintf "expected number at offset %d" start);
+  match float_of_string_opt (String.sub c.s start (c.i - start)) with
+  | Some x -> x
+  | None -> fail (Printf.sprintf "bad number at offset %d" start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'N' -> literal c "NaN" (Num Float.nan)
+  | Some 'I' -> literal c "Infinity" (Num infinity)
+  | Some '-' when c.i + 1 < String.length c.s && c.s.[c.i + 1] = 'I' ->
+      literal c "-Infinity" (Num neg_infinity)
+  | Some '"' -> Str (parse_string c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev (kv :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some ch -> (
+      match ch with
+      | '-' | '0' .. '9' -> Num (parse_number c)
+      | _ -> fail (Printf.sprintf "unexpected %C at offset %d" ch c.i))
+
+let of_string s =
+  let c = { s; i = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.i <> String.length s then fail "trailing garbage after JSON value";
+  v
+
+(* ------------------------------------------------------------ accessors *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_float = function
+  | Num x -> Some x
+  | _ -> None
+
+let to_int = function
+  | Num x when Float.is_integer x -> Some (int_of_float x)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+
+let num x = Num x
+let int x = Num (float_of_int x)
+let str s = Str s

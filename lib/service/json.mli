@@ -1,0 +1,39 @@
+(** Minimal JSON codec for the service wire protocol (stdlib only).
+
+    Floats print with [%.17g] (integral values as integers), so numeric
+    payloads round-trip bit-exactly through [to_string]/[of_string] —
+    the foundation of the service's byte-identical-results guarantee.
+    NaN and infinities, which strict JSON cannot represent, use the
+    Python-json extension tokens [NaN], [Infinity] and [-Infinity] (both
+    printed and accepted), so even diverged simulations round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Strict parse of exactly one JSON value (trailing whitespace allowed).
+    Raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [to_int] additionally requires the number to be integral. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val num : float -> t
+val int : int -> t
+val str : string -> t

@@ -1,0 +1,114 @@
+(* Per-request metrics blocks and since-start aggregate counters.
+
+   Every response the daemon writes carries a [request] block (queue
+   wait, cache outcome, compile/run wall time, engine-specific work
+   counters); the aggregate side is a mutex-protected set of counters
+   the [stats] request reads. *)
+
+type cache_outcome = Hit | Miss | Not_applicable
+
+let cache_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Not_applicable -> "n/a"
+
+type request = {
+  queue_wait_ms : float;
+  cache : cache_outcome;
+  compile_ms : float;  (** 0 on a cache hit *)
+  run_ms : float;
+  total_ms : float;  (** arrival to response, excluding socket transfer *)
+  extra : (string * Json.t) list;
+      (** engine work counters: events, steps, runs, points... *)
+}
+
+let request_json m =
+  Json.Obj
+    ([
+       ("queue_wait_ms", Json.num m.queue_wait_ms);
+       ("cache", Json.str (cache_string m.cache));
+       ("compile_ms", Json.num m.compile_ms);
+       ("run_ms", Json.num m.run_ms);
+       ("total_ms", Json.num m.total_ms);
+     ]
+    @ m.extra)
+
+(* ------------------------------------------------------------ aggregate *)
+
+type t = {
+  mutex : Mutex.t;
+  started_at : float;
+  by_op : (string, int) Hashtbl.t;
+  by_error : (string, int) Hashtbl.t;
+  mutable requests : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable queue_wait_ms_sum : float;
+  mutable run_ms_sum : float;
+  mutable run_ms_max : float;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    by_op = Hashtbl.create 16;
+    by_error = Hashtbl.create 16;
+    requests = 0;
+    ok = 0;
+    errors = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    queue_wait_ms_sum = 0.;
+    run_ms_sum = 0.;
+    run_ms_max = 0.;
+  }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let record agg ~op ~error ~request:m =
+  Mutex.lock agg.mutex;
+  agg.requests <- agg.requests + 1;
+  bump agg.by_op op;
+  (match error with
+  | None -> agg.ok <- agg.ok + 1
+  | Some code ->
+      agg.errors <- agg.errors + 1;
+      bump agg.by_error code);
+  (match m.cache with
+  | Hit -> agg.cache_hits <- agg.cache_hits + 1
+  | Miss -> agg.cache_misses <- agg.cache_misses + 1
+  | Not_applicable -> ());
+  agg.queue_wait_ms_sum <- agg.queue_wait_ms_sum +. m.queue_wait_ms;
+  agg.run_ms_sum <- agg.run_ms_sum +. m.run_ms;
+  if m.run_ms > agg.run_ms_max then agg.run_ms_max <- m.run_ms;
+  Mutex.unlock agg.mutex
+
+let table_json tbl =
+  Json.Obj
+    (Hashtbl.fold (fun k v acc -> (k, Json.int v) :: acc) tbl []
+    |> List.sort compare)
+
+let to_json agg =
+  Mutex.lock agg.mutex;
+  let j =
+    Json.Obj
+      [
+        ("uptime_s", Json.num (Unix.gettimeofday () -. agg.started_at));
+        ("requests", Json.int agg.requests);
+        ("ok", Json.int agg.ok);
+        ("errors", Json.int agg.errors);
+        ("by_op", table_json agg.by_op);
+        ("by_error", table_json agg.by_error);
+        ("cache_hits", Json.int agg.cache_hits);
+        ("cache_misses", Json.int agg.cache_misses);
+        ("queue_wait_ms_sum", Json.num agg.queue_wait_ms_sum);
+        ("run_ms_sum", Json.num agg.run_ms_sum);
+        ("run_ms_max", Json.num agg.run_ms_max);
+      ]
+  in
+  Mutex.unlock agg.mutex;
+  j

@@ -1,0 +1,30 @@
+(** Request-level metrics blocks and the daemon's since-start counters.
+
+    Every response carries a {!request} block; the [stats] request
+    serializes the aggregate with {!to_json}. The aggregate is
+    mutex-protected — worker domains record concurrently. *)
+
+type cache_outcome = Hit | Miss | Not_applicable
+
+val cache_string : cache_outcome -> string
+(** ["hit"], ["miss"], ["n/a"] — the wire encoding. *)
+
+type request = {
+  queue_wait_ms : float;  (** time spent queued before a worker picked it up *)
+  cache : cache_outcome;
+  compile_ms : float;  (** synthesis + canonicalization + compile; 0 on hit *)
+  run_ms : float;  (** simulation proper *)
+  total_ms : float;  (** arrival to response, excluding socket transfer *)
+  extra : (string * Json.t) list;  (** engine work counters (events, steps…) *)
+}
+
+val request_json : request -> Json.t
+
+type t
+
+val create : unit -> t
+
+val record : t -> op:string -> error:string option -> request:request -> unit
+(** [error] is the structured error code when the request failed. *)
+
+val to_json : t -> Json.t

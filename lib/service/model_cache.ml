@@ -1,0 +1,154 @@
+(* LRU cache of compiled simulation models.
+
+   Two maps under one mutex:
+
+   - [models]: canonical network digest ({!Crn.Equiv.cache_key} extended
+     with the rate environment) -> compiled entry (the network, its
+     compiled ODE system, and the compiled SSA model). Distinct request
+     sources that synthesize the same network under the same environment
+     share one compiled entry through this digest.
+   - [sources]: request-source digest -> model key. A repeat of an
+     identical request skips not just compilation but synthesis and
+     canonicalization too — the expensive part of a cold request — which
+     is what makes warm requests an order of magnitude cheaper.
+
+   Both compiled artifacts are immutable once built (runs keep all
+   mutable state per-run), so entries are safely shared by concurrent
+   worker domains. Compilation happens under the lock: entries compile
+   in a few milliseconds, and serializing them keeps the code free of
+   duplicate-compile races. *)
+
+type entry = {
+  key : string;
+  net : Crn.Network.t;
+  env : Crn.Rates.env;
+  sys : Ode.Deriv.t;
+  ssa : Ssa.Gillespie.model;
+  fingerprint : string;
+  compile_ms : float;
+      (* what the cold path paid: synthesis + canonical digest + both
+         compilers; reported in response metrics so clients see what the
+         cache saves them *)
+  mutable last_used : int;
+  mutable hits : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  models : (string, entry) Hashtbl.t;
+  sources : (string, string) Hashtbl.t;
+  mutable tick : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 32) () =
+  if capacity < 1 then invalid_arg "Model_cache.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    models = Hashtbl.create 64;
+    sources = Hashtbl.create 64;
+    tick = 0;
+    hit_count = 0;
+    miss_count = 0;
+    evictions = 0;
+  }
+
+let env_key (env : Crn.Rates.env) =
+  Printf.sprintf "%.17g/%.17g" env.Crn.Rates.k_fast env.Crn.Rates.k_slow
+
+let touch cache entry =
+  cache.tick <- cache.tick + 1;
+  entry.last_used <- cache.tick
+
+let evict_lru cache =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some best when best.last_used <= e.last_used -> acc
+        | _ -> Some e)
+      cache.models None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove cache.models e.key;
+      (* drop the source aliases that pointed at it *)
+      let stale =
+        Hashtbl.fold
+          (fun src key acc -> if key = e.key then src :: acc else acc)
+          cache.sources []
+      in
+      List.iter (Hashtbl.remove cache.sources) stale;
+      cache.evictions <- cache.evictions + 1
+
+let compile_entry cache ~env ~build =
+  let t0 = Unix.gettimeofday () in
+  let net = build () in
+  let key = Crn.Equiv.cache_key net ^ "@" ^ env_key env in
+  match Hashtbl.find_opt cache.models key with
+  | Some entry -> (entry, `Miss)
+      (* different source text, same canonical network: the digest
+         dedupes it onto the existing compiled entry; the request still
+         counts as a miss (it paid synthesis + digest) *)
+  | None ->
+      let fingerprint = Crn.Equiv.fingerprint net in
+      let sys = Ode.Deriv.compile env net in
+      let ssa = Ssa.Gillespie.compile_model env net in
+      let compile_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let entry =
+        {
+          key;
+          net;
+          env;
+          sys;
+          ssa;
+          fingerprint;
+          compile_ms;
+          last_used = 0;
+          hits = 0;
+        }
+      in
+      if Hashtbl.length cache.models >= cache.capacity then evict_lru cache;
+      Hashtbl.replace cache.models key entry;
+      (entry, `Miss)
+
+let find_or_compile cache ~source_key ~env ~build =
+  Mutex.lock cache.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache.mutex)
+    (fun () ->
+      let hit =
+        match Hashtbl.find_opt cache.sources source_key with
+        | Some key -> Hashtbl.find_opt cache.models key
+        | None -> None
+      in
+      match hit with
+      | Some entry ->
+          touch cache entry;
+          entry.hits <- entry.hits + 1;
+          cache.hit_count <- cache.hit_count + 1;
+          (entry, `Hit)
+      | None ->
+          let entry, outcome = compile_entry cache ~env ~build in
+          touch cache entry;
+          Hashtbl.replace cache.sources source_key entry.key;
+          cache.miss_count <- cache.miss_count + 1;
+          (entry, outcome))
+
+let stats cache =
+  Mutex.lock cache.mutex;
+  let s =
+    ( Hashtbl.length cache.models,
+      cache.hit_count,
+      cache.miss_count,
+      cache.evictions )
+  in
+  Mutex.unlock cache.mutex;
+  s
+
+let source_key ~spec ~env = Digest.to_hex (Digest.string (spec ^ "@" ^ env_key env))

@@ -1,0 +1,50 @@
+(** LRU cache of compiled simulation models, keyed by canonical network
+    digest.
+
+    A cold request pays synthesis (catalog build or [.crn] parse),
+    canonicalization ({!Crn.Equiv.cache_key}) and compilation of both
+    engines ({!Ode.Deriv.compile} and {!Ssa.Gillespie.compile_model});
+    the entry is then shared: an identical request source skips all of
+    it via the source memo, and a {e different} source that synthesizes
+    the same canonical network under the same rate environment dedupes
+    onto the same compiled entry via the digest. Entries are immutable
+    compiled artifacts, safe to share across concurrent worker domains;
+    all cache state is mutex-protected. *)
+
+type entry = {
+  key : string;  (** canonical digest + rate environment *)
+  net : Crn.Network.t;
+  env : Crn.Rates.env;
+  sys : Ode.Deriv.t;  (** compiled ODE right-hand side *)
+  ssa : Ssa.Gillespie.model;  (** compiled SSA reactions + dependency graph *)
+  fingerprint : string;  (** {!Crn.Equiv.fingerprint} of [net] *)
+  compile_ms : float;  (** wall time the cold path paid for this entry *)
+  mutable last_used : int;
+  mutable hits : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 32 entries; least-recently-used entries are evicted
+    beyond that. Raises [Invalid_argument] if [capacity < 1]. *)
+
+val source_key : spec:string -> env:Crn.Rates.env -> string
+(** Digest of a request's network specification (catalog name or inline
+    [.crn] text) plus rate environment — the memo key that lets repeat
+    requests skip synthesis entirely. *)
+
+val find_or_compile :
+  t ->
+  source_key:string ->
+  env:Crn.Rates.env ->
+  build:(unit -> Crn.Network.t) ->
+  entry * [ `Hit | `Miss ]
+(** Return the cached entry for [source_key], or synthesize ([build]),
+    canonicalize and compile on a miss. [`Miss] is returned even when
+    the built network dedupes onto an existing compiled entry (the
+    request still paid synthesis). Exceptions from [build] (parse
+    errors...) propagate and cache nothing. *)
+
+val stats : t -> int * int * int * int
+(** [(entries, hits, misses, evictions)] since creation. *)

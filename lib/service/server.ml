@@ -1,0 +1,681 @@
+(* The mrsc simulation server.
+
+   Architecture: one accept/read event loop on the calling domain
+   multiplexes connections with [Unix.select] and slices frames out of
+   per-connection incremental decoders; complete requests become jobs on
+   a bounded {!Numeric.Domain_pool.Bounded} queue served by persistent
+   worker domains. Submission beyond the bound is answered immediately
+   with a structured [overloaded] error (backpressure is explicit, the
+   queue never grows without limit), and every compute job carries a
+   wall-clock deadline threaded into the simulation kernels as a
+   {!Numeric.Cancel} token — an expired run dies with a structured
+   [deadline_exceeded] response while the worker survives for the next
+   job.
+
+   Compiled models are cached across requests ({!Model_cache}): a warm
+   request skips synthesis, canonicalization and compilation, which is
+   the service's reason to exist — the engines were already fast, the
+   per-invocation setup was not. *)
+
+type config = {
+  address : Addr.t;
+  jobs : int;
+  queue_bound : int;
+  cache_capacity : int;
+  default_deadline_ms : float option;
+  log : bool;
+}
+
+let default_config address =
+  {
+    address;
+    jobs = max 1 (Numeric.Domain_pool.default_jobs () - 1);
+    queue_bound = 64;
+    cache_capacity = 32;
+    default_deadline_ms = None;
+    log = false;
+  }
+
+let protocol_version = 1
+
+(* ------------------------------------------------------- connections *)
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  wmutex : Mutex.t;  (* serializes frame writes and the fields below *)
+  mutable in_flight : int;  (* jobs holding a reference to this conn *)
+  mutable closing : bool;  (* peer EOF'd or read failed *)
+  mutable closed : bool;
+  id : int;
+}
+
+let conn_close_locked c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with _ -> ()
+  end
+
+(* Send one frame; quietly drops the response if the peer is gone (the
+   worker must never die because a client hung up mid-run). *)
+let send c payload =
+  Mutex.lock c.wmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.wmutex)
+    (fun () ->
+      if not c.closed then
+        try Wire.write_frame c.fd payload
+        with Unix.Unix_error _ | Wire.Framing_error _ -> c.closing <- true)
+
+let job_done c =
+  Mutex.lock c.wmutex;
+  c.in_flight <- c.in_flight - 1;
+  if c.closing && c.in_flight = 0 then conn_close_locked c;
+  Mutex.unlock c.wmutex
+
+(* ---------------------------------------------------- request decoding *)
+
+let get j key = Json.member key j
+let get_str j key = Option.bind (get j key) Json.to_str
+let get_float j key = Option.bind (get j key) Json.to_float
+let get_int j key = Option.bind (get j key) Json.to_int
+
+exception Reject of Error.t
+
+let reject e = raise (Reject e)
+
+let network_spec req =
+  match get req "network" with
+  | None -> reject (Error.Bad_request "missing \"network\"")
+  | Some n -> (
+      match (get_str n "catalog", get_str n "text") with
+      | Some name, None -> `Catalog name
+      | None, Some text -> `Text text
+      | _ ->
+          reject
+            (Error.Bad_request
+               "\"network\" must be {\"catalog\": name} or {\"text\": crn}"))
+
+let spec_string = function
+  | `Catalog name -> "catalog:" ^ name
+  | `Text text -> "text:" ^ text
+
+let build_network = function
+  | `Catalog name -> (
+      match Designs.Catalog.find name with
+      | Some entry -> entry.Designs.Catalog.build ()
+      | None -> reject (Error.Unknown_design name))
+  | `Text text -> Crn.Parser.network_of_string text
+
+let env_of req =
+  match get_float req "ratio" with
+  | None -> Crn.Rates.default_env
+  | Some r when r > 0. -> Crn.Rates.env_with_ratio r
+  | Some _ -> reject (Error.Bad_request "\"ratio\" must be > 0")
+
+let method_of req =
+  match get req "method" with
+  | None -> Ode.Driver.Rosenbrock
+  | Some (Json.Str "dopri5") -> Ode.Driver.Dopri5
+  | Some (Json.Str "rosenbrock") -> Ode.Driver.Rosenbrock
+  | Some (Json.Str s) -> (
+      match float_of_string_opt s with
+      | Some h when h > 0. -> Ode.Driver.Rk4 h
+      | _ ->
+          reject
+            (Error.Bad_request
+               "\"method\" must be dopri5, rosenbrock, or an rk4 step size"))
+  | Some (Json.Num h) when h > 0. -> Ode.Driver.Rk4 h
+  | Some _ -> reject (Error.Bad_request "bad \"method\"")
+
+let t1_of req =
+  match get_float req "t1" with
+  | None -> 50.
+  | Some t when t > 0. -> t
+  | Some _ -> reject (Error.Bad_request "\"t1\" must be > 0")
+
+let names_json net =
+  Json.List
+    (Array.to_list (Array.map Json.str (Crn.Network.species_names net)))
+
+let vec_json v = Json.List (Array.to_list (Array.map Json.num v))
+
+(* --------------------------------------------------------- server state *)
+
+type t = {
+  config : config;
+  cache : Model_cache.t;
+  metrics : Metrics.t;
+  pool : Numeric.Domain_pool.Bounded.t;
+}
+
+let logf srv fmt =
+  if srv.config.log then Printf.eprintf ("crnserved: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* -------------------------------------------------------------- handlers *)
+
+(* Each compute handler returns (result payload, cache outcome,
+   compile_ms, run_ms, extra work counters). *)
+
+let with_model srv req ~env f =
+  let spec = network_spec req in
+  let source_key = Model_cache.source_key ~spec:(spec_string spec) ~env in
+  let entry, outcome =
+    Model_cache.find_or_compile srv.cache ~source_key ~env ~build:(fun () ->
+        build_network spec)
+  in
+  let cache, compile_ms =
+    match outcome with
+    | `Hit -> (Metrics.Hit, 0.)
+    | `Miss -> (Metrics.Miss, entry.Model_cache.compile_ms)
+  in
+  let result, run_ms, extra = f entry in
+  (result, cache, compile_ms, run_ms, extra)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let handle_parse srv req ~cancel:_ =
+  let env = env_of req in
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let result =
+        Json.Obj
+          [
+            ("n_species", Json.int (Crn.Network.n_species net));
+            ("n_reactions", Json.int (Crn.Network.n_reactions net));
+            ("fingerprint", Json.str entry.Model_cache.fingerprint);
+            ("cache_key", Json.str entry.Model_cache.key);
+            ("canonical", Json.str (Crn.Network.to_string net));
+            ("lint", Json.str (Crn.Validate.report net));
+          ]
+      in
+      (result, 0., []))
+
+let run_ode ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
+  (* mirrors Ode.Driver.run_segment's per-method tolerance defaults so
+     served results are byte-identical to direct execution *)
+  let drop _ _ = () in
+  match method_ with
+  | Ode.Driver.Dopri5 ->
+      let rtol = Option.value ~default:1e-6 rtol
+      and atol = Option.value ~default:1e-9 atol in
+      let xf, stats =
+        Ode.Dopri5.integrate ~rtol ~atol ~cancel ~t0:0. ~t1 ~on_sample:drop
+          sys x0
+      in
+      (xf, [ ("steps", Json.int stats.Ode.Dopri5.steps);
+             ("evals", Json.int stats.Ode.Dopri5.evals) ])
+  | Ode.Driver.Rosenbrock ->
+      let rtol = Option.value ~default:1e-4 rtol
+      and atol = Option.value ~default:1e-7 atol in
+      let xf, stats =
+        Ode.Rosenbrock.integrate ~rtol ~atol ~cancel ~t0:0. ~t1
+          ~on_sample:drop sys x0
+      in
+      (xf, [ ("steps", Json.int stats.Ode.Rosenbrock.steps);
+             ("factorizations", Json.int stats.Ode.Rosenbrock.factorizations) ])
+  | Ode.Driver.Rk4 h ->
+      let steps = ref 0 in
+      let xf =
+        Ode.Fixed.integrate ~cancel ~step:Ode.Fixed.rk4_step ~h ~t0:0. ~t1
+          ~on_sample:(fun _ _ -> incr steps)
+          sys x0
+      in
+      (xf, [ ("steps", Json.int (max 0 (!steps - 1))) ])
+
+let handle_ode srv req ~cancel =
+  let env = env_of req in
+  let t1 = t1_of req in
+  let method_ = method_of req in
+  let rtol = get_float req "rtol" and atol = get_float req "atol" in
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let (xf, extra), run_ms =
+        timed (fun () ->
+            run_ode ~method_ ~rtol ~atol ~cancel ~t1
+              ~sys:entry.Model_cache.sys
+              (Crn.Network.initial_state net))
+      in
+      let result =
+        Json.Obj
+          [
+            ("t1", Json.num t1);
+            ("species", names_json net);
+            ("final", vec_json xf);
+          ]
+      in
+      (result, run_ms, extra))
+
+let handle_ssa srv req ~cancel =
+  let env = env_of req in
+  let t1 = t1_of req in
+  let seed = Int64.of_int (Option.value ~default:1 (get_int req "seed")) in
+  let max_events = get_int req "max_events" in
+  let sample_dt = get_float req "sample_dt" in
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let r, run_ms =
+        timed (fun () ->
+            Ssa.Gillespie.run ~env ~seed ?sample_dt ?max_events
+              ~model:entry.Model_cache.ssa ~cancel ~t1 net)
+      in
+      let result =
+        Json.Obj
+          [
+            ("t1", Json.num t1);
+            ("species", names_json net);
+            ("final", vec_json r.Ssa.Gillespie.final);
+            ("n_events", Json.int r.Ssa.Gillespie.n_events);
+          ]
+      in
+      (result, run_ms, [ ("events", Json.int r.Ssa.Gillespie.n_events) ]))
+
+let handle_ensemble srv req ~cancel =
+  let env = env_of req in
+  let t1 = t1_of req in
+  let seed = Int64.of_int (Option.value ~default:1 (get_int req "seed")) in
+  let runs = Option.value ~default:20 (get_int req "runs") in
+  if runs < 1 then reject (Error.Bad_request "\"runs\" must be >= 1");
+  let jobs = get_int req "jobs" in
+  (match jobs with
+  | Some j when j < 1 -> reject (Error.Bad_request "\"jobs\" must be >= 1")
+  | _ -> ());
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let finals, run_ms =
+        timed (fun () ->
+            Ssa.Ensemble.map ?jobs ~seed ~runs (fun _ s ->
+                (Ssa.Gillespie.run ~env ~seed:s ~model:entry.Model_cache.ssa
+                   ~cancel ~t1 net)
+                  .Ssa.Gillespie.final))
+      in
+      let n = Crn.Network.n_species net in
+      let mean = Array.make n 0. and std = Array.make n 0. in
+      for i = 0 to n - 1 do
+        let xs = Array.map (fun f -> f.(i)) finals in
+        mean.(i) <- Numeric.Stats.mean xs;
+        std.(i) <- Numeric.Stats.stddev xs
+      done;
+      let result =
+        Json.Obj
+          [
+            ("t1", Json.num t1);
+            ("runs", Json.int runs);
+            ("species", names_json net);
+            ("mean", vec_json mean);
+            ("std", vec_json std);
+          ]
+      in
+      (result, run_ms, [ ("runs", Json.int runs) ]))
+
+let handle_sweep srv req ~cancel =
+  let t1 = t1_of req in
+  let method_ = method_of req in
+  let jobs = get_int req "jobs" in
+  let ratios =
+    match Option.bind (get req "ratios") Json.to_list with
+    | None | Some [] -> reject (Error.Bad_request "missing \"ratios\"")
+    | Some xs ->
+        Array.of_list
+          (List.map
+             (fun x ->
+               match Json.to_float x with
+               | Some r when r > 0. -> r
+               | _ -> reject (Error.Bad_request "\"ratios\" must be > 0"))
+             xs)
+  in
+  (* the sweep compiles one model per ratio point internally; the cache
+     still saves synthesis of the network itself. Key the entry under
+     the default env so every sweep over the same network shares it. *)
+  let env = Crn.Rates.default_env in
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let finals, run_ms =
+        timed (fun () ->
+            Ode.Sweep.final_states ?jobs ~method_ ~cancel ~t1 net ~ratios)
+      in
+      let result =
+        Json.Obj
+          [
+            ("t1", Json.num t1);
+            ("ratios", vec_json ratios);
+            ("species", names_json net);
+            ("finals", Json.List (Array.to_list (Array.map vec_json finals)));
+          ]
+      in
+      (result, run_ms, [ ("points", Json.int (Array.length ratios)) ]))
+
+let handle_dsd srv req ~cancel:_ =
+  let env = env_of req in
+  let c_max = get_float req "c_max" in
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let t, run_ms = timed (fun () -> Dsd.Translate.translate ?c_max net) in
+      let compiled = t.Dsd.Translate.compiled in
+      let result =
+        Json.Obj
+          [
+            ("n_species", Json.int (Crn.Network.n_species compiled));
+            ("n_reactions", Json.int (Crn.Network.n_reactions compiled));
+            ( "n_fuel_species",
+              Json.int (List.length t.Dsd.Translate.fuel_species) );
+            ("c_max", Json.num t.Dsd.Translate.c_max);
+            ("compiled", Json.str (Crn.Network.to_string compiled));
+          ]
+      in
+      (result, run_ms, []))
+
+let compute_handler op =
+  match op with
+  | "parse" -> Some handle_parse
+  | "ode" -> Some handle_ode
+  | "ssa" -> Some handle_ssa
+  | "ensemble" -> Some handle_ensemble
+  | "sweep" -> Some handle_sweep
+  | "dsd" -> Some handle_dsd
+  | _ -> None
+
+(* ------------------------------------------------------------ responses *)
+
+let response_ok ~op ~result ~metrics =
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool true);
+         ("op", Json.str op);
+         ("result", result);
+         ("metrics", Metrics.request_json metrics);
+       ])
+
+let response_error ~op ~error ~metrics =
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool false);
+         ("op", Json.str op);
+         ("error", Error.to_json error);
+         ("metrics", Metrics.request_json metrics);
+       ])
+
+let quick_metrics ?(cache = Metrics.Not_applicable) ~arrival () =
+  {
+    Metrics.queue_wait_ms = 0.;
+    cache;
+    compile_ms = 0.;
+    run_ms = 0.;
+    total_ms = (Unix.gettimeofday () -. arrival) *. 1000.;
+    extra = [];
+  }
+
+(* the body of a compute job, run on a worker domain *)
+let run_job srv conn ~op ~handler ~req ~arrival ~deadline =
+  let started = Unix.gettimeofday () in
+  let queue_wait_ms = (started -. arrival) *. 1000. in
+  let cancel =
+    match deadline with
+    | None -> Numeric.Cancel.never
+    | Some at -> Numeric.Cancel.of_fun (fun () -> Unix.gettimeofday () > at)
+  in
+  let finish ~cache ~compile_ms ~run_ms ~extra outcome =
+    let metrics =
+      {
+        Metrics.queue_wait_ms;
+        cache;
+        compile_ms;
+        run_ms;
+        total_ms = (Unix.gettimeofday () -. arrival) *. 1000.;
+        extra;
+      }
+    in
+    let payload, error_code =
+      match outcome with
+      | Ok result -> (response_ok ~op ~result ~metrics, None)
+      | Stdlib.Error err ->
+          (response_error ~op ~error:err ~metrics, Some (Error.code err))
+    in
+    Metrics.record srv.metrics ~op ~error:error_code ~request:metrics;
+    send conn payload
+  in
+  let budget_ms =
+    match deadline with
+    | Some at -> (at -. arrival) *. 1000.
+    | None -> 0.
+  in
+  (try
+     if Numeric.Cancel.cancelled cancel then
+       (* expired while queued: don't start a run we know is dead *)
+       finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0.
+         ~extra:[]
+         (Stdlib.Error (Error.Deadline_exceeded { budget_ms }))
+     else
+       let result, cache, compile_ms, run_ms, extra =
+         handler srv req ~cancel
+       in
+       finish ~cache ~compile_ms ~run_ms ~extra (Ok result)
+   with
+  | Reject err ->
+      finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0. ~extra:[]
+        (Stdlib.Error err)
+  | Numeric.Cancel.Cancelled ->
+      finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0. ~extra:[]
+        (Stdlib.Error (Error.Deadline_exceeded { budget_ms }))
+  | e -> (
+      match Error.of_exn e with
+      | Some err ->
+          finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0.
+            ~extra:[] (Stdlib.Error err)
+      | None ->
+          finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0.
+            ~extra:[]
+            (Stdlib.Error
+               (Error.Internal
+                  (match e with
+                  | Failure msg | Invalid_argument msg -> msg
+                  | e -> Printexc.to_string e)))));
+  job_done conn
+
+(* ------------------------------------------------------------ dispatch *)
+
+let handle_stats srv ~arrival =
+  let entries, hits, misses, evictions = Model_cache.stats srv.cache in
+  let result =
+    match Metrics.to_json srv.metrics with
+    | Json.Obj fields ->
+        Json.Obj
+          (fields
+          @ [
+              ("cache_entries", Json.int entries);
+              ("cache_hits_total", Json.int hits);
+              ("cache_misses_total", Json.int misses);
+              ("cache_evictions", Json.int evictions);
+              ( "backlog",
+                Json.int (Numeric.Domain_pool.Bounded.backlog srv.pool) );
+              ("workers", Json.int (Numeric.Domain_pool.Bounded.jobs srv.pool));
+              ("queue_bound", Json.int srv.config.queue_bound);
+            ])
+    | j -> j
+  in
+  response_ok ~op:"stats" ~result ~metrics:(quick_metrics ~arrival ())
+
+let dispatch srv conn payload =
+  let arrival = Unix.gettimeofday () in
+  match Json.of_string payload with
+  | exception Json.Parse_error msg ->
+      send conn
+        (response_error ~op:"?"
+           ~error:(Error.Bad_request ("bad JSON: " ^ msg))
+           ~metrics:(quick_metrics ~arrival ()))
+  | req -> (
+      let op = Option.value ~default:"" (get_str req "op") in
+      match op with
+      | "" ->
+          send conn
+            (response_error ~op:"?"
+               ~error:(Error.Bad_request "missing \"op\"")
+               ~metrics:(quick_metrics ~arrival ()))
+      | "ping" ->
+          send conn
+            (response_ok ~op:"ping"
+               ~result:
+                 (Json.Obj [ ("protocol", Json.int protocol_version) ])
+               ~metrics:(quick_metrics ~arrival ()))
+      | "stats" ->
+          Metrics.record srv.metrics ~op:"stats" ~error:None
+            ~request:(quick_metrics ~arrival ());
+          send conn (handle_stats srv ~arrival)
+      | op -> (
+          match compute_handler op with
+          | None ->
+              send conn
+                (response_error ~op
+                   ~error:
+                     (Error.Bad_request (Printf.sprintf "unknown op %S" op))
+                   ~metrics:(quick_metrics ~arrival ()))
+          | Some handler ->
+              let deadline =
+                match
+                  match get_float req "deadline_ms" with
+                  | Some ms -> Some ms
+                  | None -> srv.config.default_deadline_ms
+                with
+                | Some ms when ms > 0. -> Some (arrival +. (ms /. 1000.))
+                | _ -> None
+              in
+              Mutex.lock conn.wmutex;
+              conn.in_flight <- conn.in_flight + 1;
+              Mutex.unlock conn.wmutex;
+              let job () =
+                run_job srv conn ~op ~handler ~req ~arrival ~deadline
+              in
+              if not (Numeric.Domain_pool.Bounded.try_submit srv.pool job)
+              then begin
+                let err =
+                  Error.Overloaded { queue_bound = srv.config.queue_bound }
+                in
+                Metrics.record srv.metrics ~op ~error:(Some (Error.code err))
+                  ~request:(quick_metrics ~arrival ());
+                send conn
+                  (response_error ~op ~error:err
+                     ~metrics:(quick_metrics ~arrival ()));
+                job_done conn
+              end))
+
+(* ------------------------------------------------------------ event loop *)
+
+let run ?(stop = fun () -> false) config =
+  let listen_fd = Addr.listen config.address in
+  let srv =
+    {
+      config;
+      cache = Model_cache.create ~capacity:config.cache_capacity ();
+      metrics = Metrics.create ();
+      pool =
+        Numeric.Domain_pool.Bounded.create ~queue_bound:config.queue_bound
+          ~jobs:config.jobs ();
+    }
+  in
+  logf srv "listening on %s (%d workers, queue bound %d)"
+    (Addr.to_string config.address)
+    config.jobs config.queue_bound;
+  let conns = ref [] in
+  let next_id = ref 0 in
+  let buf = Bytes.create 65536 in
+  let accept () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+        incr next_id;
+        let c =
+          {
+            fd;
+            dec = Wire.decoder ();
+            wmutex = Mutex.create ();
+            in_flight = 0;
+            closing = false;
+            closed = false;
+            id = !next_id;
+          }
+        in
+        logf srv "conn %d: accepted" c.id;
+        conns := c :: !conns
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+  in
+  let read_conn c =
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 ->
+        logf srv "conn %d: EOF" c.id;
+        c.closing <- true
+    | n -> (
+        Wire.feed c.dec buf n;
+        try
+          let rec drain () =
+            match Wire.next_frame c.dec with
+            | Some payload ->
+                dispatch srv c payload;
+                drain ()
+            | None -> ()
+          in
+          drain ()
+        with Wire.Framing_error msg ->
+          logf srv "conn %d: framing error: %s" c.id msg;
+          c.closing <- true)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> c.closing <- true
+  in
+  let reap () =
+    conns :=
+      List.filter
+        (fun c ->
+          if c.closing then begin
+            Mutex.lock c.wmutex;
+            if c.in_flight = 0 then conn_close_locked c;
+            let dead = c.closed in
+            Mutex.unlock c.wmutex;
+            if dead then logf srv "conn %d: closed" c.id;
+            not dead
+          end
+          else true)
+        !conns
+  in
+  (try
+     while not (stop ()) do
+       let watch =
+         listen_fd :: List.filter_map
+           (fun c -> if c.closing then None else Some c.fd)
+           !conns
+       in
+       match Unix.select watch [] [] 0.25 with
+       | readable, _, _ ->
+           List.iter
+             (fun fd ->
+               if fd = listen_fd then accept ()
+               else
+                 match
+                   List.find_opt (fun c -> c.fd = fd && not c.closed) !conns
+                 with
+                 | Some c -> read_conn c
+                 | None -> ())
+             readable;
+           reap ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done
+   with e ->
+     (* tear down before re-raising so a crashed loop still frees the
+        socket and the worker domains *)
+     (try Unix.close listen_fd with _ -> ());
+     Addr.cleanup config.address;
+     Numeric.Domain_pool.Bounded.shutdown srv.pool;
+     raise e);
+  logf srv "shutting down";
+  (try Unix.close listen_fd with _ -> ());
+  Numeric.Domain_pool.Bounded.shutdown srv.pool;
+  List.iter
+    (fun c ->
+      Mutex.lock c.wmutex;
+      conn_close_locked c;
+      Mutex.unlock c.wmutex)
+    !conns;
+  Addr.cleanup config.address

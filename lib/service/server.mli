@@ -1,0 +1,41 @@
+(** The mrsc simulation server: select-loop frontend, bounded worker
+    pool, compiled-model cache, per-request deadlines and metrics.
+
+    Protocol: length-prefixed JSON frames ({!Wire}). A request is an
+    object with an ["op"] field — [ping], [stats], [parse], [ode],
+    [ssa], [ensemble], [sweep], [dsd] — plus op-specific fields
+    (["network"], ["t1"], ["ratio"], ["method"], ["seed"], ["runs"],
+    ["ratios"], ["c_max"], ["deadline_ms"]...). Every response carries
+    ["ok"], ["op"], ["result"] or ["error"] ({!Error.to_json}), and a
+    ["metrics"] block ({!Metrics.request_json}).
+
+    Concurrency: [ping]/[stats] are answered inline on the event-loop
+    domain; compute ops are enqueued on a
+    {!Numeric.Domain_pool.Bounded} pool. A full queue is answered
+    immediately with [overloaded]; an expired deadline aborts the run
+    via {!Numeric.Cancel} and answers [deadline_exceeded] — the worker
+    domain survives both. Responses may interleave across requests of
+    one connection (pipelining); clients match on order only if they
+    send one request at a time. *)
+
+type config = {
+  address : Addr.t;
+  jobs : int;  (** worker domains *)
+  queue_bound : int;  (** queued jobs beyond which requests are refused *)
+  cache_capacity : int;  (** compiled-model LRU entries *)
+  default_deadline_ms : float option;
+      (** applied when a request carries no ["deadline_ms"] *)
+  log : bool;  (** one stderr line per connection event *)
+}
+
+val default_config : Addr.t -> config
+(** All cores but one, queue bound 64, cache capacity 32, no default
+    deadline, quiet. *)
+
+val protocol_version : int
+
+val run : ?stop:(unit -> bool) -> config -> unit
+(** Bind the address and serve until [stop ()] returns true (polled at
+    least every 0.25 s; default never). On return the listen socket is
+    closed, worker domains are joined (accepted jobs finish first), and
+    a Unix socket file is unlinked. Binding errors propagate. *)

@@ -1,0 +1,100 @@
+(* Length-prefixed framing over a stream socket: each frame is a 4-byte
+   big-endian payload length followed by that many bytes of UTF-8 JSON.
+   Writes emit the whole frame with one [write] sequence under the
+   caller's lock; reads come in two flavors — a blocking reader for the
+   simple synchronous client, and an incremental decoder the server
+   feeds from its select loop so one slow connection can never stall the
+   others. *)
+
+let max_frame = 64 * 1024 * 1024
+(* A defensive bound: a 64 MiB request/response is a bug, not a
+   workload. Oversized frames raise [Framing_error] instead of letting a
+   corrupt length prefix allocate unbounded memory. *)
+
+exception Framing_error of string
+
+let check_len len =
+  if len < 0 || len > max_frame then
+    raise
+      (Framing_error (Printf.sprintf "frame length %d out of bounds" len))
+
+(* ------------------------------------------------------------- writing *)
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    let written = Unix.write fd bytes !off (n - !off) in
+    if written <= 0 then raise (Framing_error "short write");
+    off := !off + written
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  check_len n;
+  let frame = Bytes.create (4 + n) in
+  Bytes.set_int32_be frame 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 frame 4 n;
+  write_all fd frame
+
+(* ------------------------------------------------------ blocking reads *)
+
+let read_exact fd buf off len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = Unix.read fd buf (off + !got) (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got = len
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  (* EOF cleanly between frames is a closed connection, not an error *)
+  let n = Unix.read fd header 0 4 in
+  if n = 0 then None
+  else begin
+    if n < 4 && not (read_exact fd header n (4 - n)) then
+      raise (Framing_error "EOF inside frame header");
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    check_len len;
+    let payload = Bytes.create len in
+    if not (read_exact fd payload 0 len) then
+      raise (Framing_error "EOF inside frame payload");
+    Some (Bytes.unsafe_to_string payload)
+  end
+
+(* --------------------------------------------------- incremental decode *)
+
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder () = { buf = Bytes.create 4096; len = 0 }
+
+let feed d chunk chunk_len =
+  let need = d.len + chunk_len in
+  if need > Bytes.length d.buf then begin
+    let cap = ref (Bytes.length d.buf) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit d.buf 0 bigger 0 d.len;
+    d.buf <- bigger
+  end;
+  Bytes.blit chunk 0 d.buf d.len chunk_len;
+  d.len <- d.len + chunk_len
+
+let next_frame d =
+  if d.len < 4 then None
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_be d.buf 0) in
+    check_len len;
+    if d.len < 4 + len then None
+    else begin
+      let payload = Bytes.sub_string d.buf 4 len in
+      let rest = d.len - 4 - len in
+      Bytes.blit d.buf (4 + len) d.buf 0 rest;
+      d.len <- rest;
+      Some payload
+    end
+  end

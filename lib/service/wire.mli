@@ -1,0 +1,29 @@
+(** Length-prefixed frame transport for the service protocol.
+
+    Frame format: a 4-byte big-endian payload length, then that many
+    bytes of UTF-8 JSON. Frames longer than 64 MiB are rejected
+    ({!Framing_error}) so a corrupt prefix cannot trigger unbounded
+    allocation. *)
+
+exception Framing_error of string
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame. The caller serializes concurrent writers
+    on the same descriptor (the server holds a per-connection mutex). *)
+
+val read_frame : Unix.file_descr -> string option
+(** Blocking read of one frame; [None] on clean EOF between frames.
+    Raises {!Framing_error} on EOF inside a frame or a bad length. *)
+
+(** Incremental decoder for the server's select loop: feed whatever
+    bytes arrived, pull out as many complete frames as are buffered. *)
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> unit
+(** [feed d chunk n] appends the first [n] bytes of [chunk]. *)
+
+val next_frame : decoder -> string option
+(** Extract the next complete frame, or [None] if more bytes are
+    needed. Raises {!Framing_error} on a bad length prefix. *)

@@ -32,6 +32,17 @@ let error_to_string = function
 let compile = Compiled.compile
 let propensity = Compiled.propensity
 
+(* A model is the immutable per-network compilation product — the
+   compiled reactions and their dependency graph. Runs only read it, so
+   one model may be shared by concurrent runs on several domains (the
+   service layer's compiled-model cache does exactly that); all mutable
+   run state lives in the per-run [engine]. *)
+type model = { reactions : Compiled.reaction array; deps : Dep_graph.t }
+
+let compile_model env net =
+  let reactions = compile env net in
+  { reactions; deps = Dep_graph.build reactions ~n_species:(Crn.Network.n_species net) }
+
 (* ------------------------------------------------------------ engine *)
 
 (* [acc] packs the compensated running total — acc.(0) is the total,
@@ -51,7 +62,8 @@ type engine = {
 
 let total e = Array.unsafe_get e.acc 0
 
-let make_engine reactions ~n_species =
+let make_engine (model : model) =
+  let reactions = model.reactions and deps = model.deps in
   let m = Array.length reactions in
   let group_size =
     max 1 (int_of_float (ceil (sqrt (float_of_int (max m 1)))))
@@ -59,7 +71,7 @@ let make_engine reactions ~n_species =
   let n_groups = max 1 ((m + group_size - 1) / group_size) in
   {
     reactions;
-    deps = Dep_graph.build reactions ~n_species;
+    deps;
     props = Array.make m 0.;
     group_sum = Array.make n_groups 0.;
     group_size;
@@ -148,7 +160,8 @@ let select e counts u =
 (* --------------------------------------------------------------- runs *)
 
 let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
-    ?(max_events = 50_000_000) ?(refresh_every = 4096) ~t1 net =
+    ?(max_events = 50_000_000) ?(refresh_every = 4096) ?model
+    ?(cancel = Numeric.Cancel.never) ~t1 net =
   if t1 <= 0. then invalid_arg "Gillespie.run: t1 must be positive";
   if refresh_every < 1 then
     invalid_arg "Gillespie.run: refresh_every must be >= 1";
@@ -159,7 +172,10 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
     | None -> t1 /. 500.
   in
   let rng = Numeric.Rng.create seed in
-  let reactions = compile env net in
+  let model =
+    match model with Some m -> m | None -> compile_model env net
+  in
+  let reactions = model.reactions in
   let counts =
     Array.map
       (fun x -> int_of_float (Float.round x))
@@ -167,7 +183,7 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   in
   let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
   let snapshot () = Array.map float_of_int counts in
-  let e = make_engine reactions ~n_species:(Crn.Network.n_species net) in
+  let e = make_engine model in
   let t = ref 0. in
   let next_sample = ref 0. in
   let n_events = ref 0 in
@@ -186,6 +202,9 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
          failure := Some (Max_events_exceeded { max_events; t = !t });
          raise Exit
        end;
+       (* deadline poll, amortized over 512 events so the hot loop stays
+          branch-cheap when no cancellation is armed *)
+       if !n_events land 511 = 0 then Numeric.Cancel.guard cancel;
        if e.since_refresh >= refresh_every then refresh e counts;
        if total e <= 0. then begin
          (* the compensated total has decayed to zero (or drifted): rebuild
@@ -222,8 +241,12 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   | Some err -> Stdlib.Error err
   | None -> Ok { trace; final = snapshot (); n_events = !n_events }
 
-let run ?env ?seed ?sample_dt ?max_events ?refresh_every ~t1 net =
-  match run_result ?env ?seed ?sample_dt ?max_events ?refresh_every ~t1 net with
+let run ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?cancel ~t1
+    net =
+  match
+    run_result ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?cancel
+      ~t1 net
+  with
   | Ok r -> r
   | Stdlib.Error err -> raise (Error err)
 

@@ -32,12 +32,23 @@ exception Error of error
 
 val error_to_string : error -> string
 
+type model
+(** The immutable compilation product of one network under one rate
+    environment: compiled reactions plus their dependency graph. Runs
+    never mutate it, so a model may be shared by concurrent runs on
+    several domains — the simulation service caches models keyed by
+    network digest and replays them across requests. *)
+
+val compile_model : Crn.Rates.env -> Crn.Network.t -> model
+
 val run_result :
   ?env:Crn.Rates.env ->
   ?seed:int64 ->
   ?sample_dt:float ->
   ?max_events:int ->
   ?refresh_every:int ->
+  ?model:model ->
+  ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
   (result, error) Stdlib.result
@@ -45,8 +56,13 @@ val run_result :
     [max_events = 50_000_000], [refresh_every = 4096] (full propensity
     rebuild cadence; lower values trade speed for tighter float-drift
     bounds — [1] recomputes everything every event, matching the naive
-    direct method). Returns [Error] instead of raising when the event
-    budget is exhausted. *)
+    direct method). [model] supplies a pre-compiled model (it must come
+    from {!compile_model} on the same [env] and [net]); when absent the
+    network is compiled per run. [cancel] (default
+    {!Numeric.Cancel.never}) is polled every 512 events and aborts the
+    run with {!Numeric.Cancel.Cancelled}; trajectories are unaffected by
+    polling (no extra RNG draws). Returns [Error] instead of raising
+    when the event budget is exhausted. *)
 
 val run :
   ?env:Crn.Rates.env ->
@@ -54,6 +70,8 @@ val run :
   ?sample_dt:float ->
   ?max_events:int ->
   ?refresh_every:int ->
+  ?model:model ->
+  ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
   result

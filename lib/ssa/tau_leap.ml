@@ -61,7 +61,8 @@ let select_tau ~epsilon reactions props g counts =
   !tau
 
 let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
-    ?(epsilon = 0.03) ?(max_steps = 10_000_000) ~t1 net =
+    ?(epsilon = 0.03) ?(max_steps = 10_000_000)
+    ?(cancel = Numeric.Cancel.never) ~t1 net =
   if t1 <= 0. then invalid_arg "Tau_leap.run: t1 must be positive";
   let sample_dt =
     match sample_dt with
@@ -100,6 +101,7 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
          failure := Some (Max_steps_exceeded { max_steps; t = !t });
          raise Exit
        end;
+       Numeric.Cancel.guard cancel;
        Array.iteri (fun j r -> props.(j) <- Compiled.propensity r counts) reactions;
        let total = Array.fold_left ( +. ) 0. props in
        if total <= 0. then begin
@@ -174,8 +176,10 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   | None ->
       Ok { trace; final = snapshot (); n_leaps = !n_leaps; n_exact = !n_exact }
 
-let run ?env ?seed ?sample_dt ?epsilon ?max_steps ~t1 net =
-  match run_result ?env ?seed ?sample_dt ?epsilon ?max_steps ~t1 net with
+let run ?env ?seed ?sample_dt ?epsilon ?max_steps ?cancel ~t1 net =
+  match
+    run_result ?env ?seed ?sample_dt ?epsilon ?max_steps ?cancel ~t1 net
+  with
   | Ok r -> r
   | Stdlib.Error err -> raise (Error err)
 

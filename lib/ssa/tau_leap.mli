@@ -31,11 +31,14 @@ val run_result :
   ?sample_dt:float ->
   ?epsilon:float ->
   ?max_steps:int ->
+  ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
   (result, error) Stdlib.result
 (** Simulate from 0 to [t1]. Defaults: [seed = 1L], [sample_dt = t1/500],
-    [epsilon = 0.03], [max_steps = 10_000_000]. Returns [Error] instead of
+    [epsilon = 0.03], [max_steps = 10_000_000]. [cancel] (default
+    {!Numeric.Cancel.never}) is polled once per outer step and aborts
+    the run with {!Numeric.Cancel.Cancelled}. Returns [Error] instead of
     raising when the step budget is exhausted. *)
 
 val run :
@@ -44,6 +47,7 @@ val run :
   ?sample_dt:float ->
   ?epsilon:float ->
   ?max_steps:int ->
+  ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
   result

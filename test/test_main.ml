@@ -19,4 +19,5 @@ let () =
       ("dsd", Test_dsd.suite);
       ("stochastic", Test_stochastic.suite);
       ("networks", Test_networks.suite);
+      ("service", Test_service.suite);
     ]

@@ -184,7 +184,9 @@ let test_dopri5_max_steps () =
       ~on_sample:(fun _ _ -> ())
       sys (Network.initial_state net)
   with
-  | exception Failure _ -> ()
+  | exception Ode.Solver_error.Error
+      { solver = "Dopri5"; reason = Max_steps 2; _ } ->
+      ()
   | _ -> Alcotest.fail "expected step-budget failure"
 
 (* ---------------------------------------------------------------- Trace *)

@@ -1,0 +1,505 @@
+(* Tests for the simulation service: JSON/wire plumbing, the
+   compiled-model cache, and a live in-process daemon — served results
+   must be byte-identical to direct execution, repeated requests must
+   hit the cache (and be much cheaper), deadlines must come back as
+   structured errors without killing the worker, and the bounded queue
+   must refuse overload explicitly. *)
+
+module J = Service.Json
+
+let check_float = Alcotest.(check (float 0.))
+
+(* ------------------------------------------------------------ json *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.num 0.1;
+      J.num (-1.5e-300);
+      J.int 42;
+      J.str "a \"quoted\" line\nwith \t control \x01 bytes";
+      J.List [ J.num 1.; J.Obj [ ("k", J.Null) ]; J.List [] ];
+      J.Obj [ ("a", J.int 1); ("b", J.List [ J.Bool false ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = J.to_string j in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" s)
+        true
+        (J.of_string s = j))
+    cases;
+  (* %.17g keeps doubles exact through print/parse *)
+  let xs = [ 0.1; 1. /. 3.; 1e308; 4.9e-324; 123456789.123456789 ] in
+  List.iter
+    (fun x ->
+      match J.of_string (J.to_string (J.num x)) with
+      | J.Num y -> check_float "float exact" x y
+      | _ -> Alcotest.fail "not a number")
+    xs;
+  (* non-finite floats use the Python-json tokens so diverged runs still
+     round-trip instead of collapsing to null *)
+  Alcotest.(check string) "nan prints" "NaN" (J.to_string (J.num Float.nan));
+  Alcotest.(check string) "inf prints" "Infinity" (J.to_string (J.num infinity));
+  Alcotest.(check string) "-inf prints" "-Infinity"
+    (J.to_string (J.num neg_infinity));
+  (match J.of_string "[NaN,Infinity,-Infinity,-1.5]" with
+  | J.List [ J.Num a; J.Num b; J.Num c; J.Num d ] ->
+      Alcotest.(check bool) "nan parses" true (Float.is_nan a);
+      check_float "inf parses" infinity b;
+      check_float "-inf parses" neg_infinity c;
+      check_float "minus still a number" (-1.5) d
+  | _ -> Alcotest.fail "non-finite tokens did not parse")
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("reject " ^ s)
+        (J.Parse_error "")
+        (fun () ->
+          match J.of_string s with
+          | exception J.Parse_error _ -> raise (J.Parse_error "")
+          | _ -> ()))
+    [ "{"; "[1,]"; "nul"; "\"unterminated"; "{\"a\" 1}"; "1 2" ]
+
+(* ------------------------------------------------------------ wire *)
+
+let test_wire_decoder () =
+  let payload_a = String.make 70000 'x' in
+  let payload_b = "{\"op\":\"ping\"}" in
+  let frame payload =
+    let b = Buffer.create 16 in
+    let len = Bytes.create 4 in
+    Bytes.set_int32_be len 0 (Int32.of_int (String.length payload));
+    Buffer.add_bytes b len;
+    Buffer.add_string b payload;
+    Buffer.contents b
+  in
+  let stream = frame payload_a ^ frame payload_b in
+  let d = Service.Wire.decoder () in
+  (* feed in awkward chunk sizes crossing both frame boundaries *)
+  let collected = ref [] in
+  let pos = ref 0 in
+  let n = String.length stream in
+  while !pos < n do
+    let chunk = min 1777 (n - !pos) in
+    Service.Wire.feed d (Bytes.of_string (String.sub stream !pos chunk)) chunk;
+    pos := !pos + chunk;
+    let rec drain () =
+      match Service.Wire.next_frame d with
+      | Some f ->
+          collected := f :: !collected;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  match List.rev !collected with
+  | [ a; b ] ->
+      Alcotest.(check bool) "first frame" true (a = payload_a);
+      Alcotest.(check string) "second frame" payload_b b
+  | frames ->
+      Alcotest.failf "expected 2 frames, got %d" (List.length frames)
+
+let test_wire_bad_length () =
+  let d = Service.Wire.decoder () in
+  let bad = Bytes.of_string "\xff\xff\xff\xff" in
+  Service.Wire.feed d bad 4;
+  Alcotest.(check bool) "oversized length rejected" true
+    (match Service.Wire.next_frame d with
+    | exception Service.Wire.Framing_error _ -> true
+    | _ -> false)
+
+(* ----------------------------------------------------------- errors *)
+
+let test_error_codes () =
+  let open Service.Error in
+  let cases =
+    [
+      (Bad_request "x", "bad_request", 2);
+      (Parse_error { line = 3; msg = "x" }, "parse_error", 2);
+      (Unknown_design "x", "unknown_design", 2);
+      (Max_events_exceeded { max_events = 1; t = 0.5 }, "max_events_exceeded", 3);
+      (Max_steps_exceeded { max_steps = 1; t = 0.5 }, "max_steps_exceeded", 3);
+      (Solver_failure { solver = "s"; msg = "m" }, "solver_failure", 3);
+      (Not_compilable "x", "not_compilable", 2);
+      (Deadline_exceeded { budget_ms = 10. }, "deadline_exceeded", 4);
+      (Overloaded { queue_bound = 4 }, "overloaded", 5);
+      (Internal "x", "internal", 70);
+    ]
+  in
+  List.iter
+    (fun (err, expect_code, expect_exit) ->
+      Alcotest.(check string) "code" expect_code (code err);
+      Alcotest.(check int) "exit" expect_exit (exit_code err);
+      (* wire roundtrip preserves the classification *)
+      Alcotest.(check string) "json roundtrip code" expect_code
+        (code (of_json (to_json err))))
+    cases;
+  (* the simulation stack's own exceptions classify; others don't *)
+  Alcotest.(check bool) "gillespie classified" true
+    (match
+       of_exn
+         (Ssa.Gillespie.Error
+            (Ssa.Gillespie.Max_events_exceeded { max_events = 9; t = 1. }))
+     with
+    | Some (Max_events_exceeded { max_events = 9; _ }) -> true
+    | _ -> false);
+  Alcotest.(check bool) "solver classified" true
+    (match
+       of_exn
+         (Ode.Solver_error.Error
+            { solver = "Dopri5"; reason = Ode.Solver_error.Max_steps 7; t = 2. })
+     with
+    | Some (Solver_failure { solver = "Dopri5"; _ }) -> true
+    | _ -> false);
+  Alcotest.(check bool) "unrelated not classified" true
+    (of_exn Exit = None)
+
+(* ------------------------------------------------------------ cache *)
+
+let test_model_cache () =
+  let cache = Service.Model_cache.create ~capacity:2 () in
+  let env = Crn.Rates.default_env in
+  let builds = ref 0 in
+  let build name () =
+    incr builds;
+    Designs.Catalog.build name
+  in
+  let key name = Service.Model_cache.source_key ~spec:("catalog:" ^ name) ~env in
+  let _, o1 =
+    Service.Model_cache.find_or_compile cache ~source_key:(key "clock3") ~env
+      ~build:(build "clock3")
+  in
+  let e2, o2 =
+    Service.Model_cache.find_or_compile cache ~source_key:(key "clock3") ~env
+      ~build:(build "clock3")
+  in
+  Alcotest.(check bool) "first is miss" true (o1 = `Miss);
+  Alcotest.(check bool) "second is hit" true (o2 = `Hit);
+  Alcotest.(check int) "hit skipped synthesis" 1 !builds;
+  Alcotest.(check int) "hit counted" 1 e2.Service.Model_cache.hits;
+  (* a different source text synthesizing the identical network (same
+     names, same index order, same reactions) dedupes onto the same
+     compiled entry; the request still pays synthesis, hence `Miss *)
+  let text = Crn.Network.to_string (Designs.Catalog.build "clock3") in
+  let variant = "# same network, different source bytes\n" ^ text in
+  let load_text t =
+    Service.Model_cache.find_or_compile cache
+      ~source_key:(Service.Model_cache.source_key ~spec:("text:" ^ t) ~env)
+      ~env
+      ~build:(fun () -> Crn.Parser.network_of_string t)
+  in
+  let e3, o3 = load_text text in
+  let e3', o3' = load_text variant in
+  Alcotest.(check bool) "text sources are misses (paid synthesis)" true
+    (o3 = `Miss && o3' = `Miss);
+  Alcotest.(check string) "deduped onto the same compiled entry"
+    e3.Service.Model_cache.key e3'.Service.Model_cache.key;
+  (* and the index-order-invariant fingerprint survives the reparse *)
+  Alcotest.(check string) "fingerprint round-trips"
+    e2.Service.Model_cache.fingerprint e3.Service.Model_cache.fingerprint;
+  (* capacity 2: loading two more designs evicts the LRU *)
+  let load name =
+    ignore
+      (Service.Model_cache.find_or_compile cache ~source_key:(key name) ~env
+         ~build:(build name))
+  in
+  load "counter2";
+  load "lfsr3";
+  let entries, _, _, evictions = Service.Model_cache.stats cache in
+  Alcotest.(check int) "capacity respected" 2 entries;
+  Alcotest.(check bool) "evicted at least one" true (evictions >= 1);
+  (* different rate environments are distinct cache entries *)
+  let env2 = Crn.Rates.env_with_ratio 10. in
+  let e4, o4 =
+    Service.Model_cache.find_or_compile cache
+      ~source_key:(Service.Model_cache.source_key ~spec:"catalog:lfsr3" ~env:env2)
+      ~env:env2
+      ~build:(build "lfsr3")
+  in
+  Alcotest.(check bool) "other env misses" true (o4 = `Miss);
+  Alcotest.(check bool) "other env distinct key" true
+    (e4.Service.Model_cache.key
+    <> (let e5, _ =
+          Service.Model_cache.find_or_compile cache ~source_key:(key "lfsr3")
+            ~env ~build:(build "lfsr3")
+        in
+        e5.Service.Model_cache.key))
+
+(* ------------------------------------------------- live daemon tests *)
+
+let socket_path =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mrsc-test-%d.sock" (Unix.getpid ()))
+
+(* Run [f client] against a freshly started in-process server. *)
+let with_server ?(jobs = 1) ?(queue_bound = 64) f =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink socket_path with _ -> ());
+  let address = Service.Addr.Unix_sock socket_path in
+  let stop = Atomic.make false in
+  let config =
+    {
+      (Service.Server.default_config address) with
+      Service.Server.jobs;
+      queue_bound;
+    }
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Service.Server.run ~stop:(fun () -> Atomic.get stop) config)
+  in
+  let rec wait_ready tries =
+    match Service.Client.connect address with
+    | client -> client
+    | exception Unix.Unix_error _ ->
+        if tries = 0 then Alcotest.fail "server did not come up";
+        Unix.sleepf 0.02;
+        wait_ready (tries - 1)
+  in
+  let client = wait_ready 250 in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Client.close client;
+      Atomic.set stop true;
+      Domain.join server)
+    (fun () -> f client)
+
+let obj fields = J.Obj fields
+
+let field result key =
+  match J.member key result with
+  | Some v -> v
+  | None -> Alcotest.failf "response has no %S field" key
+
+let floats j =
+  match J.to_list j with
+  | Some xs -> Array.of_list (List.map (fun x -> Option.get (J.to_float x)) xs)
+  | None -> Alcotest.fail "expected array of numbers"
+
+let strings j =
+  match J.to_list j with
+  | Some xs -> Array.of_list (List.map (fun x -> Option.get (J.to_str x)) xs)
+  | None -> Alcotest.fail "expected array of strings"
+
+let ok_result name (resp : Service.Client.response) =
+  if not resp.ok then
+    Alcotest.failf "%s failed: %s" name
+      (Option.value ~default:"?" resp.error_message);
+  Option.get resp.result
+
+let cache_of (resp : Service.Client.response) =
+  Option.value ~default:"?"
+    (Option.bind
+       (Option.bind resp.metrics (J.member "cache"))
+       J.to_str)
+
+let total_ms_of (resp : Service.Client.response) =
+  Option.get
+    (Option.bind (Option.bind resp.metrics (J.member "total_ms")) J.to_float)
+
+(* the acceptance bar: served results byte-identical to direct execution
+   for the same network / seed / solver *)
+let test_served_matches_direct () =
+  with_server (fun client ->
+      let net = Designs.Catalog.build "counter2" in
+      let env = Crn.Rates.env_with_ratio 1000. in
+      let t1 = 30. in
+      (* ODE, both integrators *)
+      List.iter
+        (fun (name, method_) ->
+          let resp =
+            Service.Client.request client
+              (obj
+                 [
+                   ("op", J.str "ode");
+                   ("network", obj [ ("catalog", J.str "counter2") ]);
+                   ("t1", J.num t1);
+                   ("ratio", J.num 1000.);
+                   ("method", J.str name);
+                 ])
+          in
+          let result = ok_result ("ode " ^ name) resp in
+          let served = floats (field result "final") in
+          let direct =
+            Ode.Driver.final_state ~method_ ~env ~t1
+              (Designs.Catalog.build "counter2")
+          in
+          Alcotest.(check int)
+            "species count" (Array.length direct) (Array.length served);
+          Array.iteri
+            (fun i x ->
+              check_float
+                (Printf.sprintf "ode %s species %d bitwise" name i)
+                direct.(i) x)
+            served)
+        [ ("rosenbrock", Ode.Driver.Rosenbrock); ("dopri5", Ode.Driver.Dopri5) ];
+      (* SSA: same seed, same trajectory *)
+      let resp =
+        Service.Client.request client
+          (obj
+             [
+               ("op", J.str "ssa");
+               ("network", obj [ ("catalog", J.str "counter2") ]);
+               ("t1", J.num t1);
+               ("ratio", J.num 1000.);
+               ("seed", J.int 7);
+             ])
+      in
+      let result = ok_result "ssa" resp in
+      let served = floats (field result "final") in
+      let direct = Ssa.Gillespie.run ~env ~seed:7L ~t1 net in
+      Array.iteri
+        (fun i x ->
+          check_float
+            (Printf.sprintf "ssa species %d bitwise" i)
+            direct.Ssa.Gillespie.final.(i)
+            x)
+        served;
+      Alcotest.(check int) "event count" direct.Ssa.Gillespie.n_events
+        (Option.get (Option.bind (J.member "n_events" result) J.to_int));
+      (* species names come back in network order *)
+      Alcotest.(check (array string))
+        "species names"
+        (Crn.Network.species_names net)
+        (strings (field result "species")))
+
+let test_cache_hit_speedup () =
+  with_server (fun client ->
+      (* counter3 is the heaviest clocked design to synthesize + compile
+         (~40 ms); a short fixed-step run keeps the simulation itself
+         cheap, so the cold/warm ratio isolates what the cache saves *)
+      let req =
+        obj
+          [
+            ("op", J.str "ode");
+            ("network", obj [ ("catalog", J.str "counter3") ]);
+            ("t1", J.num 0.05);
+            ("ratio", J.num 1000.);
+            ("method", J.str "0.005");
+          ]
+      in
+      let cold = Service.Client.request client req in
+      ignore (ok_result "cold" cold);
+      Alcotest.(check string) "cold misses" "miss" (cache_of cold);
+      (* several warm repeats; take the fastest to de-noise *)
+      let warm_ms = ref infinity and warm_cache = ref "?" in
+      for _ = 1 to 5 do
+        let warm = Service.Client.request client req in
+        ignore (ok_result "warm" warm);
+        warm_cache := cache_of warm;
+        warm_ms := Float.min !warm_ms (total_ms_of warm)
+      done;
+      Alcotest.(check string) "warm hits" "hit" !warm_cache;
+      let cold_ms = total_ms_of cold in
+      if not (cold_ms >= 5. *. !warm_ms) then
+        Alcotest.failf "expected >=5x cache speedup, got %.2fms -> %.2fms"
+          cold_ms !warm_ms)
+
+let test_deadline_and_worker_survival () =
+  with_server (fun client ->
+      (* impossible horizon, tight deadline: the run must die with the
+         structured code, quickly *)
+      let resp =
+        Service.Client.request client
+          (obj
+             [
+               ("op", J.str "ssa");
+               ("network", obj [ ("catalog", J.str "counter2") ]);
+               ("t1", J.num 1e9);
+               ("seed", J.int 1);
+               ("deadline_ms", J.num 150.);
+             ])
+      in
+      Alcotest.(check bool) "request failed" false resp.Service.Client.ok;
+      (match resp.Service.Client.error with
+      | Some (Service.Error.Deadline_exceeded _) -> ()
+      | Some err ->
+          Alcotest.failf "expected deadline_exceeded, got %s"
+            (Service.Error.code err)
+      | None -> Alcotest.fail "no structured error");
+      (* the worker survived: the same (only) worker serves this *)
+      let after =
+        Service.Client.request client
+          (obj
+             [
+               ("op", J.str "ode");
+               ("network", obj [ ("catalog", J.str "clock3") ]);
+               ("t1", J.num 2.);
+             ])
+      in
+      ignore (ok_result "after deadline" after))
+
+let test_overloaded () =
+  with_server ~jobs:1 ~queue_bound:1 (fun _client ->
+      let addr = Service.Addr.Unix_sock socket_path in
+      let slow =
+        J.to_string
+          (obj
+             [
+               ("op", J.str "ssa");
+               ("network", obj [ ("catalog", J.str "counter2") ]);
+               ("t1", J.num 1e9);
+               ("deadline_ms", J.num 600.);
+             ])
+      in
+      let fd1 = Service.Addr.connect addr in
+      let fd2 = Service.Addr.connect addr in
+      let fd3 = Service.Addr.connect addr in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with _ -> ())
+            [ fd1; fd2; fd3 ])
+        (fun () ->
+          let resp fd =
+            match Service.Wire.read_frame fd with
+            | Some payload ->
+                Service.Client.response_of_json (J.of_string payload)
+            | None -> Alcotest.fail "connection closed without a response"
+          in
+          (* one job occupies the single worker, one fills the
+             bound-1 queue, the third must be refused immediately *)
+          Service.Wire.write_frame fd1 slow;
+          Unix.sleepf 0.2;
+          Service.Wire.write_frame fd2 slow;
+          Unix.sleepf 0.2;
+          Service.Wire.write_frame fd3 slow;
+          let r3 = resp fd3 in
+          Alcotest.(check bool) "third refused" false r3.Service.Client.ok;
+          (match r3.Service.Client.error with
+          | Some (Service.Error.Overloaded { queue_bound = 1 }) -> ()
+          | Some err ->
+              Alcotest.failf "expected overloaded, got %s"
+                (Service.Error.code err)
+          | None -> Alcotest.fail "no structured error");
+          (* the occupied worker and the queued job still answer — with
+             the deadline error, not a dropped connection *)
+          List.iter
+            (fun fd ->
+              let r = resp fd in
+              match r.Service.Client.error with
+              | Some (Service.Error.Deadline_exceeded _) -> ()
+              | _ -> Alcotest.fail "expected deadline_exceeded")
+            [ fd1; fd2 ]))
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects malformed" `Quick test_json_errors;
+    Alcotest.test_case "wire incremental decoder" `Quick test_wire_decoder;
+    Alcotest.test_case "wire rejects bad length" `Quick test_wire_bad_length;
+    Alcotest.test_case "error codes stable" `Quick test_error_codes;
+    Alcotest.test_case "model cache" `Quick test_model_cache;
+    Alcotest.test_case "served = direct (bitwise)" `Quick
+      test_served_matches_direct;
+    Alcotest.test_case "cache hit >=5x faster" `Quick test_cache_hit_speedup;
+    Alcotest.test_case "deadline, worker survives" `Quick
+      test_deadline_and_worker_survival;
+    Alcotest.test_case "overloaded on full queue" `Quick test_overloaded;
+  ]
