@@ -111,13 +111,23 @@ let bench_kernel ~quick ~name build =
     (jac_csr /. jac_ref);
   row
 
+(* One scaling-matrix row: the same sweep at one requested job count.
+   Requests are clamped to the hardware, so an oversubscribed request
+   documents that clamping makes it harmless (its wall time matches the
+   effective job count's). [efficiency] is scaling / jobs_effective. *)
 type sweep_row = {
   s_network : string;
   s_t1 : float;
   points : int;
-  jobs_n : int;
+  cores : int;
+  jobs_requested : int;
+  jobs_effective : int;
+  chunk : int;
   wall_1 : float;
-  wall_n : float;
+  wall_j : float;
+  scaling : float;
+  efficiency : float;
+  oversubscribed : bool;
   identical : bool;
 }
 
@@ -128,27 +138,42 @@ let bench_sweep ~quick ~name build =
   let ratios =
     Array.init n_points (fun i -> 100. *. (1.3 ** float_of_int i))
   in
-  let go jobs =
-    time (fun () -> Ode.Sweep.final_states ~jobs ~t1 net ~ratios)
+  let go ~jobs ~chunk =
+    time (fun () -> Ode.Sweep.final_states ~jobs ~chunk ~t1 net ~ratios)
   in
-  let jobs_n = 4 in
-  ignore (go 1) (* warm-up *);
-  let f1, wall_1 = go 1 in
-  let fn, wall_n = go jobs_n in
-  let identical = f1 = fn in
-  Printf.printf
-    "sweep %-10s %d points: jobs=1 %.2fs   jobs=%d %.2fs   scaling %.2fx   \
-     identical=%b\n%!"
-    name n_points wall_1 jobs_n wall_n (wall_1 /. wall_n) identical;
-  {
-    s_network = name;
-    s_t1 = t1;
-    points = n_points;
-    jobs_n;
-    wall_1;
-    wall_n;
-    identical;
-  }
+  let cores = Numeric.Domain_pool.default_jobs () in
+  ignore (go ~jobs:1 ~chunk:n_points) (* warm-up *);
+  let f1, wall_1 = go ~jobs:1 ~chunk:n_points in
+  let requests = List.sort_uniq compare [ 1; 2; cores; 2 * cores ] in
+  List.map
+    (fun jobs_requested ->
+      let jobs_effective = min jobs_requested cores in
+      let chunk = max 1 (n_points / (2 * max 1 jobs_effective)) in
+      let fj, wall_j = go ~jobs:jobs_requested ~chunk in
+      let identical = f1 = fj in
+      let scaling = wall_1 /. wall_j in
+      let efficiency = scaling /. float_of_int (max 1 jobs_effective) in
+      Printf.printf
+        "sweep %-10s %d points: jobs=%d (eff %d/%d cores, chunk %d) %.2fs   \
+         scaling %.2fx   efficiency %.2f   identical=%b\n%!"
+        name n_points jobs_requested jobs_effective cores chunk wall_j scaling
+        efficiency identical;
+      {
+        s_network = name;
+        s_t1 = t1;
+        points = n_points;
+        cores;
+        jobs_requested;
+        jobs_effective;
+        chunk;
+        wall_1;
+        wall_j;
+        scaling;
+        efficiency;
+        oversubscribed = jobs_requested > cores;
+        identical;
+      })
+    requests
 
 (* ------------------------------------------------------------- JSON *)
 
@@ -169,15 +194,18 @@ let json_kernel_row b r =
 let json_sweep_row b r =
   Buffer.add_string b
     (Printf.sprintf
-       "    {\"network\": %S, \"t1\": %g, \"points\": %d, \"jobs\": %d,\n\
-       \     \"jobs_1_wall_s\": %.4f, \"jobs_n_wall_s\": %.4f, \
-        \"scaling\": %.3f, \"identical\": %b}"
-       r.s_network r.s_t1 r.points r.jobs_n r.wall_1 r.wall_n
-       (r.wall_1 /. r.wall_n) r.identical)
+       "    {\"network\": %S, \"t1\": %g, \"points\": %d, \"cores\": %d,\n\
+       \     \"jobs_requested\": %d, \"jobs_effective\": %d, \"chunk\": %d,\n\
+       \     \"jobs_1_wall_s\": %.4f, \"wall_s\": %.4f, \"scaling\": %.3f,\n\
+       \     \"efficiency\": %.3f, \"oversubscribed\": %b, \
+        \"identical\": %b}"
+       r.s_network r.s_t1 r.points r.cores r.jobs_requested r.jobs_effective
+       r.chunk r.wall_1 r.wall_j r.scaling r.efficiency r.oversubscribed
+       r.identical)
 
 let write_json ~path kernel_rows sweep_rows =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ode/1\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ode/2\",\n";
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n"
        (Numeric.Domain_pool.default_jobs ()));
@@ -228,7 +256,8 @@ let () =
       catalog
   in
   let sweep_rows =
-    [ bench_sweep ~quick ~name:"clock4" (fun () -> Designs.Catalog.build "clock4") ]
+    bench_sweep ~quick ~name:"clock4" (fun () ->
+        Designs.Catalog.build "clock4")
   in
   write_json ~path:out kernel_rows sweep_rows;
   let bad = List.filter (fun r -> not r.identical) sweep_rows in

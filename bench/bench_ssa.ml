@@ -8,13 +8,15 @@
      dune exec bench/bench_ssa.exe -- quick              # CI smoke
      dune exec bench/bench_ssa.exe -- --out path.json    # explicit output
 
-   JSON schema (mrsc-bench-ssa/1):
+   JSON schema (mrsc-bench-ssa/2):
      engine.networks[]: per-network events/sec for baseline and
        incremental engines, their ratio ("speedup"), and dependency-graph
        stats (n_reactions, mean/max affected-set size);
-     ensemble: wall time for the same root seed at jobs=1 and jobs=N,
-       the scaling ratio, and whether the statistics were byte-identical
-       across job counts (they must be). *)
+     ensemble: a scaling matrix — one row per requested job count with
+       the host core count, the effective (clamped) job count, the chunk
+       size, wall time vs jobs=1, the scaling ratio and its per-core
+       efficiency, an oversubscribed flag, and whether the results were
+       byte-identical across job counts (they must be). *)
 
 (* The seed implementation of Gillespie.run, kept verbatim as the
    baseline: every propensity and the full sum recomputed per event,
@@ -145,32 +147,77 @@ let bench_network ~name ~t1 build =
     (eps incr_events incr_wall /. eps base_events base_wall);
   row
 
+(* One scaling-matrix row: the same ensemble at one requested job count.
+   Requests are clamped to the hardware (the Domain_pool default), so an
+   oversubscribed request documents that clamping makes it harmless —
+   its wall time should match the effective job count's, not degrade.
+   [efficiency] is scaling / jobs_effective: 1.0 is perfect, and on a
+   1-core host every row is trivially ~1.0 because everything runs
+   serial. *)
 type ensemble_row = {
   e_network : string;
   e_t1 : float;
   runs : int;
-  jobs_n : int;
+  cores : int;
+  jobs_requested : int;
+  jobs_effective : int;
+  chunk : int;
   wall_1 : float;
-  wall_n : float;
+  wall_j : float;
+  scaling : float;
+  efficiency : float;
+  oversubscribed : bool;
   identical : bool;
 }
 
 let bench_ensemble ~name ~t1 ~runs build =
   let net = build () in
-  let go jobs =
+  (* compile-once / per-worker-arena fan-out — the configuration the
+     CLI, the service and mean_final all use now *)
+  let model = Ssa.Gillespie.compile_model Crn.Rates.default_env net in
+  let go ~jobs ~chunk =
     time (fun () ->
-        Ssa.Ensemble.map ~jobs ~seed:42L ~runs (fun _ s ->
-            (Ssa.Gillespie.run ~seed:s ~t1 net).Ssa.Gillespie.final))
+        Ssa.Ensemble.map_with ~jobs ~chunk ~seed:42L
+          ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
+          ~runs
+          (fun arena _ s ->
+            (Ssa.Gillespie.run ~seed:s ~arena ~t1 net).Ssa.Gillespie.final))
   in
-  let jobs_n = max 2 (Ssa.Ensemble.default_jobs ()) in
-  let f1, wall_1 = go 1 in
-  let fn, wall_n = go jobs_n in
-  let identical = f1 = fn in
-  Printf.printf
-    "ensemble %-10s %d runs: jobs=1 %.2fs   jobs=%d %.2fs   scaling %.2fx   \
-     identical=%b\n%!"
-    name runs wall_1 jobs_n wall_n (wall_1 /. wall_n) identical;
-  { e_network = name; e_t1 = t1; runs; jobs_n; wall_1; wall_n; identical }
+  let cores = Ssa.Ensemble.default_jobs () in
+  ignore (go ~jobs:1 ~chunk:runs) (* warm-up *);
+  let f1, wall_1 = go ~jobs:1 ~chunk:runs in
+  let requests =
+    List.sort_uniq compare [ 1; 2; cores; 2 * cores ]
+  in
+  List.map
+    (fun jobs_requested ->
+      let jobs_effective = min jobs_requested cores in
+      let chunk = max 1 (runs / (4 * max 1 jobs_effective)) in
+      let fj, wall_j = go ~jobs:jobs_requested ~chunk in
+      let identical = f1 = fj in
+      let scaling = wall_1 /. wall_j in
+      let efficiency = scaling /. float_of_int (max 1 jobs_effective) in
+      Printf.printf
+        "ensemble %-10s %d runs: jobs=%d (eff %d/%d cores, chunk %d) %.2fs   \
+         scaling %.2fx   efficiency %.2f   identical=%b\n%!"
+        name runs jobs_requested jobs_effective cores chunk wall_j scaling
+        efficiency identical;
+      {
+        e_network = name;
+        e_t1 = t1;
+        runs;
+        cores;
+        jobs_requested;
+        jobs_effective;
+        chunk;
+        wall_1;
+        wall_j;
+        scaling;
+        efficiency;
+        oversubscribed = jobs_requested > cores;
+        identical;
+      })
+    requests
 
 (* ------------------------------------------------------------- JSON *)
 
@@ -195,15 +242,18 @@ let json_engine_row b r =
 let json_ensemble_row b r =
   Buffer.add_string b
     (Printf.sprintf
-       "    {\"network\": %S, \"t1\": %g, \"runs\": %d, \"jobs\": %d,\n\
-       \     \"jobs_1_wall_s\": %.4f, \"jobs_n_wall_s\": %.4f, \
-        \"scaling\": %.3f, \"identical\": %b}"
-       r.e_network r.e_t1 r.runs r.jobs_n r.wall_1 r.wall_n
-       (r.wall_1 /. r.wall_n) r.identical)
+       "    {\"network\": %S, \"t1\": %g, \"runs\": %d, \"cores\": %d,\n\
+       \     \"jobs_requested\": %d, \"jobs_effective\": %d, \"chunk\": %d,\n\
+       \     \"jobs_1_wall_s\": %.4f, \"wall_s\": %.4f, \"scaling\": %.3f,\n\
+       \     \"efficiency\": %.3f, \"oversubscribed\": %b, \
+        \"identical\": %b}"
+       r.e_network r.e_t1 r.runs r.cores r.jobs_requested r.jobs_effective
+       r.chunk r.wall_1 r.wall_j r.scaling r.efficiency r.oversubscribed
+       r.identical)
 
 let write_json ~path engine_rows ensemble_rows =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ssa/1\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ssa/2\",\n";
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n"
        (Ssa.Ensemble.default_jobs ()));
@@ -267,11 +317,9 @@ let () =
     ]
   in
   let ensemble_rows =
-    [
-      bench_ensemble ~name:"counter2" ~t1:(30. *. s)
-        ~runs:(if quick then 4 else 8) (fun () ->
-          Designs.Catalog.build "counter2");
-    ]
+    bench_ensemble ~name:"counter2" ~t1:(30. *. s)
+      ~runs:(if quick then 4 else 8)
+      (fun () -> Designs.Catalog.build "counter2")
   in
   write_json ~path:out engine_rows ensemble_rows;
   let bad = List.filter (fun r -> not r.identical) ensemble_rows in

@@ -31,18 +31,40 @@ let method_of_string = function
       | Some h when h > 0. -> Ode.Driver.Rk4 h
       | _ -> failwith "method must be dopri5, rosenbrock, or an rk4 step size")
 
+(* Resolve a --jobs request against the hardware: more domains than
+   cores only time-slice the same silicon (the old BENCH files record
+   sub-1.0 "speedups" from exactly that), so the fan-outs below clamp —
+   with a one-line warning so a forced request is not silently ignored.
+   Results are identical for every job count either way. *)
+let effective_jobs ~what requested =
+  let cores = Numeric.Domain_pool.default_jobs () in
+  match requested with
+  | None -> cores
+  | Some j when j > cores ->
+      Printf.eprintf
+        "crnsim: %s: %d jobs requested but only %d core(s) available; \
+         clamping to %d (results are identical for every job count)\n" what j
+        cores cores;
+      cores
+  | Some j -> j
+
 (* ensemble mode: many stochastic trajectories fanned across domains;
-   reports per-species mean +- std of the final state instead of a trace *)
+   reports per-species mean +- std of the final state instead of a trace.
+   The model is compiled once and shared read-only; each worker domain
+   reuses one simulation arena across its trajectories. *)
 let run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out ~cancel net =
+  let jobs = effective_jobs ~what:"ensemble" jobs in
+  let model = Ssa.Gillespie.compile_model env net in
   let t0 = Unix.gettimeofday () in
   let finals =
-    Ssa.Ensemble.map ?jobs ~seed:(Int64.of_int seed) ~runs (fun _ s ->
-        (Ssa.Gillespie.run ~env ~seed:s ~cancel ~t1 net).Ssa.Gillespie.final)
+    Ssa.Ensemble.map_with ~jobs ~seed:(Int64.of_int seed)
+      ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
+      ~runs
+      (fun arena _ s ->
+        (Ssa.Gillespie.run ~seed:s ~arena ~cancel ~t1 net).Ssa.Gillespie.final)
   in
   let wall = Unix.gettimeofday () -. t0 in
-  let jobs_used =
-    match jobs with Some j -> min j runs | None -> min (Ssa.Ensemble.default_jobs ()) runs
-  in
+  let jobs_used = min jobs runs in
   Printf.eprintf "ensemble: %d stochastic runs on %d domain(s) in %.2fs\n" runs
     jobs_used wall;
   let names = Crn.Network.species_names net in
@@ -75,18 +97,15 @@ let run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out ~cancel net =
    state at each ratio (identical for every --sweep-jobs value) *)
 let run_rate_sweep ~t1 ~method_name ~sweep_jobs ~csv_out ~cancel net ratios =
   let ratios = Array.of_list ratios in
+  let jobs = effective_jobs ~what:"sweep" sweep_jobs in
   let t0 = Unix.gettimeofday () in
   let finals =
-    Ode.Sweep.final_states ?jobs:sweep_jobs
-      ~method_:(method_of_string method_name) ~cancel ~t1 net ~ratios
+    Ode.Sweep.final_states ~jobs ~method_:(method_of_string method_name)
+      ~cancel ~t1 net ~ratios
   in
   let wall = Unix.gettimeofday () -. t0 in
   let n = Array.length ratios in
-  let jobs_used =
-    match sweep_jobs with
-    | Some j -> min j n
-    | None -> min (Numeric.Domain_pool.default_jobs ()) n
-  in
+  let jobs_used = min jobs n in
   Printf.eprintf "sweep: %d deterministic points on %d domain(s) in %.2fs\n" n
     jobs_used wall;
   let names = Crn.Network.species_names net in
@@ -525,8 +544,9 @@ let runs =
 
 let jobs =
   let doc =
-    "Domains for the ensemble (default: all recommended cores). Results \
-     are identical for every job count."
+    "Domains for the ensemble (default: all recommended cores; requests \
+     above the core count are clamped with a warning — oversubscribing \
+     only slows the run down). Results are identical for every job count."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
@@ -552,7 +572,8 @@ let sweep_ratios =
 
 let sweep_jobs =
   let doc =
-    "Domains for the deterministic sweep (default: all recommended cores)."
+    "Domains for the deterministic sweep (default: all recommended cores; \
+     requests above the core count are clamped with a warning)."
   in
   Arg.(value & opt (some int) None & info [ "sweep-jobs" ] ~docv:"N" ~doc)
 

@@ -1,11 +1,26 @@
-(* Fixed fan-out over OCaml 5 domains, shared by the stochastic ensemble
-   runner and the deterministic sweep engine.
+(* Deterministic fan-out over OCaml 5 domains, shared by the stochastic
+   ensemble runner, the deterministic sweep engine, and the simulation
+   service.
 
-   Work is partitioned into contiguous static slices, one per worker (a
-   hand-rolled fixed pool; sibling tasks of one fan-out have similar
-   cost, so dynamic stealing would buy little and cost atomics). Results
-   always come back in task-index order, so a deterministic task
-   function yields byte-identical output for every job count. *)
+   Two layers:
+
+   - [Bounded]: a persistent pool of long-lived worker domains pulling
+     thunks from a bounded queue. The service uses it directly as its
+     request executor; batch fan-outs borrow its workers as helpers so
+     domain spawn cost is paid once per process, not once per sweep.
+   - [run]/[run_worker]: a chunked deterministic scheduler on top. Task
+     indices are split into fixed chunks handed out by an atomic counter;
+     whichever domain grabs chunk [c] writes its results into slot [c],
+     and the chunks are concatenated in chunk order — so the output is
+     byte-identical for every job count and chunk size, while stragglers
+     (stiff sweep points, long trajectories) no longer serialize the
+     fan-out the way static contiguous slices did.
+
+   The calling domain is always worker 0: helpers are optional
+   parallelism, submitted to the persistent pool with [try_submit]. If
+   the pool is saturated (or stopping), the caller simply drains the
+   chunk queue itself — a fan-out never deadlocks and never waits on a
+   helper that was not scheduled. *)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
@@ -23,7 +38,30 @@ module Bounded = struct
     mutable running : int; (* jobs currently executing in workers *)
     mutable stopping : bool;
     mutable workers : unit Domain.t array;
+    (* uncaught-exception accounting: jobs own their error handling, so
+       an exception escaping one is a bug somewhere — count it and keep
+       the last message instead of discarding it silently *)
+    mutable uncaught : int;
+    mutable last_uncaught : string option;
+    mutable on_uncaught : (exn -> unit) option;
   }
+
+  (* Out_of_memory and Stack_overflow mean the process is in trouble no
+     job-level recovery can fix; swallowing them would leave the pool
+     limping along in a corrupted world. They still go through the
+     accounting, then take the worker down (re-raised on [shutdown]'s
+     join). *)
+  let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
+
+  let note_uncaught pool e =
+    Mutex.lock pool.mutex;
+    pool.uncaught <- pool.uncaught + 1;
+    pool.last_uncaught <- Some (Printexc.to_string e);
+    let hook = pool.on_uncaught in
+    Mutex.unlock pool.mutex;
+    match hook with
+    | Some f -> ( try f e with _ -> ())
+    | None -> ()
 
   let worker pool () =
     let rec loop () =
@@ -40,15 +78,22 @@ module Bounded = struct
         let job = Queue.pop pool.queue in
         pool.running <- pool.running + 1;
         Mutex.unlock pool.mutex;
-        (* jobs own their error handling; a raising job must not take the
-           worker down with it *)
-        (try job () with _ -> ());
+        (* jobs own their error handling; a leaked exception is recorded
+           (counter + last message + hook) and, unless fatal, must not
+           take the worker down *)
+        let escaped =
+          match job () with
+          | () -> None
+          | exception e ->
+              note_uncaught pool e;
+              if fatal e then Some e else None
+        in
         Mutex.lock pool.mutex;
         pool.running <- pool.running - 1;
         if pool.running = 0 && Queue.is_empty pool.queue then
           Condition.broadcast pool.drained;
         Mutex.unlock pool.mutex;
-        loop ()
+        match escaped with Some e -> raise e | None -> loop ()
       end
     in
     loop ()
@@ -67,6 +112,9 @@ module Bounded = struct
         running = 0;
         stopping = false;
         workers = [||];
+        uncaught = 0;
+        last_uncaught = None;
+        on_uncaught = None;
       }
     in
     pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool));
@@ -81,6 +129,23 @@ module Bounded = struct
     let n = Queue.length pool.queue + pool.running in
     Mutex.unlock pool.mutex;
     n
+
+  let stopped pool =
+    Mutex.lock pool.mutex;
+    let s = pool.stopping in
+    Mutex.unlock pool.mutex;
+    s
+
+  let uncaught pool =
+    Mutex.lock pool.mutex;
+    let n = pool.uncaught and last = pool.last_uncaught in
+    Mutex.unlock pool.mutex;
+    (n, last)
+
+  let set_on_uncaught pool f =
+    Mutex.lock pool.mutex;
+    pool.on_uncaught <- Some f;
+    Mutex.unlock pool.mutex
 
   let try_submit pool job =
     Mutex.lock pool.mutex;
@@ -110,29 +175,136 @@ module Bounded = struct
     pool.workers <- [||]
 end
 
-let run ?jobs ~tasks f =
-  if tasks < 1 then invalid_arg "Domain_pool.run: tasks must be >= 1";
-  let jobs =
-    match jobs with
-    | Some j when j >= 1 -> min j tasks
-    | Some _ -> invalid_arg "Domain_pool.run: jobs must be >= 1"
-    | None -> min (default_jobs ()) tasks
+(* ------------------------------------------------- process-shared pool *)
+
+(* The default helper pool for batch fan-outs, spawned lazily on the
+   first fan-out that actually wants helpers and reused for the rest of
+   the process. Its worker count leaves one core for the calling domain
+   (the caller is always worker 0 of a fan-out). A shut-down shared pool
+   is replaced on next use, so a library consumer that tears it down
+   (e.g. a test harness) does not condemn later fan-outs to run serial. *)
+let shared_mutex = Mutex.create ()
+let shared_pool : Bounded.t option ref = ref None
+
+let shared () =
+  Mutex.lock shared_mutex;
+  let pool =
+    match !shared_pool with
+    | Some p when not (Bounded.stopped p) -> p
+    | _ ->
+        let p = Bounded.create ~jobs:(max 1 (default_jobs () - 1)) () in
+        shared_pool := Some p;
+        p
   in
-  if jobs = 1 then Array.init tasks f
-  else begin
-    let base = tasks / jobs and extra = tasks mod jobs in
-    let slice w =
-      let lo = (w * base) + min w extra in
-      let hi = lo + base + if w < extra then 1 else 0 in
-      (lo, hi)
-    in
-    let work (lo, hi) () = Array.init (hi - lo) (fun k -> f (lo + k)) in
-    (* workers 1..jobs-1 run in spawned domains; slice 0 runs here so the
-       calling domain is not idle *)
-    let domains =
-      Array.init (jobs - 1) (fun w -> Domain.spawn (work (slice (w + 1))))
-    in
-    let first = work (slice 0) () in
-    let rest = Array.map Domain.join domains in
-    Array.concat (first :: Array.to_list rest)
+  Mutex.unlock shared_mutex;
+  pool
+
+(* --------------------------------------- chunked deterministic fan-out *)
+
+let run_worker (type w) ?pool ?jobs ?chunk ?(oversubscribe = false)
+    ~(init_worker : unit -> w) ~tasks (f : w -> int -> 'a) : 'a array =
+  if tasks < 1 then invalid_arg "Domain_pool.run: tasks must be >= 1";
+  let requested =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some _ -> invalid_arg "Domain_pool.run: jobs must be >= 1"
+    | None -> default_jobs ()
+  in
+  (* clamp to the hardware unless explicitly oversubscribing: extra
+     domains on a saturated host only time-slice the same cores, so a
+     1-core machine always runs serial (and thus never slower than
+     serial) *)
+  let jobs =
+    let cap = if oversubscribe then requested else min requested (default_jobs ()) in
+    min (max 1 cap) tasks
+  in
+  let chunk =
+    match chunk with
+    | Some c when c >= 1 -> min c tasks
+    | Some _ -> invalid_arg "Domain_pool.run: chunk must be >= 1"
+    | None ->
+        (* ~4 chunks per worker: fine enough that one straggler chunk
+           cannot serialize the fan-out, coarse enough that the atomic
+           counter is cold *)
+        max 1 (tasks / (4 * jobs))
+  in
+  if jobs = 1 then begin
+    let w = init_worker () in
+    Array.init tasks (f w)
   end
+  else begin
+    let n_chunks = (tasks + chunk - 1) / chunk in
+    (* per-chunk result arrays, concatenated in chunk order at the end:
+       slot [c] always holds [f] of indices [c*chunk .. min tasks ((c+1)*chunk) - 1],
+       whichever domain computed it, so output is independent of
+       scheduling *)
+    let results : 'a array array = Array.make n_chunks [||] in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let finished = ref 0 in
+    let first_error = ref None in
+    let finish_chunk () =
+      Mutex.lock mutex;
+      incr finished;
+      if !finished = n_chunks then Condition.broadcast all_done;
+      Mutex.unlock mutex
+    in
+    let record_error e bt =
+      Atomic.set failed true;
+      Mutex.lock mutex;
+      if !first_error = None then first_error := Some (e, bt);
+      Mutex.unlock mutex
+    in
+    (* grab chunks until the counter runs dry; [compute] is None once
+       this worker (or the whole fan-out) cannot make progress, in which
+       case remaining grabs are retired unexecuted so the completion
+       count still reaches [n_chunks] *)
+    let rec grab compute =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < n_chunks then begin
+        (match compute with
+        | Some w when not (Atomic.get failed) -> (
+            let lo = c * chunk in
+            let hi = min tasks (lo + chunk) in
+            match Array.init (hi - lo) (fun i -> f w (lo + i)) with
+            | r -> results.(c) <- r
+            | exception e -> record_error e (Printexc.get_raw_backtrace ()))
+        | _ -> ());
+        finish_chunk ();
+        grab compute
+      end
+    in
+    let work () =
+      match init_worker () with
+      | w -> grab (Some w)
+      | exception e ->
+          record_error e (Printexc.get_raw_backtrace ());
+          grab None
+    in
+    (* helpers: up to jobs-1 thunks on the persistent pool; the calling
+       domain is worker 0 and always participates, so a refused
+       submission (saturated or stopping pool) only costs parallelism *)
+    let pool = match pool with Some p -> p | None -> shared () in
+    for _ = 2 to jobs do
+      ignore (Bounded.try_submit pool work)
+    done;
+    work ();
+    Mutex.lock mutex;
+    while !finished < n_chunks do
+      Condition.wait all_done mutex
+    done;
+    Mutex.unlock mutex;
+    (match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    if n_chunks = 1 then results.(0)
+    else Array.concat (Array.to_list results)
+  end
+
+let run ?pool ?jobs ?chunk ?oversubscribe ~tasks f =
+  run_worker ?pool ?jobs ?chunk ?oversubscribe
+    ~init_worker:(fun () -> ())
+    ~tasks
+    (fun () i -> f i)

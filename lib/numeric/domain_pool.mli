@@ -2,11 +2,24 @@
 
     The shared multicore substrate of the simulation layers: the
     stochastic ensemble runner ([Ssa.Ensemble]) fans trajectories over
-    it, and the deterministic sweep engine ([Ode.Sweep]) fans parameter
-    points. Tasks are partitioned into contiguous static slices, one per
-    worker, and results return in task-index order — so a task function
-    whose result depends only on its index produces byte-identical
-    output for every job count.
+    it, the deterministic sweep engine ([Ode.Sweep]) fans parameter
+    points, and the simulation service executes requests on it.
+
+    Scheduling is {e chunked and deterministic}: task indices are split
+    into fixed chunks handed out by an atomic counter, each chunk's
+    results land in its own slot, and the slots are concatenated in
+    chunk order — so a task function whose result depends only on its
+    index produces byte-identical output for every job count and chunk
+    size, while uneven task costs (stiff sweep points, long
+    trajectories) are balanced dynamically instead of serializing a
+    static slice.
+
+    Worker domains are {e persistent}: fan-outs borrow helpers from a
+    long-lived {!Bounded} pool (the process-wide {!shared} one by
+    default), so domain spawn cost is paid once per process. The calling
+    domain always participates as worker 0 and drains the whole chunk
+    queue itself if no helper can be scheduled — a fan-out never
+    deadlocks on a saturated pool.
 
     The task function runs concurrently in several domains: it must not
     mutate shared state. Reading a shared {!Crn.Network.t} from the
@@ -15,22 +28,22 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1. *)
 
-val run : ?jobs:int -> tasks:int -> (int -> 'a) -> 'a array
-(** [run ~tasks f] computes [[| f 0; ...; f (tasks - 1) |]] using up to
-    [jobs] domains (default {!default_jobs}, clamped to [tasks]). Raises
-    [Invalid_argument] if [tasks < 1] or [jobs < 1]. Exceptions raised
-    by [f] in a worker domain are re-raised on join. *)
-
 (** Persistent worker pool over a bounded job queue.
 
-    Where {!run} is a one-shot fan-out (spawn, compute, join), this is a
-    long-lived pool for servers: worker domains block on a shared queue,
-    {!Bounded.try_submit} refuses work beyond the queue bound so the
-    caller can apply explicit backpressure, and {!Bounded.shutdown}
-    drains what was accepted and joins the workers. Jobs are thunks that
-    own their error handling — an exception escaping a job is swallowed
-    (the worker survives); report failures through the job's own channel
-    (the service layer writes an error response). *)
+    Worker domains block on a shared queue; {!Bounded.try_submit}
+    refuses work beyond the queue bound so the caller can apply explicit
+    backpressure, and {!Bounded.shutdown} drains what was accepted and
+    joins the workers. The simulation service uses one as its request
+    executor and shares the same pool with the batch fan-outs its
+    handlers start; {!run} borrows helpers from the process-wide
+    {!shared} instance.
+
+    Jobs are thunks that own their error handling. An exception that
+    escapes a job anyway is {e recorded} — counted, its message kept,
+    and reported to the {!Bounded.set_on_uncaught} hook — rather than
+    silently discarded; the worker survives unless the exception is
+    fatal ([Out_of_memory], [Stack_overflow]), in which case it is
+    re-raised after the accounting (and surfaces on [shutdown]'s join). *)
 module Bounded : sig
   type t
 
@@ -46,6 +59,20 @@ module Bounded : sig
   val backlog : t -> int
   (** Jobs queued plus jobs currently executing. *)
 
+  val stopped : t -> bool
+  (** [true] once {!shutdown} has begun; a stopped pool refuses
+      submissions. *)
+
+  val uncaught : t -> int * string option
+  (** Count of exceptions that escaped jobs since creation, and the last
+      one's [Printexc.to_string]. *)
+
+  val set_on_uncaught : t -> (exn -> unit) -> unit
+  (** Install a hook called (outside the pool lock, in the worker that
+      observed it) for every exception escaping a job — the service layer
+      forwards these to its metrics. Exceptions raised by the hook itself
+      are ignored. *)
+
   val try_submit : t -> (unit -> unit) -> bool
   (** Enqueue a job; [false] when the queue is at its bound (or the pool
       is shutting down) — the job was {e not} accepted. *)
@@ -58,3 +85,49 @@ module Bounded : sig
       accepted, and join them. Idempotent-ish: a second call returns
       immediately. *)
 end
+
+val shared : unit -> Bounded.t
+(** The process-wide helper pool for batch fan-outs, spawned lazily on
+    first use with [default_jobs () - 1] workers (floored at 1; the
+    calling domain is the remaining worker). If it has been shut down, a
+    fresh one replaces it on the next call. *)
+
+val run :
+  ?pool:Bounded.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
+  tasks:int ->
+  (int -> 'a) ->
+  'a array
+(** [run ~tasks f] computes [[| f 0; ...; f (tasks - 1) |]] using up to
+    [jobs] domains (default {!default_jobs}) — the calling domain plus
+    helpers borrowed from [pool] (default {!shared}). [jobs] is clamped
+    to [tasks] and, unless [oversubscribe] is [true], to
+    {!default_jobs} — so on a 1-core host every fan-out runs serial
+    (and is never slower than serial). [chunk] is the scheduler's chunk
+    size in tasks (default: about 4 chunks per worker); output is
+    byte-identical for every [jobs] and [chunk]. Raises
+    [Invalid_argument] if [tasks < 1], [jobs < 1] or [chunk < 1].
+    The first exception raised by [f] is re-raised after the fan-out
+    settles. *)
+
+val run_worker :
+  ?pool:Bounded.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
+  init_worker:(unit -> 'w) ->
+  tasks:int ->
+  ('w -> int -> 'a) ->
+  'a array
+(** Like {!run}, but each participating domain first builds private
+    worker state with [init_worker] and every task it executes receives
+    that state — the compile-once / per-worker-arena API. Share the
+    expensive immutable model by capturing it in the closure; put the
+    mutable scratch (state vectors, propensity arrays, integrator
+    workspaces) in the worker state, where it is reused across all tasks
+    that land on that domain. Determinism contract: [f w i] must return
+    the same value regardless of the arena's prior contents — i.e. the
+    task must fully reset whatever it reads. An exception from
+    [init_worker] fails the whole fan-out. *)

@@ -94,6 +94,7 @@ type t = {
   n : int;  (** species *)
   nr : int;  (** reactions *)
   k : float array;  (** rate constant per reaction *)
+  rates : Crn.Rates.t array;  (** symbolic rate per reaction, for re-baking *)
   (* reactant side: slice [r_off.(r) .. r_off.(r+1)-1] of r_sp/r_co *)
   r_off : int array;
   r_sp : int array;
@@ -113,6 +114,9 @@ let compile env net =
   let n = Crn.Network.n_species net in
   let nr = Array.length reactions in
   let k = Array.make nr 0. in
+  let rates =
+    Array.map (fun rx -> rx.Crn.Reaction.rate) reactions
+  in
   let r_off = Array.make (nr + 1) 0 in
   let s_off = Array.make (nr + 1) 0 in
   Array.iteri
@@ -155,7 +159,17 @@ let compile env net =
       jac_cols.(!i) <- key mod n;
       incr i)
     pattern;
-  { n; nr; k; r_off; r_sp; r_co; s_off; s_sp; s_co; jac_rows; jac_cols }
+  { n; nr; k; rates; r_off; r_sp; r_co; s_off; s_sp; s_co; jac_rows; jac_cols }
+
+(* Re-bake the rate constants under a different environment, sharing all
+   structural arrays (CSR indices, stoichiometry, Jacobian pattern) with
+   the source system. k is recomputed through the same [Crn.Rates.value]
+   calls [compile] makes, so [with_env (compile env0 net) env] is
+   bitwise-equivalent to [compile env net] — this is what lets a
+   parameter sweep compile a network once and derive each point's system
+   for the cost of one small float array. *)
+let with_env sys env =
+  { sys with k = Array.map (Crn.Rates.value env) sys.rates }
 
 let dim sys = sys.n
 let n_reactions sys = sys.nr

@@ -18,6 +18,13 @@ type t
 
 val compile : Crn.Rates.env -> Crn.Network.t -> t
 
+val with_env : t -> Crn.Rates.env -> t
+(** [with_env sys env] re-bakes only the rate constants under [env],
+    sharing every structural array (CSR indices, stoichiometry, Jacobian
+    pattern) with [sys] — bitwise-equivalent to recompiling the network
+    under [env], at the cost of one small float array. Parameter sweeps
+    compile the network once and derive each point's system this way. *)
+
 val dim : t -> int
 (** Number of species. *)
 

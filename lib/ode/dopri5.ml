@@ -54,23 +54,70 @@ let initial_step sys t0 x0 rtol atol =
   let d0 = wnorm x0 and d1 = wnorm f0 in
   if d0 < 1e-5 || d1 < 1e-5 then 1e-6 else 0.01 *. (d0 /. d1)
 
+(* All per-integration storage, preallocatable by the caller so repeated
+   integrations allocate nothing per run. Every array is fully rewritten
+   before it is read (the state is blitted from [x0], each stage vector
+   is written by [eval] before use), so workspace reuse is
+   bitwise-invisible in the results. The FSAL pointer swap only
+   exchanges which array plays k1 vs k7 within one run; each new run
+   re-seeds both refs from the workspace fields and overwrites k1
+   immediately. *)
+type workspace = {
+  ws_n : int;
+  ws_x : float array;
+  ws_k1 : float array;
+  ws_k2 : float array;
+  ws_k3 : float array;
+  ws_k4 : float array;
+  ws_k5 : float array;
+  ws_k6 : float array;
+  ws_k7 : float array;
+  ws_tmp : float array;
+  ws_xnew : float array;
+}
+
+let workspace n =
+  if n < 1 then invalid_arg "Dopri5.workspace: n must be >= 1";
+  {
+    ws_n = n;
+    ws_x = Array.make n 0.;
+    ws_k1 = Array.make n 0.;
+    ws_k2 = Array.make n 0.;
+    ws_k3 = Array.make n 0.;
+    ws_k4 = Array.make n 0.;
+    ws_k5 = Array.make n 0.;
+    ws_k6 = Array.make n 0.;
+    ws_k7 = Array.make n 0.;
+    ws_tmp = Array.make n 0.;
+    ws_xnew = Array.make n 0.;
+  }
+
 let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
-    ?(cancel = Numeric.Cancel.never) ~t0 ~t1 ~on_sample sys x0 =
+    ?(cancel = Numeric.Cancel.never) ?ws ~t0 ~t1 ~on_sample sys x0 =
   if t1 < t0 then invalid_arg "Dopri5.integrate: t1 < t0";
   let n = Deriv.dim sys in
-  let x = Array.copy x0 in
+  let ws =
+    match ws with
+    | Some ws ->
+        if ws.ws_n <> n then
+          invalid_arg "Dopri5.integrate: workspace dimension mismatch";
+        ws
+    | None -> workspace n
+  in
+  let x = ws.ws_x in
+  Numeric.Vec.blit ~src:x0 ~dst:x;
   (* k1 and k7 are swapped on acceptance (FSAL: the last stage of an
      accepted step evaluates f at the new state, which is exactly the
      first stage of the next step), so both live in refs *)
-  let rk1 = ref (Array.make n 0.) in
-  let k2 = Array.make n 0. in
-  let k3 = Array.make n 0. in
-  let k4 = Array.make n 0. in
-  let k5 = Array.make n 0. in
-  let k6 = Array.make n 0. in
-  let rk7 = ref (Array.make n 0.) in
-  let tmp = Array.make n 0. in
-  let xnew = Array.make n 0. in
+  let rk1 = ref ws.ws_k1 in
+  let k2 = ws.ws_k2 in
+  let k3 = ws.ws_k3 in
+  let k4 = ws.ws_k4 in
+  let k5 = ws.ws_k5 in
+  let k6 = ws.ws_k6 in
+  let rk7 = ref ws.ws_k7 in
+  let tmp = ws.ws_tmp in
+  let xnew = ws.ws_xnew in
   let evals = ref 0 in
   let eval t y k =
     incr evals;

@@ -12,12 +12,23 @@ type stats = { steps : int; rejected : int; evals : int }
     [evals = 1 + 6 * (steps + rejected)] — the [1] is the seed
     evaluation before the first step. *)
 
+type workspace
+(** All per-integration storage (state copy, the seven stage vectors,
+    scratch), preallocatable so repeated integrations allocate nothing
+    per run. Reuse is bitwise-invisible: every array is fully rewritten
+    before it is read. Not thread-safe — one workspace per domain. *)
+
+val workspace : int -> workspace
+(** [workspace n] preallocates for [n]-dimensional systems. Raises
+    [Invalid_argument] if [n < 1]. *)
+
 val integrate :
   ?rtol:float ->
   ?atol:float ->
   ?h0:float ->
   ?max_steps:int ->
   ?cancel:Numeric.Cancel.t ->
+  ?ws:workspace ->
   t0:float ->
   t1:float ->
   on_sample:(float -> Numeric.Vec.t -> unit) ->
@@ -30,4 +41,7 @@ val integrate :
     size underflows (stiffness signal), and {!Numeric.Cancel.Cancelled}
     when [cancel] (polled once per attempted step, default
     {!Numeric.Cancel.never}) fires. Defaults: [rtol = 1e-6],
-    [atol = 1e-9], [h0] chosen automatically, [max_steps = 10_000_000]. *)
+    [atol = 1e-9], [h0] chosen automatically, [max_steps = 10_000_000].
+    [ws] supplies a preallocated {!workspace} (its dimension must equal
+    the system's — [Invalid_argument] otherwise); without it one is
+    allocated per call. *)

@@ -1,9 +1,43 @@
 type method_ = Dopri5 | Rosenbrock | Rk4 of float
 type injection = { at : float; species : string; amount : float }
 
+(* Per-worker integrator scratch for repeated driver calls (sweep
+   points, service requests). The method-specific workspaces are built
+   lazily on first use, so a sweep that only ever runs Dopri5 never pays
+   for the Rosenbrock matrices. *)
+type workspace = {
+  w_n : int;
+  mutable w_ros : Rosenbrock.workspace option;
+  mutable w_dp : Dopri5.workspace option;
+}
+
+let workspace ~n =
+  if n < 1 then invalid_arg "Driver.workspace: n must be >= 1";
+  { w_n = n; w_ros = None; w_dp = None }
+
+let dopri5_ws = function
+  | None -> None
+  | Some w -> (
+      match w.w_dp with
+      | Some _ as ws -> ws
+      | None ->
+          let ws = Dopri5.workspace w.w_n in
+          w.w_dp <- Some ws;
+          Some ws)
+
+let rosenbrock_ws = function
+  | None -> None
+  | Some w -> (
+      match w.w_ros with
+      | Some _ as ws -> ws
+      | None ->
+          let ws = Rosenbrock.workspace w.w_n in
+          w.w_ros <- Some ws;
+          Some ws)
+
 (* tolerance defaults are per method: the semi-implicit integrator's
    first-order error estimate is conservative, so it gets looser targets *)
-let run_segment method_ ~rtol ~atol ~cancel ~t0 ~t1 ~on_sample sys x =
+let run_segment method_ ~rtol ~atol ~cancel ~ws ~t0 ~t1 ~on_sample sys x =
   if t1 <= t0 then Array.copy x
   else
     match method_ with
@@ -11,14 +45,16 @@ let run_segment method_ ~rtol ~atol ~cancel ~t0 ~t1 ~on_sample sys x =
         let rtol = Option.value ~default:1e-6 rtol
         and atol = Option.value ~default:1e-9 atol in
         let x', _ =
-          Dopri5.integrate ~rtol ~atol ~cancel ~t0 ~t1 ~on_sample sys x
+          Dopri5.integrate ?ws:(dopri5_ws ws) ~rtol ~atol ~cancel ~t0 ~t1
+            ~on_sample sys x
         in
         x'
     | Rosenbrock ->
         let rtol = Option.value ~default:1e-4 rtol
         and atol = Option.value ~default:1e-7 atol in
         let x', _ =
-          Rosenbrock.integrate ~rtol ~atol ~cancel ~t0 ~t1 ~on_sample sys x
+          Rosenbrock.integrate ?ws:(rosenbrock_ws ws) ~rtol ~atol ~cancel ~t0
+            ~t1 ~on_sample sys x
         in
         x'
     | Rk4 h ->
@@ -37,11 +73,15 @@ let prepare net injections =
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let simulate_gen ~record_step ~record_boundary ?(method_ = Dopri5) ?rtol
-    ?atol ?(env = Crn.Rates.default_env) ?(injections = []) ?sys
+    ?atol ?(env = Crn.Rates.default_env) ?(injections = []) ?sys ?ws
     ?(cancel = Numeric.Cancel.never) ~t1 net =
   (* [sys] lets a caller (the simulation service) reuse a cached compiled
      model; it must have been compiled from this [net] under [env] *)
   let sys = match sys with Some s -> s | None -> Deriv.compile env net in
+  (match ws with
+  | Some w when w.w_n <> Deriv.dim sys ->
+      invalid_arg "Driver: workspace dimension mismatch"
+  | _ -> ());
   let events =
     List.filter (fun (at, _, _) -> at < t1) (prepare net injections)
   in
@@ -55,7 +95,9 @@ let simulate_gen ~record_step ~record_boundary ?(method_ = Dopri5) ?rtol
     let on_sample ts xs =
       if !first then first := false else record_step ts xs
     in
-    x := run_segment method_ ~rtol ~atol ~cancel ~t0:!t ~t1:t_end ~on_sample sys !x;
+    x :=
+      run_segment method_ ~rtol ~atol ~cancel ~ws ~t0:!t ~t1:t_end ~on_sample
+        sys !x;
     t := t_end
   in
   record_boundary 0. !x;
@@ -68,8 +110,8 @@ let simulate_gen ~record_step ~record_boundary ?(method_ = Dopri5) ?rtol
   run_to t1;
   !x
 
-let simulate ?method_ ?rtol ?atol ?env ?injections ?sys ?cancel ?(thin = 1)
-    ~t1 net =
+let simulate ?method_ ?rtol ?atol ?env ?injections ?sys ?ws ?cancel
+    ?(thin = 1) ~t1 net =
   if thin < 1 then invalid_arg "Driver.simulate: thin must be >= 1";
   let trace = Trace.create ~names:(Crn.Network.species_names net) in
   let countdown = ref 0 in
@@ -82,14 +124,15 @@ let simulate ?method_ ?rtol ?atol ?env ?injections ?sys ?cancel ?(thin = 1)
   in
   let final =
     simulate_gen ~record_step ~record_boundary ?method_ ?rtol ?atol ?env
-      ?injections ?sys ?cancel ~t1 net
+      ?injections ?sys ?ws ?cancel ~t1 net
   in
   (* always include the final state even when thinning dropped it *)
   if Trace.length trace = 0 || Trace.last_time trace < t1 then
     Trace.record trace t1 final;
   trace
 
-let final_state ?method_ ?rtol ?atol ?env ?injections ?sys ?cancel ~t1 net =
+let final_state ?method_ ?rtol ?atol ?env ?injections ?sys ?ws ?cancel ~t1 net
+    =
   let drop _ _ = () in
   simulate_gen ~record_step:drop ~record_boundary:drop ?method_ ?rtol ?atol
-    ?env ?injections ?sys ?cancel ~t1 net
+    ?env ?injections ?sys ?ws ?cancel ~t1 net

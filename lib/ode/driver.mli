@@ -18,6 +18,17 @@ type injection = { at : float; species : string; amount : float }
     1e-4/1e-7 for {!Rosenbrock} (whose embedded error estimate is
     conservative). *)
 
+type workspace
+(** Reusable integrator scratch for repeated driver calls on systems of
+    one dimension (sweep points, service requests): holds the
+    {!Dopri5}/{!Rosenbrock} workspaces, built lazily per method on first
+    use. Reuse is bitwise-invisible in results. Not thread-safe — one
+    workspace per domain (see {!Sweep.final_states}). *)
+
+val workspace : n:int -> workspace
+(** [workspace ~n] prepares scratch for [n]-species systems. Raises
+    [Invalid_argument] if [n < 1]. *)
+
 val simulate :
   ?method_:method_ ->
   ?rtol:float ->
@@ -25,6 +36,7 @@ val simulate :
   ?env:Crn.Rates.env ->
   ?injections:injection list ->
   ?sys:Deriv.t ->
+  ?ws:workspace ->
   ?cancel:Numeric.Cancel.t ->
   ?thin:int ->
   t1:float ->
@@ -39,8 +51,10 @@ val simulate :
     recorded. [sys] supplies an already-compiled model (it must come from
     [Deriv.compile env net] for the same [env] and [net] — the simulation
     service's compiled-model cache uses this to skip recompilation);
-    [cancel] (default {!Numeric.Cancel.never}) is polled each integrator
-    step and aborts the run with {!Numeric.Cancel.Cancelled}. Raises
+    [ws] supplies a reusable integrator {!workspace} (its dimension must
+    match the system's — [Invalid_argument] otherwise); [cancel]
+    (default {!Numeric.Cancel.never}) is polled each integrator step and
+    aborts the run with {!Numeric.Cancel.Cancelled}. Raises
     [Invalid_argument] for an unknown injection species, a negative
     injection time, or [thin < 1]. *)
 
@@ -51,6 +65,7 @@ val final_state :
   ?env:Crn.Rates.env ->
   ?injections:injection list ->
   ?sys:Deriv.t ->
+  ?ws:workspace ->
   ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->

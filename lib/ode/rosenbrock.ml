@@ -8,6 +8,44 @@ type stats = {
 
 let gamma = 1. +. (1. /. sqrt 2.)
 
+(* All per-integration storage, preallocatable by the caller so repeated
+   integrations (sweep points, service requests) allocate nothing per
+   run. Every array is fully (re)written before it is read — the state
+   is blitted from [x0], the Jacobian matrix is zeroed wholesale at the
+   start of [integrate] (so a workspace may even be reused across
+   systems with different sparsity patterns), and the stage vectors are
+   written by the stepper before use — so workspace reuse is
+   bitwise-invisible in the results. *)
+type workspace = {
+  ws_n : int;
+  ws_x : float array;
+  ws_fx : float array;
+  ws_jac : Numeric.Mat.t;
+  ws_w : Numeric.Mat.t;
+  ws_lu : Numeric.Lu.t;
+  ws_k1 : float array;
+  ws_k2 : float array;
+  ws_x1 : float array;
+  ws_rhs2 : float array;
+  ws_xnew : float array;
+}
+
+let workspace n =
+  if n < 1 then invalid_arg "Rosenbrock.workspace: n must be >= 1";
+  {
+    ws_n = n;
+    ws_x = Array.make n 0.;
+    ws_fx = Array.make n 0.;
+    ws_jac = Numeric.Mat.create n n 0.;
+    ws_w = Numeric.Mat.create n n 0.;
+    ws_lu = Numeric.Lu.workspace n;
+    ws_k1 = Array.make n 0.;
+    ws_k2 = Array.make n 0.;
+    ws_x1 = Array.make n 0.;
+    ws_rhs2 = Array.make n 0.;
+    ws_xnew = Array.make n 0.;
+  }
+
 (* ROS2 (Verwer et al.): with W = I - gamma h J,
      W k1 = f(x)
      W k2 = f(x + h k1) - 2 k1
@@ -25,19 +63,32 @@ let gamma = 1. +. (1. /. sqrt 2.)
    [factorizations] counts actual LU factorizations of W (which must be
    redone whenever h changes, since W depends on h). *)
 let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
-    ?(cancel = Numeric.Cancel.never) ~t0 ~t1 ~on_sample sys x0 =
+    ?(cancel = Numeric.Cancel.never) ?ws ~t0 ~t1 ~on_sample sys x0 =
   if t1 < t0 then invalid_arg "Rosenbrock.integrate: t1 < t0";
   let n = Deriv.dim sys in
-  let x = Array.copy x0 in
-  let fx = Array.make n 0. in
-  let jac = Numeric.Mat.create n n 0. in
-  let w = Numeric.Mat.create n n 0. in
-  let lu = Numeric.Lu.workspace n in
-  let k1 = Array.make n 0. in
-  let k2 = Array.make n 0. in
-  let x1 = Array.make n 0. in
-  let rhs2 = Array.make n 0. in
-  let xnew = Array.make n 0. in
+  let ws =
+    match ws with
+    | Some ws ->
+        if ws.ws_n <> n then
+          invalid_arg "Rosenbrock.integrate: workspace dimension mismatch";
+        (* jacobian_into only rewrites the system's sparsity pattern; a
+           workspace that previously served a different system may hold
+           stale entries off this pattern, so clear the matrix outright *)
+        Array.iter (fun row -> Array.fill row 0 n 0.) ws.ws_jac;
+        ws
+    | None -> workspace n
+  in
+  let x = ws.ws_x in
+  Numeric.Vec.blit ~src:x0 ~dst:x;
+  let fx = ws.ws_fx in
+  let jac = ws.ws_jac in
+  let w = ws.ws_w in
+  let lu = ws.ws_lu in
+  let k1 = ws.ws_k1 in
+  let k2 = ws.ws_k2 in
+  let x1 = ws.ws_x1 in
+  let rhs2 = ws.ws_rhs2 in
+  let xnew = ws.ws_xnew in
   let t = ref t0 in
   let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
   let steps = ref 0 and rejected = ref 0 and factorizations = ref 0 in

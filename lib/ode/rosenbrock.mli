@@ -21,12 +21,26 @@ type stats = {
           that completes normally *)
 }
 
+type workspace
+(** All per-integration storage (state copy, Jacobian, W, LU workspace,
+    stage vectors), preallocatable so repeated integrations — sweep
+    points, service requests — allocate nothing per run. Reuse is
+    bitwise-invisible: every array is fully rewritten before it is read,
+    and the Jacobian matrix is cleared at the start of each [integrate]
+    so a workspace may even move between systems with different sparsity
+    patterns. Not thread-safe — one workspace per domain. *)
+
+val workspace : int -> workspace
+(** [workspace n] preallocates for [n]-dimensional systems. Raises
+    [Invalid_argument] if [n < 1]. *)
+
 val integrate :
   ?rtol:float ->
   ?atol:float ->
   ?h0:float ->
   ?max_steps:int ->
   ?cancel:Numeric.Cancel.t ->
+  ?ws:workspace ->
   t0:float ->
   t1:float ->
   on_sample:(float -> Numeric.Vec.t -> unit) ->
@@ -37,4 +51,7 @@ val integrate :
     [atol = 1e-7], [max_steps = 5_000_000] — looser than {!Dopri5}
     because the embedded first-order error estimate is conservative, and
     the clocked designs this integrator exists for only need phase-level
-    accuracy (validated against {!Dopri5} in the test suite). *)
+    accuracy (validated against {!Dopri5} in the test suite). [ws]
+    supplies a preallocated {!workspace} (its dimension must equal the
+    system's — [Invalid_argument] otherwise); without it one is
+    allocated per call. *)

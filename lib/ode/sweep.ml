@@ -1,12 +1,30 @@
-let map ?jobs f points =
+let map ?pool ?jobs ?chunk ?oversubscribe f points =
   let n = Array.length points in
   if n = 0 then [||]
-  else Numeric.Domain_pool.run ?jobs ~tasks:n (fun i -> f points.(i))
+  else
+    Numeric.Domain_pool.run ?pool ?jobs ?chunk ?oversubscribe ~tasks:n
+      (fun i -> f points.(i))
 
-let final_states ?jobs ?method_ ?rtol ?atol ?injections ?cancel ~t1 net
-    ~ratios =
-  map ?jobs
-    (fun ratio ->
+let map_with ?pool ?jobs ?chunk ?oversubscribe ~init_worker f points =
+  let n = Array.length points in
+  if n = 0 then [||]
+  else
+    Numeric.Domain_pool.run_worker ?pool ?jobs ?chunk ?oversubscribe
+      ~init_worker ~tasks:n (fun w i -> f w points.(i))
+
+let final_states ?pool ?jobs ?chunk ?oversubscribe ?method_ ?rtol ?atol
+    ?injections ?cancel ~t1 net ~ratios =
+  (* compile the network once under the default environment; each point
+     re-bakes only the rate constants (Deriv.with_env shares all the
+     structural arrays), and each worker domain reuses one integrator
+     workspace across every point scheduled onto it *)
+  let base = Deriv.compile Crn.Rates.default_env net in
+  let n = Deriv.dim base in
+  map_with ?pool ?jobs ?chunk ?oversubscribe
+    ~init_worker:(fun () -> Driver.workspace ~n)
+    (fun ws ratio ->
       let env = Crn.Rates.env_with_ratio ratio in
-      Driver.final_state ?method_ ?rtol ?atol ~env ?injections ?cancel ~t1 net)
+      let sys = Deriv.with_env base env in
+      Driver.final_state ?method_ ?rtol ?atol ~env ?injections ~sys ~ws
+        ?cancel ~t1 net)
     ratios

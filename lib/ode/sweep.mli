@@ -5,23 +5,52 @@
     simulation at many parameter points. This module fans those points
     over the shared {!Numeric.Domain_pool}: point [i] of the input array
     always maps to slot [i] of the output array, so a pure point
-    function gives byte-identical results for every job count (mirroring
-    the stochastic ensemble's contract).
+    function gives byte-identical results for every job count and chunk
+    size (mirroring the stochastic ensemble's contract).
 
     The point function runs concurrently in several domains: it must not
     mutate shared state. Simulating a shared {!Crn.Network.t} is safe —
     the compilers and integrators only read it; building a fresh network
-    per point inside the function is also safe. *)
+    per point inside the function is also safe. Per-point mutable
+    scratch belongs in the {!map_with} worker state. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?pool:Numeric.Domain_pool.Bounded.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map f points] evaluates [f] on every point using up to [jobs]
-    domains (default {!Numeric.Domain_pool.default_jobs}), returning
-    results in point order. An empty input returns an empty output
-    without spawning. Raises [Invalid_argument] if [jobs < 1];
-    exceptions raised by [f] in a worker are re-raised. *)
+    domains (default {!Numeric.Domain_pool.default_jobs}; clamped to the
+    hardware unless [oversubscribe] — see {!Numeric.Domain_pool.run}),
+    returning results in point order. Helpers are borrowed from [pool]
+    (default the process-wide shared pool); [chunk] sets the
+    deterministic scheduler's chunk size. An empty input returns an
+    empty output without spawning. Raises [Invalid_argument] if
+    [jobs < 1]; exceptions raised by [f] in a worker are re-raised. *)
+
+val map_with :
+  ?pool:Numeric.Domain_pool.Bounded.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
+  init_worker:(unit -> 'w) ->
+  ('w -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** Like {!map}, but each participating domain first builds private
+    worker state with [init_worker] — e.g. a {!Driver.workspace} — and
+    every point it evaluates receives that state. [f w p] must return
+    the same value whatever the state's prior contents, preserving the
+    byte-identical-output contract. *)
 
 val final_states :
+  ?pool:Numeric.Domain_pool.Bounded.t ->
   ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
   ?method_:Driver.method_ ->
   ?rtol:float ->
   ?atol:float ->
@@ -33,7 +62,10 @@ val final_states :
   Numeric.Vec.t array
 (** Rate-robustness convenience: simulate [net] to [t1] once per
     fast/slow ratio ({!Crn.Rates.env_with_ratio}) and return the final
-    state at each ratio — the sweep behind [crnsim --sweep-ratio].
-    [cancel] is shared by every point (its predicate is polled from all
-    worker domains); when it fires, the whole sweep aborts with
+    state at each ratio — the sweep behind [crnsim --sweep-ratio]. The
+    network is compiled once; each point re-bakes only the rate
+    constants ({!Deriv.with_env}, bitwise-equivalent to recompiling) and
+    each worker domain reuses one integrator workspace across its
+    points. [cancel] is shared by every point (its predicate is polled
+    from all worker domains); when it fires, the whole sweep aborts with
     {!Numeric.Cancel.Cancelled}. *)

@@ -48,6 +48,11 @@ type t = {
   mutable queue_wait_ms_sum : float;
   mutable run_ms_sum : float;
   mutable run_ms_max : float;
+  (* exceptions that escaped a pool job entirely (reported by
+     Domain_pool.Bounded.set_on_uncaught) — zero in a healthy daemon,
+     since run_job answers every failure with a structured error *)
+  mutable job_exceptions : int;
+  mutable last_job_error : string option;
 }
 
 let create () =
@@ -64,7 +69,16 @@ let create () =
     queue_wait_ms_sum = 0.;
     run_ms_sum = 0.;
     run_ms_max = 0.;
+    job_exceptions = 0;
+    last_job_error = None;
   }
+
+let record_job_exception agg e =
+  let msg = Printexc.to_string e in
+  Mutex.lock agg.mutex;
+  agg.job_exceptions <- agg.job_exceptions + 1;
+  agg.last_job_error <- Some msg;
+  Mutex.unlock agg.mutex
 
 let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -108,6 +122,11 @@ let to_json agg =
         ("queue_wait_ms_sum", Json.num agg.queue_wait_ms_sum);
         ("run_ms_sum", Json.num agg.run_ms_sum);
         ("run_ms_max", Json.num agg.run_ms_max);
+        ("job_exceptions", Json.int agg.job_exceptions);
+        ( "last_job_error",
+          match agg.last_job_error with
+          | None -> Json.Null
+          | Some msg -> Json.str msg );
       ]
   in
   Mutex.unlock agg.mutex;

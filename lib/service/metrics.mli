@@ -27,4 +27,11 @@ val create : unit -> t
 val record : t -> op:string -> error:string option -> request:request -> unit
 (** [error] is the structured error code when the request failed. *)
 
+val record_job_exception : t -> exn -> unit
+(** Count an exception that escaped a worker-pool job entirely (wired to
+    {!Numeric.Domain_pool.Bounded.set_on_uncaught}); zero in a healthy
+    daemon, since the job wrapper answers every failure with a
+    structured error. The count and the last message appear in
+    {!to_json} as [job_exceptions] / [last_job_error]. *)
+
 val to_json : t -> Json.t

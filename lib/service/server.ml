@@ -286,11 +286,20 @@ let handle_ensemble srv req ~cancel =
   | _ -> ());
   with_model srv req ~env (fun entry ->
       let net = entry.Model_cache.net in
+      (* fan the trajectories over the server's own pool: the request job
+         occupying this worker participates as worker 0, extra helpers
+         are borrowed from the same pool if idle (a saturated pool just
+         means less parallelism, never deadlock). The cached compiled
+         model is shared read-only; each worker gets one reusable
+         arena. *)
+      let model = entry.Model_cache.ssa in
       let finals, run_ms =
         timed (fun () ->
-            Ssa.Ensemble.map ?jobs ~seed ~runs (fun _ s ->
-                (Ssa.Gillespie.run ~env ~seed:s ~model:entry.Model_cache.ssa
-                   ~cancel ~t1 net)
+            Ssa.Ensemble.map_with ~pool:srv.pool ?jobs ~seed
+              ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
+              ~runs
+              (fun arena _ s ->
+                (Ssa.Gillespie.run ~env ~seed:s ~arena ~cancel ~t1 net)
                   .Ssa.Gillespie.final))
       in
       let n = Crn.Network.n_species net in
@@ -336,7 +345,8 @@ let handle_sweep srv req ~cancel =
       let net = entry.Model_cache.net in
       let finals, run_ms =
         timed (fun () ->
-            Ode.Sweep.final_states ?jobs ~method_ ~cancel ~t1 net ~ratios)
+            Ode.Sweep.final_states ~pool:srv.pool ?jobs ~method_ ~cancel ~t1
+              net ~ratios)
       in
       let result =
         Json.Obj
@@ -496,6 +506,9 @@ let handle_stats srv ~arrival =
                 Json.int (Numeric.Domain_pool.Bounded.backlog srv.pool) );
               ("workers", Json.int (Numeric.Domain_pool.Bounded.jobs srv.pool));
               ("queue_bound", Json.int srv.config.queue_bound);
+              ( "pool_uncaught",
+                Json.int
+                  (fst (Numeric.Domain_pool.Bounded.uncaught srv.pool)) );
             ])
     | j -> j
   in
@@ -578,6 +591,11 @@ let run ?(stop = fun () -> false) config =
           ~jobs:config.jobs ();
     }
   in
+  (* a request job that somehow leaks an exception past run_job's
+     handlers is still accounted for: the pool records it and the
+     metrics surface it via the stats op *)
+  Numeric.Domain_pool.Bounded.set_on_uncaught srv.pool
+    (Metrics.record_job_exception srv.metrics);
   logf srv "listening on %s (%d workers, queue bound %d)"
     (Addr.to_string config.address)
     config.jobs config.queue_bound;

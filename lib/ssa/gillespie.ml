@@ -37,11 +37,16 @@ let propensity = Compiled.propensity
    one model may be shared by concurrent runs on several domains (the
    service layer's compiled-model cache does exactly that); all mutable
    run state lives in the per-run [engine]. *)
-type model = { reactions : Compiled.reaction array; deps : Dep_graph.t }
+type model = {
+  reactions : Compiled.reaction array;
+  deps : Dep_graph.t;
+  n_species : int;
+}
 
 let compile_model env net =
   let reactions = compile env net in
-  { reactions; deps = Dep_graph.build reactions ~n_species:(Crn.Network.n_species net) }
+  let n_species = Crn.Network.n_species net in
+  { reactions; deps = Dep_graph.build reactions ~n_species; n_species }
 
 (* ------------------------------------------------------------ engine *)
 
@@ -78,6 +83,23 @@ let make_engine (model : model) =
     n_groups;
     acc = Array.make 2 0.;
     since_refresh = 0;
+  }
+
+(* A worker arena bundles the model with the per-run mutable scratch —
+   the integer state vector and the incremental-propensity engine.
+   [run_result ?arena] refills the counts from the network's initial
+   state and [refresh]es the engine before the event loop touches either,
+   so a reused arena yields bitwise the same trajectory as a fresh one:
+   the pattern for ensemble fan-outs is compile the model once, give
+   each domain one arena ([Ensemble.map_with]), and run every trajectory
+   that lands on that domain through it. *)
+type arena = { a_model : model; a_counts : int array; a_engine : engine }
+
+let make_arena model =
+  {
+    a_model = model;
+    a_counts = Array.make model.n_species 0;
+    a_engine = make_engine model;
   }
 
 (* full rebuild: every propensity, the group partial sums, and the total *)
@@ -160,7 +182,7 @@ let select e counts u =
 (* --------------------------------------------------------------- runs *)
 
 let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
-    ?(max_events = 50_000_000) ?(refresh_every = 4096) ?model
+    ?(max_events = 50_000_000) ?(refresh_every = 4096) ?model ?arena
     ?(cancel = Numeric.Cancel.never) ~t1 net =
   if t1 <= 0. then invalid_arg "Gillespie.run: t1 must be positive";
   if refresh_every < 1 then
@@ -173,17 +195,33 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   in
   let rng = Numeric.Rng.create seed in
   let model =
-    match model with Some m -> m | None -> compile_model env net
+    match (arena, model) with
+    | Some a, _ -> a.a_model
+    | None, Some m -> m
+    | None, None -> compile_model env net
   in
+  let init = Crn.Network.initial_state net in
+  if Array.length init <> model.n_species then
+    invalid_arg "Gillespie.run: network does not match the compiled model";
   let reactions = model.reactions in
+  (* with an arena, refill its state vector in place — the engine is
+     fully rebuilt by [refresh] below, so nothing from a previous run
+     can leak into this trajectory *)
   let counts =
-    Array.map
-      (fun x -> int_of_float (Float.round x))
-      (Crn.Network.initial_state net)
+    match arena with
+    | Some a ->
+        let c = a.a_counts in
+        for i = 0 to Array.length c - 1 do
+          c.(i) <- int_of_float (Float.round init.(i))
+        done;
+        c
+    | None -> Array.map (fun x -> int_of_float (Float.round x)) init
   in
   let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
   let snapshot () = Array.map float_of_int counts in
-  let e = make_engine model in
+  let e =
+    match arena with Some a -> a.a_engine | None -> make_engine model
+  in
   let t = ref 0. in
   let next_sample = ref 0. in
   let n_events = ref 0 in
@@ -241,16 +279,17 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   | Some err -> Stdlib.Error err
   | None -> Ok { trace; final = snapshot (); n_events = !n_events }
 
-let run ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?cancel ~t1
-    net =
+let run ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?arena ?cancel
+    ~t1 net =
   match
-    run_result ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?cancel
-      ~t1 net
+    run_result ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?arena
+      ?cancel ~t1 net
   with
   | Ok r -> r
   | Stdlib.Error err -> raise (Error err)
 
-let mean_final ?env ?(runs = 20) ?jobs ?(seed = 42L) ~t1 net species =
+let mean_final ?(env = Crn.Rates.default_env) ?(runs = 20) ?jobs ?(seed = 42L)
+    ~t1 net species =
   if runs < 1 then invalid_arg "Gillespie.mean_final: runs must be >= 1";
   let idx =
     match Crn.Network.find_species net species with
@@ -259,6 +298,15 @@ let mean_final ?env ?(runs = 20) ?jobs ?(seed = 42L) ~t1 net species =
         invalid_arg
           (Printf.sprintf "Gillespie.mean_final: unknown species %S" species)
   in
-  Ensemble.mean_std ?jobs ~seed ~runs (fun _ s ->
-      let { final; _ } = run ?env ~seed:s ~t1 net in
-      final.(idx))
+  (* compile once, share the immutable model across domains; each worker
+     owns one arena reused by every trajectory scheduled onto it *)
+  let model = compile_model env net in
+  let xs =
+    Ensemble.map_with ?jobs ~seed
+      ~init_worker:(fun () -> make_arena model)
+      ~runs
+      (fun arena _ s ->
+        let { final; _ } = run ~seed:s ~arena ~t1 net in
+        final.(idx))
+  in
+  (Numeric.Stats.mean xs, Numeric.Stats.stddev xs)

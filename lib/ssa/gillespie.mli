@@ -41,6 +41,18 @@ type model
 
 val compile_model : Crn.Rates.env -> Crn.Network.t -> model
 
+type arena
+(** A per-worker simulation arena: one model plus the reusable mutable
+    scratch of a run (integer state vector, incremental-propensity
+    engine). Passing an arena to {!run_result} skips the per-run
+    allocations; the run refills the state from the network's initial
+    state and fully rebuilds the engine first, so a reused arena
+    produces bitwise the same trajectory as a fresh one. An arena is
+    {e not} thread-safe — give each domain its own (see
+    {!Ensemble.map_with}). *)
+
+val make_arena : model -> arena
+
 val run_result :
   ?env:Crn.Rates.env ->
   ?seed:int64 ->
@@ -48,6 +60,7 @@ val run_result :
   ?max_events:int ->
   ?refresh_every:int ->
   ?model:model ->
+  ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
@@ -58,7 +71,11 @@ val run_result :
     bounds — [1] recomputes everything every event, matching the naive
     direct method). [model] supplies a pre-compiled model (it must come
     from {!compile_model} on the same [env] and [net]); when absent the
-    network is compiled per run. [cancel] (default
+    network is compiled per run. [arena] additionally reuses the run's
+    mutable scratch (and takes precedence over [model]: the arena's own
+    model is used); it must have been built over a model of the same
+    network — [Invalid_argument] if the species counts disagree.
+    [cancel] (default
     {!Numeric.Cancel.never}) is polled every 512 events and aborts the
     run with {!Numeric.Cancel.Cancelled}; trajectories are unaffected by
     polling (no extra RNG draws). Returns [Error] instead of raising
@@ -71,6 +88,7 @@ val run :
   ?max_events:int ->
   ?refresh_every:int ->
   ?model:model ->
+  ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
@@ -88,6 +106,8 @@ val mean_final :
   float * float
 (** [mean_final ~t1 net species] runs the SSA [runs] times (default 20)
     with per-trajectory streams split off [seed], fanned across [jobs]
-    domains via {!Ensemble} (default {!Ensemble.default_jobs}), and
-    returns mean and sample standard deviation of the species' final
-    count. Results are identical for every [jobs] value. *)
+    domains via {!Ensemble.map_with} (default {!Ensemble.default_jobs}),
+    and returns mean and sample standard deviation of the species' final
+    count. The model is compiled once and shared; each worker domain
+    reuses one {!arena} across its trajectories. Results are identical
+    for every [jobs] value. *)

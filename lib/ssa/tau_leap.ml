@@ -33,10 +33,52 @@ let poisson rng mean =
     max 0 (int_of_float (Float.round (mean +. (sqrt mean *. z))))
   end
 
-(* Cao/Gillespie/Petzold species-based tau selection *)
-let select_tau ~epsilon reactions props g counts =
+(* The immutable per-network compilation product: compiled reactions
+   plus the highest-reactant-order table the tau bound needs. Shared
+   read-only across domains; all mutable run scratch lives in [arena]. *)
+type model = {
+  reactions : Compiled.reaction array;
+  g : int array;
+  n_species : int;
+}
+
+let compile_model env net =
+  let reactions = Compiled.compile env net in
+  let n_species = Crn.Network.n_species net in
+  { reactions; g = Compiled.reactant_order_per_species n_species reactions;
+    n_species }
+
+(* Per-worker scratch: the state vector plus every hot-loop buffer the
+   stepper needs (propensities, tau-selection moments, the leap-rollback
+   snapshot). Each run fully rewrites all of them before reading, so a
+   reused arena yields bitwise the same trajectory as a fresh one. *)
+type arena = {
+  a_model : model;
+  a_counts : int array;
+  a_props : float array;
+  a_mu : float array;
+  a_sigma2 : float array;
+  a_saved : int array;
+}
+
+let make_arena model =
+  let n = model.n_species and m = Array.length model.reactions in
+  {
+    a_model = model;
+    a_counts = Array.make n 0;
+    a_props = Array.make m 0.;
+    a_mu = Array.make n 0.;
+    a_sigma2 = Array.make n 0.;
+    a_saved = Array.make n 0;
+  }
+
+(* Cao/Gillespie/Petzold species-based tau selection; [mu]/[sigma2] are
+   caller-owned buffers zeroed here (same arithmetic as fresh arrays, so
+   trajectories are bitwise-unchanged by buffer reuse) *)
+let select_tau ~epsilon reactions props g counts ~mu ~sigma2 =
   let n = Array.length counts in
-  let mu = Array.make n 0. and sigma2 = Array.make n 0. in
+  Array.fill mu 0 n 0.;
+  Array.fill sigma2 0 n 0.;
   Array.iteri
     (fun j r ->
       let a = props.(j) in
@@ -61,7 +103,7 @@ let select_tau ~epsilon reactions props g counts =
   !tau
 
 let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
-    ?(epsilon = 0.03) ?(max_steps = 10_000_000)
+    ?(epsilon = 0.03) ?(max_steps = 10_000_000) ?model ?arena
     ?(cancel = Numeric.Cancel.never) ~t1 net =
   if t1 <= 0. then invalid_arg "Tau_leap.run: t1 must be positive";
   let sample_dt =
@@ -71,18 +113,37 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
     | None -> t1 /. 500.
   in
   let rng = Numeric.Rng.create seed in
-  let reactions = Compiled.compile env net in
-  let n = Crn.Network.n_species net in
-  let counts =
-    Array.map
-      (fun x -> int_of_float (Float.round x))
-      (Crn.Network.initial_state net)
+  let model =
+    match (arena, model) with
+    | Some a, _ -> a.a_model
+    | None, Some m -> m
+    | None, None -> compile_model env net
   in
-  let g = Compiled.reactant_order_per_species n reactions in
+  let init = Crn.Network.initial_state net in
+  if Array.length init <> model.n_species then
+    invalid_arg "Tau_leap.run: network does not match the compiled model";
+  let reactions = model.reactions and g = model.g and n = model.n_species in
+  (* with an arena, refill the state vector in place; every other buffer
+     is rewritten before it is read, so no previous run can leak in *)
+  let counts =
+    match arena with
+    | Some a ->
+        let c = a.a_counts in
+        for i = 0 to Array.length c - 1 do
+          c.(i) <- int_of_float (Float.round init.(i))
+        done;
+        c
+    | None -> Array.map (fun x -> int_of_float (Float.round x)) init
+  in
   let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
   let snapshot () = Array.map float_of_int counts in
   let m = Array.length reactions in
-  let props = Array.make m 0. in
+  let props, mu, sigma2, saved =
+    match arena with
+    | Some a -> (a.a_props, a.a_mu, a.a_sigma2, a.a_saved)
+    | None ->
+        (Array.make m 0., Array.make n 0., Array.make n 0., Array.make n 0)
+  in
   let t = ref 0. in
   let next_sample = ref 0. in
   let n_leaps = ref 0 and n_exact = ref 0 and steps = ref 0 in
@@ -109,7 +170,7 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
          record_due ();
          raise Exit
        end;
-       let tau = select_tau ~epsilon reactions props g counts in
+       let tau = select_tau ~epsilon reactions props g counts ~mu ~sigma2 in
        if tau < 10. /. total then begin
          (* leaping not worthwhile here: run a batch of exact
             (direct-method) events before re-evaluating tau, so the
@@ -152,7 +213,7 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
            else begin
              let tau = Float.min tau (t1 -. !t) in
              let fires = Array.map (fun a -> poisson rng (a *. tau)) props in
-             let saved = Array.copy counts in
+             Array.blit counts 0 saved 0 n;
              Array.iteri
                (fun j k -> if k > 0 then Compiled.apply reactions.(j) counts k)
                fires;
@@ -176,14 +237,17 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   | None ->
       Ok { trace; final = snapshot (); n_leaps = !n_leaps; n_exact = !n_exact }
 
-let run ?env ?seed ?sample_dt ?epsilon ?max_steps ?cancel ~t1 net =
+let run ?env ?seed ?sample_dt ?epsilon ?max_steps ?model ?arena ?cancel ~t1
+    net =
   match
-    run_result ?env ?seed ?sample_dt ?epsilon ?max_steps ?cancel ~t1 net
+    run_result ?env ?seed ?sample_dt ?epsilon ?max_steps ?model ?arena ?cancel
+      ~t1 net
   with
   | Ok r -> r
   | Stdlib.Error err -> raise (Error err)
 
-let mean_final ?env ?(runs = 20) ?jobs ?(seed = 42L) ~t1 net species =
+let mean_final ?(env = Crn.Rates.default_env) ?(runs = 20) ?jobs ?(seed = 42L)
+    ~t1 net species =
   if runs < 1 then invalid_arg "Tau_leap.mean_final: runs must be >= 1";
   let idx =
     match Crn.Network.find_species net species with
@@ -192,6 +256,15 @@ let mean_final ?env ?(runs = 20) ?jobs ?(seed = 42L) ~t1 net species =
         invalid_arg
           (Printf.sprintf "Tau_leap.mean_final: unknown species %S" species)
   in
-  Ensemble.mean_std ?jobs ~seed ~runs (fun _ s ->
-      let { final; _ } = run ?env ~seed:s ~t1 net in
-      final.(idx))
+  (* compile once, share the immutable model; one reusable arena per
+     worker domain *)
+  let model = compile_model env net in
+  let xs =
+    Ensemble.map_with ?jobs ~seed
+      ~init_worker:(fun () -> make_arena model)
+      ~runs
+      (fun arena _ s ->
+        let { final; _ } = run ~seed:s ~arena ~t1 net in
+        final.(idx))
+  in
+  (Numeric.Stats.mean xs, Numeric.Stats.stddev xs)

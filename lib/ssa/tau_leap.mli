@@ -25,18 +25,42 @@ exception Error of error
 
 val error_to_string : error -> string
 
+type model
+(** The immutable compilation product of one network under one rate
+    environment: compiled reactions plus the highest-reactant-order
+    table the tau bound uses. Runs never mutate it, so one model may be
+    shared by concurrent runs on several domains. *)
+
+val compile_model : Crn.Rates.env -> Crn.Network.t -> model
+
+type arena
+(** A per-worker arena: one model plus the stepper's reusable mutable
+    scratch (state vector, propensities, tau-selection moments, the
+    leap-rollback snapshot). Every buffer is rewritten before it is
+    read, so a reused arena produces bitwise the same trajectory as a
+    fresh one. Not thread-safe — give each domain its own (see
+    {!Ensemble.map_with}). *)
+
+val make_arena : model -> arena
+
 val run_result :
   ?env:Crn.Rates.env ->
   ?seed:int64 ->
   ?sample_dt:float ->
   ?epsilon:float ->
   ?max_steps:int ->
+  ?model:model ->
+  ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
   (result, error) Stdlib.result
 (** Simulate from 0 to [t1]. Defaults: [seed = 1L], [sample_dt = t1/500],
-    [epsilon = 0.03], [max_steps = 10_000_000]. [cancel] (default
+    [epsilon = 0.03], [max_steps = 10_000_000]. [model] supplies a
+    pre-compiled model (from {!compile_model} on the same [env] and
+    [net]); [arena] additionally reuses the run's mutable scratch and
+    takes precedence over [model] — [Invalid_argument] if the network's
+    species count disagrees with the arena's model. [cancel] (default
     {!Numeric.Cancel.never}) is polled once per outer step and aborts
     the run with {!Numeric.Cancel.Cancelled}. Returns [Error] instead of
     raising when the step budget is exhausted. *)
@@ -47,6 +71,8 @@ val run :
   ?sample_dt:float ->
   ?epsilon:float ->
   ?max_steps:int ->
+  ?model:model ->
+  ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
   t1:float ->
   Crn.Network.t ->
@@ -64,8 +90,9 @@ val mean_final :
   float * float
 (** Tau-leaping counterpart of {!Gillespie.mean_final}: [runs]
     trajectories with split per-trajectory streams, fanned across [jobs]
-    domains via {!Ensemble}; returns mean and sample standard deviation
-    of the species' final count. *)
+    domains via {!Ensemble.map_with} — the model is compiled once and
+    shared, each worker reuses one {!arena}; returns mean and sample
+    standard deviation of the species' final count. *)
 
 val poisson : Numeric.Rng.t -> float -> int
 (** Sample Poisson(mean): inversion for small means, normal approximation

@@ -81,12 +81,39 @@ let incremental_matches_full (net_seed, ev_seed) =
    with Exit -> ());
   !ok
 
+(* the ISSUE's other qcheck property: ensemble output is byte-identical
+   across jobs in {1,2,3,7} x chunk in {1,4,whole-range}, with the
+   parallel scheduler genuinely engaged via [oversubscribe] even on a
+   1-core host; trial varies the root seed and the run count *)
+let ensemble_jobs_chunk_identical (root, runs_m1) =
+  let runs = 1 + runs_m1 in
+  let seed = Int64.of_int root in
+  let net = Designs.Catalog.build "counter2" in
+  let model = Ssa.Gillespie.compile_model Rates.default_env net in
+  let go ~jobs ~chunk =
+    Ssa.Ensemble.map_with ~oversubscribe:true ~jobs ~chunk ~seed
+      ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
+      ~runs
+      (fun arena _ s ->
+        (Ssa.Gillespie.run ~seed:s ~arena ~t1:3. net).Ssa.Gillespie.final)
+  in
+  let seq = go ~jobs:1 ~chunk:runs in
+  List.for_all
+    (fun jobs ->
+      List.for_all
+        (fun chunk -> go ~jobs ~chunk = seq)
+        [ 1; 4; runs ])
+    [ 1; 2; 3; 7 ]
+
 let qcheck_tests =
   let open QCheck in
   [
     Test.make ~name:"incremental propensities equal full recompute" ~count:100
       (make Gen.(pair (int_range 0 1_000_000) (int_range 0 1_000_000)))
       incremental_matches_full;
+    Test.make ~name:"ensemble byte-identical across jobs x chunk" ~count:10
+      (make Gen.(pair (int_range 0 1_000_000) (int_range 0 7)))
+      ensemble_jobs_chunk_identical;
   ]
 
 (* ------------------------------------------------------- dep graph *)
@@ -218,6 +245,51 @@ let test_ensemble_worker_exception_propagates () =
   | _ -> Alcotest.fail "expected exception"
   | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
 
+(* ------------------------------------------------- arena reuse *)
+
+let test_gillespie_arena_no_leakage () =
+  (* the ISSUE's arena-reuse test: a run must be bitwise independent of
+     the arena's prior contents — same seed gives the identical trace
+     even after an interleaved run with a different seed *)
+  let net = Designs.Catalog.build "clock4" in
+  let model = Ssa.Gillespie.compile_model Rates.default_env net in
+  let arena = Ssa.Gillespie.make_arena model in
+  let fresh = Ssa.Gillespie.run ~seed:11L ~t1:5. net in
+  let a = Ssa.Gillespie.run ~seed:11L ~arena ~t1:5. net in
+  ignore (Ssa.Gillespie.run ~seed:99L ~arena ~t1:5. net);
+  let b = Ssa.Gillespie.run ~seed:11L ~arena ~t1:5. net in
+  Alcotest.(check int) "event count stable" a.Ssa.Gillespie.n_events
+    b.Ssa.Gillespie.n_events;
+  Alcotest.(check (array (float 0.))) "final state stable" a.final b.final;
+  Alcotest.(check bool) "whole result stable" true (a = b);
+  Alcotest.(check bool) "arena run = fresh-compile run" true (a = fresh)
+
+let test_tau_leap_arena_no_leakage () =
+  let net = Designs.Catalog.build "clock4" in
+  let model = Ssa.Tau_leap.compile_model Rates.default_env net in
+  let arena = Ssa.Tau_leap.make_arena model in
+  let fresh = Ssa.Tau_leap.run ~seed:11L ~t1:5. net in
+  let a = Ssa.Tau_leap.run ~seed:11L ~arena ~t1:5. net in
+  ignore (Ssa.Tau_leap.run ~seed:99L ~arena ~t1:5. net);
+  let b = Ssa.Tau_leap.run ~seed:11L ~arena ~t1:5. net in
+  Alcotest.(check bool) "whole result stable" true (a = b);
+  Alcotest.(check bool) "arena run = fresh-compile run" true (a = fresh)
+
+let test_arena_wrong_network_rejected () =
+  let net = Designs.Catalog.build "clock4" in
+  (* a 2-species toy net: its species count cannot match clock4's *)
+  let other = Network.create () in
+  let a = Network.species other "A" and b = Network.species other "B" in
+  Network.set_init other a 10.;
+  Network.add_reaction other
+    (Reaction.make ~reactants:[ (a, 1) ] ~products:[ (b, 1) ] Rates.slow);
+  let arena =
+    Ssa.Gillespie.make_arena (Ssa.Gillespie.compile_model Rates.default_env net)
+  in
+  Alcotest.check_raises "species count mismatch"
+    (Invalid_argument "Gillespie.run: network does not match the compiled model")
+    (fun () -> ignore (Ssa.Gillespie.run ~seed:1L ~arena ~t1:1. other))
+
 let test_tau_leap_mean_final () =
   let net = Network.create () in
   let a = Network.species net "A" and b = Network.species net "B" in
@@ -242,6 +314,9 @@ let suite =
     ("ensemble trajectory order", `Quick, test_ensemble_trajectory_order);
     ("ensemble invalid args", `Quick, test_ensemble_invalid_args);
     ("worker exception propagates", `Quick, test_ensemble_worker_exception_propagates);
+    ("gillespie arena no leakage", `Quick, test_gillespie_arena_no_leakage);
+    ("tau-leap arena no leakage", `Quick, test_tau_leap_arena_no_leakage);
+    ("arena wrong network rejected", `Quick, test_arena_wrong_network_rejected);
     ("tau-leap mean_final", `Quick, test_tau_leap_mean_final);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -34,6 +34,90 @@ let test_pool_worker_exception_propagates () =
   | _ -> Alcotest.fail "expected exception"
   | exception Failure msg -> Alcotest.(check string) "message" "pool boom" msg
 
+let test_pool_jobs_chunk_matrix () =
+  (* the scheduler's central contract, exercised even on a 1-core host
+     via [oversubscribe]: byte-identical output for every job count and
+     chunk size, including chunks that don't divide the task count *)
+  let tasks = 13 in
+  let f i = (i * i) - (3 * i) in
+  let seq = Numeric.Domain_pool.run ~jobs:1 ~tasks f in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          let got =
+            Numeric.Domain_pool.run ~oversubscribe:true ~jobs ~chunk ~tasks f
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+            seq got)
+        [ 1; 4; tasks ])
+    [ 1; 2; 3; 7 ]
+
+let test_pool_run_worker_state () =
+  (* run_worker: every task sees the state its domain built; each domain
+     initializes exactly once, and no domain shares another's state *)
+  let inits = Atomic.make 0 in
+  let init_worker () =
+    ignore (Atomic.fetch_and_add inits 1);
+    ref 0
+  in
+  let tasks = 20 in
+  let got =
+    Numeric.Domain_pool.run_worker ~oversubscribe:true ~jobs:3 ~chunk:2
+      ~init_worker ~tasks (fun w i ->
+        incr w (* per-domain scratch mutation must not corrupt results *);
+        i * 10)
+  in
+  Alcotest.(check (array int)) "results in index order"
+    (Array.init tasks (fun i -> i * 10))
+    got;
+  let n = Atomic.get inits in
+  Alcotest.(check bool) "1 <= inits <= jobs" true (n >= 1 && n <= 3)
+
+let test_pool_init_worker_failure () =
+  match
+    Numeric.Domain_pool.run_worker ~oversubscribe:true ~jobs:2
+      ~init_worker:(fun () -> failwith "init boom")
+      ~tasks:4
+      (fun () i -> i)
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "init boom" msg
+
+let test_pool_uncaught_accounting () =
+  (* an exception escaping a submitted job must be counted, reported to
+     the hook, and must not kill the worker *)
+  let pool = Numeric.Domain_pool.Bounded.create ~jobs:1 () in
+  let hooked = Atomic.make 0 in
+  Numeric.Domain_pool.Bounded.set_on_uncaught pool (fun _ ->
+      ignore (Atomic.fetch_and_add hooked 1));
+  Alcotest.(check bool) "submit accepted" true
+    (Numeric.Domain_pool.Bounded.try_submit pool (fun () ->
+         failwith "escaped"));
+  Numeric.Domain_pool.Bounded.drain pool;
+  let n, last = Numeric.Domain_pool.Bounded.uncaught pool in
+  Alcotest.(check int) "one uncaught" 1 n;
+  (match last with
+  | Some msg ->
+      (* Printexc.to_string (Failure "escaped") mentions the payload *)
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "message kept" true (contains msg "escaped")
+  | None -> Alcotest.fail "expected a last-uncaught message");
+  Alcotest.(check int) "hook called once" 1 (Atomic.get hooked);
+  (* the worker survived: it can still run jobs after the escape *)
+  let ran = Atomic.make false in
+  Alcotest.(check bool) "still accepting" true
+    (Numeric.Domain_pool.Bounded.try_submit pool (fun () ->
+         Atomic.set ran true));
+  Numeric.Domain_pool.Bounded.drain pool;
+  Alcotest.(check bool) "worker survived" true (Atomic.get ran);
+  Numeric.Domain_pool.Bounded.shutdown pool
+
 (* ------------------------------------------------------------ Ode.Sweep *)
 
 let test_sweep_empty () =
@@ -59,6 +143,58 @@ let test_sweep_parallel_identical () =
         (go jobs = seq))
     [ 2; 3; 8 ]
 
+let test_sweep_jobs_chunk_matrix () =
+  (* ISSUE acceptance: sweep output byte-identical across the full
+     jobs x chunk grid, with the parallel scheduler genuinely engaged
+     (oversubscribe) even on a 1-core host; per-worker integrator
+     workspaces must not perturb a single bit *)
+  let net = Designs.Catalog.build "counter2" in
+  let n_points = 7 in
+  let ratios =
+    Array.init n_points (fun i -> 120. *. (1.4 ** float_of_int i))
+  in
+  let go ~jobs ~chunk =
+    Ode.Sweep.final_states ~oversubscribe:true ~jobs ~chunk ~t1:6. net ~ratios
+  in
+  let seq = go ~jobs:1 ~chunk:n_points in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+            true
+            (go ~jobs ~chunk = seq))
+        [ 1; 4; n_points ])
+    [ 2; 3; 7 ]
+
+(* qcheck half of the ISSUE property: a pure float pipeline through the
+   chunked scheduler is byte-identical for every jobs x chunk pair; the
+   point values and task count vary per trial *)
+let pool_map_identical seed =
+  let rng = Numeric.Rng.create (Int64.of_int seed) in
+  let n = 1 + Numeric.Rng.int rng 24 in
+  let points =
+    Array.init n (fun _ -> (Numeric.Rng.float rng *. 20.) -. 10.)
+  in
+  let f x = (sin x *. exp (0.1 *. x)) +. (x *. x /. 3.) in
+  let seq = Ode.Sweep.map ~jobs:1 f points in
+  List.for_all
+    (fun jobs ->
+      List.for_all
+        (fun chunk ->
+          Ode.Sweep.map ~oversubscribe:true ~jobs ~chunk f points = seq)
+        [ 1; 4; n ])
+    [ 1; 2; 3; 7 ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"sweep map byte-identical across jobs x chunk" ~count:30
+      (make Gen.(int_range 0 1_000_000))
+      pool_map_identical;
+  ]
+
 (* --------------------------------------------- sweeping client modules *)
 
 let test_rate_sweep_jobs_invariant () =
@@ -80,8 +216,14 @@ let suite =
     ("pool single task", `Quick, test_pool_single_task);
     ("pool invalid args", `Quick, test_pool_invalid_args);
     ("pool worker exception propagates", `Quick, test_pool_worker_exception_propagates);
+    ("pool jobs x chunk matrix", `Quick, test_pool_jobs_chunk_matrix);
+    ("pool run_worker state", `Quick, test_pool_run_worker_state);
+    ("pool init_worker failure", `Quick, test_pool_init_worker_failure);
+    ("pool uncaught accounting", `Quick, test_pool_uncaught_accounting);
     ("sweep empty", `Quick, test_sweep_empty);
     ("sweep map order", `Quick, test_sweep_map_order);
     ("parallel sweep identical", `Slow, test_sweep_parallel_identical);
+    ("sweep jobs x chunk matrix", `Slow, test_sweep_jobs_chunk_matrix);
     ("rate_sweep jobs invariant", `Slow, test_rate_sweep_jobs_invariant);
   ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
