@@ -11,7 +11,8 @@ open Cmdliner
 
 let stop_requested = ref false
 
-let run listen jobs queue_bound cache_capacity deadline_ms verbose =
+let run listen jobs queue_bound cache_capacity deadline_ms max_frame
+    read_deadline_ms idle_timeout_ms max_conns verbose =
   match Service.Addr.of_string listen with
   | Error msg ->
       Printf.eprintf "crnserved: %s\n" msg;
@@ -26,6 +27,10 @@ let run listen jobs queue_bound cache_capacity deadline_ms verbose =
           queue_bound;
           cache_capacity;
           default_deadline_ms = deadline_ms;
+          max_frame;
+          read_deadline_ms;
+          idle_timeout_ms;
+          max_conns;
           log = verbose;
         }
       in
@@ -39,6 +44,14 @@ let run listen jobs queue_bound cache_capacity deadline_ms verbose =
       end
       else if cache_capacity < 1 then begin
         Printf.eprintf "crnserved: --cache-capacity must be >= 1\n";
+        2
+      end
+      else if max_frame < 4096 then begin
+        Printf.eprintf "crnserved: --max-frame must be >= 4096 bytes\n";
+        2
+      end
+      else if max_conns < 1 then begin
+        Printf.eprintf "crnserved: --max-conns must be >= 1\n";
         2
       end
       else begin
@@ -96,6 +109,38 @@ let deadline_ms =
   Arg.(
     value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
+let max_frame =
+  let doc =
+    "Per-connection frame-size limit in bytes. A longer length prefix is \
+     answered with a structured error and the connection closed, without \
+     allocating the payload."
+  in
+  Arg.(
+    value & opt int (8 * 1024 * 1024) & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+
+let read_deadline_ms =
+  let doc =
+    "Kill a connection whose partial frame has not completed within $(docv) \
+     milliseconds (a stalled or byte-dribbling peer). 0 disables."
+  in
+  Arg.(
+    value & opt float 10_000. & info [ "read-deadline-ms" ] ~docv:"MS" ~doc)
+
+let idle_timeout_ms =
+  let doc =
+    "Close a connection with no traffic and no running jobs for $(docv) \
+     milliseconds. 0 disables."
+  in
+  Arg.(
+    value & opt float 300_000. & info [ "idle-timeout-ms" ] ~docv:"MS" ~doc)
+
+let max_conns =
+  let doc =
+    "Open-connection cap; accepts beyond it are answered with a structured \
+     $(i,connection_limit) error and closed immediately."
+  in
+  Arg.(value & opt int 256 & info [ "max-conns" ] ~docv:"N" ~doc)
+
 let verbose =
   let doc = "Log one stderr line per connection event." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -106,6 +151,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ listen $ jobs $ queue_bound $ cache_capacity $ deadline_ms
-      $ verbose)
+      $ max_frame $ read_deadline_ms $ idle_timeout_ms $ max_conns $ verbose)
 
 let () = exit (Cmd.eval' cmd)

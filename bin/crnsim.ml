@@ -233,9 +233,11 @@ let print_final_block ~t1 names finals =
 
 let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
     ~plot_species ~stochastic ~seed ~runs ~jobs ~focus ~sweep_ratios
-    ~sweep_jobs ~deadline_ms =
+    ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms =
   if plot_species <> [] then failwith "--plot is not supported with --connect";
   if runs < 1 then failwith "--runs must be >= 1";
+  if retries < 0 then failwith "--retries must be >= 0";
+  if retry_budget_ms <= 0. then failwith "--retry-budget-ms must be > 0";
   let address =
     match Service.Addr.of_string connect with
     | Ok a -> a
@@ -251,7 +253,16 @@ let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
     | Some ms -> [ ("deadline_ms", J.num ms) ]
     | None -> []
   in
-  let client = Service.Client.connect address in
+  (* the daemon enforces the deadline and answers deadline_exceeded; the
+     socket-read deadline is a backstop (budget + grace) so a daemon
+     that accepts and then never responds cannot hang the client *)
+  let read_deadline_ms =
+    Option.map (fun ms -> Float.max ms 1. +. 1000.) deadline_ms
+  in
+  let client =
+    Service.Client.connect ~retries ~retry_budget_ms
+      ~retry_seed:(Int64.of_int seed) ?read_deadline_ms address
+  in
   Fun.protect
     ~finally:(fun () -> Service.Client.close client)
     (fun () ->
@@ -407,6 +418,21 @@ let report_error e =
       | Numeric.Cancel.Cancelled ->
           Printf.eprintf "crnsim: deadline exceeded\n";
           4
+      | Service.Client.Timeout ms ->
+          Printf.eprintf
+            "crnsim: no response from server within %.0f ms read deadline\n"
+            ms;
+          4
+      | Service.Client.Retries_exhausted { attempts; last } ->
+          let detail =
+            match last with
+            | Unix.Unix_error (err, fn, _) ->
+                Printf.sprintf "%s: %s" fn (Unix.error_message err)
+            | _ -> "server closed the connection"
+          in
+          Printf.eprintf "crnsim: gave up after %d attempt(s): %s\n" attempts
+            detail;
+          5
       | Unix.Unix_error (err, fn, arg) ->
           Printf.eprintf "crnsim: %s(%s): %s\n" fn arg
             (Unix.error_message err);
@@ -414,13 +440,14 @@ let report_error e =
       | e -> raise e)
 
 let run source t1 ratio method_name csv_out plot_species stochastic seed runs
-    jobs final_only focus sweep_ratios sweep_jobs connect deadline_ms =
+    jobs final_only focus sweep_ratios sweep_jobs connect deadline_ms retries
+    retry_budget_ms =
   match connect with
   | Some connect -> (
       try
         run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
           ~plot_species ~stochastic ~seed ~runs ~jobs ~focus ~sweep_ratios
-          ~sweep_jobs ~deadline_ms;
+          ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms;
         0
       with e -> report_error e)
   | None -> (
@@ -590,10 +617,30 @@ let connect =
 let deadline_ms =
   let doc =
     "Give up after $(docv) milliseconds of simulation (exit code 4). With \
-     --connect the deadline is enforced by the daemon."
+     --connect the deadline is enforced by the daemon, and the client also \
+     arms a socket-read deadline of $(docv) + 1000 ms so a silent server \
+     cannot hang it."
   in
   Arg.(
     value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let retries =
+  let doc =
+    "With --connect, retry up to $(docv) times on a transient transport \
+     failure — connect refused, or the connection reset before any \
+     response byte arrived — with exponential backoff and jitter. A \
+     request whose response has started arriving, or whose read deadline \
+     expired, is never re-sent (it may have executed)."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let retry_budget_ms =
+  let doc =
+    "Total wall-clock budget in milliseconds for the --retries backoff of \
+     one operation."
+  in
+  Arg.(
+    value & opt float 2_000. & info [ "retry-budget-ms" ] ~docv:"MS" ~doc)
 
 let cmd =
   let doc = "simulate a chemical reaction network" in
@@ -602,6 +649,6 @@ let cmd =
     Term.(
       const run $ source $ t1 $ ratio $ method_name $ csv_out $ plot_species
       $ stochastic $ seed $ runs $ jobs $ final_only $ focus $ sweep_ratios
-      $ sweep_jobs $ connect $ deadline_ms)
+      $ sweep_jobs $ connect $ deadline_ms $ retries $ retry_budget_ms)
 
 let () = exit (Cmd.eval' cmd)

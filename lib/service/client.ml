@@ -1,23 +1,148 @@
 (* Blocking client for the service protocol: one connection, one
    request in flight at a time, so responses pair with requests by
-   order. *)
+   order.
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+   Transient-failure policy: connects retry with bounded exponential
+   backoff and full jitter, and a request is re-sent only when the
+   failure provably preceded the first response byte — a connect error,
+   a write-side EPIPE/ECONNRESET, or a clean close with zero response
+   bytes ([Wire.read_frame] returning [None]). A response that started
+   arriving and then died ([Framing_error "EOF inside frame ..."]) is
+   never retried: the server acted once, and re-sending could act
+   twice. *)
 
-let connect addr = { fd = Addr.connect addr; closed = false }
+type t = {
+  addr : Addr.t;
+  retries : int;
+  retry_budget_ms : float;
+  rng : Numeric.Rng.t;  (* jitter stream; deterministic from retry_seed *)
+  read_deadline_ms : float option;
+  mutable fd : Unix.file_descr option;
+  mutable closed : bool;
+}
+
+exception Timeout of float
+
+exception Retries_exhausted of { attempts : int; last : exn }
+
+(* zero response bytes arrived before the stream died — safe to retry *)
+exception No_response
+
+let apply_read_deadline fd = function
+  | None -> ()
+  | Some ms when ms > 0. ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO (ms /. 1000.)
+  | Some _ -> ()
+
+let transient = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.ENOTCONN
+        | Unix.ETIMEDOUT | Unix.EPIPE ),
+        _,
+        _ ) ->
+      true
+  | No_response -> true
+  | _ -> false
+
+(* full jitter on an exponential ladder: uniform in [0, min(1s, 25ms *
+   2^attempt)] — retries from a thundering herd spread instead of
+   re-colliding *)
+let backoff_ms rng attempt =
+  Numeric.Rng.float rng *. Float.min 1000. (25. *. (2. ** float_of_int attempt))
+
+let with_retries c f =
+  let t0 = Unix.gettimeofday () in
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when transient e ->
+        let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        if attempt >= c.retries || elapsed_ms >= c.retry_budget_ms then
+          if c.retries = 0 then raise e
+          else raise (Retries_exhausted { attempts = attempt + 1; last = e })
+        else begin
+          let delay =
+            Float.min (backoff_ms c.rng attempt)
+              (Float.max 0. (c.retry_budget_ms -. elapsed_ms))
+          in
+          Unix.sleepf (delay /. 1000.);
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+let connect_fd c =
+  let fd = Addr.connect c.addr in
+  apply_read_deadline fd c.read_deadline_ms;
+  fd
+
+let connect ?(retries = 0) ?(retry_budget_ms = 2_000.) ?(retry_seed = 1L)
+    ?read_deadline_ms addr =
+  let c =
+    {
+      addr;
+      retries;
+      retry_budget_ms;
+      rng = Numeric.Rng.create retry_seed;
+      read_deadline_ms;
+      fd = None;
+      closed = false;
+    }
+  in
+  c.fd <- Some (with_retries c (fun () -> connect_fd c));
+  c
+
+let drop_fd c =
+  (match c.fd with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ());
+  c.fd <- None
 
 let close c =
   if not c.closed then begin
     c.closed <- true;
-    try Unix.close c.fd with _ -> ()
+    drop_fd c
   end
 
 let call c req =
   if c.closed then failwith "Service.Client.call: connection closed";
-  Wire.write_frame c.fd (Json.to_string req);
-  match Wire.read_frame c.fd with
-  | Some payload -> Json.of_string payload
-  | None -> failwith "Service.Client.call: server closed the connection"
+  let payload = Json.to_string req in
+  let attempt () =
+    let fd =
+      match c.fd with
+      | Some fd -> fd
+      | None ->
+          let fd = connect_fd c in
+          c.fd <- Some fd;
+          fd
+    in
+    (try Wire.write_frame fd payload
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+       (* the request never reached the server whole; reconnect *)
+       drop_fd c;
+       raise No_response);
+    match Wire.read_frame fd with
+    | Some resp -> resp
+    | None ->
+        (* clean close before any response byte: retryable *)
+        drop_fd c;
+        raise No_response
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        drop_fd c;
+        raise No_response
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* SO_RCVTIMEO expired: the server accepted but never answered.
+           Not retryable — the request may be running; duplicating it is
+           exactly what the deadline exists to prevent. *)
+        drop_fd c;
+        raise (Timeout (Option.value ~default:0. c.read_deadline_ms))
+    | exception e ->
+        (* response bytes arrived, then the stream died: not retryable *)
+        drop_fd c;
+        raise e
+  in
+  match with_retries c attempt with
+  | payload -> Json.of_string payload
+  | exception No_response ->
+      failwith "Service.Client.call: server closed the connection"
 
 type response = {
   ok : bool;

@@ -2,18 +2,52 @@
 
     One connection, one request in flight at a time: {!call} writes a
     frame and blocks for the next frame back, so responses pair with
-    requests by order. For pipelined use, open several clients. *)
+    requests by order. For pipelined use, open several clients.
+
+    Transient failures retry with bounded exponential backoff and full
+    jitter (base 25 ms, doubling, capped at 1 s per sleep), bounded by
+    both a retry count and a wall-clock budget. A request is re-sent
+    only when the failure provably preceded the first response byte: a
+    connect error, a write-side [EPIPE]/[ECONNRESET], or a clean close
+    with zero response bytes. A response that started arriving and then
+    died, or a read deadline expiring, is never retried — the server may
+    have acted, and re-sending could act twice. *)
 
 type t
 
-val connect : Addr.t -> t
+exception Timeout of float
+(** The read deadline (ms) expired while waiting for a response. The
+    request may still be running server-side; it is not retried. *)
+
+exception Retries_exhausted of { attempts : int; last : exn }
+(** Raised (only when [retries > 0]) after the last transient failure:
+    [attempts] transport attempts were made, [last] is the final
+    failure. With [retries = 0] the underlying exception propagates
+    unwrapped. *)
+
+val connect :
+  ?retries:int ->
+  ?retry_budget_ms:float ->
+  ?retry_seed:int64 ->
+  ?read_deadline_ms:float ->
+  Addr.t ->
+  t
+(** [retries] (default 0) is the number of re-attempts after a transient
+    failure, shared between the initial connect and each {!call};
+    [retry_budget_ms] (default 2000) caps the total wall clock spent
+    retrying one operation; [retry_seed] (default 1) makes the jitter
+    stream deterministic; [read_deadline_ms] arms [SO_RCVTIMEO] on the
+    socket so a response wait cannot hang forever ([<= 0] or absent
+    disables). *)
 
 val close : t -> unit
 
 val call : t -> Json.t -> Json.t
 (** Send a request object, return the raw response object. Raises
-    [Failure] on a closed connection and {!Wire.Framing_error} on a
-    corrupt stream. *)
+    [Failure] on a closed connection or a server that closed without
+    responding after retries, {!Timeout} on an expired read deadline,
+    {!Retries_exhausted} when the retry budget runs out, and
+    {!Wire.Framing_error} on a corrupt response stream. *)
 
 (** Decoded view of a response envelope. [error_message] is the wire's
     own message string (display it as-is); [error] is the typed decode

@@ -13,6 +13,7 @@ type t =
   | Not_compilable of string
   | Deadline_exceeded of { budget_ms : float }
   | Overloaded of { queue_bound : int }
+  | Connection_limit of { max_conns : int }
   | Internal of string
 
 let code = function
@@ -25,6 +26,7 @@ let code = function
   | Not_compilable _ -> "not_compilable"
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Overloaded _ -> "overloaded"
+  | Connection_limit _ -> "connection_limit"
   | Internal _ -> "internal"
 
 let message = function
@@ -46,6 +48,9 @@ let message = function
   | Overloaded { queue_bound } ->
       Printf.sprintf "server overloaded (queue bound %d reached); retry later"
         queue_bound
+  | Connection_limit { max_conns } ->
+      Printf.sprintf
+        "server connection limit (%d) reached; retry later" max_conns
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 (* exit codes: 1 reserved for generic CLI failure, 2 for usage/input
@@ -55,7 +60,7 @@ let exit_code = function
   | Bad_request _ | Parse_error _ | Unknown_design _ | Not_compilable _ -> 2
   | Max_events_exceeded _ | Max_steps_exceeded _ | Solver_failure _ -> 3
   | Deadline_exceeded _ -> 4
-  | Overloaded _ -> 5
+  | Overloaded _ | Connection_limit _ -> 5
   | Internal _ -> 70 (* EX_SOFTWARE *)
 
 let of_exn = function
@@ -83,6 +88,7 @@ let to_json err =
     | Solver_failure { solver; _ } -> [ ("solver", Json.str solver) ]
     | Deadline_exceeded { budget_ms } -> [ ("budget_ms", Json.num budget_ms) ]
     | Overloaded { queue_bound } -> [ ("queue_bound", Json.int queue_bound) ]
+    | Connection_limit { max_conns } -> [ ("max_conns", Json.int max_conns) ]
     | _ -> []
   in
   Json.Obj
@@ -111,6 +117,8 @@ let of_json j =
   | Some "deadline_exceeded" ->
       Deadline_exceeded { budget_ms = getf "budget_ms" 0. }
   | Some "overloaded" -> Overloaded { queue_bound = geti "queue_bound" 0 }
+  | Some "connection_limit" ->
+      Connection_limit { max_conns = geti "max_conns" 0 }
   | Some "internal" -> Internal msg
   | Some other -> Internal (Printf.sprintf "unknown error code %S: %s" other msg)
   | None -> Internal "malformed error object"

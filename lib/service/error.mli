@@ -19,6 +19,8 @@ type t =
   | Not_compilable of string  (** DSD compilation of molecularity > 2 *)
   | Deadline_exceeded of { budget_ms : float }
   | Overloaded of { queue_bound : int }  (** bounded queue refused the job *)
+  | Connection_limit of { max_conns : int }
+      (** connection cap reached; the daemon answered and closed *)
   | Internal of string
 
 val code : t -> string
@@ -27,8 +29,8 @@ val code : t -> string
 val message : t -> string
 
 val exit_code : t -> int
-(** 2 input/usage, 3 simulation budget/solver, 4 deadline, 5 overloaded,
-    70 internal. *)
+(** 2 input/usage, 3 simulation budget/solver, 4 deadline, 5 overloaded
+    or over the connection cap, 70 internal. *)
 
 val of_exn : exn -> t option
 (** Classify the structured exceptions of the simulation stack

@@ -53,7 +53,32 @@ type t = {
      since run_job answers every failure with a structured error *)
   mutable job_exceptions : int;
   mutable last_job_error : string option;
+  (* connection-level fault counters: one per fault class the daemon
+     degrades gracefully under, so the stats op shows exactly what a
+     hostile or broken peer has been doing *)
+  mutable conns_accepted : int;
+  mutable conns_closed : int;
+  mutable conns_rejected : int;  (* over the connection cap *)
+  mutable frames_in : int;  (* complete frames decoded, however torn *)
+  mutable framing_errors : int;  (* negative prefix, desynced stream *)
+  mutable oversized_frames : int;  (* prefix above the max-frame limit *)
+  mutable read_timeouts : int;  (* partial frame older than the deadline *)
+  mutable idle_reaped : int;  (* quiet connection past the idle timeout *)
+  mutable read_resets : int;  (* ECONNRESET (or kin) while reading *)
+  mutable dirty_closes : int;  (* EOF with a partial frame buffered *)
 }
+
+type conn_event =
+  | Conn_accepted
+  | Conn_closed
+  | Conn_rejected
+  | Frame_in
+  | Framing_error
+  | Oversized_frame
+  | Read_timeout
+  | Idle_reaped
+  | Read_reset
+  | Dirty_close
 
 let create () =
   {
@@ -71,7 +96,32 @@ let create () =
     run_ms_max = 0.;
     job_exceptions = 0;
     last_job_error = None;
+    conns_accepted = 0;
+    conns_closed = 0;
+    conns_rejected = 0;
+    frames_in = 0;
+    framing_errors = 0;
+    oversized_frames = 0;
+    read_timeouts = 0;
+    idle_reaped = 0;
+    read_resets = 0;
+    dirty_closes = 0;
   }
+
+let record_conn agg event =
+  Mutex.lock agg.mutex;
+  (match event with
+  | Conn_accepted -> agg.conns_accepted <- agg.conns_accepted + 1
+  | Conn_closed -> agg.conns_closed <- agg.conns_closed + 1
+  | Conn_rejected -> agg.conns_rejected <- agg.conns_rejected + 1
+  | Frame_in -> agg.frames_in <- agg.frames_in + 1
+  | Framing_error -> agg.framing_errors <- agg.framing_errors + 1
+  | Oversized_frame -> agg.oversized_frames <- agg.oversized_frames + 1
+  | Read_timeout -> agg.read_timeouts <- agg.read_timeouts + 1
+  | Idle_reaped -> agg.idle_reaped <- agg.idle_reaped + 1
+  | Read_reset -> agg.read_resets <- agg.read_resets + 1
+  | Dirty_close -> agg.dirty_closes <- agg.dirty_closes + 1);
+  Mutex.unlock agg.mutex
 
 let record_job_exception agg e =
   let msg = Printexc.to_string e in
@@ -127,6 +177,16 @@ let to_json agg =
           match agg.last_job_error with
           | None -> Json.Null
           | Some msg -> Json.str msg );
+        ("conns_accepted", Json.int agg.conns_accepted);
+        ("conns_closed", Json.int agg.conns_closed);
+        ("conns_rejected", Json.int agg.conns_rejected);
+        ("frames_in", Json.int agg.frames_in);
+        ("framing_errors", Json.int agg.framing_errors);
+        ("oversized_frames", Json.int agg.oversized_frames);
+        ("read_timeouts", Json.int agg.read_timeouts);
+        ("idle_reaped", Json.int agg.idle_reaped);
+        ("read_resets", Json.int agg.read_resets);
+        ("dirty_closes", Json.int agg.dirty_closes);
       ]
   in
   Mutex.unlock agg.mutex;

@@ -27,6 +27,23 @@ val create : unit -> t
 val record : t -> op:string -> error:string option -> request:request -> unit
 (** [error] is the structured error code when the request failed. *)
 
+(** Connection-level fault classes the daemon counts — one per way a
+    hostile or broken peer can misbehave, so the [stats] op shows what
+    the serving layer has been absorbing. *)
+type conn_event =
+  | Conn_accepted
+  | Conn_closed
+  | Conn_rejected  (** refused over the connection cap *)
+  | Frame_in  (** a complete frame decoded, however torn its arrival *)
+  | Framing_error  (** negative prefix or desynced stream *)
+  | Oversized_frame  (** length prefix above the max-frame limit *)
+  | Read_timeout  (** partial frame outlived the read deadline *)
+  | Idle_reaped  (** quiet connection past the idle timeout *)
+  | Read_reset  (** connection reset (or kin) while reading *)
+  | Dirty_close  (** EOF with a partial frame still buffered *)
+
+val record_conn : t -> conn_event -> unit
+
 val record_job_exception : t -> exn -> unit
 (** Count an exception that escaped a worker-pool job entirely (wired to
     {!Numeric.Domain_pool.Bounded.set_on_uncaught}); zero in a healthy

@@ -23,6 +23,10 @@ type config = {
   queue_bound : int;
   cache_capacity : int;
   default_deadline_ms : float option;
+  max_frame : int;
+  read_deadline_ms : float;
+  idle_timeout_ms : float;
+  max_conns : int;
   log : bool;
 }
 
@@ -33,6 +37,10 @@ let default_config address =
     queue_bound = 64;
     cache_capacity = 32;
     default_deadline_ms = None;
+    max_frame = 8 * 1024 * 1024;
+    read_deadline_ms = 10_000.;
+    idle_timeout_ms = 300_000.;
+    max_conns = 256;
     log = false;
   }
 
@@ -47,6 +55,10 @@ type conn = {
   mutable in_flight : int;  (* jobs holding a reference to this conn *)
   mutable closing : bool;  (* peer EOF'd or read failed *)
   mutable closed : bool;
+  mutable last_activity : float;  (* last bytes read or response sent *)
+  mutable partial_since : float option;
+      (* when the oldest byte of a still-incomplete frame arrived; the
+         read deadline kills a connection that stalls mid-frame *)
   id : int;
 }
 
@@ -70,6 +82,7 @@ let send c payload =
 let job_done c =
   Mutex.lock c.wmutex;
   c.in_flight <- c.in_flight - 1;
+  c.last_activity <- Unix.gettimeofday ();
   if c.closing && c.in_flight = 0 then conn_close_locked c;
   Mutex.unlock c.wmutex
 
@@ -506,6 +519,10 @@ let handle_stats srv ~arrival =
                 Json.int (Numeric.Domain_pool.Bounded.backlog srv.pool) );
               ("workers", Json.int (Numeric.Domain_pool.Bounded.jobs srv.pool));
               ("queue_bound", Json.int srv.config.queue_bound);
+              ("max_frame", Json.int srv.config.max_frame);
+              ("max_conns", Json.int srv.config.max_conns);
+              ("read_deadline_ms", Json.num srv.config.read_deadline_ms);
+              ("idle_timeout_ms", Json.num srv.config.idle_timeout_ms);
               ( "pool_uncaught",
                 Json.int
                   (fst (Numeric.Domain_pool.Bounded.uncaught srv.pool)) );
@@ -602,46 +619,140 @@ let run ?(stop = fun () -> false) config =
   let conns = ref [] in
   let next_id = ref 0 in
   let buf = Bytes.create 65536 in
+  let count e = Metrics.record_conn srv.metrics e in
+  (* tell the offending peer what killed its connection, best-effort,
+     then let the reaper close the socket *)
+  let kill c error =
+    send c
+      (response_error ~op:"?" ~error
+         ~metrics:(quick_metrics ~arrival:(Unix.gettimeofday ()) ()));
+    c.closing <- true
+  in
   let accept () =
     match Unix.accept listen_fd with
     | fd, _ ->
-        incr next_id;
-        let c =
-          {
-            fd;
-            dec = Wire.decoder ();
-            wmutex = Mutex.create ();
-            in_flight = 0;
-            closing = false;
-            closed = false;
-            id = !next_id;
-          }
-        in
-        logf srv "conn %d: accepted" c.id;
-        conns := c :: !conns
+        if List.length !conns >= config.max_conns then begin
+          (* over the cap: a structured rejection, not a silent drop and
+             not an accept queue that starves the connections we already
+             serve *)
+          count Metrics.Conn_rejected;
+          logf srv "conn refused: %d connections at the cap" config.max_conns;
+          (try
+             Wire.write_frame fd
+               (response_error ~op:"?"
+                  ~error:(Error.Connection_limit { max_conns = config.max_conns })
+                  ~metrics:(quick_metrics ~arrival:(Unix.gettimeofday ()) ()))
+           with _ -> ());
+          try Unix.close fd with _ -> ()
+        end
+        else begin
+          incr next_id;
+          let c =
+            {
+              fd;
+              dec = Wire.decoder ~max_frame:config.max_frame ();
+              wmutex = Mutex.create ();
+              in_flight = 0;
+              closing = false;
+              closed = false;
+              last_activity = Unix.gettimeofday ();
+              partial_since = None;
+              id = !next_id;
+            }
+          in
+          count Metrics.Conn_accepted;
+          logf srv "conn %d: accepted" c.id;
+          conns := c :: !conns
+        end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ()
   in
   let read_conn c =
     match Unix.read c.fd buf 0 (Bytes.length buf) with
     | 0 ->
-        logf srv "conn %d: EOF" c.id;
+        if Wire.buffered c.dec > 0 then begin
+          (* peer died mid-frame: the reset/torn-close fault class *)
+          count Metrics.Dirty_close;
+          logf srv "conn %d: EOF inside a frame (%d bytes buffered)" c.id
+            (Wire.buffered c.dec)
+        end
+        else logf srv "conn %d: EOF" c.id;
         c.closing <- true
     | n -> (
+        c.last_activity <- Unix.gettimeofday ();
         Wire.feed c.dec buf n;
-        try
-          let rec drain () =
-            match Wire.next_frame c.dec with
-            | Some payload ->
-                dispatch srv c payload;
-                drain ()
-            | None -> ()
-          in
-          drain ()
-        with Wire.Framing_error msg ->
-          logf srv "conn %d: framing error: %s" c.id msg;
-          c.closing <- true)
+        (try
+           let rec drain () =
+             match Wire.next_frame c.dec with
+             | Some payload ->
+                 count Metrics.Frame_in;
+                 dispatch srv c payload;
+                 drain ()
+             | None -> ()
+           in
+           drain ()
+         with
+        | Wire.Framing_error msg ->
+            count Metrics.Framing_error;
+            logf srv "conn %d: framing error: %s" c.id msg;
+            kill c (Error.Bad_request ("framing error: " ^ msg))
+        | Wire.Oversized_frame { len; limit } ->
+            count Metrics.Oversized_frame;
+            logf srv "conn %d: oversized frame (%d > %d)" c.id len limit;
+            kill c
+              (Error.Bad_request
+                 (Printf.sprintf
+                    "frame length %d exceeds the %d-byte limit" len limit)));
+        (* whatever drained, what remains buffered is a partial frame:
+           start (or keep) its read-deadline clock; a clean boundary
+           resets it *)
+        if c.closing || Wire.buffered c.dec = 0 then c.partial_since <- None
+        else if c.partial_since = None then
+          c.partial_since <- Some c.last_activity)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error _ -> c.closing <- true
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        count Metrics.Read_reset;
+        logf srv "conn %d: reset by peer" c.id;
+        c.closing <- true
+    | exception Unix.Unix_error _ ->
+        count Metrics.Read_reset;
+        c.closing <- true
+  in
+  (* per-tick sweep: a partial frame older than the read deadline, or a
+     connection with nothing buffered, nothing running and no traffic
+     for the idle timeout, is killed — only that connection; the select
+     loop's 0.25 s tick bounds the sweep latency *)
+  let sweep_timeouts () =
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun c ->
+        if not c.closing then begin
+          (match c.partial_since with
+          | Some t0
+            when config.read_deadline_ms > 0.
+                 && (now -. t0) *. 1000. > config.read_deadline_ms ->
+              count Metrics.Read_timeout;
+              logf srv "conn %d: read deadline (%.0f ms) on a partial frame"
+                c.id config.read_deadline_ms;
+              kill c
+                (Error.Bad_request
+                   (Printf.sprintf
+                      "incomplete frame after %.0f ms read deadline"
+                      config.read_deadline_ms))
+          | _ -> ());
+          if
+            (not c.closing)
+            && config.idle_timeout_ms > 0.
+            && c.in_flight = 0
+            && Wire.buffered c.dec = 0
+            && (now -. c.last_activity) *. 1000. > config.idle_timeout_ms
+          then begin
+            count Metrics.Idle_reaped;
+            logf srv "conn %d: idle for %.0f ms, reaping" c.id
+              config.idle_timeout_ms;
+            c.closing <- true
+          end
+        end)
+      !conns
   in
   let reap () =
     conns :=
@@ -652,7 +763,10 @@ let run ?(stop = fun () -> false) config =
             if c.in_flight = 0 then conn_close_locked c;
             let dead = c.closed in
             Mutex.unlock c.wmutex;
-            if dead then logf srv "conn %d: closed" c.id;
+            if dead then begin
+              count Metrics.Conn_closed;
+              logf srv "conn %d: closed" c.id
+            end;
             not dead
           end
           else true)
@@ -677,6 +791,7 @@ let run ?(stop = fun () -> false) config =
                  | Some c -> read_conn c
                  | None -> ())
              readable;
+           sweep_timeouts ();
            reap ()
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
      done

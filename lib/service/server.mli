@@ -25,12 +25,34 @@ type config = {
   cache_capacity : int;  (** compiled-model LRU entries *)
   default_deadline_ms : float option;
       (** applied when a request carries no ["deadline_ms"] *)
+  max_frame : int;
+      (** per-connection frame-size limit in bytes; a longer length
+          prefix is answered with a structured error and the connection
+          closed, without buffering or allocating the payload *)
+  read_deadline_ms : float;
+      (** a connection whose partial frame is older than this is
+          answered with a structured error and closed; [<= 0] disables *)
+  idle_timeout_ms : float;
+      (** a connection with no buffered bytes, no running jobs and no
+          traffic for this long is closed; [<= 0] disables *)
+  max_conns : int;
+      (** open-connection cap; further accepts are answered with a
+          structured [connection_limit] error and closed immediately *)
   log : bool;  (** one stderr line per connection event *)
 }
 
 val default_config : Addr.t -> config
 (** All cores but one, queue bound 64, cache capacity 32, no default
-    deadline, quiet. *)
+    deadline, 8 MiB frames, 10 s read deadline, 5 min idle timeout,
+    256 connections, quiet.
+
+    Fault tolerance: every misbehaving peer kills at most its own
+    connection — torn frames are reassembled, a corrupt frame gets a
+    structured [bad_request], an oversized or negative length prefix a
+    structured error then close, a stalled or idle peer is reaped on the
+    deadlines above, and a reset/dirty close is absorbed. Each class
+    increments a counter visible through the [stats] op
+    ({!Metrics.record_conn}). *)
 
 val protocol_version : int
 

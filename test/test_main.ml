@@ -20,4 +20,5 @@ let () =
       ("stochastic", Test_stochastic.suite);
       ("networks", Test_networks.suite);
       ("service", Test_service.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -128,6 +128,7 @@ let test_error_codes () =
       (Not_compilable "x", "not_compilable", 2);
       (Deadline_exceeded { budget_ms = 10. }, "deadline_exceeded", 4);
       (Overloaded { queue_bound = 4 }, "overloaded", 5);
+      (Connection_limit { max_conns = 4 }, "connection_limit", 5);
       (Internal "x", "internal", 70);
     ]
   in

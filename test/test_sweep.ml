@@ -118,6 +118,29 @@ let test_pool_uncaught_accounting () =
   Alcotest.(check bool) "worker survived" true (Atomic.get ran);
   Numeric.Domain_pool.Bounded.shutdown pool
 
+let test_pool_reusable_after_job_raise () =
+  (* the fault path of the shared pool: a job that raises mid-run must
+     leave the pool fully reusable, and a sweep fanned over the damaged
+     pool must stay byte-identical to one over a fresh pool *)
+  let net = Designs.Catalog.build "counter2" in
+  let ratios = [| 150.; 400.; 1100. |] in
+  let damaged = Numeric.Domain_pool.Bounded.create ~jobs:2 () in
+  Numeric.Domain_pool.Bounded.set_on_uncaught damaged (fun _ -> ());
+  Alcotest.(check bool) "raising job accepted" true
+    (Numeric.Domain_pool.Bounded.try_submit damaged (fun () ->
+         failwith "mid-chunk boom"));
+  Numeric.Domain_pool.Bounded.drain damaged;
+  Alcotest.(check int) "the raise was recorded" 1
+    (fst (Numeric.Domain_pool.Bounded.uncaught damaged));
+  let fresh = Numeric.Domain_pool.Bounded.create ~jobs:2 () in
+  let via pool = Ode.Sweep.final_states ~pool ~jobs:2 ~t1:5. net ~ratios in
+  let a = via damaged and b = via fresh in
+  let seq = Ode.Sweep.final_states ~jobs:1 ~t1:5. net ~ratios in
+  Alcotest.(check bool) "damaged pool = fresh pool (bitwise)" true (a = b);
+  Alcotest.(check bool) "damaged pool = sequential (bitwise)" true (a = seq);
+  Numeric.Domain_pool.Bounded.shutdown damaged;
+  Numeric.Domain_pool.Bounded.shutdown fresh
+
 (* ------------------------------------------------------------ Ode.Sweep *)
 
 let test_sweep_empty () =
@@ -220,6 +243,7 @@ let suite =
     ("pool run_worker state", `Quick, test_pool_run_worker_state);
     ("pool init_worker failure", `Quick, test_pool_init_worker_failure);
     ("pool uncaught accounting", `Quick, test_pool_uncaught_accounting);
+    ("pool reusable after job raise", `Quick, test_pool_reusable_after_job_raise);
     ("sweep empty", `Quick, test_sweep_empty);
     ("sweep map order", `Quick, test_sweep_map_order);
     ("parallel sweep identical", `Slow, test_sweep_parallel_identical);
