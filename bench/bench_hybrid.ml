@@ -1,0 +1,405 @@
+(* Hybrid engine benchmark: wall-clock speedup over pure SSA and accuracy
+   against the SSA ensemble mean, across the clocked design catalog at
+   copy numbers from 1e2 to 1e6.
+
+   Emits machine-readable BENCH_hybrid.json in the current directory so
+   the perf trajectory is tracked PR over PR:
+
+     dune exec bench/bench_hybrid.exe                     # full suite
+     dune exec bench/bench_hybrid.exe -- --smoke          # CI smoke
+     dune exec bench/bench_hybrid.exe -- --out path.json  # explicit output
+
+   JSON schema (mrsc-bench-hybrid/1):
+     rows[]: one per design x copy number — single-run wall time for
+       pure SSA (when affordable) and hybrid at the same seed, their
+       ratio ("speedup"), the hybrid work counters, and an accuracy
+       block comparing ensemble-averaged time-averaged species values
+       between the engines (see below); rows at 1e5/1e6 copies are
+       hybrid-only (the SSA baseline would take minutes to hours) and
+       carry null for the SSA columns;
+     determinism: hybrid ensemble finals across several jobs x chunk
+       combinations, which must be byte-identical to the sequential
+       fan-out;
+     accuracy_tolerance: the gate every benchmarked design must pass.
+
+   Accuracy metric. Clock-phase species at a fixed horizon are bimodal
+   (a run is caught in whatever phase its stochastic clock reached), so
+   comparing ensemble means of the *final* state needs thousands of
+   trajectories to beat phase-diffusion noise. Time-averaging each
+   trajectory over the whole run first integrates over ~10+ clock cycles
+   and kills that variance: the benchmark compares, per species, the
+   ensemble average of the trace's time average, normalized by the
+   design's clock mass (its dominant copy number). The worst species'
+   relative error must stay below the tolerance for every row that has
+   an SSA baseline; the residual at the default run counts is a few
+   percent of stochastic-sampling noise, so the gate is set at 0.10. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------ scaled designs *)
+
+(* Every clocked design family takes its copy numbers from the
+   Sync_design masses (clock_mass also sets the oscillator amplitude),
+   so "copy number" below means clock_mass; signal species carry
+   clock_mass / 10 as in the default catalog builds. *)
+
+let clock4 mass () =
+  let net = Crn.Network.create () in
+  let b = Crn.Builder.on net in
+  let (_ : Molclock.Oscillator.t) =
+    Molclock.Oscillator.create ~n_phases:4 ~mass (Crn.Builder.scoped b "clk")
+  in
+  net
+
+let with_design ~mass f () =
+  let net = Crn.Network.create () in
+  let d =
+    Core.Sync_design.make ~clock_mass:mass ~signal_mass:(mass /. 10.) net
+  in
+  f d;
+  net
+
+let counter bits ~mass =
+  with_design ~mass (fun d ->
+      ignore (Core.Counter.free_running d ~bits : Core.Counter.t))
+
+let gated_counter bits ~mass =
+  with_design ~mass (fun d ->
+      ignore (Core.Counter.gated d ~bits : Core.Counter.t))
+
+let lfsr3 ~mass =
+  with_design ~mass (fun d ->
+      ignore (Core.Lfsr.make d ~bits:3 ~taps:[ 1; 2 ] ~seed:1 : Core.Lfsr.t))
+
+let ma2 ~mass =
+  with_design ~mass (fun d ->
+      ignore (Core.Filter.moving_average d ~taps:2 : Core.Filter.t))
+
+let designs =
+  [
+    ("clock4", fun mass -> clock4 mass);
+    ("counter2", fun mass -> counter 2 ~mass);
+    ("counter3", fun mass -> counter 3 ~mass);
+    ("gated-counter2", fun mass -> gated_counter 2 ~mass);
+    ("lfsr3", fun mass -> lfsr3 ~mass);
+    ("ma2", fun mass -> ma2 ~mass);
+  ]
+
+(* Threshold rule per copy number: below 1000 copies the defaults keep
+   the run fully discrete (bitwise Gillespie — no speedup claimed, no
+   error possible); from 1000 copies up, a tenth of the clock mass
+   (clamped to [100, 1000]) lets the clock equilibria promote. *)
+let thresholds copy =
+  if copy >= 1000. then begin
+    let pop = Float.max 100. (Float.min 1000. (copy /. 10.)) in
+    (pop, 2. *. pop)
+  end
+  else (1000., 1000.)
+
+let max_events = 2_000_000_000
+
+(* ------------------------------------------------------------ accuracy *)
+
+(* per-species time average of one trajectory's trace *)
+let trace_time_avg trace =
+  let len = Ode.Trace.length trace in
+  let n = Array.length (Ode.Trace.names trace) in
+  Array.init n (fun sp ->
+      let col = Ode.Trace.column trace sp in
+      Array.fold_left ( +. ) 0. col /. float_of_int len)
+
+(* ensemble average of per-trajectory time averages, fanned over the
+   shared domain pool with split seed streams *)
+let ensemble_time_avg ~runs ~seed runner =
+  let avgs = Ssa.Ensemble.map ~seed ~runs (fun _ s -> runner s) in
+  let n = Array.length avgs.(0) in
+  Array.init n (fun sp ->
+      Array.fold_left (fun acc a -> acc +. a.(sp)) 0. avgs
+      /. float_of_int runs)
+
+type accuracy = {
+  acc_runs : int;
+  max_rel_err : float;
+  worst_species : string;
+  pass : bool;
+}
+
+let tolerance = 0.10
+
+let measure_accuracy ~runs ~copy ~pop ~prop ~t1 net =
+  let ssa_avg =
+    ensemble_time_avg ~runs ~seed:7L (fun s ->
+        trace_time_avg
+          (Ssa.Gillespie.run ~seed:s ~max_events ~t1 net).Ssa.Gillespie.trace)
+  in
+  let hyb_avg =
+    ensemble_time_avg ~runs ~seed:7L (fun s ->
+        trace_time_avg
+          (Hybrid.Engine.run ~seed:s ~max_events ~pop_threshold:pop
+             ~prop_threshold:prop ~t1 net)
+            .Hybrid.Engine.trace)
+  in
+  let names = Crn.Network.species_names net in
+  let worst = ref 0. and arg = ref 0 in
+  Array.iteri
+    (fun i v ->
+      let e = Float.abs (v -. hyb_avg.(i)) /. copy in
+      if e > !worst then begin
+        worst := e;
+        arg := i
+      end)
+    ssa_avg;
+  {
+    acc_runs = runs;
+    max_rel_err = !worst;
+    worst_species = names.(!arg);
+    pass = !worst <= tolerance;
+  }
+
+(* ---------------------------------------------------------------- rows *)
+
+type row = {
+  design : string;
+  copy : float;
+  t1 : float;
+  pop : float;
+  prop : float;
+  ssa_wall : float option;  (** None on hybrid-only rows *)
+  ssa_events : int option;
+  hybrid_wall : float;
+  speedup : float option;
+  stats : Hybrid.Engine.stats;
+  accuracy : accuracy option;
+}
+
+let bench_row ~design ~build ~copy ~t1 ~acc_runs ~with_ssa =
+  let pop, prop = thresholds copy in
+  Printf.eprintf "bench_hybrid: %s @ %.0f copies (t1=%g)...\n%!" design copy
+    t1;
+  let net = build copy () in
+  let ssa =
+    if with_ssa then begin
+      let r, w =
+        time (fun () -> Ssa.Gillespie.run ~seed:3L ~max_events ~t1 net)
+      in
+      Some (r.Ssa.Gillespie.n_events, w)
+    end
+    else None
+  in
+  let h, hybrid_wall =
+    time (fun () ->
+        Hybrid.Engine.run ~seed:3L ~max_events ~pop_threshold:pop
+          ~prop_threshold:prop ~t1 net)
+  in
+  let accuracy =
+    if with_ssa then
+      Some (measure_accuracy ~runs:acc_runs ~copy ~pop ~prop ~t1 net)
+    else None
+  in
+  {
+    design;
+    copy;
+    t1;
+    pop;
+    prop;
+    ssa_wall = Option.map snd ssa;
+    ssa_events = Option.map fst ssa;
+    hybrid_wall;
+    speedup = Option.map (fun (_, w) -> w /. hybrid_wall) ssa;
+    stats = h.Hybrid.Engine.stats;
+    accuracy;
+  }
+
+(* ----------------------------------------------------------- determinism *)
+
+(* hybrid ensemble finals must be byte-identical for every jobs x chunk
+   combination (oversubscription forced so the combos exercise real
+   parallelism even on a 2-core CI runner) *)
+let check_determinism ~design ~build ~copy ~t1 ~runs =
+  let pop, prop = thresholds copy in
+  let net = build copy () in
+  let model = Hybrid.Engine.compile_model Crn.Rates.default_env net in
+  let finals ~jobs ~chunk =
+    Ssa.Ensemble.map_with ~jobs ~chunk ~oversubscribe:true ~seed:11L
+      ~init_worker:(fun () -> Hybrid.Engine.make_arena model)
+      ~runs
+      (fun arena _ s ->
+        (Hybrid.Engine.run ~seed:s ~max_events ~pop_threshold:pop
+           ~prop_threshold:prop ~arena ~t1 net)
+          .Hybrid.Engine.final)
+  in
+  let reference = finals ~jobs:1 ~chunk:1 in
+  let combos = [ (2, 1); (2, 3); (3, 2); (4, 8) ] in
+  let identical =
+    List.for_all
+      (fun (jobs, chunk) -> finals ~jobs ~chunk = reference)
+      combos
+  in
+  (design, combos, identical)
+
+(* ------------------------------------------------------------- output *)
+
+let json_stats b (s : Hybrid.Engine.stats) =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"ssa_events\": %d, \"tau_leaps\": %d, \"tau_events\": %d, \
+        \"ode_steps\": %d, \"repartitions\": %d, \"mode_switches\": %d, \
+        \"rejected\": %d, \"peak_n_fast\": %d}"
+       s.Hybrid.Engine.n_ssa_events s.Hybrid.Engine.n_tau_leaps
+       s.Hybrid.Engine.n_tau_events s.Hybrid.Engine.n_ode_steps
+       s.Hybrid.Engine.n_repartitions s.Hybrid.Engine.n_mode_switches
+       s.Hybrid.Engine.n_rejected s.Hybrid.Engine.peak_n_fast)
+
+let json_row b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"design\": %S, \"copy_number\": %.0f, \"t1\": %g, \
+        \"pop_threshold\": %g, \"prop_threshold\": %g,\n     "
+       r.design r.copy r.t1 r.pop r.prop);
+  (match (r.ssa_wall, r.ssa_events, r.speedup) with
+  | Some w, Some ev, Some sp ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"ssa_wall_s\": %.4f, \"ssa_events\": %d, \"speedup\": %.2f, " w
+           ev sp)
+  | _ ->
+      Buffer.add_string b
+        "\"ssa_wall_s\": null, \"ssa_events\": null, \"speedup\": null, ");
+  Buffer.add_string b
+    (Printf.sprintf "\"hybrid_wall_s\": %.4f,\n     \"hybrid\": "
+       r.hybrid_wall);
+  json_stats b r.stats;
+  (match r.accuracy with
+  | Some a ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n     \"accuracy\": {\"runs\": %d, \"max_rel_err\": %.5f, \
+            \"worst_species\": %S, \"pass\": %b}"
+           a.acc_runs a.max_rel_err a.worst_species a.pass)
+  | None -> Buffer.add_string b ",\n     \"accuracy\": null");
+  Buffer.add_string b "}"
+
+let write_json ~path ~smoke rows (det_design, det_combos, det_identical) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-hybrid/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"host\": {\"cores\": %d},\n  \"smoke\": %b,\n"
+       (Numeric.Domain_pool.default_jobs ())
+       smoke);
+  Buffer.add_string b
+    (Printf.sprintf "  \"accuracy_tolerance\": %g,\n  \"rows\": [\n"
+       tolerance);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_row b r)
+    rows;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n  ],\n  \"determinism\": {\"design\": %S, \"combos\": [%s], \
+        \"identical\": %b}\n}\n"
+       det_design
+       (String.concat ", "
+          (List.map
+             (fun (j, c) -> Printf.sprintf "[%d, %d]" j c)
+             det_combos))
+       det_identical);
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+(* ------------------------------------------------------------------ main *)
+
+let parse_args () =
+  let smoke =
+    Array.exists (fun a -> a = "smoke" || a = "--smoke") Sys.argv
+  in
+  let out = ref "BENCH_hybrid.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" then
+        if i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)
+        else begin
+          prerr_endline "bench_hybrid: --out needs a path";
+          exit 2
+        end)
+    Sys.argv;
+  (smoke, !out)
+
+let () =
+  let smoke, out = parse_args () in
+  let rows =
+    if smoke then
+      (* one clocked design at 1e3 copies: fast enough for CI, large
+         enough that the hybrid partition actually engages *)
+      [
+        bench_row ~design:"clock4"
+          ~build:(List.assoc "clock4" designs)
+          ~copy:1000. ~t1:6. ~acc_runs:8 ~with_ssa:true;
+      ]
+    else
+      let baseline =
+        List.concat_map
+          (fun (design, build) ->
+            List.map
+              (fun (copy, t1, acc_runs) ->
+                bench_row ~design ~build ~copy ~t1 ~acc_runs ~with_ssa:true)
+              [
+                (100., 6., 8);
+                (1000., 6., 8);
+                (10_000., 2., 4);
+              ])
+          designs
+      in
+      let hybrid_only =
+        List.map
+          (fun copy ->
+            bench_row ~design:"clock4"
+              ~build:(List.assoc "clock4" designs)
+              ~copy ~t1:2. ~acc_runs:0 ~with_ssa:false)
+          [ 100_000.; 1_000_000. ]
+      in
+      baseline @ hybrid_only
+  in
+  let det =
+    check_determinism ~design:"counter2"
+      ~build:(List.assoc "counter2" designs)
+      ~copy:1000. ~t1:4.
+      ~runs:(if smoke then 6 else 12)
+  in
+  write_json ~path:out ~smoke rows det;
+  Printf.eprintf "bench_hybrid: wrote %s\n%!" out;
+  List.iter
+    (fun r ->
+      Printf.eprintf "  %-14s @ %-7.0f %s hybrid %.3fs%s\n" r.design r.copy
+        (match (r.ssa_wall, r.speedup) with
+        | Some w, Some sp -> Printf.sprintf "ssa %.3fs" w ^ Printf.sprintf " speedup %.1fx" sp
+        | _ -> "ssa n/a")
+        r.hybrid_wall
+        (match r.accuracy with
+        | Some a ->
+            Printf.sprintf " err %.4f (%s) %s" a.max_rel_err a.worst_species
+              (if a.pass then "ok" else "FAIL")
+        | None -> ""))
+    rows;
+  let _, _, det_ok = det in
+  if not det_ok then begin
+    prerr_endline "FAIL: hybrid ensemble not identical across jobs x chunk";
+    exit 1
+  end;
+  let bad =
+    List.filter
+      (fun r -> match r.accuracy with Some a -> not a.pass | None -> false)
+      rows
+  in
+  if bad <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf "FAIL: accuracy gate: %s @ %.0f copies\n" r.design
+          r.copy)
+      bad;
+    exit 1
+  end

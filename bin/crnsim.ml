@@ -31,6 +31,49 @@ let method_of_string = function
       | Some h when h > 0. -> Ode.Driver.Rk4 h
       | _ -> failwith "method must be dopri5, rosenbrock, or an rk4 step size")
 
+(* The engine universe. --engine is the one switch; --stochastic survives
+   as a deprecated alias for --engine ssa so existing scripts keep
+   working. *)
+type engine = Ode_engine | Ssa_engine | Tau_engine | Hybrid_engine
+
+let engine_name = function
+  | Ode_engine -> "ode"
+  | Ssa_engine -> "ssa"
+  | Tau_engine -> "tau"
+  | Hybrid_engine -> "hybrid"
+
+let resolve_engine ~stochastic = function
+  | Some "ode" -> Ode_engine
+  | Some "ssa" -> Ssa_engine
+  | Some "tau" -> Tau_engine
+  | Some "hybrid" -> Hybrid_engine
+  | Some other ->
+      failwith
+        (Printf.sprintf "unknown engine %S (ode, ssa, tau, hybrid)" other)
+  | None ->
+      if stochastic then begin
+        Printf.eprintf
+          "crnsim: note: --stochastic is deprecated; use --engine ssa\n";
+        Ssa_engine
+      end
+      else Ode_engine
+
+let stochastic_engine = function
+  | Ode_engine -> false
+  | Ssa_engine | Tau_engine | Hybrid_engine -> true
+
+let print_hybrid_stats (s : Hybrid.Engine.stats) =
+  Printf.eprintf
+    "hybrid: %d exact + %d tau events (%d leaps), %d ode slices, %d \
+     repartitions, %d mode switches, %d rejected, fast partition %d/%d at \
+     end (peak %d)\n"
+    s.Hybrid.Engine.n_ssa_events s.Hybrid.Engine.n_tau_events
+    s.Hybrid.Engine.n_tau_leaps s.Hybrid.Engine.n_ode_steps
+    s.Hybrid.Engine.n_repartitions s.Hybrid.Engine.n_mode_switches
+    s.Hybrid.Engine.n_rejected s.Hybrid.Engine.final_n_fast
+    (s.Hybrid.Engine.final_n_fast + s.Hybrid.Engine.final_n_slow)
+    s.Hybrid.Engine.peak_n_fast
+
 (* Resolve a --jobs request against the hardware: more domains than
    cores only time-slice the same silicon (the old BENCH files record
    sub-1.0 "speedups" from exactly that), so the fan-outs below clamp —
@@ -52,21 +95,44 @@ let effective_jobs ~what requested =
    reports per-species mean +- std of the final state instead of a trace.
    The model is compiled once and shared read-only; each worker domain
    reuses one simulation arena across its trajectories. *)
-let run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out ~cancel net =
+let run_ensemble ~env ~engine ~t1 ~seed ~runs ~jobs ~csv_out ~cancel
+    ~pop_threshold ~prop_threshold ~repartition_every net =
   let jobs = effective_jobs ~what:"ensemble" jobs in
-  let model = Ssa.Gillespie.compile_model env net in
   let t0 = Unix.gettimeofday () in
+  let seed = Int64.of_int seed in
   let finals =
-    Ssa.Ensemble.map_with ~jobs ~seed:(Int64.of_int seed)
-      ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
-      ~runs
-      (fun arena _ s ->
-        (Ssa.Gillespie.run ~seed:s ~arena ~cancel ~t1 net).Ssa.Gillespie.final)
+    match engine with
+    | Ode_engine -> failwith "--runs needs a stochastic engine (ssa, tau, hybrid)"
+    | Ssa_engine ->
+        let model = Ssa.Gillespie.compile_model env net in
+        Ssa.Ensemble.map_with ~jobs ~seed
+          ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
+          ~runs
+          (fun arena _ s ->
+            (Ssa.Gillespie.run ~env ~seed:s ~arena ~cancel ~t1 net)
+              .Ssa.Gillespie.final)
+    | Tau_engine ->
+        let model = Ssa.Tau_leap.compile_model env net in
+        Ssa.Ensemble.map_with ~jobs ~seed
+          ~init_worker:(fun () -> Ssa.Tau_leap.make_arena model)
+          ~runs
+          (fun arena _ s ->
+            (Ssa.Tau_leap.run ~env ~seed:s ~arena ~cancel ~t1 net)
+              .Ssa.Tau_leap.final)
+    | Hybrid_engine ->
+        let model = Hybrid.Engine.compile_model env net in
+        Ssa.Ensemble.map_with ~jobs ~seed
+          ~init_worker:(fun () -> Hybrid.Engine.make_arena model)
+          ~runs
+          (fun arena _ s ->
+            (Hybrid.Engine.run ~env ~seed:s ~pop_threshold ~prop_threshold
+               ~repartition_every ~arena ~cancel ~t1 net)
+              .Hybrid.Engine.final)
   in
   let wall = Unix.gettimeofday () -. t0 in
   let jobs_used = min jobs runs in
-  Printf.eprintf "ensemble: %d stochastic runs on %d domain(s) in %.2fs\n" runs
-    jobs_used wall;
+  Printf.eprintf "ensemble (%s): %d stochastic runs on %d domain(s) in %.2fs\n"
+    (engine_name engine) runs jobs_used wall;
   let names = Crn.Network.species_names net in
   let column i = Array.map (fun f -> f.(i)) finals in
   let stats =
@@ -232,8 +298,9 @@ let print_final_block ~t1 names finals =
     names
 
 let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
-    ~plot_species ~stochastic ~seed ~runs ~jobs ~focus ~sweep_ratios
-    ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms =
+    ~plot_species ~engine ~seed ~runs ~jobs ~focus ~sweep_ratios
+    ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms ~pop_threshold
+    ~prop_threshold ~repartition_every =
   if plot_species <> [] then failwith "--plot is not supported with --connect";
   if runs < 1 then failwith "--runs must be >= 1";
   if retries < 0 then failwith "--retries must be >= 0";
@@ -267,8 +334,10 @@ let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
     ~finally:(fun () -> Service.Client.close client)
     (fun () ->
       if sweep_ratios <> [] then begin
-        if stochastic then
-          failwith "--sweep-ratio is a deterministic mode; drop --stochastic";
+        if stochastic_engine engine then
+          failwith
+            "--sweep-ratio is a deterministic mode; use the default \
+             --engine ode";
         List.iter
           (fun r ->
             if r <= 0. then failwith "--sweep-ratio values must be > 0")
@@ -316,21 +385,31 @@ let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
               names)
           finals
       end
-      else if stochastic && runs > 1 then begin
+      else if stochastic_engine engine && runs > 1 then begin
         if plot_species <> [] then
           Printf.eprintf "note: --plot is ignored when --runs > 1\n";
+        let hybrid_knobs =
+          if engine = Hybrid_engine then
+            [
+              ("pop_threshold", J.num pop_threshold);
+              ("prop_threshold", J.num prop_threshold);
+              ("repartition_every", J.int repartition_every);
+            ]
+          else []
+        in
         let result =
           remote_call client
             (J.Obj
                ([
                   ("op", J.str "ensemble");
+                  ("engine", J.str (engine_name engine));
                   ("network", network);
                   ("t1", J.num t1);
                   ("ratio", J.num ratio);
                   ("seed", J.int seed);
                   ("runs", J.int runs);
                 ]
-               @ opt_int "jobs" jobs @ deadline))
+               @ hybrid_knobs @ opt_int "jobs" jobs @ deadline))
         in
         let names = json_strings (json_field result "species") in
         let mean = json_floats (json_field result "mean") in
@@ -358,24 +437,39 @@ let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
               Printf.printf "  %-24s %10.4f +- %8.4f\n" name mean.(i) std.(i))
           names
       end
-      else if stochastic then begin
+      else if stochastic_engine engine then begin
         if csv_out <> None then
           failwith "--csv needs the trace; not supported with --connect";
+        let knobs =
+          if engine = Hybrid_engine then
+            [
+              ("pop_threshold", J.num pop_threshold);
+              ("prop_threshold", J.num prop_threshold);
+              ("repartition_every", J.int repartition_every);
+            ]
+          else []
+        in
         let result =
           remote_call client
             (J.Obj
                ([
-                  ("op", J.str "ssa");
+                  ("op", J.str (engine_name engine));
                   ("network", network);
                   ("t1", J.num t1);
                   ("ratio", J.num ratio);
                   ("seed", J.int seed);
                 ]
-               @ deadline))
+               @ knobs @ deadline))
         in
         (match Option.bind (J.member "n_events" result) J.to_int with
         | Some n ->
             Printf.eprintf "stochastic simulation: %d reaction events\n" n
+        | None -> ());
+        (match Option.bind (J.member "n_leaps" result) J.to_int with
+        | Some n ->
+            Printf.eprintf "tau-leaping: %d leaps, %d exact fallbacks\n" n
+              (Option.value ~default:0
+                 (Option.bind (J.member "n_exact" result) J.to_int))
         | None -> ());
         print_final_block ~t1
           (json_strings (json_field result "species"))
@@ -439,15 +533,22 @@ let report_error e =
           70
       | e -> raise e)
 
-let run source t1 ratio method_name csv_out plot_species stochastic seed runs
-    jobs final_only focus sweep_ratios sweep_jobs connect deadline_ms retries
-    retry_budget_ms =
+let run source t1 ratio method_name csv_out plot_species engine_opt
+    stochastic seed runs jobs final_only focus sweep_ratios sweep_jobs
+    connect deadline_ms retries retry_budget_ms pop_threshold prop_threshold
+    repartition_every =
+  match
+    (try Ok (resolve_engine ~stochastic engine_opt) with e -> Error e)
+  with
+  | Error e -> report_error e
+  | Ok engine -> (
   match connect with
   | Some connect -> (
       try
         run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
-          ~plot_species ~stochastic ~seed ~runs ~jobs ~focus ~sweep_ratios
-          ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms;
+          ~plot_species ~engine ~seed ~runs ~jobs ~focus ~sweep_ratios
+          ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms ~pop_threshold
+          ~prop_threshold ~repartition_every;
         0
       with e -> report_error e)
   | None -> (
@@ -480,8 +581,10 @@ let run source t1 ratio method_name csv_out plot_species stochastic seed runs
     | report -> Printf.eprintf "lint:\n%s\n" report);
     if runs < 1 then failwith "--runs must be >= 1";
     if sweep_ratios <> [] then begin
-      if stochastic then
-        failwith "--sweep-ratio is a deterministic mode; drop --stochastic";
+      if stochastic_engine engine then
+        failwith
+          "--sweep-ratio is a deterministic mode; use the default \
+           --engine ode";
       List.iter
         (fun r -> if r <= 0. then failwith "--sweep-ratio values must be > 0")
         sweep_ratios;
@@ -489,23 +592,40 @@ let run source t1 ratio method_name csv_out plot_species stochastic seed runs
         sweep_ratios;
       0
     end
-    else if stochastic && runs > 1 then begin
+    else if stochastic_engine engine && runs > 1 then begin
       if plot_species <> [] then
         Printf.eprintf "note: --plot is ignored when --runs > 1\n";
-      run_ensemble ~env ~t1 ~seed ~runs ~jobs ~csv_out ~cancel net;
+      run_ensemble ~env ~engine ~t1 ~seed ~runs ~jobs ~csv_out ~cancel
+        ~pop_threshold ~prop_threshold ~repartition_every net;
       0
     end
     else begin
     let trace =
-      if stochastic then
-        let { Ssa.Gillespie.trace; n_events; _ } =
-          Ssa.Gillespie.run ~env ~seed:(Int64.of_int seed) ~cancel ~t1 net
-        in
-        Printf.eprintf "stochastic simulation: %d reaction events\n" n_events;
-        trace
-      else
-        Ode.Driver.simulate ~method_:(method_of_string method_name) ~env
-          ~cancel ~thin:5 ~t1 net
+      match engine with
+      | Ssa_engine ->
+          let { Ssa.Gillespie.trace; n_events; _ } =
+            Ssa.Gillespie.run ~env ~seed:(Int64.of_int seed) ~cancel ~t1 net
+          in
+          Printf.eprintf "stochastic simulation: %d reaction events\n"
+            n_events;
+          trace
+      | Tau_engine ->
+          let { Ssa.Tau_leap.trace; n_leaps; n_exact; _ } =
+            Ssa.Tau_leap.run ~env ~seed:(Int64.of_int seed) ~cancel ~t1 net
+          in
+          Printf.eprintf "tau-leaping: %d leaps, %d exact fallbacks\n"
+            n_leaps n_exact;
+          trace
+      | Hybrid_engine ->
+          let { Hybrid.Engine.trace; stats; _ } =
+            Hybrid.Engine.run ~env ~seed:(Int64.of_int seed) ~pop_threshold
+              ~prop_threshold ~repartition_every ~cancel ~t1 net
+          in
+          print_hybrid_stats stats;
+          trace
+      | Ode_engine ->
+          Ode.Driver.simulate ~method_:(method_of_string method_name) ~env
+            ~cancel ~thin:5 ~t1 net
     in
     (match csv_out with
     | Some path ->
@@ -528,7 +648,7 @@ let run source t1 ratio method_name csv_out plot_species stochastic seed runs
     end;
     0
     end
-  with e -> report_error e)
+  with e -> report_error e))
 
 let source =
   let doc = "A .crn file or a built-in design name." in
@@ -554,9 +674,48 @@ let plot_species =
   let doc = "Render an ASCII plot of this species (repeatable)." in
   Arg.(value & opt_all string [] & info [ "p"; "plot" ] ~docv:"SPECIES" ~doc)
 
+let engine_opt =
+  let doc =
+    "Simulation engine: $(b,ode) (deterministic mass-action integration, \
+     the default), $(b,ssa) (exact Gillespie over molecule counts), \
+     $(b,tau) (Poisson tau-leaping), or $(b,hybrid) (adaptive \
+     partitioned: fast high-population reactions integrated as ODEs, \
+     slow ones exact, tau-leaping in between — see --pop-threshold and \
+     --prop-threshold)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let stochastic =
-  let doc = "Use the Gillespie stochastic simulator over molecule counts." in
+  let doc =
+    "Deprecated alias for --engine ssa (kept for old scripts; --engine \
+     wins when both are given)."
+  in
   Arg.(value & flag & info [ "stochastic" ] ~doc)
+
+let pop_threshold =
+  let doc =
+    "Hybrid engine: a reaction may be treated deterministically only \
+     while every reactant population is at least $(docv)."
+  in
+  Arg.(
+    value & opt float 1000. & info [ "pop-threshold" ] ~docv:"N" ~doc)
+
+let prop_threshold =
+  let doc =
+    "Hybrid engine: a reaction may be treated deterministically only \
+     while its propensity is at least $(docv) events per time unit."
+  in
+  Arg.(
+    value & opt float 1000. & info [ "prop-threshold" ] ~docv:"A" ~doc)
+
+let repartition_every =
+  let doc =
+    "Hybrid engine: re-evaluate the fast/slow partition every $(docv) \
+     events or substeps."
+  in
+  Arg.(
+    value & opt int 256 & info [ "repartition-every" ] ~docv:"N" ~doc)
 
 let seed =
   let doc = "Random seed for the stochastic simulator." in
@@ -564,8 +723,9 @@ let seed =
 
 let runs =
   let doc =
-    "With --stochastic, simulate $(docv) independent trajectories (streams \
-     split off --seed) and report mean +- std of the final state."
+    "With a stochastic engine (ssa, tau, hybrid), simulate $(docv) \
+     independent trajectories (streams split off --seed) and report \
+     mean +- std of the final state."
   in
   Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc)
 
@@ -648,7 +808,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ source $ t1 $ ratio $ method_name $ csv_out $ plot_species
-      $ stochastic $ seed $ runs $ jobs $ final_only $ focus $ sweep_ratios
-      $ sweep_jobs $ connect $ deadline_ms $ retries $ retry_budget_ms)
+      $ engine_opt $ stochastic $ seed $ runs $ jobs $ final_only $ focus
+      $ sweep_ratios $ sweep_jobs $ connect $ deadline_ms $ retries
+      $ retry_budget_ms $ pop_threshold $ prop_threshold $ repartition_every)
 
 let () = exit (Cmd.eval' cmd)

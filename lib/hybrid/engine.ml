@@ -1,0 +1,684 @@
+(* Hybrid adaptive stochastic/deterministic simulation (Haseltine–Rawlings
+   style, with tau-leaping as the middle gear).
+
+   The engine runs in one of two modes and switches between them at
+   repartition checkpoints:
+
+   - Discrete mode (no fast reactions): literally the Gillespie direct
+     method on the shared incremental-propensity engine (Ssa.Prop_engine)
+     — the loop below mirrors Ssa.Gillespie statement for statement and
+     draws the RNG in the same order, so while every reaction stays slow
+     the trajectory is bitwise identical to pure Gillespie at the same
+     seed. Checkpoints only read counts and propensities (no RNG, no
+     float mutation), so they cannot perturb the trajectory.
+
+   - Mixed mode (some reactions fast): state becomes a float vector; the
+     fast partition advances by in-place RK4 on the CSR vector field
+     restricted to it (Ode.Deriv.with_k with the slow rate constants
+     zeroed and the fast ones divided by the reactant-permutation factor,
+     so the deterministic flux agrees with the combinatorial propensity
+     to O(1/population)); the slow partition fires exactly by the
+     integrated-propensity method (accumulate ∫a_slow dt toward an Exp(1)
+     target across ODE slices), except that when a substep expects more
+     than [tau_switch] slow events the whole substep fires them in bulk
+     from Poisson draws (tau-leaping) with halving retries on a negative
+     excursion. Substep size comes from a Cao-style bound on the fast
+     fluxes: small enough that no continuous species changes by more than
+     [epsilon] relatively and that explicit RK4 stays stable against the
+     fastest per-capita drain.
+
+   The partition itself (Partition.classify) keys on per-reaction
+   propensity magnitude and per-species population thresholds, so a clock
+   phase species that empties between checkpoints demotes its reactions
+   back to the exact subset; between checkpoints the tau gear absorbs
+   misclassified high-propensity slow reactions. *)
+
+module Rng = Numeric.Rng
+
+type stats = {
+  n_ssa_events : int;  (** exact single-reaction firings (both modes) *)
+  n_tau_leaps : int;  (** accepted bulk substeps *)
+  n_tau_events : int;  (** reaction firings inside accepted bulk substeps *)
+  n_ode_steps : int;  (** RK4 slices on the fast partition *)
+  n_repartitions : int;  (** checkpoint evaluations *)
+  n_mode_switches : int;  (** discrete <-> mixed transitions *)
+  n_rejected : int;  (** tau retries + skipped infeasible slow firings *)
+  final_n_fast : int;  (** fast reactions at the end of the run *)
+  final_n_slow : int;
+  peak_n_fast : int;  (** largest fast partition seen at any checkpoint *)
+}
+
+type result = {
+  trace : Ode.Trace.t;  (** states sampled every [sample_dt] *)
+  final : float array;  (** state at [t1] *)
+  n_events : int;  (** discrete reaction firings (exact + tau) *)
+  stats : stats;
+}
+
+type error = Max_events_exceeded of { max_events : int; t : float }
+
+exception Error of error
+
+let error_to_string = function
+  | Max_events_exceeded { max_events; t } ->
+      Printf.sprintf "Hybrid: work budget %d exceeded at t = %g" max_events t
+
+(* ------------------------------------------------------------- models *)
+
+type model = {
+  reactions : Ssa.Compiled.reaction array;
+  deps : Ssa.Dep_graph.t;
+  sys : Ode.Deriv.t;
+  det_k : float array;
+      (* per-reaction deterministic rate constant: the stochastic k divided
+         by the product of reactant-coefficient factorials, so the
+         mass-action flux k' * prod x^c matches the combinatorial
+         propensity k * prod C(n,c) at large populations *)
+  n_species : int;
+  n_reactions : int;
+}
+
+let det_rate (rx : Ssa.Compiled.reaction) =
+  let d = ref rx.Ssa.Compiled.k in
+  Array.iter
+    (fun c ->
+      let rec fact acc j = if j <= 1 then acc else fact (acc * j) (j - 1) in
+      d := !d /. float_of_int (fact 1 c))
+    rx.Ssa.Compiled.reactant_coeff;
+  !d
+
+let model_of ~ssa ~sys =
+  let reactions, deps = Ssa.Gillespie.model_parts ssa in
+  let n_reactions = Array.length reactions in
+  if Ode.Deriv.n_reactions sys <> n_reactions then
+    invalid_arg "Hybrid.Engine.model_of: SSA and ODE models disagree";
+  {
+    reactions;
+    deps;
+    sys;
+    det_k = Array.map det_rate reactions;
+    n_species = Ode.Deriv.dim sys;
+    n_reactions;
+  }
+
+let compile_model env net =
+  model_of
+    ~ssa:(Ssa.Gillespie.compile_model env net)
+    ~sys:(Ode.Deriv.compile env net)
+
+(* ------------------------------------------------------------- arenas *)
+
+type arena = {
+  a_model : model;
+  a_counts : int array;  (* integer state, discrete mode *)
+  a_x : float array;  (* float state, mixed mode *)
+  a_pe : Ssa.Prop_engine.t;
+  a_props : float array;  (* per-reaction propensities, mixed mode *)
+  a_masked : float array;  (* rate vector with the slow partition zeroed *)
+  a_k1 : float array;  (* RK4 scratch *)
+  a_k2 : float array;
+  a_k3 : float array;
+  a_k4 : float array;
+  a_ytmp : float array;
+  a_drain : float array;  (* per-species consumption rate, for the h bound *)
+  a_mu : float array;  (* per-species net drift, for the h bound *)
+  a_mu_slow : float array;  (* per-species slow-channel turnover, tau bound *)
+  a_save : float array;  (* tau-leap rollback snapshot *)
+  a_fires : int array;  (* per-reaction Poisson draws of one tau substep *)
+  a_part : Partition.t;
+}
+
+let make_arena m =
+  let n = m.n_species and nr = m.n_reactions in
+  {
+    a_model = m;
+    a_counts = Array.make n 0;
+    a_x = Array.make n 0.;
+    a_pe = Ssa.Prop_engine.make m.reactions m.deps;
+    a_props = Array.make nr 0.;
+    a_masked = Array.make nr 0.;
+    a_k1 = Array.make n 0.;
+    a_k2 = Array.make n 0.;
+    a_k3 = Array.make n 0.;
+    a_k4 = Array.make n 0.;
+    a_ytmp = Array.make n 0.;
+    a_drain = Array.make n 0.;
+    a_mu = Array.make n 0.;
+    a_mu_slow = Array.make n 0.;
+    a_save = Array.make n 0.;
+    a_fires = Array.make nr 0;
+    a_part = Partition.make ~n_reactions:nr ~n_species:n;
+  }
+
+(* --------------------------------------------------------------- runs *)
+
+exception Stop
+exception Switch_mode
+
+let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
+    ?(pop_threshold = 1000.) ?(prop_threshold = 1000.)
+    ?(repartition_every = 256) ?(epsilon = 0.05) ?(tau_switch = 8.)
+    ?(max_events = 50_000_000) ?(refresh_every = 4096) ?model ?arena
+    ?(cancel = Numeric.Cancel.never) ~t1 net =
+  if t1 <= 0. then invalid_arg "Hybrid.run: t1 must be positive";
+  if pop_threshold <= 0. then
+    invalid_arg "Hybrid.run: pop_threshold must be positive";
+  if prop_threshold <= 0. then
+    invalid_arg "Hybrid.run: prop_threshold must be positive";
+  if repartition_every < 1 then
+    invalid_arg "Hybrid.run: repartition_every must be >= 1";
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Hybrid.run: epsilon must be in (0, 1)";
+  if tau_switch < 1. then invalid_arg "Hybrid.run: tau_switch must be >= 1";
+  if refresh_every < 1 then
+    invalid_arg "Hybrid.run: refresh_every must be >= 1";
+  let sample_dt =
+    match sample_dt with
+    | Some dt when dt > 0. -> dt
+    | Some _ -> invalid_arg "Hybrid.run: sample_dt must be positive"
+    | None -> t1 /. 500.
+  in
+  let rng = Rng.create seed in
+  let model =
+    match (arena, model) with
+    | Some a, _ -> a.a_model
+    | None, Some m -> m
+    | None, None -> compile_model env net
+  in
+  let init = Crn.Network.initial_state net in
+  if Array.length init <> model.n_species then
+    invalid_arg "Hybrid.run: network does not match the compiled model";
+  let ar = match arena with Some a -> a | None -> make_arena model in
+  let reactions = model.reactions in
+  let m = model.n_reactions and n = model.n_species in
+  let counts = ar.a_counts and x = ar.a_x in
+  for i = 0 to n - 1 do
+    counts.(i) <- int_of_float (Float.round init.(i))
+  done;
+  let pe = ar.a_pe and part = ar.a_part and props = ar.a_props in
+  Partition.reset part;
+  let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
+  let t = ref 0. in
+  let next_sample = ref 0. in
+  let failure = ref None in
+  (* counters *)
+  let n_ssa = ref 0
+  and n_tau_leaps = ref 0
+  and n_tau_events = ref 0
+  and n_ode = ref 0
+  and n_repart = ref 0
+  and n_switch = ref 0
+  and n_rejected = ref 0
+  and peak_fast = ref 0 in
+  let work () = !n_ssa + !n_tau_events + !n_ode in
+  (* mixed-mode state *)
+  let fsys = ref model.sys in
+  let g_int = ref 0. (* accumulated ∫ a_slow dt toward [target] *)
+  and target = ref infinity in
+  let mixed = ref false in
+  let snapshot () =
+    if !mixed then Array.copy x else Array.map float_of_int counts
+  in
+  let record_due_samples () =
+    while !next_sample <= !t && !next_sample <= t1 +. 1e-12 do
+      Ode.Trace.record trace !next_sample (snapshot ());
+      next_sample := !next_sample +. sample_dt
+    done
+  in
+  let budget_check () =
+    if work () >= max_events then begin
+      failure := Some (Max_events_exceeded { max_events; t = !t });
+      raise Stop
+    end
+  in
+  let note_partition () =
+    incr n_repart;
+    if part.Partition.n_fast > !peak_fast then peak_fast := part.Partition.n_fast
+  in
+  let classify_discrete () =
+    let changed =
+      Partition.classify part ~reactions ~props:pe.Ssa.Prop_engine.props
+        ~pop:(fun s -> float_of_int counts.(s))
+        ~pop_threshold ~prop_threshold
+    in
+    note_partition ();
+    changed
+  in
+  let compute_all_props () =
+    for r = 0 to m - 1 do
+      props.(r) <- Ssa.Compiled.propensity_f reactions.(r) x
+    done
+  in
+  let classify_mixed () =
+    compute_all_props ();
+    let changed =
+      Partition.classify part ~reactions ~props
+        ~pop:(fun s -> x.(s))
+        ~pop_threshold ~prop_threshold
+    in
+    note_partition ();
+    changed
+  in
+  let rebuild_fsys () =
+    for r = 0 to m - 1 do
+      ar.a_masked.(r) <-
+        (if part.Partition.fast.(r) then model.det_k.(r) else 0.)
+    done;
+    fsys := Ode.Deriv.with_k model.sys ar.a_masked
+  in
+  let to_mixed () =
+    incr n_switch;
+    for i = 0 to n - 1 do
+      x.(i) <- float_of_int counts.(i)
+    done;
+    rebuild_fsys ();
+    g_int := 0.;
+    target := Rng.exponential rng 1.;
+    mixed := true
+  in
+  let to_discrete () =
+    incr n_switch;
+    for i = 0 to n - 1 do
+      counts.(i) <- max 0 (int_of_float (Float.round x.(i)))
+    done;
+    Ssa.Prop_engine.refresh pe counts;
+    mixed := false
+  in
+  (* in-place classic RK4 slice of length [h] on the masked vector field;
+     continuous species are clamped against tiny negative overshoot *)
+  let rk4 h =
+    let fsys = !fsys in
+    let k1 = ar.a_k1 and k2 = ar.a_k2 and k3 = ar.a_k3 and k4 = ar.a_k4 in
+    let y = ar.a_ytmp in
+    Ode.Deriv.f fsys 0. x k1;
+    for i = 0 to n - 1 do
+      y.(i) <- x.(i) +. (0.5 *. h *. k1.(i))
+    done;
+    Ode.Deriv.f fsys 0. y k2;
+    for i = 0 to n - 1 do
+      y.(i) <- x.(i) +. (0.5 *. h *. k2.(i))
+    done;
+    Ode.Deriv.f fsys 0. y k3;
+    for i = 0 to n - 1 do
+      y.(i) <- x.(i) +. (h *. k3.(i))
+    done;
+    Ode.Deriv.f fsys 0. y k4;
+    for i = 0 to n - 1 do
+      x.(i) <-
+        x.(i)
+        +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
+    done;
+    incr n_ode
+  in
+  let clamp () =
+    for s = 0 to n - 1 do
+      if x.(s) < 0. then x.(s) <- 0.
+    done
+  in
+  (* substep size: no continuous species may change by more than [epsilon]
+     relatively under the fast net drift, and explicit RK4 must stay well
+     inside its stability region against the fastest per-capita drain.
+     Uses the propensities computed for this substep. *)
+  let choose_h () =
+    let drain = ar.a_drain and mu = ar.a_mu in
+    Array.fill drain 0 n 0.;
+    Array.fill mu 0 n 0.;
+    for r = 0 to m - 1 do
+      if part.Partition.fast.(r) then begin
+        let v = props.(r) in
+        if v > 0. then begin
+          let rx = reactions.(r) in
+          let sp = rx.Ssa.Compiled.reactant_species
+          and co = rx.Ssa.Compiled.reactant_coeff in
+          for i = 0 to Array.length sp - 1 do
+            let s = sp.(i) in
+            drain.(s) <- drain.(s) +. (v *. float_of_int co.(i))
+          done;
+          let ds = rx.Ssa.Compiled.delta_species
+          and d = rx.Ssa.Compiled.delta in
+          for i = 0 to Array.length ds - 1 do
+            let s = ds.(i) in
+            mu.(s) <- mu.(s) +. (v *. float_of_int d.(i))
+          done
+        end
+      end
+    done;
+    let lam = ref 0. and h_acc = ref infinity in
+    for s = 0 to n - 1 do
+      if part.Partition.continuous.(s) then begin
+        let xs = Float.max x.(s) 1. in
+        if drain.(s) > 0. then lam := Float.max !lam (drain.(s) /. xs);
+        let a = Float.abs mu.(s) in
+        if a > 0. then h_acc := Float.min !h_acc (epsilon *. xs /. a)
+      end
+    done;
+    let h_stab = if !lam > 0. then 0.8 /. !lam else infinity in
+    let h = Float.min h_stab !h_acc in
+    let h = Float.min h sample_dt in
+    Float.max h (1e-12 *. t1)
+  in
+  (* Cao-style bound on the slow channel for the tau gear: a leap of
+     length h may not turn over more than an [epsilon] fraction of any
+     species touched by slow reactions (floored at one molecule), so the
+     Poisson draws cannot overshoot a reactant pool — without this, a
+     burst reaction with huge propensity but a bounded reactant count
+     (e.g. a phase-gated transfer draining its source) rejects every
+     leap and degenerates into per-event integration *)
+  let slow_h_bound () =
+    let mu = ar.a_mu_slow in
+    Array.fill mu 0 n 0.;
+    let slow = part.Partition.slow in
+    for i = 0 to Array.length slow - 1 do
+      let r = slow.(i) in
+      let v = props.(r) in
+      if v > 0. then begin
+        let rx = reactions.(r) in
+        let ds = rx.Ssa.Compiled.delta_species
+        and d = rx.Ssa.Compiled.delta in
+        for j = 0 to Array.length ds - 1 do
+          let s = ds.(j) in
+          mu.(s) <- mu.(s) +. (v *. Float.abs (float_of_int d.(j)))
+        done
+      end
+    done;
+    let h = ref infinity in
+    for s = 0 to n - 1 do
+      if mu.(s) > 0. then
+        h := Float.min !h (epsilon *. Float.max x.(s) 1. /. mu.(s))
+    done;
+    !h
+  in
+  let sum_slow () =
+    let slow = part.Partition.slow in
+    let a0 = ref 0. in
+    for i = 0 to Array.length slow - 1 do
+      a0 := !a0 +. props.(slow.(i))
+    done;
+    !a0
+  in
+  let recompute_slow () =
+    let slow = part.Partition.slow in
+    for i = 0 to Array.length slow - 1 do
+      let r = slow.(i) in
+      props.(r) <- Ssa.Compiled.propensity_f reactions.(r) x
+    done
+  in
+  (* weighted pick among the slow reactions; [a0] is their fresh sum *)
+  let pick_slow a0 u =
+    let slow = part.Partition.slow in
+    let tgt = u *. a0 in
+    let acc = ref 0. and j = ref (-1) and i = ref 0 in
+    let k = Array.length slow in
+    while !j < 0 && !i < k do
+      let r = slow.(!i) in
+      acc := !acc +. props.(r);
+      if !acc > tgt && props.(r) > 0. then j := r;
+      incr i
+    done;
+    if !j >= 0 then !j
+    else begin
+      (* float drift stranded the target: last positive slow propensity *)
+      let last = ref (-1) in
+      for i = 0 to k - 1 do
+        if props.(slow.(i)) > 0. then last := slow.(i)
+      done;
+      !last
+    end
+  in
+  let can_fire r =
+    let rx = reactions.(r) in
+    let sp = rx.Ssa.Compiled.reactant_species
+    and co = rx.Ssa.Compiled.reactant_coeff in
+    let ok = ref true in
+    for i = 0 to Array.length sp - 1 do
+      if x.(sp.(i)) +. 1e-9 < float_of_int co.(i) then ok := false
+    done;
+    !ok
+  in
+  (* one exact-stochastic substep of length [h]: the slow channel fires by
+     the integrated-propensity method while the fast partition advances in
+     ODE slices between events *)
+  let exact_substep h =
+    let left = ref h in
+    let continue_ = ref true in
+    while !continue_ do
+      budget_check ();
+      let a0 = sum_slow () in
+      if a0 <= 0. then begin
+        if !left > 0. then rk4 !left;
+        clamp ();
+        t := !t +. !left;
+        left := 0.;
+        continue_ := false
+      end
+      else begin
+        let dt_ev = (!target -. !g_int) /. a0 in
+        if dt_ev > !left then begin
+          g_int := !g_int +. (a0 *. !left);
+          rk4 !left;
+          clamp ();
+          t := !t +. !left;
+          left := 0.;
+          continue_ := false
+        end
+        else begin
+          if dt_ev > 0. then rk4 dt_ev;
+          clamp ();
+          t := !t +. dt_ev;
+          left := !left -. dt_ev;
+          record_due_samples ();
+          let u = Rng.float rng in
+          let j = pick_slow a0 u in
+          if j >= 0 then
+            if can_fire j then begin
+              Ssa.Compiled.apply_f reactions.(j) x 1;
+              incr n_ssa
+            end
+            else incr n_rejected;
+          g_int := 0.;
+          target := Rng.exponential rng 1.;
+          recompute_slow ()
+        end
+      end
+    done;
+    record_due_samples ()
+  in
+  (* one tau-leap substep: fire every slow reaction in bulk from
+     Poisson(a_j h) draws while the fast partition advances by one RK4
+     slice; halve and retry on a negative excursion, falling back to the
+     exact substep when halving does not converge *)
+  let tau_substep h0 =
+    let h = ref h0 and attempts = ref 0 and accepted = ref false in
+    while (not !accepted) && !attempts < 8 do
+      incr attempts;
+      Array.blit x 0 ar.a_save 0 n;
+      let fired = ref 0 in
+      let slow = part.Partition.slow in
+      for i = 0 to Array.length slow - 1 do
+        let r = slow.(i) in
+        let mean = props.(r) *. !h in
+        let kf = if mean <= 0. then 0 else Ssa.Tau_leap.poisson rng mean in
+        ar.a_fires.(r) <- kf;
+        fired := !fired + kf
+      done;
+      rk4 !h;
+      for i = 0 to Array.length slow - 1 do
+        let r = slow.(i) in
+        if ar.a_fires.(r) > 0 then
+          Ssa.Compiled.apply_f reactions.(r) x ar.a_fires.(r)
+      done;
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let v = x.(s) in
+        if v < 0. then if v >= -1e-6 then x.(s) <- 0. else ok := false
+      done;
+      if !ok then begin
+        accepted := true;
+        t := !t +. !h;
+        incr n_tau_leaps;
+        n_tau_events := !n_tau_events + !fired;
+        (* the bulk firing invalidates the running propensity integral *)
+        g_int := 0.;
+        target := Rng.exponential rng 1.;
+        record_due_samples ()
+      end
+      else begin
+        incr n_rejected;
+        Array.blit ar.a_save 0 x 0 n;
+        h := !h /. 2.
+      end
+    done;
+    if not !accepted then exact_substep h0
+  in
+  (* ------------------------------------------------ discrete-mode loop *)
+  (* mirrors Ssa.Gillespie.run_result statement for statement (same RNG
+     order, same float operations) plus the checkpoint, which reads state
+     but never mutates it — bitwise-identical trajectories while no
+     reaction is promoted *)
+  let first_entry = ref true in
+  let run_discrete () =
+    let events_here = ref 0 in
+    let first = !first_entry in
+    first_entry := false;
+    while !t < t1 do
+      budget_check ();
+      if !events_here land 511 = 0 then Numeric.Cancel.guard cancel;
+      if !events_here mod repartition_every = 0 && (!events_here > 0 || first)
+      then begin
+        let _changed = classify_discrete () in
+        if part.Partition.n_fast > 0 then raise Switch_mode
+      end;
+      if pe.Ssa.Prop_engine.since_refresh >= refresh_every then
+        Ssa.Prop_engine.refresh pe counts;
+      if Ssa.Prop_engine.total pe <= 0. then begin
+        Ssa.Prop_engine.refresh pe counts;
+        if Ssa.Prop_engine.total pe <= 0. then begin
+          (* no reaction can fire: hold state to the end *)
+          t := t1;
+          record_due_samples ();
+          raise Stop
+        end
+      end;
+      let dt = Rng.exponential rng (Ssa.Prop_engine.total pe) in
+      t := !t +. dt;
+      if !t > t1 then begin
+        t := t1;
+        record_due_samples ();
+        raise Stop
+      end;
+      record_due_samples ();
+      let u = Rng.float rng in
+      let j = Ssa.Prop_engine.select pe counts u in
+      if j < 0 then begin
+        t := t1;
+        record_due_samples ();
+        raise Stop
+      end;
+      Ssa.Compiled.apply reactions.(j) counts 1;
+      Ssa.Prop_engine.update pe counts j;
+      incr n_ssa;
+      incr events_here
+    done;
+    raise Stop
+  in
+  (* --------------------------------------------------- mixed-mode loop *)
+  let run_mixed () =
+    let substeps_here = ref 0 in
+    while true do
+      budget_check ();
+      Numeric.Cancel.guard cancel;
+      if t1 -. !t <= 1e-12 *. Float.max t1 1. then begin
+        t := t1;
+        record_due_samples ();
+        raise Stop
+      end;
+      if !substeps_here mod repartition_every = 0 then begin
+        let changed = classify_mixed () in
+        if part.Partition.n_fast = 0 then raise Switch_mode;
+        if changed then rebuild_fsys ()
+      end
+      else compute_all_props ();
+      incr substeps_here;
+      let a0 = sum_slow () in
+      let h = Float.min (choose_h ()) (t1 -. !t) in
+      if a0 *. h > tau_switch then begin
+        (* many slow events expected: leap, but first cap the leap so the
+           Poisson draws cannot overdraw a small pool. If even the capped
+           leap holds less than one expected event the channel is a spike
+           (huge propensity, bounded pool): hand the full substep to the
+           exact gear, which resolves each firing individually and only
+           pays an ODE slice per actual event. *)
+        let hs = Float.max (Float.min h (slow_h_bound ())) (1e-12 *. t1) in
+        if a0 *. hs > 1. then tau_substep hs else exact_substep h
+      end
+      else exact_substep h
+    done
+  in
+  record_due_samples ();
+  Ssa.Prop_engine.refresh pe counts;
+  (try
+     while true do
+       if !mixed then (try run_mixed () with Switch_mode -> to_discrete ())
+       else try run_discrete () with Switch_mode -> to_mixed ()
+     done
+   with Stop -> ());
+  let stats =
+    {
+      n_ssa_events = !n_ssa;
+      n_tau_leaps = !n_tau_leaps;
+      n_tau_events = !n_tau_events;
+      n_ode_steps = !n_ode;
+      n_repartitions = !n_repart;
+      n_mode_switches = !n_switch;
+      n_rejected = !n_rejected;
+      final_n_fast = part.Partition.n_fast;
+      final_n_slow = model.n_reactions - part.Partition.n_fast;
+      peak_n_fast = !peak_fast;
+    }
+  in
+  match !failure with
+  | Some err -> Stdlib.Error err
+  | None ->
+      Ok
+        {
+          trace;
+          final = snapshot ();
+          n_events = !n_ssa + !n_tau_events;
+          stats;
+        }
+
+let run ?env ?seed ?sample_dt ?pop_threshold ?prop_threshold
+    ?repartition_every ?epsilon ?tau_switch ?max_events ?refresh_every ?model
+    ?arena ?cancel ~t1 net =
+  match
+    run_result ?env ?seed ?sample_dt ?pop_threshold ?prop_threshold
+      ?repartition_every ?epsilon ?tau_switch ?max_events ?refresh_every
+      ?model ?arena ?cancel ~t1 net
+  with
+  | Ok r -> r
+  | Stdlib.Error err -> raise (Error err)
+
+let mean_final ?(env = Crn.Rates.default_env) ?(runs = 20) ?jobs ?(seed = 42L)
+    ?pop_threshold ?prop_threshold ?repartition_every ?epsilon ?tau_switch
+    ?max_events ~t1 net species =
+  if runs < 1 then invalid_arg "Hybrid.mean_final: runs must be >= 1";
+  let idx =
+    match Crn.Network.find_species net species with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Hybrid.mean_final: unknown species %S" species)
+  in
+  let model = compile_model env net in
+  let xs =
+    Ssa.Ensemble.map_with ?jobs ~seed
+      ~init_worker:(fun () -> make_arena model)
+      ~runs
+      (fun arena _ s ->
+        let r =
+          run ~seed:s ?pop_threshold ?prop_threshold ?repartition_every
+            ?epsilon ?tau_switch ?max_events ~arena ~t1 net
+        in
+        r.final.(idx))
+  in
+  (Numeric.Stats.mean xs, Numeric.Stats.stddev xs)

@@ -1,0 +1,63 @@
+type t = {
+  n_reactions : int;
+  n_species : int;
+  fast : bool array;
+  continuous : bool array;
+  mutable n_fast : int;
+  mutable slow : int array;
+}
+
+let make ~n_reactions ~n_species =
+  {
+    n_reactions;
+    n_species;
+    fast = Array.make n_reactions false;
+    continuous = Array.make n_species false;
+    n_fast = 0;
+    slow = Array.init n_reactions (fun i -> i);
+  }
+
+let reset p =
+  Array.fill p.fast 0 p.n_reactions false;
+  Array.fill p.continuous 0 p.n_species false;
+  p.n_fast <- 0;
+  p.slow <- Array.init p.n_reactions (fun i -> i)
+
+let classify p ~(reactions : Ssa.Compiled.reaction array) ~props ~pop
+    ~pop_threshold ~prop_threshold =
+  let changed = ref false in
+  let n_fast = ref 0 in
+  for r = 0 to p.n_reactions - 1 do
+    let rx = reactions.(r) in
+    let fast = ref (props.(r) >= prop_threshold) in
+    if !fast then begin
+      let sp = rx.Ssa.Compiled.reactant_species in
+      for i = 0 to Array.length sp - 1 do
+        if pop sp.(i) < pop_threshold then fast := false
+      done
+    end;
+    if !fast <> p.fast.(r) then changed := true;
+    p.fast.(r) <- !fast;
+    if !fast then incr n_fast
+  done;
+  p.n_fast <- !n_fast;
+  Array.fill p.continuous 0 p.n_species false;
+  let slow = Array.make (p.n_reactions - !n_fast) 0 in
+  let si = ref 0 in
+  for r = 0 to p.n_reactions - 1 do
+    if p.fast.(r) then begin
+      let rx = reactions.(r) in
+      Array.iter
+        (fun s -> p.continuous.(s) <- true)
+        rx.Ssa.Compiled.reactant_species;
+      Array.iter
+        (fun s -> p.continuous.(s) <- true)
+        rx.Ssa.Compiled.delta_species
+    end
+    else begin
+      slow.(!si) <- r;
+      incr si
+    end
+  done;
+  p.slow <- slow;
+  !changed

@@ -1,0 +1,44 @@
+(** Dynamic fast/slow partition of a reaction network.
+
+    The paper's constructions are built on a rate dichotomy — fast
+    clock-phase transfer against slow computation — and the hybrid
+    simulator exploits it: reactions whose propensity is large {e and}
+    whose reactants are all populous are integrated deterministically,
+    everything else stays exact-stochastic. The partition is state
+    dependent (a clock phase species cycles between ~0 and the full
+    clock mass), so it is re-evaluated at checkpoints from the current
+    propensities and populations.
+
+    A reaction is {b fast} iff its current propensity is at least
+    [prop_threshold] and every reactant species' population is at least
+    [pop_threshold] (a zero-order source is fast on the propensity test
+    alone). A species is {b continuous} iff some fast reaction reads or
+    writes it; all other species keep exactly integer populations. *)
+
+type t = {
+  n_reactions : int;
+  n_species : int;
+  fast : bool array;  (** per-reaction flag *)
+  continuous : bool array;  (** per-species flag *)
+  mutable n_fast : int;
+  mutable slow : int array;  (** indices of the slow reactions, ascending *)
+}
+
+val make : n_reactions:int -> n_species:int -> t
+(** All-slow partition (every flag false, [slow] = all reactions). *)
+
+val reset : t -> unit
+(** Return to the all-slow partition (arena reuse across runs). *)
+
+val classify :
+  t ->
+  reactions:Ssa.Compiled.reaction array ->
+  props:float array ->
+  pop:(int -> float) ->
+  pop_threshold:float ->
+  prop_threshold:float ->
+  bool
+(** Reclassify every reaction from the current propensities [props] and
+    the population accessor [pop] (reads the integer counts in discrete
+    mode, the float state in mixed mode). Rebuilds [fast], [continuous],
+    [n_fast] and [slow]; returns [true] iff some reaction changed side. *)

@@ -171,6 +171,19 @@ let compile env net =
 let with_env sys env =
   { sys with k = Array.map (Crn.Rates.value env) sys.rates }
 
+(* Same structural sharing as [with_env] but with explicitly supplied
+   rate constants. The hybrid engine uses this to mask its slow partition
+   out of the vector field: it copies the baked constants, zeroes (or
+   rescales) the slow reactions' entries, and re-bakes — the CSR arrays,
+   stoichiometry and Jacobian pattern are all shared, so a repartition
+   costs one nr-sized float array. *)
+let with_k sys k =
+  if Array.length k <> sys.nr then
+    invalid_arg "Deriv.with_k: rate vector length must equal n_reactions";
+  { sys with k = Array.copy k }
+
+let rate_constants sys = Array.copy sys.k
+
 let dim sys = sys.n
 let n_reactions sys = sys.nr
 

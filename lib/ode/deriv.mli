@@ -25,6 +25,17 @@ val with_env : t -> Crn.Rates.env -> t
     under [env], at the cost of one small float array. Parameter sweeps
     compile the network once and derive each point's system this way. *)
 
+val with_k : t -> float array -> t
+(** [with_k sys k] replaces the baked rate constants with [k] (length
+    {!n_reactions}; the array is copied), sharing every structural array
+    like {!with_env}. This is how the hybrid engine restricts the vector
+    field to its fast partition: take {!rate_constants}, zero the slow
+    reactions' entries, re-bake. *)
+
+val rate_constants : t -> float array
+(** A copy of the currently baked per-reaction rate constants, indexed in
+    reaction-compilation order (the {!flux} index order). *)
+
 val dim : t -> int
 (** Number of species. *)
 

@@ -70,6 +70,9 @@ let of_exn = function
       Some (Max_events_exceeded { max_events; t })
   | Ssa.Tau_leap.Error (Ssa.Tau_leap.Max_steps_exceeded { max_steps; t }) ->
       Some (Max_steps_exceeded { max_steps; t })
+  | Hybrid.Engine.Error (Hybrid.Engine.Max_events_exceeded { max_events; t })
+    ->
+      Some (Max_events_exceeded { max_events; t })
   | Ode.Solver_error.Error ({ solver; _ } as e) ->
       Some (Solver_failure { solver; msg = Ode.Solver_error.to_string e })
   | Dsd.Translate.Not_compilable msg -> Some (Not_compilable msg)

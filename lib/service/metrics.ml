@@ -40,6 +40,10 @@ type t = {
   started_at : float;
   by_op : (string, int) Hashtbl.t;
   by_error : (string, int) Hashtbl.t;
+  (* engine work counters summed from the per-request [extra] blocks
+     (events, leaps, ode_steps…) — a daemon-lifetime view of how much
+     simulation work each engine has done, per counter name *)
+  work : (string, float) Hashtbl.t;
   mutable requests : int;
   mutable ok : int;
   mutable errors : int;
@@ -86,6 +90,7 @@ let create () =
     started_at = Unix.gettimeofday ();
     by_op = Hashtbl.create 16;
     by_error = Hashtbl.create 16;
+    work = Hashtbl.create 16;
     requests = 0;
     ok = 0;
     errors = 0;
@@ -149,6 +154,14 @@ let record agg ~op ~error ~request:m =
   agg.queue_wait_ms_sum <- agg.queue_wait_ms_sum +. m.queue_wait_ms;
   agg.run_ms_sum <- agg.run_ms_sum +. m.run_ms;
   if m.run_ms > agg.run_ms_max then agg.run_ms_max <- m.run_ms;
+  List.iter
+    (fun (key, v) ->
+      match Json.to_float v with
+      | Some f ->
+          Hashtbl.replace agg.work key
+            (f +. Option.value ~default:0. (Hashtbl.find_opt agg.work key))
+      | None -> ())
+    m.extra;
   Mutex.unlock agg.mutex
 
 let table_json tbl =
@@ -167,6 +180,12 @@ let to_json agg =
         ("errors", Json.int agg.errors);
         ("by_op", table_json agg.by_op);
         ("by_error", table_json agg.by_error);
+        ( "work",
+          Json.Obj
+            (Hashtbl.fold
+               (fun k v acc -> (k, Json.num v) :: acc)
+               agg.work []
+            |> List.sort compare) );
         ("cache_hits", Json.int agg.cache_hits);
         ("cache_misses", Json.int agg.cache_misses);
         ("queue_wait_ms_sum", Json.num agg.queue_wait_ms_sum);

@@ -25,7 +25,12 @@ type t
 val create : unit -> t
 
 val record : t -> op:string -> error:string option -> request:request -> unit
-(** [error] is the structured error code when the request failed. *)
+(** [error] is the structured error code when the request failed. The
+    numeric entries of [request.extra] are additionally summed into a
+    per-counter-name lifetime table (serialized by {!to_json} as
+    ["work"]), so the stats op reports how much simulation work — SSA
+    events, tau leaps, ODE steps, hybrid repartitions — each engine has
+    done since the daemon started. *)
 
 (** Connection-level fault classes the daemon counts — one per way a
     hostile or broken peer can misbehave, so the [stats] op shows what

@@ -287,6 +287,107 @@ let handle_ssa srv req ~cancel =
       in
       (result, run_ms, [ ("events", Json.int r.Ssa.Gillespie.n_events) ]))
 
+let handle_tau srv req ~cancel =
+  let env = env_of req in
+  let t1 = t1_of req in
+  let seed = Int64.of_int (Option.value ~default:1 (get_int req "seed")) in
+  let epsilon = get_float req "epsilon" in
+  let max_steps = get_int req "max_steps" in
+  let sample_dt = get_float req "sample_dt" in
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let r, run_ms =
+        timed (fun () ->
+            Ssa.Tau_leap.run ~env ~seed ?sample_dt ?epsilon ?max_steps
+              ~cancel ~t1 net)
+      in
+      let result =
+        Json.Obj
+          [
+            ("t1", Json.num t1);
+            ("species", names_json net);
+            ("final", vec_json r.Ssa.Tau_leap.final);
+            ("n_leaps", Json.int r.Ssa.Tau_leap.n_leaps);
+            ("n_exact", Json.int r.Ssa.Tau_leap.n_exact);
+          ]
+      in
+      ( result,
+        run_ms,
+        [
+          ("leaps", Json.int r.Ssa.Tau_leap.n_leaps);
+          ("events", Json.int r.Ssa.Tau_leap.n_exact);
+        ] ))
+
+(* the hybrid engine reuses both halves of the cache entry — the SSA
+   compilation for the slow partition, the CSR ODE system for the fast
+   one — so a warm-cache hybrid request compiles nothing *)
+let handle_hybrid srv req ~cancel =
+  let env = env_of req in
+  let t1 = t1_of req in
+  let seed = Int64.of_int (Option.value ~default:1 (get_int req "seed")) in
+  let pop_threshold = get_float req "pop_threshold" in
+  let prop_threshold = get_float req "prop_threshold" in
+  let repartition_every = get_int req "repartition_every" in
+  let epsilon = get_float req "epsilon" in
+  let max_events = get_int req "max_events" in
+  let sample_dt = get_float req "sample_dt" in
+  (match pop_threshold with
+  | Some v when v < 0. ->
+      reject (Error.Bad_request "\"pop_threshold\" must be >= 0")
+  | _ -> ());
+  (match prop_threshold with
+  | Some v when v < 0. ->
+      reject (Error.Bad_request "\"prop_threshold\" must be >= 0")
+  | _ -> ());
+  (match repartition_every with
+  | Some v when v < 1 ->
+      reject (Error.Bad_request "\"repartition_every\" must be >= 1")
+  | _ -> ());
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      let model =
+        Hybrid.Engine.model_of ~ssa:entry.Model_cache.ssa
+          ~sys:entry.Model_cache.sys
+      in
+      let r, run_ms =
+        timed (fun () ->
+            Hybrid.Engine.run ~env ~seed ?sample_dt ?pop_threshold
+              ?prop_threshold ?repartition_every ?epsilon ?max_events ~model
+              ~cancel ~t1 net)
+      in
+      let s = r.Hybrid.Engine.stats in
+      let result =
+        Json.Obj
+          [
+            ("t1", Json.num t1);
+            ("species", names_json net);
+            ("final", vec_json r.Hybrid.Engine.final);
+            ("n_events", Json.int r.Hybrid.Engine.n_events);
+            ( "stats",
+              Json.Obj
+                [
+                  ("ssa_events", Json.int s.Hybrid.Engine.n_ssa_events);
+                  ("tau_leaps", Json.int s.Hybrid.Engine.n_tau_leaps);
+                  ("tau_events", Json.int s.Hybrid.Engine.n_tau_events);
+                  ("ode_steps", Json.int s.Hybrid.Engine.n_ode_steps);
+                  ("repartitions", Json.int s.Hybrid.Engine.n_repartitions);
+                  ("mode_switches", Json.int s.Hybrid.Engine.n_mode_switches);
+                  ("rejected", Json.int s.Hybrid.Engine.n_rejected);
+                  ("final_n_fast", Json.int s.Hybrid.Engine.final_n_fast);
+                  ("final_n_slow", Json.int s.Hybrid.Engine.final_n_slow);
+                  ("peak_n_fast", Json.int s.Hybrid.Engine.peak_n_fast);
+                ] );
+          ]
+      in
+      ( result,
+        run_ms,
+        [
+          ("events", Json.int r.Hybrid.Engine.n_events);
+          ("tau_leaps", Json.int s.Hybrid.Engine.n_tau_leaps);
+          ("ode_steps", Json.int s.Hybrid.Engine.n_ode_steps);
+          ("repartitions", Json.int s.Hybrid.Engine.n_repartitions);
+        ] ))
+
 let handle_ensemble srv req ~cancel =
   let env = env_of req in
   let t1 = t1_of req in
@@ -297,6 +398,10 @@ let handle_ensemble srv req ~cancel =
   (match jobs with
   | Some j when j < 1 -> reject (Error.Bad_request "\"jobs\" must be >= 1")
   | _ -> ());
+  let engine = Option.value ~default:"ssa" (get_str req "engine") in
+  let pop_threshold = get_float req "pop_threshold" in
+  let prop_threshold = get_float req "prop_threshold" in
+  let repartition_every = get_int req "repartition_every" in
   with_model srv req ~env (fun entry ->
       let net = entry.Model_cache.net in
       (* fan the trajectories over the server's own pool: the request job
@@ -305,15 +410,45 @@ let handle_ensemble srv req ~cancel =
          means less parallelism, never deadlock). The cached compiled
          model is shared read-only; each worker gets one reusable
          arena. *)
-      let model = entry.Model_cache.ssa in
       let finals, run_ms =
-        timed (fun () ->
-            Ssa.Ensemble.map_with ~pool:srv.pool ?jobs ~seed
-              ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
-              ~runs
-              (fun arena _ s ->
-                (Ssa.Gillespie.run ~env ~seed:s ~arena ~cancel ~t1 net)
-                  .Ssa.Gillespie.final))
+        match engine with
+        | "ssa" ->
+            let model = entry.Model_cache.ssa in
+            timed (fun () ->
+                Ssa.Ensemble.map_with ~pool:srv.pool ?jobs ~seed
+                  ~init_worker:(fun () -> Ssa.Gillespie.make_arena model)
+                  ~runs
+                  (fun arena _ s ->
+                    (Ssa.Gillespie.run ~env ~seed:s ~arena ~cancel ~t1 net)
+                      .Ssa.Gillespie.final))
+        | "tau" ->
+            let model = Ssa.Tau_leap.compile_model env net in
+            timed (fun () ->
+                Ssa.Ensemble.map_with ~pool:srv.pool ?jobs ~seed
+                  ~init_worker:(fun () -> Ssa.Tau_leap.make_arena model)
+                  ~runs
+                  (fun arena _ s ->
+                    (Ssa.Tau_leap.run ~env ~seed:s ~arena ~cancel ~t1 net)
+                      .Ssa.Tau_leap.final))
+        | "hybrid" ->
+            let model =
+              Hybrid.Engine.model_of ~ssa:entry.Model_cache.ssa
+                ~sys:entry.Model_cache.sys
+            in
+            timed (fun () ->
+                Ssa.Ensemble.map_with ~pool:srv.pool ?jobs ~seed
+                  ~init_worker:(fun () -> Hybrid.Engine.make_arena model)
+                  ~runs
+                  (fun arena _ s ->
+                    (Hybrid.Engine.run ~env ~seed:s ?pop_threshold
+                       ?prop_threshold ?repartition_every ~arena ~cancel ~t1
+                       net)
+                      .Hybrid.Engine.final))
+        | other ->
+            reject
+              (Error.Bad_request
+                 (Printf.sprintf
+                    "unknown ensemble engine %S (ssa, tau, hybrid)" other))
       in
       let n = Crn.Network.n_species net in
       let mean = Array.make n 0. and std = Array.make n 0. in
@@ -397,6 +532,8 @@ let compute_handler op =
   | "parse" -> Some handle_parse
   | "ode" -> Some handle_ode
   | "ssa" -> Some handle_ssa
+  | "tau" -> Some handle_tau
+  | "hybrid" -> Some handle_hybrid
   | "ensemble" -> Some handle_ensemble
   | "sweep" -> Some handle_sweep
   | "dsd" -> Some handle_dsd

@@ -61,11 +61,62 @@ let propensity r (counts : int array) =
   done;
   !acc
 
+(* combinatorial propensity over a real-valued state vector: the same
+   falling-factorial form as [propensity], evaluated at (possibly
+   fractional) populations. The hybrid engine keeps its state as floats
+   while a fast partition is ODE-integrated; using n(n-1)/2-style factors
+   here (rather than mass-action n^2/…) keeps the slow partition's event
+   statistics consistent with the exact simulator it hands back to. The
+   integer guard [n < c] is mirrored exactly: a pool below the required
+   molecule count — including the fractional residue the ODE leaves when
+   it drains a continuous species below one — has {e zero} propensity,
+   so the slow channel never proposes firings that cannot happen. On an
+   integral state vector this function equals [propensity] bitwise. *)
+let propensity_f r (x : float array) =
+  let ns = Array.length r.reactant_species in
+  let acc = ref r.k in
+  let i = ref 0 in
+  while !acc <> 0. && !i < ns do
+    let n = Array.unsafe_get x (Array.unsafe_get r.reactant_species !i) in
+    let c = Array.unsafe_get r.reactant_coeff !i in
+    if n < float_of_int c then acc := 0.
+    else begin
+      let b =
+        match c with
+        | 1 -> n
+        | 2 -> n *. (n -. 1.) /. 2.
+        | 3 -> n *. (n -. 1.) *. (n -. 2.) /. 6.
+        | _ ->
+            let rec fall acc j =
+              if j = c then acc
+              else fall (acc *. (n -. float_of_int j)) (j + 1)
+            in
+            let rec fact acc j =
+              if j <= 1 then acc else fact (acc *. float_of_int j) (j - 1)
+            in
+            fall 1. 0 /. fact 1. c
+      in
+      acc := !acc *. b
+    end;
+    incr i
+  done;
+  !acc
+
 let apply r (counts : int array) times =
   for i = 0 to Array.length r.delta_species - 1 do
     let s = Array.unsafe_get r.delta_species i in
     Array.unsafe_set counts s
       (Array.unsafe_get counts s + (times * Array.unsafe_get r.delta i))
+  done
+
+(* net-stoichiometry update on a real-valued state vector (hybrid engine:
+   discrete slow firings applied onto the ODE-integrated float state) *)
+let apply_f r (x : float array) times =
+  let times = float_of_int times in
+  for i = 0 to Array.length r.delta_species - 1 do
+    let s = Array.unsafe_get r.delta_species i in
+    Array.unsafe_set x s
+      (Array.unsafe_get x s +. (times *. float_of_int (Array.unsafe_get r.delta i)))
   done
 
 (* highest reactant molecularity each species participates in (Cao's g_i,

@@ -41,6 +41,11 @@ type model
 
 val compile_model : Crn.Rates.env -> Crn.Network.t -> model
 
+val model_parts : model -> Compiled.reaction array * Dep_graph.t
+(** The compiled reactions and dependency graph inside a model — lets
+    other engines (the hybrid simulator, the service layer's cache) build
+    on a model compiled once here without recompiling the network. *)
+
 type arena
 (** A per-worker simulation arena: one model plus the reusable mutable
     scratch of a run (integer state vector, incremental-propensity

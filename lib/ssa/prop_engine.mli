@@ -1,0 +1,57 @@
+(** Incremental-propensity engine shared by the exact-SSA loops.
+
+    One engine holds the from-scratch-correct propensity table of a
+    compiled network plus the grouped partial sums and compensated total
+    that make event selection O(sqrt R): {!Gillespie} runs its whole
+    event loop on it, and the hybrid engine ({!Hybrid.Engine}) reuses it
+    verbatim whenever its dynamic partition leaves every reaction in the
+    exact-stochastic subset — which is what makes the hybrid trajectory
+    {e bitwise identical} to pure Gillespie on networks that never cross
+    the population threshold.
+
+    The record is exposed transparently because the simulators' hot
+    loops read [since_refresh] and the scratch arrays directly; treat it
+    as owned by this module everywhere else. Invariants:
+
+    - [props.(i)] always equals the from-scratch propensity of reaction
+      [i] (affected entries are recomputed exactly after each firing,
+      never patched incrementally);
+    - [acc.(0)] is the running total maintained by Kahan-compensated
+      accumulation of exact deltas, [acc.(1)] the compensation term;
+      both are rebuilt from scratch by {!refresh};
+    - [group_sum.(g)] is the partial sum of group [g]'s propensities,
+      enabling the two-level (group, then in-group) selection search. *)
+
+type t = {
+  reactions : Compiled.reaction array;
+  deps : Dep_graph.t;
+  props : float array;
+  group_sum : float array;
+  group_size : int;
+  n_groups : int;
+  acc : float array;  (** [acc.(0)] total, [acc.(1)] Kahan compensation *)
+  mutable since_refresh : int;  (** incremental updates since last rebuild *)
+}
+
+val make : Compiled.reaction array -> Dep_graph.t -> t
+(** Engine over a compiled reaction set and its dependency graph. All
+    scratch starts zeroed; call {!refresh} before the first selection. *)
+
+val total : t -> float
+(** The compensated running total of all propensities. *)
+
+val refresh : t -> int array -> unit
+(** Full rebuild from the state vector: every propensity, the group
+    partial sums, the total; resets [since_refresh]. *)
+
+val update : t -> int array -> int -> unit
+(** [update e counts j]: after firing reaction [j] once, recompute
+    exactly the propensities in [j]'s affected set and fold their deltas
+    into the group sums and the compensated total. *)
+
+val select : t -> int array -> float -> int
+(** [select e counts u] picks the reaction at cumulative weight
+    [u * total e] by the two-level search ([u] uniform in [0,1)). On a
+    float-drift miss it rebuilds once and re-searches with the same
+    draw (no extra RNG consumption), then falls back to the last
+    positive propensity; [-1] iff no reaction can fire. *)

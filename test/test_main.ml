@@ -18,6 +18,7 @@ let () =
       ("async", Test_async.suite);
       ("dsd", Test_dsd.suite);
       ("stochastic", Test_stochastic.suite);
+      ("hybrid", Test_hybrid.suite);
       ("networks", Test_networks.suite);
       ("service", Test_service.suite);
       ("fault", Test_fault.suite);

@@ -370,6 +370,105 @@ let test_served_matches_direct () =
         (Crn.Network.species_names net)
         (strings (field result "species")))
 
+(* the hybrid and tau ops reuse the cache entry's compiled halves and
+   must serve bitwise the same finals as direct execution; the stats op
+   must aggregate their work counters *)
+let test_hybrid_and_tau_ops () =
+  with_server (fun client ->
+      let net = Designs.Catalog.build "counter2" in
+      let env = Crn.Rates.env_with_ratio 1000. in
+      let t1 = 30. in
+      let base op =
+        [
+          ("op", J.str op);
+          ("network", obj [ ("catalog", J.str "counter2") ]);
+          ("t1", J.num t1);
+          ("ratio", J.num 1000.);
+          ("seed", J.int 7);
+        ]
+      in
+      (* hybrid: bitwise vs direct execution (and, at default thresholds
+         on this low-copy design, vs Gillespie) *)
+      let resp = Service.Client.request client (obj (base "hybrid")) in
+      let result = ok_result "hybrid" resp in
+      let served = floats (field result "final") in
+      let direct = Hybrid.Engine.run ~env ~seed:7L ~t1 net in
+      Array.iteri
+        (fun i x ->
+          check_float
+            (Printf.sprintf "hybrid species %d bitwise" i)
+            direct.Hybrid.Engine.final.(i) x)
+        served;
+      let gillespie = Ssa.Gillespie.run ~env ~seed:7L ~t1 net in
+      Array.iteri
+        (fun i x ->
+          check_float
+            (Printf.sprintf "hybrid = gillespie species %d" i)
+            gillespie.Ssa.Gillespie.final.(i) x)
+        served;
+      let stats =
+        match J.member "stats" result with
+        | Some s -> s
+        | None -> Alcotest.fail "hybrid result has no stats"
+      in
+      Alcotest.(check int)
+        "served ssa_events"
+        direct.Hybrid.Engine.stats.Hybrid.Engine.n_ssa_events
+        (Option.get (Option.bind (J.member "ssa_events" stats) J.to_int));
+      (* tau: bitwise vs direct execution *)
+      let resp = Service.Client.request client (obj (base "tau")) in
+      let result = ok_result "tau" resp in
+      let served = floats (field result "final") in
+      let direct_tau = Ssa.Tau_leap.run ~env ~seed:7L ~t1 net in
+      Array.iteri
+        (fun i x ->
+          check_float
+            (Printf.sprintf "tau species %d bitwise" i)
+            direct_tau.Ssa.Tau_leap.final.(i) x)
+        served;
+      (* ensemble with engine=hybrid: well-formed and deterministic *)
+      let ens_req extra =
+        obj
+          (base "ensemble" @ [ ("runs", J.int 4); ("jobs", J.int 1) ] @ extra)
+      in
+      let r1 =
+        ok_result "ensemble hybrid"
+          (Service.Client.request client
+             (ens_req [ ("engine", J.str "hybrid") ]))
+      in
+      let r2 =
+        ok_result "ensemble hybrid repeat"
+          (Service.Client.request client
+             (ens_req [ ("engine", J.str "hybrid") ]))
+      in
+      Alcotest.(check (array (float 0.)))
+        "hybrid ensemble deterministic"
+        (floats (field r1 "mean"))
+        (floats (field r2 "mean"));
+      (let bad =
+         Service.Client.request client
+           (ens_req [ ("engine", J.str "bogus") ])
+       in
+       Alcotest.(check bool) "bogus engine refused" false
+         bad.Service.Client.ok);
+      (* the stats op aggregates the engines' work counters *)
+      let stats_resp =
+        Service.Client.request client (obj [ ("op", J.str "stats") ])
+      in
+      let stats_result = ok_result "stats" stats_resp in
+      let work =
+        match J.member "work" stats_result with
+        | Some w -> w
+        | None -> Alcotest.fail "stats has no work table"
+      in
+      let counter key =
+        Option.value ~default:0. (Option.bind (J.member key work) J.to_float)
+      in
+      Alcotest.(check bool) "work.events accumulated" true (counter "events" > 0.);
+      Alcotest.(check bool)
+        "work.repartitions accumulated" true
+        (counter "repartitions" > 0.))
+
 let test_cache_hit_speedup () =
   with_server (fun client ->
       (* counter3 is the heaviest clocked design to synthesize + compile
@@ -499,6 +598,8 @@ let suite =
     Alcotest.test_case "model cache" `Quick test_model_cache;
     Alcotest.test_case "served = direct (bitwise)" `Quick
       test_served_matches_direct;
+    Alcotest.test_case "hybrid/tau ops + work stats" `Quick
+      test_hybrid_and_tau_ops;
     Alcotest.test_case "cache hit >=5x faster" `Quick test_cache_hit_speedup;
     Alcotest.test_case "deadline, worker survives" `Quick
       test_deadline_and_worker_survival;
