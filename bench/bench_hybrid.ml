@@ -286,8 +286,7 @@ let write_json ~path ~smoke rows (det_design, det_combos, det_identical) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-hybrid/1\",\n";
   Buffer.add_string b
-    (Printf.sprintf "  \"host\": {\"cores\": %d},\n  \"smoke\": %b,\n"
-       (Numeric.Domain_pool.default_jobs ())
+    (Printf.sprintf "  \"host\": %s,\n  \"smoke\": %b,\n" (Bench_host.json ())
        smoke);
   Buffer.add_string b
     (Printf.sprintf "  \"accuracy_tolerance\": %g,\n  \"rows\": [\n"

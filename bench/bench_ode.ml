@@ -207,8 +207,9 @@ let write_json ~path kernel_rows sweep_rows =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ode/2\",\n";
   Buffer.add_string b
-    (Printf.sprintf "  \"recommended_domains\": %d,\n"
-       (Numeric.Domain_pool.default_jobs ()));
+    (Printf.sprintf "  \"recommended_domains\": %d,\n  \"host\": %s,\n"
+       (Numeric.Domain_pool.default_jobs ())
+       (Bench_host.json ()));
   Buffer.add_string b "  \"kernel\": {\"networks\": [\n";
   List.iteri
     (fun i r ->

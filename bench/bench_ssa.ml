@@ -255,8 +255,9 @@ let write_json ~path engine_rows ensemble_rows =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-ssa/2\",\n";
   Buffer.add_string b
-    (Printf.sprintf "  \"recommended_domains\": %d,\n"
-       (Ssa.Ensemble.default_jobs ()));
+    (Printf.sprintf "  \"recommended_domains\": %d,\n  \"host\": %s,\n"
+       (Ssa.Ensemble.default_jobs ())
+       (Bench_host.json ()));
   Buffer.add_string b "  \"engine\": {\"networks\": [\n";
   List.iteri
     (fun i r ->

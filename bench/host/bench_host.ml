@@ -1,0 +1,21 @@
+(* Shared host stamp for the BENCH_*.json emitters.
+
+   Every scaling number is meaningless without the hardware context it
+   was measured on: a 2x claim on a 1-core host is time-slicing, not
+   scaling. Each bench embeds this block so downstream tooling (and the
+   CI gates) can tell a real measurement from an oversubscribed one
+   without re-deriving the clamp logic per bench. *)
+
+let cores () = Numeric.Domain_pool.default_jobs ()
+
+(* [jobs_requested] is the parallelism the scenario asked for (total
+   worker domains, or shards x per-shard jobs); omitted means "whatever
+   the host recommends". *)
+let json ?jobs_requested () =
+  let cores = cores () in
+  let requested = Option.value ~default:cores jobs_requested in
+  let effective = min requested cores in
+  Printf.sprintf
+    "{\"cores\": %d, \"jobs_requested\": %d, \"jobs_effective\": %d, \
+     \"oversubscribed\": %b}"
+    cores requested effective (requested > cores)

@@ -258,8 +258,7 @@ let network_json source focus =
 
 exception Remote_error of int
 
-let remote_call client req =
-  let resp = Service.Client.request client req in
+let handle_envelope resp =
   (match resp.Service.Client.metrics with
   | Some m ->
       let f key =
@@ -289,6 +288,40 @@ let remote_call client req =
          | None -> 70))
   end
 
+let remote_call client req =
+  handle_envelope (Service.Client.request client req)
+
+(* the streamed trace op: the header frame opens the trace, each chunk
+   frame appends its samples, and the final envelope (metrics, work
+   counters) is handled like any other response — so the rebuilt trace
+   feeds the same CSV/plot code as a local run, byte-identically *)
+let remote_trace client req =
+  let trace = ref None in
+  let on_frame j =
+    match J.member "stream" j with
+    | Some _ ->
+        let names = json_strings (json_field j "species") in
+        trace := Some (Ode.Trace.create ~names)
+    | None -> (
+        match !trace with
+        | None -> failwith "malformed server response (chunk before header)"
+        | Some tr -> (
+            let ts = json_floats (json_field j "t") in
+            match J.to_list (json_field j "x") with
+            | Some xs ->
+                List.iteri
+                  (fun i x -> Ode.Trace.record tr ts.(i) (json_floats x))
+                  xs
+            | None -> failwith "malformed server response (expected array)"))
+  in
+  let final = Service.Client.call_stream client req ~on_frame in
+  let result =
+    handle_envelope (Service.Client.response_of_json final)
+  in
+  match !trace with
+  | Some tr -> (tr, result)
+  | None -> failwith "malformed server response (no stream header)"
+
 let print_final_block ~t1 names finals =
   Printf.printf "final state at t = %g:\n" t1;
   Array.iteri
@@ -298,10 +331,9 @@ let print_final_block ~t1 names finals =
     names
 
 let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
-    ~plot_species ~engine ~seed ~runs ~jobs ~focus ~sweep_ratios
+    ~plot_species ~engine ~seed ~runs ~jobs ~final_only ~focus ~sweep_ratios
     ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms ~pop_threshold
     ~prop_threshold ~repartition_every =
-  if plot_species <> [] then failwith "--plot is not supported with --connect";
   if runs < 1 then failwith "--runs must be >= 1";
   if retries < 0 then failwith "--retries must be >= 0";
   if retry_budget_ms <= 0. then failwith "--retry-budget-ms must be > 0";
@@ -437,9 +469,77 @@ let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
               Printf.printf "  %-24s %10.4f +- %8.4f\n" name mean.(i) std.(i))
           names
       end
+      else if
+        (csv_out <> None || plot_species <> []) && runs = 1 && sweep_ratios = []
+      then begin
+        (* trace modes stream over the trace op and rebuild the
+           trajectory locally, so --csv and --plot output matches a
+           local run byte-for-byte *)
+        let emit_trace tr =
+          (match csv_out with
+          | Some path ->
+              Analysis.Csv.write_trace ~path tr;
+              Printf.printf "wrote %d samples to %s\n" (Ode.Trace.length tr)
+                path
+          | None -> ());
+          (match plot_species with
+          | [] -> ()
+          | names ->
+              print_string
+                (Analysis.Ascii_plot.render ~width:72 ~height:16 ~title:source
+                   (Analysis.Ascii_plot.of_trace tr names)));
+          if final_only || (csv_out = None && plot_species = []) then begin
+            Printf.printf "final state at t = %g:\n" t1;
+            let state = Ode.Trace.last_state tr in
+            Array.iteri
+              (fun i name ->
+                if state.(i) > 1e-6 then
+                  Printf.printf "  %-24s %10.4f\n" name state.(i))
+              (Ode.Trace.names tr)
+          end
+        in
+        match engine with
+        | Ode_engine ->
+            let tr, _result =
+              remote_trace client
+                (J.Obj
+                   ([
+                      ("op", J.str "trace");
+                      ("engine", J.str "ode");
+                      ("network", network);
+                      ("t1", J.num t1);
+                      ("ratio", J.num ratio);
+                      ("method", J.str method_name);
+                      (* the local path simulates with ~thin:5 *)
+                      ("thin", J.int 5);
+                    ]
+                   @ deadline))
+            in
+            emit_trace tr
+        | Ssa_engine ->
+            let tr, result =
+              remote_trace client
+                (J.Obj
+                   ([
+                      ("op", J.str "trace");
+                      ("engine", J.str "ssa");
+                      ("network", network);
+                      ("t1", J.num t1);
+                      ("ratio", J.num ratio);
+                      ("seed", J.int seed);
+                    ]
+                   @ deadline))
+            in
+            (match Option.bind (J.member "n_events" result) J.to_int with
+            | Some n ->
+                Printf.eprintf "stochastic simulation: %d reaction events\n" n
+            | None -> ());
+            emit_trace tr
+        | Tau_engine | Hybrid_engine ->
+            failwith
+              "trace streaming over --connect supports --engine ode and ssa"
+      end
       else if stochastic_engine engine then begin
-        if csv_out <> None then
-          failwith "--csv needs the trace; not supported with --connect";
         let knobs =
           if engine = Hybrid_engine then
             [
@@ -476,8 +576,6 @@ let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
           (json_floats (json_field result "final"))
       end
       else begin
-        if csv_out <> None then
-          failwith "--csv needs the trace; not supported with --connect";
         let result =
           remote_call client
             (J.Obj
@@ -546,9 +644,9 @@ let run source t1 ratio method_name csv_out plot_species engine_opt
   | Some connect -> (
       try
         run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
-          ~plot_species ~engine ~seed ~runs ~jobs ~focus ~sweep_ratios
-          ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms ~pop_threshold
-          ~prop_threshold ~repartition_every;
+          ~plot_species ~engine ~seed ~runs ~jobs ~final_only ~focus
+          ~sweep_ratios ~sweep_jobs ~deadline_ms ~retries ~retry_budget_ms
+          ~pop_threshold ~prop_threshold ~repartition_every;
         0
       with e -> report_error e)
   | None -> (
@@ -766,11 +864,12 @@ let sweep_jobs =
 
 let connect =
   let doc =
-    "Delegate the simulation to a running crnserved daemon at $(docv) \
-     (unix:PATH, a socket path, or HOST:PORT) instead of executing \
-     locally. Final-state, ensemble and sweep output is byte-identical \
-     to direct execution; trace output (--csv of a trajectory, --plot) \
-     needs the local engines."
+    "Delegate the simulation to a running crnserved daemon or crnsgate \
+     gateway at $(docv): unix:PATH, a socket path, HOST:PORT for the \
+     wire protocol over TCP, or http://HOST:PORT for a gateway's HTTP \
+     front door. Output is byte-identical to direct execution; --csv \
+     and --plot of a single ode/ssa trajectory stream over the trace \
+     op."
   in
   Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
 

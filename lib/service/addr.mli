@@ -1,12 +1,19 @@
-(** Service addresses: Unix-domain socket path or TCP host:port. *)
+(** Service addresses: Unix-domain socket path, TCP host:port, or an
+    HTTP endpoint.
 
-type t = Unix_sock of string | Tcp of string * int
+    [Http] shares TCP's transport but tells the client to frame
+    requests as HTTP/1.1 POSTs instead of length-prefixed wire frames —
+    it is how [crnsim --connect http://gate:8080] reaches a gateway. *)
+
+type t = Unix_sock of string | Tcp of string * int | Http of string * int
 
 val to_string : t -> string
 
 val of_string : string -> (t, string) result
-(** Accepts ["unix:PATH"], a path starting with ['/'] or ['.'], or
-    ["HOST:PORT"] (empty host means 127.0.0.1, e.g. [":7421"]). *)
+(** Accepts ["unix:PATH"], a path starting with ['/'] or ['.'],
+    ["HOST:PORT"] (empty host means 127.0.0.1, e.g. [":7421"]), or
+    ["http://HOST:PORT"] (port defaults to 80; a trailing path is
+    ignored). *)
 
 val connect : t -> Unix.file_descr
 (** Client-side connect ([TCP_NODELAY] set on TCP). *)

@@ -1,6 +1,8 @@
 (* Blocking client for the service protocol: one connection, one
    request in flight at a time, so responses pair with requests by
-   order.
+   order. Speaks either framing — length-prefixed wire frames to a
+   daemon or gateway, HTTP/1.1 to a gateway's front door
+   ({!Addr.Http}); the JSON payloads are identical.
 
    Transient-failure policy: connects retry with bounded exponential
    backoff and full jitter, and a request is re-sent only when the
@@ -9,15 +11,28 @@
    bytes ([Wire.read_frame] returning [None]). A response that started
    arriving and then died ([Framing_error "EOF inside frame ..."]) is
    never retried: the server acted once, and re-sending could act
-   twice. *)
+   twice.
+
+   A complete structured [overloaded] or [shard_failed] response is
+   also retryable-with-backoff: both codes promise the request's work
+   was refused or lost, never completed, so a re-send cannot duplicate
+   effects. When the retry budget runs out the last structured response
+   is returned as-is (the caller sees the server's own error, having
+   retried). *)
+
+type transport =
+  | Wire_t
+  | Http_t of string (* Host header value *)
 
 type t = {
   addr : Addr.t;
+  transport : transport;
   retries : int;
   retry_budget_ms : float;
   rng : Numeric.Rng.t;  (* jitter stream; deterministic from retry_seed *)
   read_deadline_ms : float option;
   mutable fd : Unix.file_descr option;
+  mutable ic : Http.ic option;  (* HTTP response channel, reused keep-alive *)
   mutable closed : bool;
 }
 
@@ -27,6 +42,10 @@ exception Retries_exhausted of { attempts : int; last : exn }
 
 (* zero response bytes arrived before the stream died — safe to retry *)
 exception No_response
+
+(* a complete structured response whose error code promises no work was
+   done (overloaded, shard_failed); internal to the retry loop *)
+exception Retryable_response of Json.t
 
 let apply_read_deadline fd = function
   | None -> ()
@@ -42,6 +61,7 @@ let transient = function
         _ ) ->
       true
   | No_response -> true
+  | Retryable_response _ -> true
   | _ -> false
 
 (* full jitter on an exponential ladder: uniform in [0, min(1s, 25ms *
@@ -78,14 +98,21 @@ let connect_fd c =
 
 let connect ?(retries = 0) ?(retry_budget_ms = 2_000.) ?(retry_seed = 1L)
     ?read_deadline_ms addr =
+  let transport =
+    match addr with
+    | Addr.Http (host, port) -> Http_t (Printf.sprintf "%s:%d" host port)
+    | Addr.Unix_sock _ | Addr.Tcp _ -> Wire_t
+  in
   let c =
     {
       addr;
+      transport;
       retries;
       retry_budget_ms;
       rng = Numeric.Rng.create retry_seed;
       read_deadline_ms;
       fd = None;
+      ic = None;
       closed = false;
     }
   in
@@ -94,7 +121,8 @@ let connect ?(retries = 0) ?(retry_budget_ms = 2_000.) ?(retry_seed = 1L)
 
 let drop_fd c =
   (match c.fd with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ());
-  c.fd <- None
+  c.fd <- None;
+  c.ic <- None
 
 let close c =
   if not c.closed then begin
@@ -102,47 +130,186 @@ let close c =
     drop_fd c
   end
 
-let call c req =
+let ensure_fd c =
+  match c.fd with
+  | Some fd -> fd
+  | None ->
+      let fd = connect_fd c in
+      c.fd <- Some fd;
+      fd
+
+let ensure_ic c fd =
+  match c.ic with
+  | Some ic -> ic
+  | None ->
+      let ic = Http.ic_of_fd fd in
+      c.ic <- Some ic;
+      ic
+
+(* does this complete response promise that no work happened? *)
+let retryable_response j =
+  match Json.member "ok" j with
+  | Some (Json.Bool false) -> (
+      match
+        Option.bind (Json.member "error" j) (fun e ->
+            Option.bind (Json.member "code" e) Json.to_str)
+      with
+      | Some ("overloaded" | "shard_failed") -> true
+      | _ -> false)
+  | _ -> false
+
+let check_retryable c j =
+  if c.retries > 0 && retryable_response j then raise (Retryable_response j);
+  j
+
+(* one attempt has either a complete response or a streaming tail the
+   caller drains outside the retry loop *)
+type begun =
+  | Final of Json.t
+  | Wire_stream of Unix.file_descr * Json.t  (* first (header) frame *)
+  | Http_stream of Http.ic
+
+let is_done j = Json.member "done" j <> None
+
+(* ----------------------------------------------------- wire transport *)
+
+let wire_begin c payload ~streaming =
+  let fd = ensure_fd c in
+  (try Wire.write_frame fd payload
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+     (* the request never reached the server whole; reconnect *)
+     drop_fd c;
+     raise No_response);
+  match Wire.read_frame fd with
+  | Some resp ->
+      let j = Json.of_string resp in
+      if streaming && not (is_done j) then Wire_stream (fd, j)
+      else Final (check_retryable c j)
+  | None ->
+      (* clean close before any response byte: retryable *)
+      drop_fd c;
+      raise No_response
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      drop_fd c;
+      raise No_response
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* SO_RCVTIMEO expired: the server accepted but never answered.
+         Not retryable — the request may be running; duplicating it is
+         exactly what the deadline exists to prevent. *)
+      drop_fd c;
+      raise (Timeout (Option.value ~default:0. c.read_deadline_ms))
+  | exception e ->
+      (* response bytes arrived, then the stream died: not retryable *)
+      drop_fd c;
+      raise e
+
+(* ----------------------------------------------------- http transport *)
+
+let http_begin c host payload =
+  let fd = ensure_fd c in
+  let ic = ensure_ic c fd in
+  (try Http.write_request fd ~host ~path:"/api" payload
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+     drop_fd c;
+     raise No_response);
+  let before = Http.total_read ic in
+  let pre_first_byte () = Http.total_read ic = before in
+  let fail_mid e =
+    drop_fd c;
+    raise e
+  in
+  match Http.read_status_headers ic with
+  | exception End_of_file when pre_first_byte () ->
+      (* keep-alive connection idled out server-side, or a clean close
+         before any response byte: retryable *)
+      drop_fd c;
+      raise No_response
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) when pre_first_byte ()
+    ->
+      drop_fd c;
+      raise No_response
+  | exception End_of_file ->
+      fail_mid (Wire.Framing_error "EOF inside HTTP response")
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      drop_fd c;
+      raise (Timeout (Option.value ~default:0. c.read_deadline_ms))
+  | _status, headers -> (
+      (* the body is the response envelope whatever the status code *)
+      if Http.chunked headers then Http_stream ic
+      else
+        match Http.read_body ic headers with
+        | body -> Final (check_retryable c (Json.of_string body))
+        | exception End_of_file ->
+            fail_mid (Wire.Framing_error "EOF inside HTTP response")
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            drop_fd c;
+            raise (Timeout (Option.value ~default:0. c.read_deadline_ms)))
+
+(* ------------------------------------------------------------- calls *)
+
+let begin_call c req ~streaming =
   if c.closed then failwith "Service.Client.call: connection closed";
   let payload = Json.to_string req in
   let attempt () =
-    let fd =
-      match c.fd with
-      | Some fd -> fd
-      | None ->
-          let fd = connect_fd c in
-          c.fd <- Some fd;
-          fd
-    in
-    (try Wire.write_frame fd payload
-     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-       (* the request never reached the server whole; reconnect *)
-       drop_fd c;
-       raise No_response);
-    match Wire.read_frame fd with
-    | Some resp -> resp
-    | None ->
-        (* clean close before any response byte: retryable *)
-        drop_fd c;
-        raise No_response
-    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
-        drop_fd c;
-        raise No_response
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        (* SO_RCVTIMEO expired: the server accepted but never answered.
-           Not retryable — the request may be running; duplicating it is
-           exactly what the deadline exists to prevent. *)
-        drop_fd c;
-        raise (Timeout (Option.value ~default:0. c.read_deadline_ms))
-    | exception e ->
-        (* response bytes arrived, then the stream died: not retryable *)
-        drop_fd c;
-        raise e
+    match c.transport with
+    | Wire_t -> wire_begin c payload ~streaming
+    | Http_t host -> http_begin c host payload
   in
   match with_retries c attempt with
-  | payload -> Json.of_string payload
+  | begun -> begun
+  | exception Retries_exhausted { last = Retryable_response j; _ } ->
+      (* budget exhausted: surface the server's own structured reply *)
+      Final j
   | exception No_response ->
       failwith "Service.Client.call: server closed the connection"
+
+let call c req =
+  match begin_call c req ~streaming:false with
+  | Final j -> j
+  | Wire_stream _ | Http_stream _ ->
+      (* only the trace op streams, and only via call_stream *)
+      drop_fd c;
+      failwith "Service.Client.call: unexpected streaming response"
+
+let call_stream c req ~on_frame =
+  match begin_call c req ~streaming:true with
+  | Final j -> j
+  | Wire_stream (fd, first) ->
+      on_frame first;
+      let rec go () =
+        match Wire.read_frame fd with
+        | None ->
+            drop_fd c;
+            raise (Wire.Framing_error "EOF inside a streamed response")
+        | Some payload ->
+            let j = Json.of_string payload in
+            if is_done j then j
+            else begin
+              on_frame j;
+              go ()
+            end
+      in
+      go ()
+  | Http_stream ic ->
+      let rec go () =
+        match Http.read_chunk ic with
+        | None ->
+            drop_fd c;
+            raise (Wire.Framing_error "stream ended without a final frame")
+        | Some data ->
+            let j = Json.of_string data in
+            if is_done j then begin
+              (* drain the terminal chunk so keep-alive stays in sync *)
+              (match Http.read_chunk ic with Some _ | None -> ());
+              j
+            end
+            else begin
+              on_frame j;
+              go ()
+            end
+      in
+      go ()
 
 type response = {
   ok : bool;

@@ -1,8 +1,12 @@
 (** Blocking client for the service protocol.
 
     One connection, one request in flight at a time: {!call} writes a
-    frame and blocks for the next frame back, so responses pair with
-    requests by order. For pipelined use, open several clients.
+    request and blocks for the response, so responses pair with
+    requests by order. For pipelined use, open several clients. Speaks
+    either framing — length-prefixed wire frames ({!Addr.Unix_sock},
+    {!Addr.Tcp}) or HTTP/1.1 to a gateway ({!Addr.Http}); the JSON
+    payloads are identical, so results are byte-identical across
+    transports.
 
     Transient failures retry with bounded exponential backoff and full
     jitter (base 25 ms, doubling, capped at 1 s per sleep), bounded by
@@ -11,7 +15,13 @@
     connect error, a write-side [EPIPE]/[ECONNRESET], or a clean close
     with zero response bytes. A response that started arriving and then
     died, or a read deadline expiring, is never retried — the server may
-    have acted, and re-sending could act twice. *)
+    have acted, and re-sending could act twice.
+
+    A complete structured [overloaded] or [shard_failed] response is
+    also retried with the same backoff: both codes promise the work was
+    refused or lost before completing, so a re-send cannot duplicate
+    effects. If the retry budget runs out, the last such structured
+    response is returned as-is rather than raising. *)
 
 type t
 
@@ -48,6 +58,14 @@ val call : t -> Json.t -> Json.t
     responding after retries, {!Timeout} on an expired read deadline,
     {!Retries_exhausted} when the retry budget runs out, and
     {!Wire.Framing_error} on a corrupt response stream. *)
+
+val call_stream : t -> Json.t -> on_frame:(Json.t -> unit) -> Json.t
+(** Send a streaming request (the [trace] op): every intermediate frame
+    — the header and each sample chunk — is handed to [on_frame] as it
+    arrives, and the final frame (the response envelope, marked
+    ["done"]) is returned. Over HTTP each chunk of the chunked response
+    is one frame. Retries apply only until the first frame arrives;
+    a stream that dies mid-flight raises {!Wire.Framing_error}. *)
 
 (** Decoded view of a response envelope. [error_message] is the wire's
     own message string (display it as-is); [error] is the typed decode

@@ -14,6 +14,7 @@ type t =
   | Deadline_exceeded of { budget_ms : float }
   | Overloaded of { queue_bound : int }
   | Connection_limit of { max_conns : int }
+  | Shard_failed of { shard : int }
   | Internal of string
 
 let code = function
@@ -27,6 +28,7 @@ let code = function
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Overloaded _ -> "overloaded"
   | Connection_limit _ -> "connection_limit"
+  | Shard_failed _ -> "shard_failed"
   | Internal _ -> "internal"
 
 let message = function
@@ -51,6 +53,10 @@ let message = function
   | Connection_limit { max_conns } ->
       Printf.sprintf
         "server connection limit (%d) reached; retry later" max_conns
+  | Shard_failed { shard } ->
+      Printf.sprintf
+        "worker shard %d failed before completing the request; retry later"
+        shard
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 (* exit codes: 1 reserved for generic CLI failure, 2 for usage/input
@@ -60,7 +66,7 @@ let exit_code = function
   | Bad_request _ | Parse_error _ | Unknown_design _ | Not_compilable _ -> 2
   | Max_events_exceeded _ | Max_steps_exceeded _ | Solver_failure _ -> 3
   | Deadline_exceeded _ -> 4
-  | Overloaded _ | Connection_limit _ -> 5
+  | Overloaded _ | Connection_limit _ | Shard_failed _ -> 5
   | Internal _ -> 70 (* EX_SOFTWARE *)
 
 let of_exn = function
@@ -92,6 +98,7 @@ let to_json err =
     | Deadline_exceeded { budget_ms } -> [ ("budget_ms", Json.num budget_ms) ]
     | Overloaded { queue_bound } -> [ ("queue_bound", Json.int queue_bound) ]
     | Connection_limit { max_conns } -> [ ("max_conns", Json.int max_conns) ]
+    | Shard_failed { shard } -> [ ("shard", Json.int shard) ]
     | _ -> []
   in
   Json.Obj
@@ -122,6 +129,7 @@ let of_json j =
   | Some "overloaded" -> Overloaded { queue_bound = geti "queue_bound" 0 }
   | Some "connection_limit" ->
       Connection_limit { max_conns = geti "max_conns" 0 }
+  | Some "shard_failed" -> Shard_failed { shard = geti "shard" (-1) }
   | Some "internal" -> Internal msg
   | Some other -> Internal (Printf.sprintf "unknown error code %S: %s" other msg)
   | None -> Internal "malformed error object"

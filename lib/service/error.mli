@@ -21,6 +21,10 @@ type t =
   | Overloaded of { queue_bound : int }  (** bounded queue refused the job *)
   | Connection_limit of { max_conns : int }
       (** connection cap reached; the daemon answered and closed *)
+  | Shard_failed of { shard : int }
+      (** a gateway's worker shard died before completing the request;
+          the failure is transient — another shard (or the respawned
+          one) can serve a retry *)
   | Internal of string
 
 val code : t -> string
@@ -29,8 +33,9 @@ val code : t -> string
 val message : t -> string
 
 val exit_code : t -> int
-(** 2 input/usage, 3 simulation budget/solver, 4 deadline, 5 overloaded
-    or over the connection cap, 70 internal. *)
+(** 2 input/usage, 3 simulation budget/solver, 4 deadline, 5 transient
+    capacity/fleet trouble (overloaded, over the connection cap, a
+    failed shard), 70 internal. *)
 
 val of_exn : exn -> t option
 (** Classify the structured exceptions of the simulation stack

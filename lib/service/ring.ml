@@ -1,0 +1,82 @@
+(* Consistent-hash ring for shard routing.
+
+   Each shard id contributes [replicas] virtual points placed by the MD5
+   digest of "shard:<id>#<replica>"; a key routes to the shard owning
+   the first point clockwise of the key's own digest. MD5 is chosen not
+   for strength but for determinism: unlike [Hashtbl.hash] it is
+   specified byte-for-byte, so every process — gateway, bench driver,
+   test — computes the identical placement for a key, which is what
+   cache affinity across a fleet needs.
+
+   The structure is immutable; [add]/[remove] build the membership a
+   shard join or leave would produce. Because only the departing or
+   arriving shard's points change, a key either keeps its shard or
+   moves to/from exactly that shard — the minimal-movement property the
+   tests pin down. *)
+
+type t = {
+  replicas : int;
+  ids : int list;  (* sorted member ids *)
+  points : (string * int) array;  (* (digest, shard id), sorted by digest *)
+}
+
+let point_digest sid replica =
+  Digest.string (Printf.sprintf "shard:%d#%d" sid replica)
+
+let key_digest key = Digest.string key
+
+let build replicas ids =
+  let ids = List.sort_uniq compare ids in
+  let points =
+    List.concat_map
+      (fun sid -> List.init replicas (fun r -> (point_digest sid r, sid)))
+      ids
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { replicas; ids; points }
+
+let create ?(replicas = 128) ids =
+  if replicas < 1 then invalid_arg "Ring.create: replicas must be >= 1";
+  build replicas ids
+
+let shards t = t.ids
+let replicas t = t.replicas
+let is_empty t = t.ids = []
+let add t sid = build t.replicas (sid :: t.ids)
+let remove t sid = build t.replicas (List.filter (( <> ) sid) t.ids)
+
+(* index of the first point with digest >= d, wrapping to 0 past the
+   last point (the ring property) *)
+let successor t d =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < d then lo := mid + 1 else hi := mid
+  done;
+  if !lo >= n then 0 else !lo
+
+let route t key =
+  if t.points = [||] then None
+  else Some (snd t.points.(successor t (key_digest key)))
+
+let route_order t key =
+  if t.points = [||] then []
+  else begin
+    let n = Array.length t.points in
+    let start = successor t (key_digest key) in
+    let seen = Hashtbl.create 8 in
+    let order = ref [] in
+    (* walk clockwise collecting each shard at its first point *)
+    let i = ref 0 in
+    while !i < n && Hashtbl.length seen < List.length t.ids do
+      let sid = snd t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen sid) then begin
+        Hashtbl.add seen sid ();
+        order := sid :: !order
+      end;
+      incr i
+    done;
+    List.rev !order
+  end

@@ -208,16 +208,16 @@ let handle_parse srv req ~cancel:_ =
       in
       (result, 0., []))
 
-let run_ode ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
+let run_ode ?on_sample ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
   (* mirrors Ode.Driver.run_segment's per-method tolerance defaults so
      served results are byte-identical to direct execution *)
-  let drop _ _ = () in
+  let on_sample = Option.value ~default:(fun _ _ -> ()) on_sample in
   match method_ with
   | Ode.Driver.Dopri5 ->
       let rtol = Option.value ~default:1e-6 rtol
       and atol = Option.value ~default:1e-9 atol in
       let xf, stats =
-        Ode.Dopri5.integrate ~rtol ~atol ~cancel ~t0:0. ~t1 ~on_sample:drop
+        Ode.Dopri5.integrate ~rtol ~atol ~cancel ~t0:0. ~t1 ~on_sample
           sys x0
       in
       (xf, [ ("steps", Json.int stats.Ode.Dopri5.steps);
@@ -227,7 +227,7 @@ let run_ode ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
       and atol = Option.value ~default:1e-7 atol in
       let xf, stats =
         Ode.Rosenbrock.integrate ~rtol ~atol ~cancel ~t0:0. ~t1
-          ~on_sample:drop sys x0
+          ~on_sample sys x0
       in
       (xf, [ ("steps", Json.int stats.Ode.Rosenbrock.steps);
              ("factorizations", Json.int stats.Ode.Rosenbrock.factorizations) ])
@@ -235,7 +235,9 @@ let run_ode ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
       let steps = ref 0 in
       let xf =
         Ode.Fixed.integrate ~cancel ~step:Ode.Fixed.rk4_step ~h ~t0:0. ~t1
-          ~on_sample:(fun _ _ -> incr steps)
+          ~on_sample:(fun t x ->
+            incr steps;
+            on_sample t x)
           sys x0
       in
       (xf, [ ("steps", Json.int (max 0 (!steps - 1))) ])
@@ -541,25 +543,30 @@ let compute_handler op =
 
 (* ------------------------------------------------------------ responses *)
 
-let response_ok ~op ~result ~metrics =
+(* [done_] marks the final frame of a streamed (trace) response; the
+   field leads the object so the serialized form has the stable prefix
+   {"done": that a relaying gateway matches without parsing *)
+let envelope ~done_ fields =
   Json.to_string
-    (Json.Obj
-       [
-         ("ok", Json.Bool true);
-         ("op", Json.str op);
-         ("result", result);
-         ("metrics", Metrics.request_json metrics);
-       ])
+    (Json.Obj (if done_ then ("done", Json.Bool true) :: fields else fields))
 
-let response_error ~op ~error ~metrics =
-  Json.to_string
-    (Json.Obj
-       [
-         ("ok", Json.Bool false);
-         ("op", Json.str op);
-         ("error", Error.to_json error);
-         ("metrics", Metrics.request_json metrics);
-       ])
+let response_ok ?(done_ = false) ~op ~result ~metrics () =
+  envelope ~done_
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.str op);
+      ("result", result);
+      ("metrics", Metrics.request_json metrics);
+    ]
+
+let response_error ?(done_ = false) ~op ~error ~metrics () =
+  envelope ~done_
+    [
+      ("ok", Json.Bool false);
+      ("op", Json.str op);
+      ("error", Error.to_json error);
+      ("metrics", Metrics.request_json metrics);
+    ]
 
 let quick_metrics ?(cache = Metrics.Not_applicable) ~arrival () =
   {
@@ -571,8 +578,177 @@ let quick_metrics ?(cache = Metrics.Not_applicable) ~arrival () =
     extra = [];
   }
 
-(* the body of a compute job, run on a worker domain *)
-let run_job srv conn ~op ~handler ~req ~arrival ~deadline =
+(* ----------------------------------------------------- streamed traces *)
+
+(* The trace op streams a long simulation instead of buffering it: a
+   header frame (species names), then sample-chunk frames as the
+   integrator produces them, then a final frame that is a normal
+   response envelope with the ["done"] marker — so a client watches the
+   run instead of holding the full trajectory in one reply, and a
+   gateway relays frames as they pass without parsing more than the
+   done prefix. *)
+
+type chunker = {
+  chunk_size : int;
+  ck_conn : conn;
+  mutable buf_t : float list;  (* reversed *)
+  mutable buf_x : Json.t list;  (* reversed *)
+  mutable buf_n : int;
+  mutable n_chunks : int;
+  mutable n_samples : int;
+  mutable last_t : float;
+}
+
+let chunker ~chunk_size conn =
+  {
+    chunk_size;
+    ck_conn = conn;
+    buf_t = [];
+    buf_x = [];
+    buf_n = 0;
+    n_chunks = 0;
+    n_samples = 0;
+    last_t = neg_infinity;
+  }
+
+let stream_frame conn fields = send conn (Json.to_string (Json.Obj fields))
+
+let flush_chunk ck =
+  if ck.buf_n > 0 then begin
+    stream_frame ck.ck_conn
+      [
+        ("chunk", Json.int ck.n_chunks);
+        ("t", Json.List (List.rev_map Json.num ck.buf_t));
+        ("x", Json.List (List.rev ck.buf_x));
+      ];
+    ck.n_chunks <- ck.n_chunks + 1;
+    ck.buf_t <- [];
+    ck.buf_x <- [];
+    ck.buf_n <- 0
+  end
+
+let chunk_sample ck t x =
+  (* vec_json copies the state now — the integrator reuses its buffer *)
+  ck.buf_t <- t :: ck.buf_t;
+  ck.buf_x <- vec_json x :: ck.buf_x;
+  ck.buf_n <- ck.buf_n + 1;
+  ck.n_samples <- ck.n_samples + 1;
+  ck.last_t <- t;
+  if ck.buf_n >= ck.chunk_size then flush_chunk ck
+
+let positive_int req key ~default =
+  match get_int req key with
+  | None -> default
+  | Some n when n >= 1 -> n
+  | Some _ ->
+      reject (Error.Bad_request (Printf.sprintf "%S must be >= 1" key))
+
+(* streamed handler body; returns (result, run_ms, extra) like the
+   non-streaming handlers, having already sent header + chunk frames *)
+let handle_trace srv req ~cancel conn =
+  let engine = Option.value ~default:"ode" (get_str req "engine") in
+  let chunk_size = positive_int req "chunk" ~default:256 in
+  let env = env_of req in
+  let t1 = t1_of req in
+  with_model srv req ~env (fun entry ->
+      let net = entry.Model_cache.net in
+      (* header goes out before the run starts: the client learns the
+         species while the integrator is still working *)
+      stream_frame conn
+        [
+          ("stream", Json.str "trace");
+          ("op", Json.str "trace");
+          ("engine", Json.str engine);
+          ("species", names_json net);
+          ("t1", Json.num t1);
+        ];
+      let ck = chunker ~chunk_size conn in
+      match engine with
+      | "ode" ->
+          let method_ = method_of req in
+          let rtol = get_float req "rtol" and atol = get_float req "atol" in
+          let thin = positive_int req "thin" ~default:1 in
+          let x0 = Crn.Network.initial_state net in
+          (* exactly Ode.Driver.simulate's thinning: record the t = 0
+             boundary, skip the integrator's echo of it, keep every
+             thin-th accepted step, and always include the final state —
+             so a streamed trace is bitwise the trace a local
+             [Driver.simulate ~thin] records *)
+          let countdown = ref 0 in
+          let record_boundary t x =
+            chunk_sample ck t x;
+            countdown := thin - 1
+          in
+          let record_step t x =
+            if !countdown <= 0 then record_boundary t x else decr countdown
+          in
+          let first = ref true in
+          let on_sample t x =
+            if !first then first := false else record_step t x
+          in
+          let (xf, extra), run_ms =
+            timed (fun () ->
+                record_boundary 0. x0;
+                run_ode ~on_sample ~method_ ~rtol ~atol ~cancel ~t1
+                  ~sys:entry.Model_cache.sys x0)
+          in
+          if ck.last_t < t1 then chunk_sample ck t1 xf;
+          flush_chunk ck;
+          let result =
+            Json.Obj
+              [
+                ("t1", Json.num t1);
+                ("samples", Json.int ck.n_samples);
+                ("chunks", Json.int ck.n_chunks);
+                ("species", names_json net);
+                ("final", vec_json xf);
+              ]
+          in
+          (result, run_ms, ("samples", Json.int ck.n_samples) :: extra)
+      | "ssa" ->
+          let seed =
+            Int64.of_int (Option.value ~default:1 (get_int req "seed"))
+          in
+          let max_events = get_int req "max_events" in
+          let sample_dt = get_float req "sample_dt" in
+          let r, run_ms =
+            timed (fun () ->
+                Ssa.Gillespie.run ~env ~seed ?sample_dt ?max_events
+                  ~model:entry.Model_cache.ssa ~cancel ~t1 net)
+          in
+          (* the SSA engine owns its sampling cadence; its finished trace
+             streams out in chunks so the reply stays frame-bounded *)
+          let tr = r.Ssa.Gillespie.trace in
+          let times = Ode.Trace.times tr in
+          for i = 0 to Ode.Trace.length tr - 1 do
+            chunk_sample ck times.(i) (Ode.Trace.state_at_index tr i)
+          done;
+          flush_chunk ck;
+          let result =
+            Json.Obj
+              [
+                ("t1", Json.num t1);
+                ("samples", Json.int ck.n_samples);
+                ("chunks", Json.int ck.n_chunks);
+                ("species", names_json net);
+                ("final", vec_json r.Ssa.Gillespie.final);
+                ("n_events", Json.int r.Ssa.Gillespie.n_events);
+              ]
+          in
+          ( result,
+            run_ms,
+            [
+              ("samples", Json.int ck.n_samples);
+              ("events", Json.int r.Ssa.Gillespie.n_events);
+            ] )
+      | other ->
+          reject
+            (Error.Bad_request
+               (Printf.sprintf "unknown trace engine %S (ode, ssa)" other)))
+
+(* the body of a compute job, run on a worker domain; [stream] marks
+   the final response as a stream-terminating done frame *)
+let run_job ?(stream = false) srv conn ~op ~handler ~req ~arrival ~deadline =
   let started = Unix.gettimeofday () in
   let queue_wait_ms = (started -. arrival) *. 1000. in
   let cancel =
@@ -593,9 +769,10 @@ let run_job srv conn ~op ~handler ~req ~arrival ~deadline =
     in
     let payload, error_code =
       match outcome with
-      | Ok result -> (response_ok ~op ~result ~metrics, None)
+      | Ok result -> (response_ok ~done_:stream ~op ~result ~metrics (), None)
       | Stdlib.Error err ->
-          (response_error ~op ~error:err ~metrics, Some (Error.code err))
+          ( response_error ~done_:stream ~op ~error:err ~metrics (),
+            Some (Error.code err) )
     in
     Metrics.record srv.metrics ~op ~error:error_code ~request:metrics;
     send conn payload
@@ -666,7 +843,7 @@ let handle_stats srv ~arrival =
             ])
     | j -> j
   in
-  response_ok ~op:"stats" ~result ~metrics:(quick_metrics ~arrival ())
+  response_ok ~op:"stats" ~result ~metrics:(quick_metrics ~arrival ()) ()
 
 let dispatch srv conn payload =
   let arrival = Unix.gettimeofday () in
@@ -675,7 +852,7 @@ let dispatch srv conn payload =
       send conn
         (response_error ~op:"?"
            ~error:(Error.Bad_request ("bad JSON: " ^ msg))
-           ~metrics:(quick_metrics ~arrival ()))
+           ~metrics:(quick_metrics ~arrival ()) ())
   | req -> (
       let op = Option.value ~default:"" (get_str req "op") in
       match op with
@@ -683,25 +860,32 @@ let dispatch srv conn payload =
           send conn
             (response_error ~op:"?"
                ~error:(Error.Bad_request "missing \"op\"")
-               ~metrics:(quick_metrics ~arrival ()))
+               ~metrics:(quick_metrics ~arrival ()) ())
       | "ping" ->
           send conn
             (response_ok ~op:"ping"
                ~result:
                  (Json.Obj [ ("protocol", Json.int protocol_version) ])
-               ~metrics:(quick_metrics ~arrival ()))
+               ~metrics:(quick_metrics ~arrival ()) ())
       | "stats" ->
           Metrics.record srv.metrics ~op:"stats" ~error:None
             ~request:(quick_metrics ~arrival ());
           send conn (handle_stats srv ~arrival)
       | op -> (
-          match compute_handler op with
+          let stream = op = "trace" in
+          let handler =
+            if stream then
+              Some
+                (fun srv req ~cancel -> handle_trace srv req ~cancel conn)
+            else compute_handler op
+          in
+          match handler with
           | None ->
               send conn
                 (response_error ~op
                    ~error:
                      (Error.Bad_request (Printf.sprintf "unknown op %S" op))
-                   ~metrics:(quick_metrics ~arrival ()))
+                   ~metrics:(quick_metrics ~arrival ()) ())
           | Some handler ->
               let deadline =
                 match
@@ -716,7 +900,7 @@ let dispatch srv conn payload =
               conn.in_flight <- conn.in_flight + 1;
               Mutex.unlock conn.wmutex;
               let job () =
-                run_job srv conn ~op ~handler ~req ~arrival ~deadline
+                run_job ~stream srv conn ~op ~handler ~req ~arrival ~deadline
               in
               if not (Numeric.Domain_pool.Bounded.try_submit srv.pool job)
               then begin
@@ -726,8 +910,8 @@ let dispatch srv conn payload =
                 Metrics.record srv.metrics ~op ~error:(Some (Error.code err))
                   ~request:(quick_metrics ~arrival ());
                 send conn
-                  (response_error ~op ~error:err
-                     ~metrics:(quick_metrics ~arrival ()));
+                  (response_error ~done_:stream ~op ~error:err
+                     ~metrics:(quick_metrics ~arrival ()) ());
                 job_done conn
               end))
 
@@ -762,7 +946,7 @@ let run ?(stop = fun () -> false) config =
   let kill c error =
     send c
       (response_error ~op:"?" ~error
-         ~metrics:(quick_metrics ~arrival:(Unix.gettimeofday ()) ()));
+         ~metrics:(quick_metrics ~arrival:(Unix.gettimeofday ()) ()) ());
     c.closing <- true
   in
   let accept () =
@@ -778,7 +962,7 @@ let run ?(stop = fun () -> false) config =
              Wire.write_frame fd
                (response_error ~op:"?"
                   ~error:(Error.Connection_limit { max_conns = config.max_conns })
-                  ~metrics:(quick_metrics ~arrival:(Unix.gettimeofday ()) ()))
+                  ~metrics:(quick_metrics ~arrival:(Unix.gettimeofday ()) ()) ())
            with _ -> ());
           try Unix.close fd with _ -> ()
         end

@@ -3,11 +3,22 @@
 
     Protocol: length-prefixed JSON frames ({!Wire}). A request is an
     object with an ["op"] field — [ping], [stats], [parse], [ode],
-    [ssa], [ensemble], [sweep], [dsd] — plus op-specific fields
-    (["network"], ["t1"], ["ratio"], ["method"], ["seed"], ["runs"],
-    ["ratios"], ["c_max"], ["deadline_ms"]...). Every response carries
-    ["ok"], ["op"], ["result"] or ["error"] ({!Error.to_json}), and a
-    ["metrics"] block ({!Metrics.request_json}).
+    [ssa], [ensemble], [sweep], [dsd], [trace] — plus op-specific
+    fields (["network"], ["t1"], ["ratio"], ["method"], ["seed"],
+    ["runs"], ["ratios"], ["c_max"], ["deadline_ms"]...). Every
+    response carries ["ok"], ["op"], ["result"] or ["error"]
+    ({!Error.to_json}), and a ["metrics"] block
+    ({!Metrics.request_json}).
+
+    The [trace] op streams: a header frame (["stream"], ["species"]),
+    then sample-chunk frames (["chunk"], ["t"], ["x"]; ["chunk"]
+    request field sets the samples per frame, default 256), then a
+    final response envelope whose serialized form starts with the
+    stable prefix [{"done":] — which is how a relaying gateway spots
+    the end of the stream without parsing. With ["engine": "ode"] the
+    samples stream live while the integrator runs and reproduce
+    [Ode.Driver.simulate ~thin] bitwise; ["engine": "ssa"] streams the
+    finished run's sampled trace in chunks.
 
     Concurrency: [ping]/[stats] are answered inline on the event-loop
     domain; compute ops are enqueued on a

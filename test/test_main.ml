@@ -22,4 +22,6 @@ let () =
       ("networks", Test_networks.suite);
       ("service", Test_service.suite);
       ("fault", Test_fault.suite);
+      ("ring", Test_ring.suite);
+      ("gateway", Test_gateway.suite);
     ]

@@ -1,0 +1,185 @@
+(* Consistent-hash ring properties the fleet depends on: placement is a
+   pure deterministic function of key bytes and membership (golden
+   values pinned so a refactor cannot silently re-shuffle every cache in
+   a live fleet), shard join/leave moves only the keys the new/old
+   shard's own points cover, virtual points keep the load roughly
+   balanced, and independently constructed instances of the same
+   catalog design carry equal [Crn.Equiv.cache_key]s and therefore land
+   on the same shard — the property that makes gateway-side routing
+   agree with shard-side model caching. *)
+
+module R = Service.Ring
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* deterministic key stream (Numeric.Rng so the qcheck counterexample
+   seed is the replay seed) *)
+let keys_of_seed seed n =
+  let rng = Numeric.Rng.create (Int64.of_int seed) in
+  List.init n (fun _ ->
+      String.init
+        (1 + Numeric.Rng.int rng 40)
+        (fun _ -> Char.chr (Numeric.Rng.int rng 256)))
+
+(* ------------------------------------------------- golden placement *)
+
+(* Pinned against the MD5 point layout: if these move, every deployed
+   fleet's cache affinity is invalidated on upgrade. *)
+let test_golden () =
+  let ring = R.create [ 0; 1; 2; 3 ] in
+  List.iter
+    (fun (key, expect) ->
+      check_int ("route " ^ String.escaped key) expect
+        (Option.get (R.route ring key)))
+    [
+      ("", 3);
+      ("clock4@1000", 0);
+      ("counter2@default", 1);
+      ("ma4@250.5", 3);
+      ("payload:{not json", 3);
+    ]
+
+let test_edges () =
+  let empty = R.create [] in
+  check_bool "empty ring is empty" true (R.is_empty empty);
+  check_bool "empty ring routes nowhere" true (R.route empty "k" = None);
+  check_bool "route_order on empty ring" true (R.route_order empty "k" = []);
+  check_bool "replicas < 1 rejected" true
+    (match R.create ~replicas:0 [ 1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let ring = R.create [ 2; 1; 1; 2 ] in
+  check_bool "members deduplicated and sorted" true (R.shards ring = [ 1; 2 ]);
+  check_bool "re-adding a member is a no-op" true
+    (R.shards (R.add ring 2) = [ 1; 2 ]);
+  check_bool "removing an absent member is a no-op" true
+    (R.shards (R.remove ring 7) = [ 1; 2 ])
+
+let test_route_order () =
+  let ring = R.create [ 0; 1; 2; 3; 4 ] in
+  List.iter
+    (fun key ->
+      let order = R.route_order ring key in
+      check_int "order covers every member" 5 (List.length order);
+      check_bool "head of route_order is route" true
+        (List.nth_opt order 0 = R.route ring key);
+      check_bool "order is a permutation of members" true
+        (List.sort compare order = R.shards ring))
+    (keys_of_seed 11 50)
+
+(* with 128 points per shard, no shard of four owns less than a tenth
+   or more than half of a 4000-key stream *)
+let test_balance () =
+  let ring = R.create [ 0; 1; 2; 3 ] in
+  let counts = Array.make 4 0 in
+  let keys = keys_of_seed 42 4000 in
+  List.iter
+    (fun k ->
+      let s = Option.get (R.route ring k) in
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "shard %d share %d/4000 within [400, 2000]" i c)
+        true
+        (c >= 400 && c <= 2000))
+    counts
+
+(* equal cache keys land on the same shard; and synthesis determinism
+   means two independently built instances of a catalog design have
+   equal cache keys — routing a design name is well-defined fleet-wide *)
+let test_cache_key_affinity () =
+  let ring = R.create [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  List.iter
+    (fun name ->
+      let k1 = Crn.Equiv.cache_key (Designs.Catalog.build name) in
+      let k2 = Crn.Equiv.cache_key (Designs.Catalog.build name) in
+      Alcotest.(check string) (name ^ ": cache_key deterministic") k1 k2;
+      check_bool (name ^ ": both instances route together") true
+        (R.route ring k1 = R.route ring k2))
+    [ "clock4"; "counter2"; "ma4" ];
+  (* distinct designs are distinct keys (they'd collide caches otherwise) *)
+  let ks =
+    List.map
+      (fun n -> Crn.Equiv.cache_key (Designs.Catalog.build n))
+      [ "clock4"; "counter2"; "ma4"; "iir"; "clock3" ]
+  in
+  check_int "five designs, five distinct cache keys" 5
+    (List.length (List.sort_uniq compare ks))
+
+(* ------------------------------------------------------- properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  let scenario =
+    Gen.(
+      let* n = int_range 1 8 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, seed))
+  in
+  [
+    Test.make ~name:"placement is deterministic across instances" ~count:60
+      (make scenario)
+      (fun (n, seed) ->
+        let ids = List.init n (fun i -> i * 3) in
+        let a = R.create ids and b = R.create ids in
+        List.for_all
+          (fun k ->
+            R.route a k = R.route b k
+            && R.route_order a k = R.route_order b k
+            && List.mem (Option.get (R.route a k)) ids)
+          (keys_of_seed seed 60));
+    Test.make ~name:"join moves keys only onto the new shard" ~count:60
+      (make scenario)
+      (fun (n, seed) ->
+        let ids = List.init n (fun i -> i) in
+        let before = R.create ids in
+        let after = R.add before n in
+        List.for_all
+          (fun k ->
+            let old_owner = R.route before k in
+            let new_owner = R.route after k in
+            new_owner = old_owner || new_owner = Some n)
+          (keys_of_seed seed 80));
+    Test.make ~name:"leave moves only the departed shard's keys" ~count:60
+      (make scenario)
+      (fun (n, seed) ->
+        let ids = List.init (n + 1) (fun i -> i) in
+        let before = R.create ids in
+        let gone = n / 2 in
+        let after = R.remove before gone in
+        List.for_all
+          (fun k ->
+            let old_owner = Option.get (R.route before k) in
+            let new_owner = Option.get (R.route after k) in
+            if old_owner = gone then new_owner <> gone
+            else new_owner = old_owner)
+          (keys_of_seed seed 80));
+    Test.make ~name:"failover order survives the owner leaving" ~count:40
+      (make scenario)
+      (fun (n, seed) ->
+        (* removing the owner promotes exactly the ring successor: the
+           shard a gateway fails over to is the shard the key would
+           belong to after the owner actually left *)
+        let ids = List.init (n + 1) (fun i -> i) in
+        let ring = R.create ids in
+        List.for_all
+          (fun k ->
+            match R.route_order ring k with
+            | owner :: next :: _ ->
+                R.route (R.remove ring owner) k = Some next
+            | _ -> true)
+          (keys_of_seed seed 40));
+  ]
+
+let suite =
+  [
+    ("golden placement", `Quick, test_golden);
+    ("edge cases", `Quick, test_edges);
+    ("route_order", `Quick, test_route_order);
+    ("balance", `Quick, test_balance);
+    ("cache_key affinity", `Quick, test_cache_key_affinity);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
