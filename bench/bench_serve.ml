@@ -9,7 +9,7 @@
      dune exec bench/bench_serve.exe -- --out path.json ...
 
    --served points at the crnserved binary the gateway spawns (the
-   gateway itself runs in-process on a separate domain). Three
+   gateway itself runs in-process on a separate domain). Four
    scenarios:
 
    scaling — closed-loop clients over a cache-miss-heavy workload (the
@@ -35,7 +35,13 @@
      measured from the schedule so queueing delay is not hidden) over a
      mixed op workload: cached-model ODE requests, SSA runs at varying
      seeds, and an occasional never-seen ratio forcing a compile.
-     Reports the p50/p95/p99 a client actually experiences. *)
+     Reports the p50/p95/p99 a client actually experiences.
+
+   validate — a storm of exact-verification requests, half well-formed
+     (catalog certify) and half carrying a network the exact tier
+     rejects with a structured code. Both halves run inline on the
+     shard event loop, so the recorded rejects/sec is what it costs to
+     turn away a bad design: no pool worker, no simulation. *)
 
 let now = Unix.gettimeofday
 
@@ -99,7 +105,8 @@ let stop_fleet f =
   Atomic.set f.stop true;
   Domain.join f.domain
 
-let fleet_cache_counts f =
+(* read summed fleet counters out of the gateway's stats fan-out *)
+let fleet_counts f keys =
   let c = Service.Client.connect f.addr in
   Fun.protect
     ~finally:(fun () -> Service.Client.close c)
@@ -108,17 +115,21 @@ let fleet_cache_counts f =
       let resp =
         Service.Client.call c (J.Obj [ ("op", J.str "stats") ])
       in
-      let get path =
-        List.fold_left
-          (fun acc key -> Option.bind acc (J.member key))
-          (Some resp) path
-      in
-      let num path =
+      let num key =
         Option.value ~default:0.
-          (Option.bind (get path) J.to_float)
+          (Option.bind
+             (List.fold_left
+                (fun acc k -> Option.bind acc (J.member k))
+                (Some resp)
+                [ "result"; "fleet"; key ])
+             J.to_float)
       in
-      ( num [ "result"; "fleet"; "cache_hits" ],
-        num [ "result"; "fleet"; "cache_misses" ] ))
+      List.map num keys)
+
+let fleet_cache_counts f =
+  match fleet_counts f [ "cache_hits"; "cache_misses" ] with
+  | [ h; m ] -> (h, m)
+  | _ -> assert false
 
 (* -------------------------------------------------------- load loops *)
 
@@ -226,6 +237,31 @@ let ssa_req ?ratio ~design ~t1 ~seed () =
        ("seed", J.int seed);
      ]
     @ match ratio with Some r -> [ ("ratio", J.num r) ] | None -> [])
+
+(* validate ops: the exact-arithmetic certificate tier. Runs inline on
+   the shard's event loop — never a pool worker, never a simulation. *)
+let validate_certify_req ~design =
+  J.Obj
+    [
+      ("op", J.str "validate");
+      ("network", J.Obj [ ("catalog", J.str design) ]);
+    ]
+
+(* an inline network the rate-discipline check rejects: a slow
+   annihilation (structured code slow_annihilation, wire code
+   validation_failed) *)
+let validate_reject_req () =
+  J.Obj
+    [
+      ("op", J.str "validate");
+      ( "network",
+        J.Obj
+          [
+            ( "text",
+              J.str "init X 10\ninit Y 10\nX + Y ->{slow} 0\n0 ->{slow} X\n"
+            );
+          ] );
+    ]
 
 (* ---------------------------------------------------------- scenarios *)
 
@@ -411,6 +447,43 @@ let scenario_open_loop ~served ~dirbase ~smoke =
       report r;
       (r, rate_rps, duration_s))
 
+(* validate-storm: a 1:1 mix of well-formed catalog validations and
+   inline networks the exact tier rejects. Both halves run inline on
+   the shard event loop, so throughput here is pure verification speed;
+   a rejection arrives as a structured ok:false envelope, which is why
+   the row's error count equals the reject count when the transport is
+   healthy — the fleet's validate counters cross-check that. *)
+let scenario_validate ~served ~dirbase ~smoke =
+  let dir = Printf.sprintf "%s/validate" dirbase in
+  let fleet =
+    start_fleet ~served ~dir ~shards:2 ~jobs_per_shard:1 ~cache_capacity:8
+      ~affinity:true
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_fleet fleet)
+    (fun () ->
+      let clients = 4 in
+      let per_client = if smoke then 20 else 200 in
+      let m =
+        closed_loop ~addr:fleet.addr ~clients ~per_client
+          ~make_req:(fun ci ri ->
+            if (ci + ri) mod 2 = 0 then validate_certify_req ~design:"counter2"
+            else validate_reject_req ())
+      in
+      let certified, rejected =
+        match fleet_counts fleet [ "validate_ok"; "validate_reject" ] with
+        | [ ok; rej ] -> (ok, rej)
+        | _ -> assert false
+      in
+      let r = row ~label:"validate/storm" ~shards:2 ~clients m in
+      report r;
+      Printf.eprintf
+        "%-22s fleet validate: %.0f certified, %.0f rejected (%.1f \
+         rejects/s)\n%!"
+        "" certified rejected
+        (rejected /. m.wall_s);
+      (r, certified, rejected))
+
 (* ------------------------------------------------------------- output *)
 
 let json_row b r =
@@ -424,7 +497,7 @@ let json_row b r =
 
 let write_json ~path ~smoke (r1, r2, scaling)
     (ring_row, rand_row, (ring_h, ring_m), (rand_h, rand_m), k, per_shard)
-    (ol_row, rate, duration) =
+    (ol_row, rate, duration) (v_row, v_certified, v_rejected) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-serve/1\",\n";
   Buffer.add_string b
@@ -466,7 +539,17 @@ let write_json ~path ~smoke (r1, r2, scaling)
         \"row\": "
        rate duration);
   json_row b ol_row;
-  Buffer.add_string b "\n  }\n}\n";
+  Buffer.add_string b "\n  },\n";
+  Buffer.add_string b
+    "  \"validate\": {\"mix\": \"1:1 certify:reject, inline exact tier\", \
+     \"row\": ";
+  json_row b v_row;
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\n    \"certified\": %.0f, \"rejected\": %.0f, \
+        \"rejects_per_sec\": %.1f\n  }\n}\n"
+       v_certified v_rejected
+       (v_rejected /. v_row.wall_s));
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -504,4 +587,5 @@ let () =
   let scaling = scenario_scaling ~served ~dirbase ~smoke in
   let affinity = scenario_affinity ~served ~dirbase ~smoke in
   let ol = scenario_open_loop ~served ~dirbase ~smoke in
-  write_json ~path:!out ~smoke scaling affinity ol
+  let v = scenario_validate ~served ~dirbase ~smoke in
+  write_json ~path:!out ~smoke scaling affinity ol v

@@ -1,0 +1,188 @@
+(* Exact-verification micro-bench: certificate construction wall time
+   for every catalog design (in-process, `Service.Verify.certify`), and
+   the served `validate` op's single-client latency against the
+   cheapest simulation op on the same daemon — the numbers behind the
+   VERIFY table in EXPERIMENTS.md.
+
+     dune exec bench/bench_validate.exe --            # full reps
+     dune exec bench/bench_validate.exe -- --smoke
+     dune exec bench/bench_validate.exe -- --out path.json
+
+   Emits BENCH_validate.json. *)
+
+let now = Unix.gettimeofday
+
+(* -------------------------------------------------- in-process certify *)
+
+type design_row = {
+  name : string;
+  cert_bytes : int;
+  laws : int;
+  clocks : int;
+  certify_ms : float;
+}
+
+let count_prefix ~prefix text =
+  List.length
+    (List.filter
+       (fun l -> String.length l >= String.length prefix
+                 && String.sub l 0 (String.length prefix) = prefix)
+       (String.split_on_char '\n' text))
+
+let bench_design ~reps (e : Designs.Catalog.entry) =
+  let net = e.build () in
+  let cert = Service.Verify.certify ~title:e.name net in
+  let text = Exact.Certificate.render cert in
+  let t0 = now () in
+  for _ = 1 to reps do
+    ignore (Service.Verify.certify ~title:e.name net)
+  done;
+  let ms = (now () -. t0) /. float_of_int reps *. 1e3 in
+  {
+    name = e.name;
+    cert_bytes = String.length text;
+    laws = count_prefix ~prefix:"  law " text;
+    clocks = count_prefix ~prefix:"  clock " text;
+    certify_ms = ms;
+  }
+
+(* ------------------------------------------------------ served latency *)
+
+module J = Service.Json
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+(* single client, one request in flight: p50 is op latency itself *)
+let measure_op client ~reps req =
+  ignore (Service.Client.request client req) (* warm: compile/cache *);
+  let lats =
+    Array.init reps (fun _ ->
+        let s = now () in
+        ignore (Service.Client.request client req);
+        (now () -. s) *. 1e3)
+  in
+  Array.sort compare lats;
+  percentile lats 0.50
+
+let validate_req network =
+  J.Obj [ ("op", J.str "validate"); ("network", network) ]
+
+let served_latencies ~reps =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mrsc-bench-validate-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink sock with _ -> ());
+  let addr = Service.Addr.Unix_sock sock in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Service.Server.run
+          ~stop:(fun () -> Atomic.get stop)
+          (Service.Server.default_config addr))
+  in
+  let rec wait_ready tries =
+    match Service.Client.connect addr with
+    | client -> client
+    | exception Unix.Unix_error _ ->
+        if tries = 0 then failwith "server did not come up";
+        Unix.sleepf 0.02;
+        wait_ready (tries - 1)
+  in
+  let client = wait_ready 250 in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Client.close client;
+      Atomic.set stop true;
+      Domain.join server)
+    (fun () ->
+      let catalog d = J.Obj [ ("catalog", J.str d) ] in
+      let certify =
+        measure_op client ~reps (validate_req (catalog "counter2"))
+      in
+      let reject =
+        measure_op client ~reps
+          (validate_req
+             (J.Obj
+                [
+                  ( "text",
+                    J.str
+                      "init X 10\ninit Y 10\nX + Y ->{slow} 0\n0 ->{slow} X\n"
+                  );
+                ]))
+      in
+      (* the cheapest simulation the daemon offers: a cached compiled
+         ODE model integrated over a near-zero horizon — everything but
+         the integration step is amortized away *)
+      let sim =
+        measure_op client ~reps
+          (J.Obj
+             [
+               ("op", J.str "ode");
+               ("network", catalog "counter2");
+               ("t1", J.num 0.01);
+               ("ratio", J.num 100.);
+             ])
+      in
+      (certify, reject, sim))
+
+(* -------------------------------------------------------------- main *)
+
+let () =
+  let smoke =
+    Array.exists (fun a -> a = "smoke" || a = "--smoke") Sys.argv
+  in
+  let out = ref "BENCH_validate.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then
+        out := Sys.argv.(i + 1))
+    Sys.argv;
+  let reps = if smoke then 20 else 200 in
+  let rows =
+    List.map
+      (fun e ->
+        let r = bench_design ~reps e in
+        Printf.eprintf
+          "%-14s %4d B, %d laws, %d clocks, certify %.3f ms\n%!" r.name
+          r.cert_bytes r.laws r.clocks r.certify_ms;
+        r)
+      (Designs.Catalog.all ())
+  in
+  let certify_p50, reject_p50, sim_p50 =
+    served_latencies ~reps:(if smoke then 30 else 300)
+  in
+  Printf.eprintf
+    "served p50: validate certify %.3f ms, validate reject %.3f ms, \
+     cheapest sim (cached ode, t1=0.01) %.3f ms\n%!"
+    certify_p50 reject_p50 sim_p50;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-validate/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"host\": %s,\n  \"smoke\": %b,\n  \"reps\": %d,\n"
+       (Bench_host.json ()) smoke reps);
+  Buffer.add_string b "  \"designs\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"cert_bytes\": %d, \"laws\": %d, \
+            \"clocks\": %d, \"certify_ms\": %.4f}%s\n"
+           r.name r.cert_bytes r.laws r.clocks r.certify_ms
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"served_p50_ms\": {\"validate_certify\": %.4f, \
+        \"validate_reject\": %.4f, \"cheapest_sim\": %.4f,\n    \
+        \"cheapest_sim_op\": \"ode counter2 t1=0.01 (cached model)\"}\n}\n"
+       certify_p50 reject_p50 sim_p50);
+  let oc = open_out !out in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" !out

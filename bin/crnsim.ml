@@ -631,10 +631,85 @@ let report_error e =
           70
       | e -> raise e)
 
+(* --validate: certify the network in the exact verification tier and
+   print the certificate, without simulating anything. The local and
+   --connect paths print byte-identical certificates; exit 0 when
+   certified, 6 when the network is rejected (same code the service
+   protocol assigns to validation_failed). *)
+let run_validate ~source ~connect ~deadline_ms ~retries ~retry_budget_ms
+    ~seed =
+  try
+    match connect with
+    | None ->
+        let net = load source in
+        let title =
+          if Option.is_some (Designs.Catalog.find source) then source
+          else "network"
+        in
+        let cert = Service.Verify.certify ~title net in
+        print_string (Exact.Certificate.render cert);
+        (match Service.Verify.error_of_certificate cert with
+        | None -> 0
+        | Some err ->
+            Printf.eprintf "crnsim: %s\n" (Service.Error.message err);
+            Service.Error.exit_code err)
+    | Some connect ->
+        let address =
+          match Service.Addr.of_string connect with
+          | Ok a -> a
+          | Error msg -> failwith msg
+        in
+        let read_deadline_ms =
+          Option.map (fun ms -> Float.max ms 1. +. 1000.) deadline_ms
+        in
+        let client =
+          Service.Client.connect ~retries ~retry_budget_ms
+            ~retry_seed:(Int64.of_int seed) ?read_deadline_ms address
+        in
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close client)
+          (fun () ->
+            let deadline =
+              match deadline_ms with
+              | Some ms -> [ ("deadline_ms", J.num ms) ]
+              | None -> []
+            in
+            let resp =
+              Service.Client.request client
+                (J.Obj
+                   ([
+                      ("op", J.str "validate");
+                      ("network", network_json source []);
+                    ]
+                   @ deadline))
+            in
+            (* certified and rejected responses both carry the rendered
+               certificate; print it either way, then exit by verdict *)
+            (match
+               Option.bind resp.Service.Client.result (fun r ->
+                   Option.bind (J.member "certificate" r) J.to_str)
+             with
+            | Some text -> print_string text
+            | None -> ());
+            if resp.Service.Client.ok then 0
+            else begin
+              Printf.eprintf "crnsim: %s\n"
+                (Option.value ~default:"unknown server error"
+                   resp.Service.Client.error_message);
+              match resp.Service.Client.error with
+              | Some err -> Service.Error.exit_code err
+              | None -> 70
+            end)
+  with e -> report_error e
+
 let run source t1 ratio method_name csv_out plot_species engine_opt
     stochastic seed runs jobs final_only focus sweep_ratios sweep_jobs
     connect deadline_ms retries retry_budget_ms pop_threshold prop_threshold
-    repartition_every =
+    repartition_every validate =
+  if validate then
+    run_validate ~source ~connect ~deadline_ms ~retries ~retry_budget_ms
+      ~seed
+  else
   match
     (try Ok (resolve_engine ~stochastic engine_opt) with e -> Error e)
   with
@@ -901,6 +976,17 @@ let retry_budget_ms =
   Arg.(
     value & opt float 2_000. & info [ "retry-budget-ms" ] ~docv:"MS" ~doc)
 
+let validate =
+  let doc =
+    "Do not simulate: run the exact-arithmetic verification tier \
+     (rational conservation-law basis, clock phase non-overlap proof, \
+     rate-independence discipline, structural lint) and print the \
+     certificate. Exit 0 when the network is certified, 6 when it is \
+     rejected. With --connect the daemon's validate op answers and the \
+     printed certificate is byte-identical to local execution."
+  in
+  Arg.(value & flag & info [ "validate" ] ~doc)
+
 let cmd =
   let doc = "simulate a chemical reaction network" in
   let info = Cmd.info "crnsim" ~version:"1.0" ~doc in
@@ -909,6 +995,7 @@ let cmd =
       const run $ source $ t1 $ ratio $ method_name $ csv_out $ plot_species
       $ engine_opt $ stochastic $ seed $ runs $ jobs $ final_only $ focus
       $ sweep_ratios $ sweep_jobs $ connect $ deadline_ms $ retries
-      $ retry_budget_ms $ pop_threshold $ prop_threshold $ repartition_every)
+      $ retry_budget_ms $ pop_threshold $ prop_threshold $ repartition_every
+      $ validate)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,18 +1,30 @@
+(* The basis is computed exactly (fraction-free Bareiss over the integer
+   stoichiometry matrix, in [lib/exact]); floats appear only here, at the
+   conversion boundary. Each vector is the primitive integer law, so
+   callers see small whole-number weights instead of LU-scaled floats. *)
 let laws net =
-  let s = Network.stoichiometry net in
-  Numeric.Lu.nullspace (Numeric.Mat.transpose s)
+  Exact.Invariant.conservation_basis (Exact_view.of_network net)
+  |> List.map (fun (l : Exact.Invariant.law) ->
+         Array.map Exact.Z.to_float l.weights)
 
+(* thin wrapper over the exact kernel: the float weights convert to
+   rationals exactly ([Exact.Q.of_float] is lossless), each reaction's
+   weighted change is summed over Q with no rounding, and only the final
+   |change| <= eps comparison involves the tolerance *)
 let is_invariant ?(eps = 1e-9) net w =
   if Array.length w <> Network.n_species net then
     invalid_arg "Conservation.is_invariant: weight dimension mismatch";
+  let wq = Array.map Exact.Q.of_float w in
+  let eq = Exact.Q.of_float eps in
   Array.for_all
     (fun r ->
       let change =
         List.fold_left
-          (fun acc (sp, c) -> acc +. (w.(sp) *. float_of_int c))
-          0. (Reaction.net_stoich r)
+          (fun acc (sp, c) ->
+            Exact.Q.add acc (Exact.Q.mul wq.(sp) (Exact.Q.of_int c)))
+          Exact.Q.zero (Reaction.net_stoich r)
       in
-      Float.abs change <= eps)
+      Exact.Q.compare (Exact.Q.abs change) eq <= 0)
     (Network.reactions net)
 
 let weighted_total w state = Numeric.Vec.dot w state

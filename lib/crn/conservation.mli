@@ -9,13 +9,18 @@
     aid and a test oracle. *)
 
 val laws : Network.t -> Numeric.Vec.t list
-(** A basis of the left null space of the stoichiometry matrix. Networks
-    with zero-order sources or pure decays typically have fewer laws. *)
+(** A basis of the left null space of the stoichiometry matrix, computed
+    exactly over the rationals ([Exact.Invariant.conservation_basis])
+    and converted to floats only at this boundary; each vector has
+    primitive integer entries. Networks with zero-order sources or pure
+    decays typically have fewer laws; a network with no reactions gets
+    one unit law per species (everything is trivially conserved). *)
 
 val is_invariant : ?eps:float -> Network.t -> Numeric.Vec.t -> bool
-(** Does the given species weighting commute with every reaction? Checked
-    directly against each reaction's net stoichiometry (default
-    [eps = 1e-9]). *)
+(** Does the given species weighting commute with every reaction? The
+    weights are converted losslessly to rationals and each reaction's
+    weighted change is summed exactly; only the final [|change| <= eps]
+    comparison involves the tolerance (default [eps = 1e-9]). *)
 
 val weighted_total : Numeric.Vec.t -> Numeric.Vec.t -> float
 (** [weighted_total w state]: the conserved quantity's current value. *)

@@ -1,0 +1,20 @@
+let of_network net =
+  let reactions =
+    Array.map
+      (fun (r : Reaction.t) ->
+        {
+          Exact.Net.reactants = r.reactants;
+          products = r.products;
+          rate =
+            (match r.rate.Rates.category with
+            | Rates.Fast -> Exact.Net.Fast
+            | Rates.Slow -> Exact.Net.Slow);
+          label = r.label;
+        })
+      (Network.reactions net)
+  in
+  {
+    Exact.Net.species = Network.species_names net;
+    init = Array.map Exact.Q.of_float (Network.initial_state net);
+    reactions;
+  }

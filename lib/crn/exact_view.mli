@@ -1,0 +1,9 @@
+(** Bridge into the exact verification tier.
+
+    [lib/exact] is dependency-free and cannot see {!Network.t}; this
+    module produces the plain-data view it verifies. The float initial
+    marking crosses the boundary through [Exact.Q.of_float], which is
+    exact for every finite float, so the exact tier's proofs are about
+    precisely the network the simulators run. *)
+
+val of_network : Network.t -> Exact.Net.t

@@ -4,6 +4,8 @@ type issue =
   | Never_consumed of int
   | High_order of int * int
   | Duplicate_reaction of int * int
+  | No_op_reaction of int
+  | Fractional_init of int
 
 let check net =
   let n = Network.n_species net in
@@ -28,7 +30,8 @@ let check net =
   let add i = issues := i :: !issues in
   Array.iteri
     (fun j r ->
-      if Reaction.order r > 2 then add (High_order (j, Reaction.order r)))
+      if Reaction.order r > 2 then add (High_order (j, Reaction.order r));
+      if Reaction.net_stoich r = [] then add (No_op_reaction j))
     rs;
   for j = 0 to Array.length rs - 1 do
     for k = j + 1 to Array.length rs - 1 do
@@ -41,7 +44,9 @@ let check net =
       if consumed.(s) && (not produced.(s)) && Network.init_of net s = 0.
       then add (Never_produced s);
       if produced.(s) && not consumed.(s) then add (Never_consumed s)
-    end
+    end;
+    let x = Network.init_of net s in
+    if x <> Float.round x then add (Fractional_init s)
   done;
   List.rev !issues
 
@@ -61,6 +66,13 @@ let pp_issue net fmt issue =
       Format.fprintf fmt "reaction #%d has molecularity %d (> 2)" j o
   | Duplicate_reaction (j, k) ->
       Format.fprintf fmt "reactions #%d and #%d are identical" j k
+  | No_op_reaction j ->
+      Format.fprintf fmt "reaction #%d has identically zero net stoichiometry"
+        j
+  | Fractional_init s ->
+      Format.fprintf fmt
+        "species %s starts at the non-integer count %g" (name s)
+        (Network.init_of net s)
 
 let report net =
   match check net with

@@ -12,6 +12,12 @@ type issue =
   | High_order of int * int
       (** reaction index, molecularity > 2: not directly DSD-implementable *)
   | Duplicate_reaction of int * int  (** indices of structurally equal pair *)
+  | No_op_reaction of int
+      (** reaction index with identically zero net stoichiometry — it
+          consumes exactly what it produces and can only burn time *)
+  | Fractional_init of int
+      (** species whose initial marking is not a whole number: fine for
+          ODE semantics, impossible as a molecule count *)
 
 val check : Network.t -> issue list
 (** All issues, in a deterministic order. An empty list means clean. *)

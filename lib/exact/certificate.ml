@@ -1,0 +1,101 @@
+type severity = Error | Warning
+type item = { code : string; severity : severity; detail : string }
+type t = { title : string; items : item list; text : string }
+
+let pp_weights species w =
+  let terms = ref [] in
+  Array.iteri
+    (fun i wi ->
+      if not (Z.is_zero wi) then
+        let t =
+          if Z.equal wi Z.one then species.(i)
+          else Z.to_string wi ^ "*" ^ species.(i)
+        in
+        terms := t :: !terms)
+    w;
+  match List.rev !terms with
+  | [] -> "0"
+  | ts -> String.concat " + " ts
+
+let pp_law species (l : Invariant.law) =
+  pp_weights species l.weights ^ " = " ^ Q.to_string l.total
+
+let make ~title ?(extra = []) (net : Net.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let issues = ref [] in
+  let issue severity code detail = issues := { code; severity; detail } :: !issues in
+  line "certificate: %s" title;
+  line "species: %d" (Array.length net.species);
+  line "reactions: %d" (Array.length net.reactions);
+  let laws = Invariant.conservation_basis net in
+  line "conservation laws: %d" (List.length laws);
+  List.iteri
+    (fun i l ->
+      (* re-verify each basis vector against every reaction; a failure
+         here means the elimination itself is wrong, so refuse loudly *)
+      if not (Invariant.check_law net l.Invariant.weights) then
+        invalid_arg "Certificate.make: elimination produced a non-law";
+      line "  law %d: %s" (i + 1) (pp_law net.species l))
+    laws;
+  let clocks = Invariant.find_clocks net in
+  line "clocks: %d" (List.length clocks);
+  List.iter
+    (fun (c : Invariant.clock) ->
+      let p0 = net.species.(c.phases.(0)) and p2 = net.species.(c.phases.(2)) in
+      match Invariant.phase_non_overlap net c with
+      | Invariant.Proved l ->
+          let w0 = l.weights.(c.phases.(0)) in
+          let threshold = Q.div l.total (Q.of_z (Z.mul (Z.of_int 2) w0)) in
+          line "  clock %s: %d phases, non-overlap of %s and %s proved"
+            c.prefix (Array.length c.phases) p0 p2;
+          line "    witness: %s" (pp_law net.species l);
+          line "    high threshold: %s" (Q.to_string threshold)
+      | Invariant.Overlap_at_init (i, j) ->
+          line "  clock %s: %d phases, OVERLAP at t=0" c.prefix
+            (Array.length c.phases);
+          issue Error "phase_overlap"
+            (Printf.sprintf
+               "clock %s: phases %s and %s are both positive at t=0" c.prefix
+               net.species.(i) net.species.(j))
+      | Invariant.Unconserved ->
+          line "  clock %s: %d phases, UNCONSERVED" c.prefix
+            (Array.length c.phases);
+          issue Error "clock_unconserved"
+            (Printf.sprintf
+               "clock %s: no nonnegative conservation law bounds %s + %s"
+               c.prefix p0 p2))
+    clocks;
+  List.iter
+    (fun (v : Invariant.ri_violation) ->
+      match v.issue with
+      | `Slow_annihilation ->
+          issue Error "slow_annihilation"
+            (Printf.sprintf "annihilation must be fast: %s" v.reaction)
+      | `Fast_source ->
+          issue Error "fast_source"
+            (Printf.sprintf "zero-order source must be slow: %s" v.reaction)
+      | `Slow_catalytic ->
+          issue Error "slow_catalytic"
+            (Printf.sprintf "catalytic consumption must be fast: %s" v.reaction))
+    (Invariant.ri_check net);
+  let items = List.rev !issues @ extra in
+  line "issues: %d" (List.length items);
+  List.iter
+    (fun it ->
+      line "  %s %s: %s"
+        (match it.severity with Error -> "error" | Warning -> "warning")
+        it.code it.detail)
+    items;
+  let clean = List.for_all (fun it -> it.severity <> Error) items in
+  line "verdict: %s" (if clean then "certified" else "rejected");
+  { title; items; text = Buffer.contents b }
+
+let clean c = List.for_all (fun it -> it.severity <> Error) c.items
+
+let errors c =
+  List.filter_map
+    (fun it -> if it.severity = Error then Some (it.code, it.detail) else None)
+    c.items
+
+let render c = c.text

@@ -1,0 +1,38 @@
+(** Verification certificates: the stable, deterministic text record of
+    what the exact tier proved (or refuted) about a network.
+
+    A certificate is built from a {!Net.t} plus any extra issues the
+    caller found with its own analyses (e.g. structural lint from
+    [Crn.Validate]); the exact tier contributes conservation laws,
+    clock phase non-overlap verdicts, and rate-independence discipline
+    violations. The rendered text is byte-deterministic for a given
+    network — goldens pin it, and the daemon serves it verbatim. *)
+
+type severity = Error | Warning
+
+type item = {
+  code : string;  (** stable machine code, e.g. ["phase_overlap"] *)
+  severity : severity;
+  detail : string;
+}
+
+type t = {
+  title : string;
+  items : item list;  (** deterministic order: exact-tier issues first *)
+  text : string;  (** full rendered certificate *)
+}
+
+val make : title:string -> ?extra:item list -> Net.t -> t
+(** Runs the exact analyses and renders the certificate. [extra] items
+    (caller-side lint) are appended after the exact tier's own issues,
+    in the order given. *)
+
+val clean : t -> bool
+(** No [Error]-severity items; warnings do not block certification. *)
+
+val errors : t -> (string * string) list
+(** [(code, detail)] for each [Error] item, in certificate order — the
+    structured payload a rejecting daemon returns. *)
+
+val render : t -> string
+(** The certificate text (same as the [text] field). *)

@@ -1,0 +1,134 @@
+type law = { weights : Z.t array; total : Q.t }
+
+let dot_init (net : Net.t) w =
+  let t = ref Q.zero in
+  Array.iteri
+    (fun i wi ->
+      if not (Z.is_zero wi) then t := Q.add !t (Q.mul_z wi net.init.(i)))
+    w;
+  !t
+
+let conservation_basis (net : Net.t) =
+  let m = Net.stoich_transpose net in
+  let cols = Array.length net.species in
+  Qmat.nullspace ~cols m
+  |> List.map (fun w -> { weights = w; total = dot_init net w })
+
+let check_law (net : Net.t) w =
+  Array.for_all
+    (fun r ->
+      let d =
+        List.fold_left
+          (fun acc (s, c) -> Z.add acc (Z.mul w.(s) (Z.of_int c)))
+          Z.zero (Net.net_stoich r)
+      in
+      Z.is_zero d)
+    net.reactions
+
+type clock = { prefix : string; phases : int array }
+
+(* species named <prefix>P<k>: split off a trailing "P<digits>" suffix *)
+let phase_name name =
+  let n = String.length name in
+  let rec digits i = if i < n && name.[i] >= '0' && name.[i] <= '9' then digits (i + 1) else i in
+  let rec scan i =
+    if i + 1 >= n then None
+    else if name.[i] = 'P' && digits (i + 1) = n && i + 1 < n then
+      Some (String.sub name 0 i, int_of_string (String.sub name (i + 1) (n - i - 1)))
+    else scan (i + 1)
+  in
+  scan 0
+
+let find_clocks (net : Net.t) =
+  let tbl = Hashtbl.create 4 in
+  Array.iteri
+    (fun idx name ->
+      match phase_name name with
+      | Some (prefix, k) -> Hashtbl.replace tbl prefix ((k, idx) :: (try Hashtbl.find tbl prefix with Not_found -> []))
+      | None -> ())
+    net.species;
+  Hashtbl.fold
+    (fun prefix ks acc ->
+      let ks = List.sort compare ks in
+      (* require a contiguous run P0..P(n-1), n >= 3 *)
+      let rec contiguous expect = function
+        | [] -> expect >= 3
+        | (k, _) :: rest -> k = expect && contiguous (expect + 1) rest
+      in
+      if contiguous 0 ks then
+        { prefix; phases = Array.of_list (List.map snd ks) } :: acc
+      else acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.prefix b.prefix)
+
+type overlap_verdict =
+  | Proved of law
+  | Overlap_at_init of int * int
+  | Unconserved
+
+(* weight 1 on every <prefix>P<k>, 2 on every <prefix>I<k> dimer, 0
+   elsewhere: conserved by every reaction the oscillator builder emits
+   (gate -P_k +P_{k+1}, dimerization -2P +I, undimerization -I +2P,
+   feedback -I -P_this +3P_next) and untouched by phase-gated design
+   reactions, which are only catalytic in the phases. *)
+let canonical_witness (net : Net.t) prefix =
+  let pl = String.length prefix in
+  Array.map
+    (fun name ->
+      if
+        String.length name > pl + 1
+        && String.sub name 0 pl = prefix
+        && (let rec all_digits i =
+              i >= String.length name
+              || (name.[i] >= '0' && name.[i] <= '9' && all_digits (i + 1))
+            in
+            all_digits (pl + 1))
+      then
+        match name.[pl] with
+        | 'P' -> Z.one
+        | 'I' -> Z.of_int 2
+        | _ -> Z.zero
+      else Z.zero)
+    net.species
+
+let phase_non_overlap (net : Net.t) clock =
+  let p0 = clock.phases.(0) in
+  let p2 = clock.phases.(2) in
+  if Q.sign net.init.(p0) > 0 && Q.sign net.init.(p2) > 0 then
+    Overlap_at_init (p0, p2)
+  else begin
+    let admits w =
+      Array.for_all (fun z -> Z.sign z >= 0) w
+      && Z.sign w.(p0) > 0
+      && Z.equal w.(p0) w.(p2)
+    in
+    let w = canonical_witness net clock.prefix in
+    if admits w && check_law net w then
+      Proved { weights = w; total = dot_init net w }
+    else
+      (* leaky or nonstandard clock: any nonnegative law weighting the
+         two phases equally still yields the bound P0 + P2 <= T / w *)
+      match List.find_opt (fun l -> admits l.weights) (conservation_basis net) with
+      | Some l -> Proved l
+      | None -> Unconserved
+  end
+
+type ri_violation = {
+  reaction : string;
+  issue : [ `Slow_annihilation | `Fast_source | `Slow_catalytic ];
+}
+
+let ri_check (net : Net.t) =
+  let out = ref [] in
+  Array.iter
+    (fun (r : Net.reaction) ->
+      let order = List.fold_left (fun a (_, c) -> a + c) 0 r.reactants in
+      let flag issue = out := { reaction = Net.describe net r; issue } :: !out in
+      match (r.reactants, r.products, r.rate) with
+      | _ :: _, [], Slow when order = 2 -> flag `Slow_annihilation
+      | [], _ :: _, Fast -> flag `Fast_source
+      | [ (a, 1); (b, 1) ], [ (p, 1) ], Slow when p = a || p = b ->
+          flag `Slow_catalytic
+      | _ -> ())
+    net.reactions;
+  List.rev !out

@@ -1,0 +1,65 @@
+(** Exact invariant checking: conservation-law bases, symbolic phase
+    non-overlap for master–slave clocks, and structural
+    rate-independence discipline. Nothing in this module touches
+    floating point — weights are integers, totals are rationals, and
+    every verdict is a theorem about the network, not an approximation. *)
+
+type law = {
+  weights : Z.t array;  (** one integer weight per species, primitive *)
+  total : Q.t;  (** exact conserved total [w . init] *)
+}
+
+val conservation_basis : Net.t -> law list
+(** Primitive integer basis of the left null space of the stoichiometry
+    matrix, each paired with its exact conserved total under the
+    network's initial marking. Deterministic: vectors arrive in
+    ascending free-column order from {!Qmat.nullspace}. *)
+
+val check_law : Net.t -> Z.t array -> bool
+(** [true] iff [w . net_stoich r = 0] for every reaction — the
+    definition of a conservation law, checked directly rather than
+    trusted from the elimination. *)
+
+(** A detected master–slave clock: the common species prefix (e.g.
+    ["clk."]) and the indices of its phase species [P0..P(n-1)]. *)
+type clock = { prefix : string; phases : int array }
+
+val find_clocks : Net.t -> clock list
+(** Clocks are recognized by naming shape: a maximal run of species
+    [<prefix>P0, <prefix>P1, ...] with at least three phases. *)
+
+(** Result of the phase non-overlap proof for one clock. *)
+type overlap_verdict =
+  | Proved of law
+      (** A nonnegative conservation law with equal positive weight on
+          the capture and release phases and conserved total [T]: both
+          phases can never simultaneously exceed the high threshold
+          [T/2w]. The witness law is reported in the certificate. *)
+  | Overlap_at_init of int * int
+      (** Both named phase species start positive — the marking itself
+          violates non-overlap, no law needed to refute it. *)
+  | Unconserved
+      (** No conservation law bounds the two phases jointly: the clock
+          leaks mass and the master–slave discipline cannot be
+          certified. *)
+
+val phase_non_overlap : Net.t -> clock -> overlap_verdict
+(** Discharges non-overlap of phase 0 (capture) and phase 2 (release)
+    of a four-phase clock symbolically. The canonical witness — weight
+    1 on every phase species, 2 on every dimer [I_k] — is tried first;
+    if the network's reactions do not conserve it (e.g. a leaky
+    feedback), the computed conservation basis is searched for any
+    nonnegative law with equal positive weights on the two phases. *)
+
+type ri_violation = {
+  reaction : string;  (** [Net.describe] of the offending reaction *)
+  issue : [ `Slow_annihilation | `Fast_source | `Slow_catalytic ];
+}
+
+val ri_check : Net.t -> ri_violation list
+(** Structural rate-independence discipline, as used throughout
+    [lib/ri_modules]: annihilations (two reactants, no products) must be
+    fast; zero-order sources (no reactants) must be slow; catalytic
+    consumption [i + s -> s] must be fast. Violations break the
+    rate-independent computation argument even when stoichiometry is
+    fine. *)

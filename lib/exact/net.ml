@@ -1,0 +1,51 @@
+type rate = Fast | Slow
+
+type reaction = {
+  reactants : (int * int) list;
+  products : (int * int) list;
+  rate : rate;
+  label : string option;
+}
+
+type t = {
+  species : string array;
+  init : Q.t array;
+  reactions : reaction array;
+}
+
+let net_stoich r =
+  let tbl = Hashtbl.create 8 in
+  let bump sgn (s, c) =
+    let cur = try Hashtbl.find tbl s with Not_found -> 0 in
+    Hashtbl.replace tbl s (cur + (sgn * c))
+  in
+  List.iter (bump (-1)) r.reactants;
+  List.iter (bump 1) r.products;
+  Hashtbl.fold (fun s c acc -> if c = 0 then acc else (s, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let stoich_transpose net =
+  let n = Array.length net.species in
+  Array.map
+    (fun r ->
+      let row = Array.make n 0 in
+      List.iter (fun (s, c) -> row.(s) <- c) (net_stoich r);
+      row)
+    net.reactions
+
+let side_to_string net side =
+  match side with
+  | [] -> "0"
+  | _ ->
+      String.concat " + "
+        (List.map
+           (fun (s, c) ->
+             if c = 1 then net.species.(s)
+             else string_of_int c ^ " " ^ net.species.(s))
+           side)
+
+let describe net r =
+  match r.label with
+  | Some l -> l
+  | None ->
+      side_to_string net r.reactants ^ " -> " ^ side_to_string net r.products

@@ -1,0 +1,36 @@
+(** The exact tier's view of a reaction network.
+
+    [lib/exact] sits below [lib/crn] (the float conservation API is a
+    thin wrapper over this kernel), so it cannot see {!Crn.Network};
+    instead verification runs on this plain-data view, which
+    [Crn.Exact_view.of_network] produces. Initial markings arrive as
+    exact rationals — the caller converts each float marking with
+    {!Q.of_float}, which is exact, so no floating point survives into
+    the proof path. *)
+
+type rate = Fast | Slow
+
+type reaction = {
+  reactants : (int * int) list;  (** (species, coefficient > 0), sorted *)
+  products : (int * int) list;
+  rate : rate;
+  label : string option;
+}
+
+type t = {
+  species : string array;
+  init : Q.t array;  (** exact initial marking, one per species *)
+  reactions : reaction array;
+}
+
+val net_stoich : reaction -> (int * int) list
+(** Products minus reactants, zero entries omitted, ascending species. *)
+
+val stoich_transpose : t -> int array array
+(** Reactions-by-species integer matrix of net stoichiometries: the
+    matrix whose null space is the network's space of conservation
+    laws. *)
+
+val describe : t -> reaction -> string
+(** The reaction's label if it has one, otherwise the reaction rendered
+    as [reactants -> products] with species names. *)

@@ -1,0 +1,55 @@
+type t = { num : Z.t; den : Z.t }
+
+let make num den =
+  if Z.is_zero den then raise Division_by_zero;
+  if Z.is_zero num then { num = Z.zero; den = Z.one }
+  else begin
+    let num, den = if Z.sign den < 0 then (Z.neg num, Z.neg den) else (num, den) in
+    let g = Z.gcd num den in
+    if Z.equal g Z.one then { num; den }
+    else { num = Z.divexact num g; den = Z.divexact den g }
+  end
+
+let zero = { num = Z.zero; den = Z.one }
+let one = { num = Z.one; den = Z.one }
+let of_z z = { num = z; den = Z.one }
+let of_int n = of_z (Z.of_int n)
+let num q = q.num
+let den q = q.den
+let sign q = Z.sign q.num
+let is_zero q = Z.is_zero q.num
+let is_integer q = Z.equal q.den Z.one
+let neg q = { q with num = Z.neg q.num }
+let abs q = { q with num = Z.abs q.num }
+
+let add a b =
+  make (Z.add (Z.mul a.num b.den) (Z.mul b.num a.den)) (Z.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Z.mul a.num b.num) (Z.mul a.den b.den)
+let div a b = make (Z.mul a.num b.den) (Z.mul a.den b.num)
+let mul_z z q = make (Z.mul z q.num) q.den
+
+let compare a b = Z.compare (Z.mul a.num b.den) (Z.mul b.num a.den)
+let equal a b = Z.equal a.num b.num && Z.equal a.den b.den
+
+(* Exact float decomposition: frexp gives m * 2^e with m in [0.5, 1);
+   53 doublings turn m into an integer mantissa, exactly. *)
+let of_float x =
+  match Float.classify_float x with
+  | FP_zero -> zero
+  | FP_nan | FP_infinite -> invalid_arg "Q.of_float: not finite"
+  | FP_normal | FP_subnormal ->
+      let m, e = Float.frexp x in
+      let mantissa = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+      let exp = e - 53 in
+      let two = Z.of_int 2 in
+      let rec pow2 k acc = if k = 0 then acc else pow2 (k - 1) (Z.mul two acc) in
+      if exp >= 0 then of_z (Z.mul (Z.of_int mantissa) (pow2 exp Z.one))
+      else make (Z.of_int mantissa) (pow2 (-exp) Z.one)
+
+let to_float q = Z.to_float q.num /. Z.to_float q.den
+
+let to_string q =
+  if is_integer q then Z.to_string q.num
+  else Z.to_string q.num ^ "/" ^ Z.to_string q.den

@@ -1,0 +1,44 @@
+(** Normalized exact rationals over {!Z}.
+
+    Invariant: the denominator is strictly positive and coprime with the
+    numerator; zero is [0/1]. Every finite float is a dyadic rational,
+    so {!of_float} is exact — initial markings enter the proof path
+    through it without any rounding. *)
+
+type t = private { num : Z.t; den : Z.t }
+
+val make : Z.t -> Z.t -> t
+(** [make num den], normalized. Raises [Division_by_zero] on a zero
+    denominator. *)
+
+val zero : t
+val one : t
+val of_int : int -> t
+val of_z : Z.t -> t
+
+val of_float : float -> t
+(** The exact rational value of a finite float (mantissa times a power
+    of two — no rounding). Raises [Invalid_argument] on nan or
+    infinity. *)
+
+val to_float : t -> float
+(** Nearest float — the conversion boundary out of the exact world. *)
+
+val num : t -> Z.t
+val den : t -> Z.t
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val mul_z : Z.t -> t -> t
+
+val to_string : t -> string
+(** ["7"], ["-3/2"] — integers print without a denominator; this is the
+    rendering certificates pin. *)

@@ -1,0 +1,117 @@
+(* Fraction-free Bareiss elimination. The working matrix holds Z
+   entries; after step k every entry is a (k+1)x(k+1) minor of the
+   original matrix, and the division by the previous pivot in
+
+     a[i][j] <- (p * a[i][j] - a[i][col] * a[row][j]) / p_prev
+
+   is exact (Sylvester's determinant identity). Pivoting is first
+   nonzero in row/column order — deterministic, and numerically
+   irrelevant since nothing rounds. *)
+
+type echelon = {
+  m : Z.t array array;
+  pivots : (int * int) list;  (* (row, col), in elimination order *)
+  cols : int;
+}
+
+let eliminate ?cols a_int =
+  let rows = Array.length a_int in
+  let cols =
+    match cols with
+    | Some c -> c
+    | None ->
+        if rows = 0 then
+          invalid_arg "Qmat: ~cols is required for a matrix with no rows"
+        else Array.length a_int.(0)
+  in
+  let a = Array.map (fun r -> Array.map Z.of_int r) a_int in
+  let pivots = ref [] in
+  let row = ref 0 in
+  let prev = ref Z.one in
+  let col = ref 0 in
+  while !row < rows && !col < cols do
+    (* first row at or below [!row] with a nonzero entry in [!col] *)
+    let pr = ref (-1) in
+    (try
+       for i = !row to rows - 1 do
+         if not (Z.is_zero a.(i).(!col)) then begin
+           pr := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pr >= 0 then begin
+      if !pr <> !row then begin
+        let t = a.(!pr) in
+        a.(!pr) <- a.(!row);
+        a.(!row) <- t
+      end;
+      let p = a.(!row).(!col) in
+      for i = !row + 1 to rows - 1 do
+        let ai = a.(i) and ar = a.(!row) in
+        let aic = ai.(!col) in
+        if not (Z.is_zero aic) || not (Z.equal p !prev) then
+          for j = !col + 1 to cols - 1 do
+            ai.(j) <-
+              Z.divexact (Z.sub (Z.mul p ai.(j)) (Z.mul aic ar.(j))) !prev
+          done;
+        ai.(!col) <- Z.zero
+      done;
+      prev := p;
+      pivots := (!row, !col) :: !pivots;
+      incr row
+    end;
+    incr col
+  done;
+  { m = a; pivots = List.rev !pivots; cols }
+
+let rank a = List.length (eliminate ~cols:(if Array.length a = 0 then 0 else Array.length a.(0)) a).pivots
+
+(* scale a rational vector to the primitive integer vector spanning the
+   same line: clear denominators, divide by the gcd of the entries, and
+   point the first nonzero entry up *)
+let primitive (x : Q.t array) =
+  let l =
+    Array.fold_left
+      (fun acc q ->
+        let d = Q.den q in
+        Z.divexact (Z.mul acc d) (Z.gcd acc d))
+      Z.one x
+  in
+  let v = Array.map (fun q -> Z.divexact (Z.mul (Q.num q) l) (Q.den q)) x in
+  let g = Array.fold_left (fun acc z -> Z.gcd acc z) Z.zero v in
+  let v = if Z.is_zero g then v else Array.map (fun z -> Z.divexact z g) v in
+  let flip =
+    let rec first i =
+      if i >= Array.length v then 1
+      else if Z.is_zero v.(i) then first (i + 1)
+      else Z.sign v.(i)
+    in
+    first 0
+  in
+  if flip < 0 then Array.map Z.neg v else v
+
+let nullspace ?cols a_int =
+  let e = eliminate ?cols a_int in
+  let pivot_cols = List.map snd e.pivots in
+  let is_pivot c = List.mem c pivot_cols in
+  let free = ref [] in
+  for c = e.cols - 1 downto 0 do
+    if not (is_pivot c) then free := c :: !free
+  done;
+  List.map
+    (fun f ->
+      let x = Array.make e.cols Q.zero in
+      x.(f) <- Q.one;
+      (* pivot variables bottom-up; free variables other than [f] stay 0 *)
+      List.iter
+        (fun (pr, pc) ->
+          let s = ref Q.zero in
+          for j = pc + 1 to e.cols - 1 do
+            if not (Q.is_zero x.(j)) then
+              s := Q.add !s (Q.mul (Q.of_z e.m.(pr).(j)) x.(j))
+          done;
+          x.(pc) <- Q.neg (Q.div !s (Q.of_z e.m.(pr).(pc))))
+        (List.rev e.pivots);
+      primitive x)
+    !free

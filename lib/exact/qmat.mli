@@ -1,0 +1,26 @@
+(** Exact linear algebra for integer matrices: fraction-free Bareiss
+    elimination and null-space extraction over the rationals.
+
+    The stoichiometry matrix of a reaction network has (small) integer
+    entries, so its conservation laws — the left null space — can be
+    computed without a single rounding error. Bareiss's one-step
+    fraction-free elimination keeps every intermediate entry an integer
+    (each is a minor of the original matrix, and the division by the
+    previous pivot is exact by Sylvester's identity); back-substitution
+    then runs over {!Q} and each basis vector is scaled to a primitive
+    integer vector. The result is deterministic: pivots are chosen in
+    row/column order (no magnitude comparisons — exact arithmetic has
+    nothing to fear from small pivots), free columns generate basis
+    vectors in ascending column order, and each vector is normalized to
+    coprime entries with its first nonzero entry positive. *)
+
+val rank : int array array -> int
+(** Exact rank. Rows may be ragged-free (all the same length); an empty
+    matrix has rank 0. *)
+
+val nullspace : ?cols:int -> int array array -> Z.t array list
+(** Basis of [{x | A x = 0}] as primitive integer vectors (coprime
+    entries, first nonzero positive), in ascending free-column order.
+    [cols] must be given when the matrix has no rows (the dimension is
+    otherwise unrecoverable); with zero rows the basis is the identity.
+    An empty list means the kernel is trivial. *)

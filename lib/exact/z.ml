@@ -1,0 +1,281 @@
+(* Sign-magnitude bignums: little-endian limbs in base 2^15, so a limb
+   product fits comfortably in a native int on every platform OCaml
+   supports. Magnitudes are normalized (no high zero limbs) and a zero
+   value is the empty magnitude with sign 0. *)
+
+let limb_bits = 15
+let base = 1 lsl limb_bits
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ---------------------------------------------------------- magnitudes *)
+
+let mnorm a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mcmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let madd a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = 1 + max la lb in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land (base - 1);
+    carry := s lsr limb_bits
+  done;
+  mnorm r
+
+(* a - b, requires a >= b *)
+let msub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  mnorm r
+
+let mmul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land (base - 1);
+        carry := s lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    mnorm r
+  end
+
+let mbits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let b = ref 0 in
+    let v = ref top in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    ((n - 1) * limb_bits) + !b
+  end
+
+let mbit a i =
+  let l = i / limb_bits in
+  if l >= Array.length a then 0 else (a.(l) lsr (i mod limb_bits)) land 1
+
+(* binary long division on magnitudes: simple, exact, and fast enough —
+   the matrices this library eliminates are sparse stoichiometries whose
+   Bareiss minors stay a handful of limbs wide *)
+let mdivmod u v =
+  if Array.length v = 0 then raise Division_by_zero;
+  if mcmp u v < 0 then ([||], u)
+  else begin
+    let nb = mbits u in
+    let q = Array.make ((nb + limb_bits - 1) / limb_bits) 0 in
+    (* mutable remainder, sized for |v| + one spare limb *)
+    let cap = Array.length u + 1 in
+    let r = Array.make cap 0 in
+    let rlen = ref 0 in
+    (* r := 2r + bit, in place *)
+    let shift_in bit =
+      let carry = ref bit in
+      for i = 0 to !rlen - 1 do
+        let s = (r.(i) lsl 1) lor !carry in
+        r.(i) <- s land (base - 1);
+        carry := s lsr limb_bits
+      done;
+      if !carry > 0 then begin
+        r.(!rlen) <- !carry;
+        incr rlen
+      end
+    in
+    let rcmp_v () =
+      let lv = Array.length v in
+      if !rlen <> lv then compare !rlen lv
+      else
+        let rec go i =
+          if i < 0 then 0
+          else if r.(i) <> v.(i) then compare r.(i) v.(i)
+          else go (i - 1)
+        in
+        go (!rlen - 1)
+    in
+    let rsub_v () =
+      let borrow = ref 0 in
+      for i = 0 to !rlen - 1 do
+        let d = r.(i) - (if i < Array.length v then v.(i) else 0) - !borrow in
+        if d < 0 then begin
+          r.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(i) <- d;
+          borrow := 0
+        end
+      done;
+      while !rlen > 0 && r.(!rlen - 1) = 0 do decr rlen done
+    in
+    for i = nb - 1 downto 0 do
+      shift_in (mbit u i);
+      if rcmp_v () >= 0 then begin
+        rsub_v ();
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (mnorm q, mnorm (Array.sub r 0 !rlen))
+  end
+
+(* ------------------------------------------------------------- values *)
+
+let make sign mag =
+  let mag = mnorm mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* peel limbs on n's own side of zero: safe for min_int, where
+       [abs n] would overflow *)
+    let rec limbs n = if n = 0 then [] else abs (n mod base) :: limbs (n / base) in
+    { sign; mag = Array.of_list (limbs n) }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mcmp a.mag b.mag
+  else mcmp b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { a with mag = madd a.mag b.mag }
+  else
+    match mcmp a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> { a with mag = msub a.mag b.mag }
+    | _ -> { b with mag = msub b.mag a.mag }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mmul a.mag b.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = mdivmod a.mag b.mag in
+  (make (a.sign * b.sign) qm, make a.sign rm)
+
+let divexact a b =
+  let q, r = divmod a b in
+  if not (is_zero r) then invalid_arg "Z.divexact: inexact division";
+  q
+
+let rec gcd_mag a b = if is_zero b then a else gcd_mag b (snd (divmod a b))
+let gcd a b = gcd_mag (abs a) (abs b)
+
+let to_int_opt x =
+  if mbits x.mag > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length x.mag - 1 downto 0 do
+      v := (!v lsl limb_bits) lor x.mag.(i)
+    done;
+    Some (x.sign * !v)
+  end
+
+let to_float x =
+  let v = ref 0. in
+  for i = Array.length x.mag - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  float_of_int x.sign *. !v
+
+(* short division of a magnitude by a small positive int *)
+let mdivmod_small a d =
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (mnorm q, !rem)
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let m = ref x.mag in
+    let chunks = ref [] in
+    while Array.length !m > 0 do
+      let q, r = mdivmod_small !m 10_000 in
+      m := q;
+      chunks := r :: !chunks
+    done;
+    (match !chunks with
+    | [] -> ()
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    (if x.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Z.of_string: empty string";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= n then invalid_arg "Z.of_string: no digits";
+  let acc = ref zero and ten = of_int 10 in
+  for i = start to n - 1 do
+    match s.[i] with
+    | '0' .. '9' ->
+        acc := add (mul !acc ten) (of_int (Char.code s.[i] - Char.code '0'))
+    | c -> invalid_arg (Printf.sprintf "Z.of_string: bad character %C" c)
+  done;
+  if negative then neg !acc else !acc

@@ -1,0 +1,54 @@
+(** Hand-rolled arbitrary-precision integers.
+
+    The exact verification tier must not depend on zarith (the repo's
+    hand-rolled-codec ethos, and the container has no new opam
+    packages), so this is a classic sign-magnitude bignum: little-endian
+    limbs in base 2^15, schoolbook multiplication, binary long division.
+    Stoichiometric coefficients are tiny; the only numbers that grow are
+    the Bareiss minors during elimination, and those stay modest on the
+    sparse matrices chemistry produces. Every operation is exact —
+    nothing in this module touches floating point. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val of_int : int -> t
+val to_int_opt : t -> int option
+(** [None] when the value does not fit in a native [int]. *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: [divmod a b = (q, r)] with [a = q*b + r],
+    [|r| < |b|] and [r] carrying the sign of [a] (C semantics). Raises
+    [Division_by_zero] on zero [b]. *)
+
+val divexact : t -> t -> t
+(** Division known to be exact; raises [Invalid_argument] if a nonzero
+    remainder shows up (which would mean a broken elimination). *)
+
+val gcd : t -> t -> t
+(** Nonnegative; [gcd 0 0 = 0]. *)
+
+val to_string : t -> string
+(** Decimal, ["-"]-prefixed when negative. *)
+
+val of_string : string -> t
+(** Decimal with optional leading [-]; raises [Invalid_argument] on
+    anything else. *)
+
+val to_float : t -> float
+(** Nearest float — the one conversion boundary; never used inside a
+    proof. *)

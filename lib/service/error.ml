@@ -15,6 +15,7 @@ type t =
   | Overloaded of { queue_bound : int }
   | Connection_limit of { max_conns : int }
   | Shard_failed of { shard : int }
+  | Validation_failed of { issues : (string * string) list }
   | Internal of string
 
 let code = function
@@ -29,6 +30,7 @@ let code = function
   | Overloaded _ -> "overloaded"
   | Connection_limit _ -> "connection_limit"
   | Shard_failed _ -> "shard_failed"
+  | Validation_failed _ -> "validation_failed"
   | Internal _ -> "internal"
 
 let message = function
@@ -57,6 +59,14 @@ let message = function
       Printf.sprintf
         "worker shard %d failed before completing the request; retry later"
         shard
+  | Validation_failed { issues } -> (
+      match issues with
+      | [] -> "validation failed"
+      | (c, detail) :: rest ->
+          if rest = [] then Printf.sprintf "validation failed: %s (%s)" detail c
+          else
+            Printf.sprintf "validation failed with %d issues; first: %s (%s)"
+              (List.length issues) detail c)
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 (* exit codes: 1 reserved for generic CLI failure, 2 for usage/input
@@ -67,6 +77,7 @@ let exit_code = function
   | Max_events_exceeded _ | Max_steps_exceeded _ | Solver_failure _ -> 3
   | Deadline_exceeded _ -> 4
   | Overloaded _ | Connection_limit _ | Shard_failed _ -> 5
+  | Validation_failed _ -> 6
   | Internal _ -> 70 (* EX_SOFTWARE *)
 
 let of_exn = function
@@ -99,6 +110,16 @@ let to_json err =
     | Overloaded { queue_bound } -> [ ("queue_bound", Json.int queue_bound) ]
     | Connection_limit { max_conns } -> [ ("max_conns", Json.int max_conns) ]
     | Shard_failed { shard } -> [ ("shard", Json.int shard) ]
+    | Validation_failed { issues } ->
+        [
+          ( "issues",
+            Json.List
+              (List.map
+                 (fun (c, detail) ->
+                   Json.Obj
+                     [ ("code", Json.str c); ("detail", Json.str detail) ])
+                 issues) );
+        ]
     | _ -> []
   in
   Json.Obj
@@ -130,6 +151,22 @@ let of_json j =
   | Some "connection_limit" ->
       Connection_limit { max_conns = geti "max_conns" 0 }
   | Some "shard_failed" -> Shard_failed { shard = geti "shard" (-1) }
+  | Some "validation_failed" ->
+      let issues =
+        match Option.bind (Json.member "issues" j) Json.to_list with
+        | None -> []
+        | Some items ->
+            List.filter_map
+              (fun it ->
+                match
+                  ( Option.bind (Json.member "code" it) Json.to_str,
+                    Option.bind (Json.member "detail" it) Json.to_str )
+                with
+                | Some c, Some d -> Some (c, d)
+                | _ -> None)
+              items
+      in
+      Validation_failed { issues }
   | Some "internal" -> Internal msg
   | Some other -> Internal (Printf.sprintf "unknown error code %S: %s" other msg)
   | None -> Internal "malformed error object"

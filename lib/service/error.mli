@@ -25,6 +25,11 @@ type t =
       (** a gateway's worker shard died before completing the request;
           the failure is transient — another shard (or the respawned
           one) can serve a retry *)
+  | Validation_failed of { issues : (string * string) list }
+      (** the exact verification tier rejected the network; each issue
+          is a stable [(code, detail)] pair, e.g.
+          [("phase_overlap", ...)] — retrying is pointless until the
+          network changes *)
   | Internal of string
 
 val code : t -> string
@@ -35,7 +40,7 @@ val message : t -> string
 val exit_code : t -> int
 (** 2 input/usage, 3 simulation budget/solver, 4 deadline, 5 transient
     capacity/fleet trouble (overloaded, over the connection cap, a
-    failed shard), 70 internal. *)
+    failed shard), 6 validation rejected the network, 70 internal. *)
 
 val of_exn : exn -> t option
 (** Classify the structured exceptions of the simulation stack

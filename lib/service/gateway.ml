@@ -164,7 +164,9 @@ let send_raw gw c s =
 
 let status_of_code = function
   | "bad_request" | "parse_error" | "unknown_design" | "not_compilable" -> 400
-  | "max_events_exceeded" | "max_steps_exceeded" | "solver_failure" -> 422
+  | "max_events_exceeded" | "max_steps_exceeded" | "solver_failure"
+  | "validation_failed" ->
+      422
   | "deadline_exceeded" -> 504
   | "overloaded" | "connection_limit" | "shard_failed" -> 503
   | _ -> 500
@@ -588,6 +590,8 @@ let fleet_json shard_stats =
       ("cache_misses", Json.num (sum "cache_misses"));
       ("cache_entries", Json.num (sum "cache_entries"));
       ("job_exceptions", Json.num (sum "job_exceptions"));
+      ("validate_ok", Json.num (sum "validate_ok"));
+      ("validate_reject", Json.num (sum "validate_reject"));
       ( "work",
         Json.Obj
           (Hashtbl.fold (fun k v acc -> (k, Json.num v) :: acc) work []

@@ -57,6 +57,11 @@ type t = {
      since run_job answers every failure with a structured error *)
   mutable job_exceptions : int;
   mutable last_job_error : string option;
+  (* exact verification tier: certified vs rejected networks; validate
+     runs inline on the event loop, so these also measure how much
+     traffic never reached the worker pool *)
+  mutable validate_ok : int;
+  mutable validate_reject : int;
   (* connection-level fault counters: one per fault class the daemon
      degrades gracefully under, so the stats op shows exactly what a
      hostile or broken peer has been doing *)
@@ -101,6 +106,8 @@ let create () =
     run_ms_max = 0.;
     job_exceptions = 0;
     last_job_error = None;
+    validate_ok = 0;
+    validate_reject = 0;
     conns_accepted = 0;
     conns_closed = 0;
     conns_rejected = 0;
@@ -126,6 +133,12 @@ let record_conn agg event =
   | Idle_reaped -> agg.idle_reaped <- agg.idle_reaped + 1
   | Read_reset -> agg.read_resets <- agg.read_resets + 1
   | Dirty_close -> agg.dirty_closes <- agg.dirty_closes + 1);
+  Mutex.unlock agg.mutex
+
+let record_validate agg ~ok =
+  Mutex.lock agg.mutex;
+  if ok then agg.validate_ok <- agg.validate_ok + 1
+  else agg.validate_reject <- agg.validate_reject + 1;
   Mutex.unlock agg.mutex
 
 let record_job_exception agg e =
@@ -192,6 +205,8 @@ let to_json agg =
         ("run_ms_sum", Json.num agg.run_ms_sum);
         ("run_ms_max", Json.num agg.run_ms_max);
         ("job_exceptions", Json.int agg.job_exceptions);
+        ("validate_ok", Json.int agg.validate_ok);
+        ("validate_reject", Json.int agg.validate_reject);
         ( "last_job_error",
           match agg.last_job_error with
           | None -> Json.Null

@@ -49,6 +49,12 @@ type conn_event =
 
 val record_conn : t -> conn_event -> unit
 
+val record_validate : t -> ok:bool -> unit
+(** Count a [validate] request's verdict: certified ([ok:true]) or
+    rejected. Exported by {!to_json} as [validate_ok] /
+    [validate_reject], which the gateway's Prometheus endpoint picks up
+    automatically. *)
+
 val record_job_exception : t -> exn -> unit
 (** Count an exception that escaped a worker-pool job entirely (wired to
     {!Numeric.Domain_pool.Bounded.set_on_uncaught}); zero in a healthy

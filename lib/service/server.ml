@@ -845,6 +845,66 @@ let handle_stats srv ~arrival =
   in
   response_ok ~op:"stats" ~result ~metrics:(quick_metrics ~arrival ()) ()
 
+(* The validate op runs inline on the event loop, like ping and stats:
+   it compiles no ODE/SSA models (no Model_cache entry) and never
+   touches a pool worker, so a rejected network costs the daemon nothing
+   but the exact-arithmetic pass itself. A rejection is an error
+   envelope ([validation_failed], one structured (code, detail) pair per
+   issue) that still carries the full certificate text in ["result"], so
+   clients print the same byte-deterministic certificate either way. *)
+let handle_validate srv req ~arrival =
+  match
+    let spec = network_spec req in
+    let net = build_network spec in
+    let title =
+      match spec with `Catalog name -> name | `Text _ -> "network"
+    in
+    Verify.certify ~title net
+  with
+  | exception Reject err ->
+      Metrics.record srv.metrics ~op:"validate" ~error:(Some (Error.code err))
+        ~request:(quick_metrics ~arrival ());
+      response_error ~op:"validate" ~error:err
+        ~metrics:(quick_metrics ~arrival ()) ()
+  | exception e ->
+      let err =
+        match Error.of_exn e with
+        | Some err -> err
+        | None -> Error.Internal (Printexc.to_string e)
+      in
+      Metrics.record srv.metrics ~op:"validate" ~error:(Some (Error.code err))
+        ~request:(quick_metrics ~arrival ());
+      response_error ~op:"validate" ~error:err
+        ~metrics:(quick_metrics ~arrival ()) ()
+  | cert -> (
+      let result verdict =
+        Json.Obj
+          [
+            ("verdict", Json.str verdict);
+            ("certificate", Json.str (Exact.Certificate.render cert));
+          ]
+      in
+      match Verify.error_of_certificate cert with
+      | None ->
+          Metrics.record_validate srv.metrics ~ok:true;
+          Metrics.record srv.metrics ~op:"validate" ~error:None
+            ~request:(quick_metrics ~arrival ());
+          response_ok ~op:"validate" ~result:(result "certified")
+            ~metrics:(quick_metrics ~arrival ()) ()
+      | Some err ->
+          Metrics.record_validate srv.metrics ~ok:false;
+          Metrics.record srv.metrics ~op:"validate"
+            ~error:(Some (Error.code err))
+            ~request:(quick_metrics ~arrival ());
+          envelope ~done_:false
+            [
+              ("ok", Json.Bool false);
+              ("op", Json.str "validate");
+              ("error", Error.to_json err);
+              ("result", result "rejected");
+              ("metrics", Metrics.request_json (quick_metrics ~arrival ()));
+            ])
+
 let dispatch srv conn payload =
   let arrival = Unix.gettimeofday () in
   match Json.of_string payload with
@@ -871,6 +931,7 @@ let dispatch srv conn payload =
           Metrics.record srv.metrics ~op:"stats" ~error:None
             ~request:(quick_metrics ~arrival ());
           send conn (handle_stats srv ~arrival)
+      | "validate" -> send conn (handle_validate srv req ~arrival)
       | op -> (
           let stream = op = "trace" in
           let handler =

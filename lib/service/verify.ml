@@ -1,0 +1,22 @@
+let lint_item net issue =
+  let open Exact.Certificate in
+  let detail = Format.asprintf "%a" (Crn.Validate.pp_issue net) issue in
+  let code, severity =
+    match issue with
+    | Crn.Validate.No_op_reaction _ -> ("no_op_reaction", Error)
+    | Crn.Validate.Unused_species _ -> ("unused_species", Warning)
+    | Crn.Validate.Never_produced _ -> ("never_produced", Warning)
+    | Crn.Validate.Never_consumed _ -> ("never_consumed", Warning)
+    | Crn.Validate.High_order _ -> ("high_order", Warning)
+    | Crn.Validate.Duplicate_reaction _ -> ("duplicate_reaction", Warning)
+    | Crn.Validate.Fractional_init _ -> ("fractional_init", Warning)
+  in
+  { code; severity; detail }
+
+let certify ~title net =
+  let extra = List.map (lint_item net) (Crn.Validate.check net) in
+  Exact.Certificate.make ~title ~extra (Crn.Exact_view.of_network net)
+
+let error_of_certificate cert =
+  if Exact.Certificate.clean cert then None
+  else Some (Error.Validation_failed { issues = Exact.Certificate.errors cert })

@@ -1,0 +1,23 @@
+(** The service's verification policy: exact-tier analysis plus
+    structural lint, merged into one {!Exact.Certificate.t}.
+
+    Severity policy — errors reject a network, warnings ride along in
+    the certificate text:
+
+    - errors: [no_op_reaction] (burns time, changes nothing),
+      [phase_overlap], [clock_unconserved] (the master–slave discipline
+      is unprovable), [slow_annihilation], [fast_source],
+      [slow_catalytic] (rate-independence discipline broken);
+    - warnings: [unused_species], [never_produced], [never_consumed],
+      [high_order], [duplicate_reaction], [fractional_init] — real
+      networks in [examples/] trip several of these legitimately
+      (Brusselator starts B at 2.5; Oregonator's P is a sink). *)
+
+val certify : title:string -> Crn.Network.t -> Exact.Certificate.t
+(** Run the exact tier and [Crn.Validate.check] on the network and fold
+    both into a deterministic certificate. Pure: no simulation models
+    are compiled and no floats enter the exact proofs. *)
+
+val error_of_certificate : Exact.Certificate.t -> Error.t option
+(** [Some (Validation_failed ...)] with the certificate's error items
+    when it is not clean, [None] otherwise. *)

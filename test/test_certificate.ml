@@ -1,0 +1,170 @@
+(* The exact verification tier end to end: golden-pinned certificates
+   for every catalog design, the broken-network corpus with its exact
+   rejection codes, and the two theorems the tier exists to discharge —
+   a verified conservation basis with exact totals for every design,
+   and clock phase non-overlap for every clocked design. *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let catalog_entries () =
+  List.map
+    (fun name ->
+      match Designs.Catalog.find name with
+      | Some e -> (name, e)
+      | None -> Alcotest.failf "catalog lost design %s" name)
+    (Designs.Catalog.names ())
+
+(* every catalog certificate is byte-identical to its committed golden;
+   regenerate with: crnsim <name> --validate > test/golden/<name>.cert *)
+let test_goldens () =
+  List.iter
+    (fun (name, entry) ->
+      let net = entry.Designs.Catalog.build () in
+      let cert = Service.Verify.certify ~title:name net in
+      let golden = read_file (Printf.sprintf "golden/%s.cert" name) in
+      Alcotest.(check string)
+        (Printf.sprintf "certificate for %s" name)
+        golden
+        (Exact.Certificate.render cert))
+    (catalog_entries ())
+
+(* acceptance theorem 1: a non-empty verified conservation basis with
+   exact totals for every catalog design (every design in this catalog
+   is conservative: signals rotate, they are not created or destroyed) *)
+let test_conservation_basis () =
+  List.iter
+    (fun (name, entry) ->
+      let net = entry.Designs.Catalog.build () in
+      let view = Crn.Exact_view.of_network net in
+      let laws = Exact.Invariant.conservation_basis view in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a conservation law" name)
+        true (laws <> []);
+      List.iter
+        (fun (l : Exact.Invariant.law) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: basis vector is a law" name)
+            true
+            (Exact.Invariant.check_law view l.weights);
+          (* the reported total is exactly w . init *)
+          let t = ref Exact.Q.zero in
+          Array.iteri
+            (fun i w ->
+              t := Exact.Q.add !t (Exact.Q.mul_z w view.Exact.Net.init.(i)))
+            l.weights;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: total matches marking" name)
+            true
+            (Exact.Q.equal !t l.total))
+        laws)
+    (catalog_entries ())
+
+(* acceptance theorem 2: phase non-overlap proved for every clocked
+   design — and the witness is nonnegative with equal weight on the
+   capture and release phases, which is what makes the threshold
+   argument sound *)
+let test_phase_non_overlap () =
+  let clocked = ref 0 in
+  List.iter
+    (fun (name, entry) ->
+      let net = entry.Designs.Catalog.build () in
+      let view = Crn.Exact_view.of_network net in
+      List.iter
+        (fun (c : Exact.Invariant.clock) ->
+          incr clocked;
+          match Exact.Invariant.phase_non_overlap view c with
+          | Exact.Invariant.Proved l ->
+              let p0 = c.phases.(0) and p2 = c.phases.(2) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: witness nonnegative" name)
+                true
+                (Array.for_all (fun z -> Exact.Z.sign z >= 0) l.weights);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: equal positive phase weights" name)
+                true
+                (Exact.Z.sign l.weights.(p0) > 0
+                && Exact.Z.equal l.weights.(p0) l.weights.(p2))
+          | _ -> Alcotest.failf "%s: clock %s not proved" name c.prefix)
+        (Exact.Invariant.find_clocks view))
+    (catalog_entries ());
+  (* the catalog's clocked designs: 2 bare clocks + 10 synchronous *)
+  Alcotest.(check bool) "catalog has clocked designs" true (!clocked >= 12)
+
+(* the broken corpus rejects, each network with its exact issue code *)
+let broken_corpus =
+  [
+    ("overlapping_phases", "phase_overlap");
+    ("leaky_clock", "clock_unconserved");
+    ("leaky_latch", "no_op_reaction");
+    ("slow_annihilation", "slow_annihilation");
+    ("fast_source", "fast_source");
+    ("slow_catalytic", "slow_catalytic");
+  ]
+
+let test_broken_corpus () =
+  List.iter
+    (fun (stem, expected_code) ->
+      let path = Printf.sprintf "../examples/broken/%s.crn" stem in
+      let net = Crn.Parser.network_of_file path in
+      let cert = Service.Verify.certify ~title:"network" net in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rejected" stem)
+        false
+        (Exact.Certificate.clean cert);
+      match Service.Verify.error_of_certificate cert with
+      | Some (Service.Error.Validation_failed { issues }) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s carries %s" stem expected_code)
+            true
+            (List.exists (fun (code, _) -> code = expected_code) issues)
+      | _ -> Alcotest.failf "%s: expected Validation_failed" stem)
+    broken_corpus
+
+(* certificates for the expected-clean example networks: warnings are
+   allowed (Brusselator's fractional B, Oregonator's sink), errors are
+   not *)
+let test_examples_certify () =
+  List.iter
+    (fun stem ->
+      let net =
+        Crn.Parser.network_of_file
+          (Printf.sprintf "../examples/networks/%s.crn" stem)
+      in
+      let cert = Service.Verify.certify ~title:"network" net in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s certifies" stem)
+        true
+        (Exact.Certificate.clean cert))
+    [ "approximate_majority"; "brusselator"; "lotka_volterra"; "oregonator" ]
+
+(* lint severities the certificate must preserve: fractional init is a
+   warning, a no-op reaction is an error *)
+let test_new_lint_issues () =
+  let net = Crn.Parser.network_of_string "init X 1.5\nX + Y ->{fast} Y + X\n" in
+  let issues = Crn.Validate.check net in
+  Alcotest.(check bool) "no_op flagged" true
+    (List.exists
+       (function Crn.Validate.No_op_reaction 0 -> true | _ -> false)
+       issues);
+  Alcotest.(check bool) "fractional init flagged" true
+    (List.exists
+       (function Crn.Validate.Fractional_init _ -> true | _ -> false)
+       issues);
+  Alcotest.(check bool) "report mentions both" true
+    (let r = Crn.Validate.report net in
+     let has needle =
+       let nl = String.length needle and hl = String.length r in
+       let rec go i = i + nl <= hl && (String.sub r i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "zero net stoichiometry" && has "non-integer count")
+
+let suite =
+  [
+    ("golden certificates", `Quick, test_goldens);
+    ("conservation basis with exact totals", `Quick, test_conservation_basis);
+    ("phase non-overlap proved", `Quick, test_phase_non_overlap);
+    ("broken corpus rejects with exact codes", `Quick, test_broken_corpus);
+    ("example networks certify", `Quick, test_examples_certify);
+    ("new lint issues", `Quick, test_new_lint_issues);
+  ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mrsc"
     [
       ("numeric", Test_numeric.suite);
+      ("exact", Test_exact.suite);
       ("crn", Test_crn.suite);
       ("equiv", Test_equiv.suite);
       ("slice", Test_slice.suite);
@@ -24,4 +25,5 @@ let () =
       ("fault", Test_fault.suite);
       ("ring", Test_ring.suite);
       ("gateway", Test_gateway.suite);
+      ("certificate", Test_certificate.suite);
     ]

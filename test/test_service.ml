@@ -129,6 +129,9 @@ let test_error_codes () =
       (Deadline_exceeded { budget_ms = 10. }, "deadline_exceeded", 4);
       (Overloaded { queue_bound = 4 }, "overloaded", 5);
       (Connection_limit { max_conns = 4 }, "connection_limit", 5);
+      ( Validation_failed { issues = [ ("phase_overlap", "d") ] },
+        "validation_failed",
+        6 );
       (Internal "x", "internal", 70);
     ]
   in
@@ -140,6 +143,19 @@ let test_error_codes () =
       Alcotest.(check string) "json roundtrip code" expect_code
         (code (of_json (to_json err))))
     cases;
+  (* validation issues survive the wire round trip structurally *)
+  (match
+     of_json
+       (to_json
+          (Validation_failed
+             { issues = [ ("phase_overlap", "d1"); ("fast_source", "d2") ] }))
+   with
+  | Validation_failed { issues } ->
+      Alcotest.(check (list (pair string string)))
+        "issues round trip"
+        [ ("phase_overlap", "d1"); ("fast_source", "d2") ]
+        issues
+  | _ -> Alcotest.fail "validation_failed did not round trip");
   (* the simulation stack's own exceptions classify; others don't *)
   Alcotest.(check bool) "gillespie classified" true
     (match
@@ -588,6 +604,75 @@ let test_overloaded () =
               | _ -> Alcotest.fail "expected deadline_exceeded")
             [ fd1; fd2 ]))
 
+(* ---------------------------------------------------------- validate *)
+
+(* the validate op answers inline (no pool worker, no model compile):
+   certified networks byte-identically to local certification, broken
+   ones with a structured validation_failed carrying per-issue codes —
+   and the stats op exposes the validate_ok / validate_reject split *)
+let test_validate_op () =
+  with_server (fun client ->
+      let req network =
+        obj [ ("op", J.str "validate"); ("network", network) ]
+      in
+      (* certified: result carries the same bytes Verify renders locally *)
+      let resp =
+        Service.Client.request client
+          (req (obj [ ("catalog", J.str "counter2") ]))
+      in
+      Alcotest.(check bool) "counter2 certifies" true resp.Service.Client.ok;
+      let result = ok_result "validate" resp in
+      let local =
+        match Designs.Catalog.find "counter2" with
+        | Some e ->
+            Exact.Certificate.render
+              (Service.Verify.certify ~title:"counter2"
+                 (e.Designs.Catalog.build ()))
+        | None -> Alcotest.fail "counter2 missing"
+      in
+      (match J.to_str (field result "certificate") with
+      | Some served -> Alcotest.(check string) "served = local" local served
+      | None -> Alcotest.fail "no certificate in result");
+      (* rejected: structured issue codes, certificate still present *)
+      let broken =
+        "init X 10\ninit Y 10\nX + Y ->{slow} 0\n0 ->{slow} X\n"
+      in
+      let resp =
+        Service.Client.request client (req (obj [ ("text", J.str broken) ]))
+      in
+      Alcotest.(check bool) "broken rejected" false resp.Service.Client.ok;
+      (match resp.Service.Client.error with
+      | Some (Service.Error.Validation_failed { issues }) ->
+          Alcotest.(check bool) "slow_annihilation code" true
+            (List.exists (fun (c, _) -> c = "slow_annihilation") issues)
+      | _ -> Alcotest.fail "expected validation_failed");
+      (match
+         Option.bind resp.Service.Client.result (fun r ->
+             Option.bind (J.member "certificate" r) J.to_str)
+       with
+      | Some text ->
+          Alcotest.(check bool) "rejection carries certificate" true
+            (String.length text > 0)
+      | None -> Alcotest.fail "rejection lost the certificate");
+      (* malformed requests classify without touching the exact tier *)
+      let resp =
+        Service.Client.request client
+          (req (obj [ ("catalog", J.str "no-such-design" ) ]))
+      in
+      (match resp.Service.Client.error with
+      | Some (Service.Error.Unknown_design _) -> ()
+      | _ -> Alcotest.fail "expected unknown_design");
+      (* the verdict counters are visible in stats *)
+      let stats =
+        ok_result "stats"
+          (Service.Client.request client (obj [ ("op", J.str "stats") ]))
+      in
+      let counter key =
+        Option.value ~default:(-1) (Option.bind (J.member key stats) J.to_int)
+      in
+      Alcotest.(check int) "validate_ok" 1 (counter "validate_ok");
+      Alcotest.(check int) "validate_reject" 1 (counter "validate_reject"))
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -604,4 +689,5 @@ let suite =
     Alcotest.test_case "deadline, worker survives" `Quick
       test_deadline_and_worker_survival;
     Alcotest.test_case "overloaded on full queue" `Quick test_overloaded;
+    Alcotest.test_case "validate op" `Quick test_validate_op;
   ]
