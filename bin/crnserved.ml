@@ -12,7 +12,7 @@ open Cmdliner
 let stop_requested = ref false
 
 let run listen jobs queue_bound cache_capacity deadline_ms max_frame
-    read_deadline_ms idle_timeout_ms max_conns verbose =
+    read_deadline_ms idle_timeout_ms max_conns state_dir verbose =
   match Service.Addr.of_string listen with
   | Error msg ->
       Printf.eprintf "crnserved: %s\n" msg;
@@ -32,6 +32,7 @@ let run listen jobs queue_bound cache_capacity deadline_ms max_frame
           idle_timeout_ms;
           max_conns;
           log = verbose;
+          state_dir;
         }
       in
       if config.Service.Server.jobs < 1 then begin
@@ -141,6 +142,18 @@ let max_conns =
   in
   Arg.(value & opt int 256 & info [ "max-conns" ] ~docv:"N" ~doc)
 
+let state_dir =
+  let doc =
+    "Warm persistent state directory. Compiled-model snapshots are written \
+     to $(docv)/models in the background and loaded back before the daemon \
+     accepts connections, so a restarted daemon serves its first repeated \
+     request as a cache hit instead of recompiling; deadline-cancelled runs \
+     leave resumable checkpoints in $(docv)/checkpoints. Corrupt or stale \
+     snapshots are skipped and counted, never fatal."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
 let verbose =
   let doc = "Log one stderr line per connection event." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -151,6 +164,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ listen $ jobs $ queue_bound $ cache_capacity $ deadline_ms
-      $ max_frame $ read_deadline_ms $ idle_timeout_ms $ max_conns $ verbose)
+      $ max_frame $ read_deadline_ms $ idle_timeout_ms $ max_conns
+      $ state_dir $ verbose)
 
 let () = exit (Cmd.eval' cmd)

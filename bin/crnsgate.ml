@@ -13,8 +13,8 @@ open Cmdliner
 let stop_requested = ref false
 
 let run listen http shards served dir jobs queue_bound cache_capacity
-    max_inflight no_affinity replicas route_memo max_frame max_conns attach
-    seed verbose =
+    state_dir max_inflight no_affinity replicas route_memo max_frame max_conns
+    attach seed verbose =
   let parse_addr what = function
     | None -> Ok None
     | Some s -> (
@@ -54,6 +54,7 @@ let run listen http shards served dir jobs queue_bound cache_capacity
               jobs;
               queue_bound;
               cache_capacity;
+              state_dir;
               extra_args = [];
             }
       in
@@ -139,6 +140,16 @@ let cache_capacity =
   Arg.(
     value & opt (some int) None & info [ "cache-capacity" ] ~docv:"N" ~doc)
 
+let state_dir =
+  let doc =
+    "Warm persistent state root. Each spawned shard gets \
+     $(docv)/shard-N-state as its own $(b,--state-dir), so a respawned \
+     shard reloads the compiled models it owned before dying and serves \
+     its first routed request as a cache hit instead of recompiling."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
 let max_inflight =
   let doc =
     "Admission bound: in-flight requests allowed per shard before further \
@@ -193,7 +204,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ listen $ http $ shards $ served $ dir $ jobs $ queue_bound
-      $ cache_capacity $ max_inflight $ no_affinity $ replicas $ route_memo
-      $ max_frame $ max_conns $ attach $ seed $ verbose)
+      $ cache_capacity $ state_dir $ max_inflight $ no_affinity $ replicas
+      $ route_memo $ max_frame $ max_conns $ attach $ seed $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -593,6 +593,140 @@ let run_remote ~connect ~source ~t1 ~ratio ~method_name ~csv_out
           (json_floats (json_field result "final"))
       end)
 
+(* ------------------------------------------- checkpoint / resume *)
+
+module S = Service.Snapshot
+
+(* same cooperative deadline token the daemon arms *)
+let cancel_of_deadline deadline_ms =
+  match deadline_ms with
+  | Some ms when ms > 0. ->
+      let expires = Unix.gettimeofday () +. (ms /. 1000.) in
+      Numeric.Cancel.of_fun (fun () -> Unix.gettimeofday () > expires)
+  | _ -> Numeric.Cancel.never
+
+let write_checkpoint out sc =
+  Service.Binio.write_raw_atomic out (S.encode_sim sc);
+  Printf.eprintf
+    "crnsim: %s checkpoint written to %s (continue with --resume %s)\n"
+    (S.engine_name sc.S.sc_state) out out
+
+(* shared trace emission so a resumed run's CSV/plot/final-state output
+   goes through exactly the code the uninterrupted run uses *)
+let emit_trace ~source ~t1 ~csv_out ~plot_species ~final_only trace =
+  (match csv_out with
+  | Some path ->
+      Analysis.Csv.write_trace ~path trace;
+      Printf.printf "wrote %d samples to %s\n" (Ode.Trace.length trace) path
+  | None -> ());
+  (match plot_species with
+  | [] -> ()
+  | names ->
+      print_string
+        (Analysis.Ascii_plot.render ~width:72 ~height:16 ~title:source
+           (Analysis.Ascii_plot.of_trace trace names)));
+  if final_only || (csv_out = None && plot_species = []) then begin
+    Printf.printf "final state at t = %g:\n" t1;
+    let state = Ode.Trace.last_state trace in
+    Array.iteri
+      (fun i name ->
+        if state.(i) > 1e-6 then
+          Printf.printf "  %-24s %10.4f\n" name state.(i))
+      (Ode.Trace.names trace)
+  end
+
+(* --resume FILE: the checkpoint is self-contained (network, rate
+   environment, horizon, seed, engine parameters, mid-run engine state),
+   so everything the continuation needs comes from the file; the
+   NETWORK argument and the engine/ratio/seed flags are ignored. The
+   finished trajectory is bitwise identical to an uninterrupted run.
+   (Defined after [report_error] below via this forward slot.) *)
+let run_resume_impl ~report_error ~path ~source ~csv_out ~plot_species
+    ~final_only ~checkpoint ~deadline_ms =
+  try
+    let sc =
+      try S.decode_sim (Service.Binio.read_raw path) with
+      | Service.Binio.Corrupt msg ->
+          failwith (Printf.sprintf "%s: corrupt checkpoint: %s" path msg)
+      | S.Version_mismatch { found; expected; _ } ->
+          failwith
+            (Printf.sprintf
+               "%s: checkpoint format v%d, this build reads v%d" path found
+               expected)
+      | Sys_error msg -> failwith msg
+    in
+    let cancel = cancel_of_deadline deadline_ms in
+    let net = sc.S.sc_net
+    and env = sc.S.sc_env
+    and t1 = sc.S.sc_t1
+    and seed = sc.S.sc_seed in
+    let p name = S.param sc name in
+    let pi name = Option.map int_of_float (S.param sc name) in
+    (* a resumed run can itself hit a deadline and re-checkpoint *)
+    let recapture wrap ck =
+      match checkpoint with
+      | None -> ()
+      | Some out -> write_checkpoint out { sc with S.sc_state = wrap ck }
+    in
+    Printf.eprintf "crnsim: resuming %s run from %s (t1 = %g)\n"
+      (S.engine_name sc.S.sc_state) path t1;
+    let trace =
+      match sc.S.sc_state with
+      | S.Ode_ck ck ->
+          let method_ =
+            match ck.Ode.Driver.ck_method with
+            | Ode.Driver.Ck_dopri5 _ -> Ode.Driver.Dopri5
+            | Ode.Driver.Ck_rosenbrock _ -> Ode.Driver.Rosenbrock
+            | Ode.Driver.Ck_fixed _ -> (
+                match p "h" with
+                | Some h -> Ode.Driver.Rk4 h
+                | None -> failwith "rk4 checkpoint is missing its step size")
+          in
+          Ode.Driver.simulate_ck ~method_ ?rtol:(p "rtol") ?atol:(p "atol")
+            ~env ~cancel
+            ~thin:(Option.value ~default:1 (pi "thin"))
+            ~resume:ck
+            ~on_cancel:(recapture (fun c -> S.Ode_ck c))
+            ~t1 net
+      | S.Ssa_ck ck ->
+          let { Ssa.Gillespie.trace; n_events; _ } =
+            Ssa.Gillespie.run ~env ~seed ?sample_dt:(p "sample_dt")
+              ?max_events:(pi "max_events") ~cancel ~resume:ck
+              ~on_cancel:(recapture (fun c -> S.Ssa_ck c))
+              ~t1 net
+          in
+          Printf.eprintf "stochastic simulation: %d reaction events\n"
+            n_events;
+          trace
+      | S.Tau_ck ck ->
+          let { Ssa.Tau_leap.trace; n_leaps; n_exact; _ } =
+            Ssa.Tau_leap.run ~env ~seed ?sample_dt:(p "sample_dt")
+              ?epsilon:(p "epsilon") ?max_steps:(pi "max_steps") ~cancel
+              ~resume:ck
+              ~on_cancel:(recapture (fun c -> S.Tau_ck c))
+              ~t1 net
+          in
+          Printf.eprintf "tau-leaping: %d leaps, %d exact fallbacks\n" n_leaps
+            n_exact;
+          trace
+      | S.Hybrid_ck ck ->
+          let { Hybrid.Engine.trace; stats; _ } =
+            Hybrid.Engine.run ~env ~seed ?sample_dt:(p "sample_dt")
+              ?pop_threshold:(p "pop_threshold")
+              ?prop_threshold:(p "prop_threshold")
+              ?repartition_every:(pi "repartition_every")
+              ?epsilon:(p "epsilon") ?max_events:(pi "max_events") ~cancel
+              ~resume:ck
+              ~on_cancel:(recapture (fun c -> S.Hybrid_ck c))
+              ~t1 net
+          in
+          print_hybrid_stats stats;
+          trace
+    in
+    emit_trace ~source ~t1 ~csv_out ~plot_species ~final_only trace;
+    0
+  with e -> report_error e
+
 (* map everything a simulation can die of to a one-line message and the
    structured exit code shared with the service protocol: 2 input, 3
    budget/solver, 4 deadline, 5 overloaded, 70 internal *)
@@ -630,6 +764,11 @@ let report_error e =
             (Unix.error_message err);
           70
       | e -> raise e)
+
+let run_resume ~path ~source ~csv_out ~plot_species ~final_only ~checkpoint
+    ~deadline_ms =
+  run_resume_impl ~report_error ~path ~source ~csv_out ~plot_species
+    ~final_only ~checkpoint ~deadline_ms
 
 (* --validate: certify the network in the exact verification tier and
    print the certificate, without simulating anything. The local and
@@ -705,7 +844,32 @@ let run_validate ~source ~connect ~deadline_ms ~retries ~retry_budget_ms
 let run source t1 ratio method_name csv_out plot_species engine_opt
     stochastic seed runs jobs final_only focus sweep_ratios sweep_jobs
     connect deadline_ms retries retry_budget_ms pop_threshold prop_threshold
-    repartition_every validate =
+    repartition_every validate checkpoint resume =
+  if
+    (checkpoint <> None || resume <> None)
+    && (connect <> None || validate || runs > 1 || sweep_ratios <> [])
+  then begin
+    Printf.eprintf
+      "crnsim: --checkpoint/--resume apply to a single local trajectory \
+       (not --connect, --validate, --runs > 1 or --sweep-ratio)\n";
+    2
+  end
+  else
+  match resume with
+  | Some path ->
+      (* the checkpoint carries the network; a NETWORK argument, if
+         given, only names the plot title *)
+      run_resume ~path
+        ~source:(Option.value ~default:path source)
+        ~csv_out ~plot_species ~final_only ~checkpoint ~deadline_ms
+  | None -> (
+  match source with
+  | None ->
+      Printf.eprintf
+        "crnsim: a NETWORK argument is required (only --resume runs \
+         without one)\n";
+      2
+  | Some source ->
   if validate then
     run_validate ~source ~connect ~deadline_ms ~retries ~retry_budget_ms
       ~seed
@@ -728,13 +892,7 @@ let run source t1 ratio method_name csv_out plot_species engine_opt
   try
     (* a local deadline uses the same cooperative-cancellation tokens the
        daemon arms, so both paths fail the same way (exit 4) *)
-    let cancel =
-      match deadline_ms with
-      | Some ms when ms > 0. ->
-          let expires = Unix.gettimeofday () +. (ms /. 1000.) in
-          Numeric.Cancel.of_fun (fun () -> Unix.gettimeofday () > expires)
-      | _ -> Numeric.Cancel.never
-    in
+    let cancel = cancel_of_deadline deadline_ms in
     let net = load source in
     let net =
       match focus with
@@ -773,18 +931,39 @@ let run source t1 ratio method_name csv_out plot_species engine_opt
       0
     end
     else begin
+    (* --checkpoint FILE: a deadline-cancelled run drops its loop-top
+       state to FILE just before exiting 4, self-contained so --resume
+       needs nothing but the file *)
+    let capture wrap params =
+      Option.map
+        (fun out ck ->
+          write_checkpoint out
+            {
+              S.sc_net = net;
+              sc_env = env;
+              sc_t1 = t1;
+              sc_seed = Int64.of_int seed;
+              sc_params = Array.of_list params;
+              sc_state = wrap ck;
+            })
+        checkpoint
+    in
     let trace =
       match engine with
       | Ssa_engine ->
           let { Ssa.Gillespie.trace; n_events; _ } =
-            Ssa.Gillespie.run ~env ~seed:(Int64.of_int seed) ~cancel ~t1 net
+            Ssa.Gillespie.run ~env ~seed:(Int64.of_int seed) ~cancel
+              ?on_cancel:(capture (fun c -> S.Ssa_ck c) [])
+              ~t1 net
           in
           Printf.eprintf "stochastic simulation: %d reaction events\n"
             n_events;
           trace
       | Tau_engine ->
           let { Ssa.Tau_leap.trace; n_leaps; n_exact; _ } =
-            Ssa.Tau_leap.run ~env ~seed:(Int64.of_int seed) ~cancel ~t1 net
+            Ssa.Tau_leap.run ~env ~seed:(Int64.of_int seed) ~cancel
+              ?on_cancel:(capture (fun c -> S.Tau_ck c) [])
+              ~t1 net
           in
           Printf.eprintf "tau-leaping: %d leaps, %d exact fallbacks\n"
             n_leaps n_exact;
@@ -792,40 +971,48 @@ let run source t1 ratio method_name csv_out plot_species engine_opt
       | Hybrid_engine ->
           let { Hybrid.Engine.trace; stats; _ } =
             Hybrid.Engine.run ~env ~seed:(Int64.of_int seed) ~pop_threshold
-              ~prop_threshold ~repartition_every ~cancel ~t1 net
+              ~prop_threshold ~repartition_every ~cancel
+              ?on_cancel:
+                (capture
+                   (fun c -> S.Hybrid_ck c)
+                   [
+                     ("pop_threshold", pop_threshold);
+                     ("prop_threshold", prop_threshold);
+                     ( "repartition_every",
+                       float_of_int repartition_every );
+                   ])
+              ~t1 net
           in
           print_hybrid_stats stats;
           trace
-      | Ode_engine ->
-          Ode.Driver.simulate ~method_:(method_of_string method_name) ~env
-            ~cancel ~thin:5 ~t1 net
+      | Ode_engine -> (
+          let method_ = method_of_string method_name in
+          match checkpoint with
+          | None ->
+              Ode.Driver.simulate ~method_ ~env ~cancel ~thin:5 ~t1 net
+          | Some _ ->
+              let params =
+                ("thin", 5.)
+                ::
+                (match method_ with
+                | Ode.Driver.Rk4 h -> [ ("h", h) ]
+                | _ -> [])
+              in
+              Ode.Driver.simulate_ck ~method_ ~env ~cancel ~thin:5
+                ?on_cancel:(capture (fun c -> S.Ode_ck c) params)
+                ~t1 net)
     in
-    (match csv_out with
-    | Some path ->
-        Analysis.Csv.write_trace ~path trace;
-        Printf.printf "wrote %d samples to %s\n" (Ode.Trace.length trace) path
-    | None -> ());
-    (match plot_species with
-    | [] -> ()
-    | names ->
-        print_string
-          (Analysis.Ascii_plot.render ~width:72 ~height:16 ~title:source
-             (Analysis.Ascii_plot.of_trace trace names)));
-    if final_only || (csv_out = None && plot_species = []) then begin
-      Printf.printf "final state at t = %g:\n" t1;
-      let state = Ode.Trace.last_state trace in
-      Array.iteri
-        (fun i name ->
-          if state.(i) > 1e-6 then Printf.printf "  %-24s %10.4f\n" name state.(i))
-        (Ode.Trace.names trace)
-    end;
+    emit_trace ~source ~t1 ~csv_out ~plot_species ~final_only trace;
     0
     end
-  with e -> report_error e))
+  with e -> report_error e)))
 
 let source =
-  let doc = "A .crn file or a built-in design name." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc)
+  let doc =
+    "A .crn file or a built-in design name. Optional with $(b,--resume): \
+     the checkpoint file already carries the network."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc)
 
 let t1 =
   let doc = "Simulation horizon." in
@@ -987,6 +1174,28 @@ let validate =
   in
   Arg.(value & flag & info [ "validate" ] ~doc)
 
+let checkpoint =
+  let doc =
+    "If the run is cancelled by --deadline-ms, write the engine's mid-run \
+     state to $(docv) (atomic temp-file-plus-rename) before exiting 4. \
+     The file is self-contained: $(b,--resume) $(docv) continues the \
+     trajectory to a result bitwise identical to an uninterrupted run. \
+     Applies to a single local trajectory of any engine."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume =
+  let doc =
+    "Continue a simulation from the checkpoint in $(docv) (written by \
+     $(b,--checkpoint) or by a daemon's state directory). The network, \
+     rate environment, horizon, seed and engine parameters all come from \
+     the file; may be combined with $(b,--checkpoint) to re-checkpoint if \
+     a new --deadline-ms expires."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "simulate a chemical reaction network" in
   let info = Cmd.info "crnsim" ~version:"1.0" ~doc in
@@ -996,6 +1205,6 @@ let cmd =
       $ engine_opt $ stochastic $ seed $ runs $ jobs $ final_only $ focus
       $ sweep_ratios $ sweep_jobs $ connect $ deadline_ms $ retries
       $ retry_budget_ms $ pop_threshold $ prop_threshold $ repartition_every
-      $ validate)
+      $ validate $ checkpoint $ resume)
 
 let () = exit (Cmd.eval' cmd)

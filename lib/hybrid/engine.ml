@@ -155,11 +155,54 @@ let make_arena m =
 exception Stop
 exception Switch_mode
 
+(* Full mid-run state at a cancellation point. Both mode loops guard at
+   their top, before the iteration mutates anything or draws the RNG, so
+   loop-top state is a state an uninterrupted run passes through; the
+   masked fast-partition vector field is not captured because it is a
+   pure function of the partition ([rebuild_fsys]) and is rebuilt on
+   resume. *)
+type checkpoint = {
+  ck_mixed : bool;
+  ck_counts : int array;  (* discrete-mode integer state *)
+  ck_x : float array;  (* mixed-mode float state *)
+  ck_t : float;
+  ck_next_sample : float;
+  ck_g_int : float;  (* accumulated ∫ a_slow dt *)
+  ck_target : float;  (* Exp(1) target of the integrated-propensity draw *)
+  ck_rng : int64;
+  ck_engine : Ssa.Prop_engine.state;
+  ck_fast : bool array;  (* partition: fast reactions *)
+  ck_continuous : bool array;  (* partition: continuous species *)
+  ck_n_fast : int;
+  ck_slow : int array;
+  ck_n_ssa : int;
+  ck_n_tau_leaps : int;
+  ck_n_tau_events : int;
+  ck_n_ode : int;
+  ck_n_repart : int;
+  ck_n_switch : int;
+  ck_n_rejected : int;
+  ck_peak_fast : int;
+  ck_loop_count : int;
+      (* events into the current discrete stretch, or substeps into the
+         current mixed stretch — drives the 512-event cancel poll and the
+         repartition cadence *)
+  ck_first : bool;  (* discrete mode: inside the run's first stretch *)
+  ck_trace : Ode.Trace.t;
+}
+
+let copy_trace tr =
+  let fresh = Ode.Trace.create ~names:(Ode.Trace.names tr) in
+  Array.iteri
+    (fun i t -> Ode.Trace.record fresh t (Ode.Trace.state_at_index tr i))
+    (Ode.Trace.times tr);
+  fresh
+
 let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
     ?(pop_threshold = 1000.) ?(prop_threshold = 1000.)
     ?(repartition_every = 256) ?(epsilon = 0.05) ?(tau_switch = 8.)
     ?(max_events = 50_000_000) ?(refresh_every = 4096) ?model ?arena
-    ?(cancel = Numeric.Cancel.never) ~t1 net =
+    ?(cancel = Numeric.Cancel.never) ?resume ?on_cancel ~t1 net =
   if t1 <= 0. then invalid_arg "Hybrid.run: t1 must be positive";
   if pop_threshold <= 0. then
     invalid_arg "Hybrid.run: pop_threshold must be positive";
@@ -197,7 +240,11 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   done;
   let pe = ar.a_pe and part = ar.a_part and props = ar.a_props in
   Partition.reset part;
-  let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
+  let trace =
+    match resume with
+    | Some ck -> copy_trace ck.ck_trace
+    | None -> Ode.Trace.create ~names:(Crn.Network.species_names net)
+  in
   let t = ref 0. in
   let next_sample = ref 0. in
   let failure = ref None in
@@ -536,10 +583,22 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
      but never mutates it — bitwise-identical trajectories while no
      reaction is promoted *)
   let first_entry = ref true in
+  (* the per-stretch loop counter and the discrete 'first' latch live
+     outside the mode functions so a checkpoint can capture them; a
+     resumed run hands its restored values to the first mode invocation
+     through [pending_resume] instead of resetting them *)
+  let loop_count = ref 0 in
+  let disc_first = ref false in
+  let pending_resume = ref false in
   let run_discrete () =
-    let events_here = ref 0 in
-    let first = !first_entry in
-    first_entry := false;
+    let events_here = loop_count in
+    if !pending_resume then pending_resume := false
+    else begin
+      events_here := 0;
+      disc_first := !first_entry;
+      first_entry := false
+    end;
+    let first = !disc_first in
     while !t < t1 do
       budget_check ();
       if !events_here land 511 = 0 then Numeric.Cancel.guard cancel;
@@ -583,7 +642,8 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   in
   (* --------------------------------------------------- mixed-mode loop *)
   let run_mixed () =
-    let substeps_here = ref 0 in
+    let substeps_here = loop_count in
+    if !pending_resume then pending_resume := false else substeps_here := 0;
     while true do
       budget_check ();
       Numeric.Cancel.guard cancel;
@@ -614,14 +674,80 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
       else exact_substep h
     done
   in
-  record_due_samples ();
-  Ssa.Prop_engine.refresh pe counts;
+  (match resume with
+  | None ->
+      record_due_samples ();
+      Ssa.Prop_engine.refresh pe counts
+  | Some ck ->
+      if Array.length ck.ck_counts <> n || Array.length ck.ck_x <> n then
+        invalid_arg "Hybrid.run: checkpoint does not match the network";
+      if Array.length ck.ck_fast <> m || Array.length ck.ck_continuous <> n
+      then invalid_arg "Hybrid.run: checkpoint partition shape mismatch";
+      Array.blit ck.ck_counts 0 counts 0 n;
+      Array.blit ck.ck_x 0 x 0 n;
+      t := ck.ck_t;
+      next_sample := ck.ck_next_sample;
+      g_int := ck.ck_g_int;
+      target := ck.ck_target;
+      Rng.set_state rng ck.ck_rng;
+      Ssa.Prop_engine.restore pe ck.ck_engine;
+      Array.blit ck.ck_fast 0 part.Partition.fast 0 m;
+      Array.blit ck.ck_continuous 0 part.Partition.continuous 0 n;
+      part.Partition.n_fast <- ck.ck_n_fast;
+      part.Partition.slow <- Array.copy ck.ck_slow;
+      n_ssa := ck.ck_n_ssa;
+      n_tau_leaps := ck.ck_n_tau_leaps;
+      n_tau_events := ck.ck_n_tau_events;
+      n_ode := ck.ck_n_ode;
+      n_repart := ck.ck_n_repart;
+      n_switch := ck.ck_n_switch;
+      n_rejected := ck.ck_n_rejected;
+      peak_fast := ck.ck_peak_fast;
+      loop_count := ck.ck_loop_count;
+      disc_first := ck.ck_first;
+      first_entry := false;
+      pending_resume := true;
+      mixed := ck.ck_mixed;
+      (* the masked vector field is a pure function of the partition *)
+      if ck.ck_mixed then rebuild_fsys ());
+  let capture () =
+    {
+      ck_mixed = !mixed;
+      ck_counts = Array.copy counts;
+      ck_x = Array.copy x;
+      ck_t = !t;
+      ck_next_sample = !next_sample;
+      ck_g_int = !g_int;
+      ck_target = !target;
+      ck_rng = Rng.state rng;
+      ck_engine = Ssa.Prop_engine.capture pe;
+      ck_fast = Array.copy part.Partition.fast;
+      ck_continuous = Array.copy part.Partition.continuous;
+      ck_n_fast = part.Partition.n_fast;
+      ck_slow = Array.copy part.Partition.slow;
+      ck_n_ssa = !n_ssa;
+      ck_n_tau_leaps = !n_tau_leaps;
+      ck_n_tau_events = !n_tau_events;
+      ck_n_ode = !n_ode;
+      ck_n_repart = !n_repart;
+      ck_n_switch = !n_switch;
+      ck_n_rejected = !n_rejected;
+      ck_peak_fast = !peak_fast;
+      ck_loop_count = !loop_count;
+      ck_first = !disc_first;
+      ck_trace = trace;
+    }
+  in
   (try
      while true do
        if !mixed then (try run_mixed () with Switch_mode -> to_discrete ())
        else try run_discrete () with Switch_mode -> to_mixed ()
      done
-   with Stop -> ());
+   with
+  | Stop -> ()
+  | Numeric.Cancel.Cancelled ->
+      (match on_cancel with Some f -> f (capture ()) | None -> ());
+      raise Numeric.Cancel.Cancelled);
   let stats =
     {
       n_ssa_events = !n_ssa;
@@ -649,11 +775,11 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
 
 let run ?env ?seed ?sample_dt ?pop_threshold ?prop_threshold
     ?repartition_every ?epsilon ?tau_switch ?max_events ?refresh_every ?model
-    ?arena ?cancel ~t1 net =
+    ?arena ?cancel ?resume ?on_cancel ~t1 net =
   match
     run_result ?env ?seed ?sample_dt ?pop_threshold ?prop_threshold
       ?repartition_every ?epsilon ?tau_switch ?max_events ?refresh_every
-      ?model ?arena ?cancel ~t1 net
+      ?model ?arena ?cancel ?resume ?on_cancel ~t1 net
   with
   | Ok r -> r
   | Stdlib.Error err -> raise (Error err)

@@ -75,6 +75,40 @@ type arena
 
 val make_arena : model -> arena
 
+type checkpoint = {
+  ck_mixed : bool;  (** which mode loop was interrupted *)
+  ck_counts : int array;
+  ck_x : float array;
+  ck_t : float;
+  ck_next_sample : float;
+  ck_g_int : float;
+  ck_target : float;
+  ck_rng : int64;
+  ck_engine : Ssa.Prop_engine.state;
+  ck_fast : bool array;
+  ck_continuous : bool array;
+  ck_n_fast : int;
+  ck_slow : int array;
+  ck_n_ssa : int;
+  ck_n_tau_leaps : int;
+  ck_n_tau_events : int;
+  ck_n_ode : int;
+  ck_n_repart : int;
+  ck_n_switch : int;
+  ck_n_rejected : int;
+  ck_peak_fast : int;
+  ck_loop_count : int;
+  ck_first : bool;
+  ck_trace : Ode.Trace.t;
+}
+(** Full mid-run state — populations (integer and float), clocks, the
+    dynamic partition, the integrated-propensity accumulator and its
+    Exp(1) target, the propensity-engine scratch, the RNG stream, every
+    statistics counter, and the recorded trace. The masked fast-partition
+    vector field is rebuilt from the partition on resume (it is a pure
+    function of it). Resuming with identical parameters continues to a
+    trajectory bitwise identical to an uninterrupted run. *)
+
 val run_result :
   ?env:Crn.Rates.env ->
   ?seed:int64 ->
@@ -89,6 +123,8 @@ val run_result :
   ?model:model ->
   ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t1:float ->
   Crn.Network.t ->
   (result, error) Stdlib.result
@@ -105,8 +141,10 @@ val run_result :
     rebuild cadence, as in {!Ssa.Gillespie}). [model]/[arena] reuse a
     compilation/scratch as in the other engines ([arena] takes
     precedence). [cancel] is polled at least every 512 events and aborts
-    with {!Numeric.Cancel.Cancelled}. Returns [Error] when the work
-    budget is exhausted.
+    with {!Numeric.Cancel.Cancelled}; [on_cancel] then receives the
+    loop-top {!checkpoint} before the exception propagates, and [resume]
+    restores one instead of starting from the network's initial state.
+    Returns [Error] when the work budget is exhausted.
 
     With the default thresholds, networks whose populations stay below
     1000 run entirely in discrete mode — bitwise-identical to
@@ -126,6 +164,8 @@ val run :
   ?model:model ->
   ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t1:float ->
   Crn.Network.t ->
   result

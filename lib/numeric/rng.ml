@@ -8,6 +8,8 @@ let mix64 z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let create seed = { state = seed }
+let state t = t.state
+let set_state t s = t.state <- s
 
 let uint64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -9,6 +9,14 @@ type t
 val create : int64 -> t
 (** Generator seeded with the given value. Equal seeds give equal streams. *)
 
+val state : t -> int64
+(** Current internal state. Together with {!set_state} this makes the
+    generator checkpointable: a generator restored onto a saved state
+    continues the exact output stream of the original. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the internal state with one captured by {!state}. *)
+
 val split : t -> t
 (** A statistically independent generator derived from the current state;
     advances the parent. *)

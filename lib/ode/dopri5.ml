@@ -92,8 +92,23 @@ let workspace n =
     ws_xnew = Array.make n 0.;
   }
 
+(* Loop-top mid-run state. [ck_k1] must be saved, not recomputed: FSAL
+   hands the next step the seventh-stage evaluation, which was taken at
+   the {e unclamped} new state — after clamping, [f t x] can differ from
+   it, so a recomputation would fork the trajectory. *)
+type checkpoint = {
+  ck_t : float;
+  ck_x : float array;
+  ck_h : float;
+  ck_k1 : float array;
+  ck_steps : int;
+  ck_rejected : int;
+  ck_evals : int;
+}
+
 let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
-    ?(cancel = Numeric.Cancel.never) ?ws ~t0 ~t1 ~on_sample sys x0 =
+    ?(cancel = Numeric.Cancel.never) ?ws ?resume ?on_cancel ~t0 ~t1 ~on_sample
+    sys x0 =
   if t1 < t0 then invalid_arg "Dopri5.integrate: t1 < t0";
   let n = Deriv.dim sys in
   let ws =
@@ -126,10 +141,36 @@ let integrate ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(max_steps = 10_000_000)
   let t = ref t0 in
   let h = ref (match h0 with Some h -> h | None -> initial_step sys t0 x rtol atol) in
   let steps = ref 0 and rejected = ref 0 in
-  on_sample !t x;
-  eval !t x !rk1 (* FSAL seed: the only stage-1 evaluation of the run *);
+  (match resume with
+  | None ->
+      on_sample !t x;
+      eval !t x !rk1 (* FSAL seed: the only stage-1 evaluation of the run *)
+  | Some ck ->
+      if Array.length ck.ck_x <> n || Array.length ck.ck_k1 <> n then
+        invalid_arg "Dopri5.integrate: checkpoint dimension mismatch";
+      Numeric.Vec.blit ~src:ck.ck_x ~dst:x;
+      Numeric.Vec.blit ~src:ck.ck_k1 ~dst:!rk1;
+      t := ck.ck_t;
+      h := ck.ck_h;
+      steps := ck.ck_steps;
+      rejected := ck.ck_rejected;
+      evals := ck.ck_evals);
+  let capture () =
+    {
+      ck_t = !t;
+      ck_x = Array.copy x;
+      ck_h = !h;
+      ck_k1 = Array.copy !rk1;
+      ck_steps = !steps;
+      ck_rejected = !rejected;
+      ck_evals = !evals;
+    }
+  in
   while !t < t1 -. 1e-12 do
-    Numeric.Cancel.guard cancel;
+    (try Numeric.Cancel.guard cancel
+     with Numeric.Cancel.Cancelled ->
+       (match on_cancel with Some f -> f (capture ()) | None -> ());
+       raise Numeric.Cancel.Cancelled);
     if !steps >= max_steps then
       Solver_error.raise_ ~solver:"Dopri5" ~t:!t
         (Solver_error.Max_steps max_steps);

@@ -22,6 +22,21 @@ val workspace : int -> workspace
 (** [workspace n] preallocates for [n]-dimensional systems. Raises
     [Invalid_argument] if [n < 1]. *)
 
+type checkpoint = {
+  ck_t : float;
+  ck_x : float array;
+  ck_h : float;
+  ck_k1 : float array;
+  ck_steps : int;
+  ck_rejected : int;
+  ck_evals : int;
+}
+(** Loop-top mid-run state. [ck_k1] carries the FSAL stage — the
+    seventh-stage evaluation of the last accepted step, taken at the
+    {e unclamped} new state. It cannot be recomputed from the clamped
+    [ck_x], so it is saved; with it, a resumed run's trajectory is
+    bitwise identical to an uninterrupted one. *)
+
 val integrate :
   ?rtol:float ->
   ?atol:float ->
@@ -29,6 +44,8 @@ val integrate :
   ?max_steps:int ->
   ?cancel:Numeric.Cancel.t ->
   ?ws:workspace ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t0:float ->
   t1:float ->
   on_sample:(float -> Numeric.Vec.t -> unit) ->
@@ -44,4 +61,7 @@ val integrate :
     [atol = 1e-9], [h0] chosen automatically, [max_steps = 10_000_000].
     [ws] supplies a preallocated {!workspace} (its dimension must equal
     the system's — [Invalid_argument] otherwise); without it one is
-    allocated per call. *)
+    allocated per call. [resume] restores a {!checkpoint} instead of
+    starting at [x0] (the initial [on_sample] and FSAL seed evaluation
+    are then suppressed); [on_cancel] receives the loop-top checkpoint
+    when [cancel] aborts the run. *)

@@ -136,3 +136,110 @@ let final_state ?method_ ?rtol ?atol ?env ?injections ?sys ?ws ?cancel ~t1 net
   let drop _ _ = () in
   simulate_gen ~record_step:drop ~record_boundary:drop ?method_ ?rtol ?atol
     ?env ?injections ?sys ?ws ?cancel ~t1 net
+
+type method_state =
+  | Ck_dopri5 of Dopri5.checkpoint
+  | Ck_rosenbrock of Rosenbrock.checkpoint
+  | Ck_fixed of Fixed.checkpoint
+
+type checkpoint = {
+  ck_method : method_state;
+  ck_countdown : int;
+  ck_trace : Trace.t;
+}
+
+let copy_trace tr =
+  let fresh = Trace.create ~names:(Trace.names tr) in
+  Array.iteri
+    (fun i t -> Trace.record fresh t (Trace.state_at_index tr i))
+    (Trace.times tr);
+  fresh
+
+let simulate_ck ?(method_ = Dopri5) ?rtol ?atol ?(env = Crn.Rates.default_env)
+    ?sys ?ws ?(cancel = Numeric.Cancel.never) ?(thin = 1) ?resume ?on_cancel
+    ~t1 net =
+  if thin < 1 then invalid_arg "Driver.simulate_ck: thin must be >= 1";
+  let sys = match sys with Some s -> s | None -> Deriv.compile env net in
+  (match ws with
+  | Some w when w.w_n <> Deriv.dim sys ->
+      invalid_arg "Driver: workspace dimension mismatch"
+  | _ -> ());
+  (match (resume, method_) with
+  | Some { ck_method = Ck_dopri5 _; _ }, Dopri5
+  | Some { ck_method = Ck_rosenbrock _; _ }, Rosenbrock
+  | Some { ck_method = Ck_fixed _; _ }, Rk4 _
+  | None, _ ->
+      ()
+  | Some _, _ -> invalid_arg "Driver.simulate_ck: checkpoint method mismatch");
+  let trace =
+    match resume with
+    | Some ck -> copy_trace ck.ck_trace
+    | None -> Trace.create ~names:(Crn.Network.species_names net)
+  in
+  let countdown =
+    ref (match resume with Some ck -> ck.ck_countdown | None -> 0)
+  in
+  let record_boundary t x =
+    Trace.record trace t x;
+    countdown := thin - 1
+  in
+  let record_step t x =
+    if !countdown <= 0 then record_boundary t x else decr countdown
+  in
+  (* only a fresh run skips the integrator's t0 echo (the manual initial
+     record covers it); a resumed integrator emits no echo, so its first
+     sample is a real accepted step that must be recorded *)
+  let first = ref (Option.is_none resume) in
+  let on_sample ts xs = if !first then first := false else record_step ts xs in
+  let x0 = Crn.Network.initial_state net in
+  if Option.is_none resume then record_boundary 0. x0;
+  let driver_cancel wrap =
+    Option.map
+      (fun f mck ->
+        f { ck_method = wrap mck; ck_countdown = !countdown; ck_trace = trace })
+      on_cancel
+  in
+  let final =
+    match method_ with
+    | Dopri5 ->
+        let rtol = Option.value ~default:1e-6 rtol
+        and atol = Option.value ~default:1e-9 atol in
+        let resume =
+          match resume with
+          | Some { ck_method = Ck_dopri5 c; _ } -> Some c
+          | _ -> None
+        in
+        let x', _ =
+          Dopri5.integrate ?ws:(dopri5_ws ws) ~rtol ~atol ~cancel ?resume
+            ?on_cancel:(driver_cancel (fun c -> Ck_dopri5 c))
+            ~t0:0. ~t1 ~on_sample sys x0
+        in
+        x'
+    | Rosenbrock ->
+        let rtol = Option.value ~default:1e-4 rtol
+        and atol = Option.value ~default:1e-7 atol in
+        let resume =
+          match resume with
+          | Some { ck_method = Ck_rosenbrock c; _ } -> Some c
+          | _ -> None
+        in
+        let x', _ =
+          Rosenbrock.integrate ?ws:(rosenbrock_ws ws) ~rtol ~atol ~cancel
+            ?resume
+            ?on_cancel:(driver_cancel (fun c -> Ck_rosenbrock c))
+            ~t0:0. ~t1 ~on_sample sys x0
+        in
+        x'
+    | Rk4 h ->
+        let resume =
+          match resume with
+          | Some { ck_method = Ck_fixed c; _ } -> Some c
+          | _ -> None
+        in
+        Fixed.integrate ~cancel ?resume
+          ?on_cancel:(driver_cancel (fun c -> Ck_fixed c))
+          ~step:Fixed.rk4_step ~h ~t0:0. ~t1 ~on_sample sys x0
+  in
+  if Trace.length trace = 0 || Trace.last_time trace < t1 then
+    Trace.record trace t1 final;
+  trace

@@ -58,6 +58,46 @@ val simulate :
     [Invalid_argument] for an unknown injection species, a negative
     injection time, or [thin < 1]. *)
 
+(** Integrator-specific mid-run state, wrapped so a {!checkpoint} can
+    name which method it belongs to. *)
+type method_state =
+  | Ck_dopri5 of Dopri5.checkpoint
+  | Ck_rosenbrock of Rosenbrock.checkpoint
+  | Ck_fixed of Fixed.checkpoint
+
+type checkpoint = {
+  ck_method : method_state;
+  ck_countdown : int;  (** thinning countdown at the capture point *)
+  ck_trace : Trace.t;  (** everything recorded so far *)
+}
+(** Mid-run driver state. Holds only the dynamic part — the caller must
+    resume with the same network, environment, method, tolerances and
+    [thin] for the continuation to be bitwise identical to an
+    uninterrupted run. *)
+
+val simulate_ck :
+  ?method_:method_ ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?env:Crn.Rates.env ->
+  ?sys:Deriv.t ->
+  ?ws:workspace ->
+  ?cancel:Numeric.Cancel.t ->
+  ?thin:int ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
+  t1:float ->
+  Crn.Network.t ->
+  Trace.t
+(** Checkpointable variant of {!simulate}. Injections are not supported
+    (a checkpoint must be resumable as a single segment); everything
+    else matches {!simulate}. [on_cancel] receives the loop-top
+    {!checkpoint} when [cancel] aborts the run (the
+    {!Numeric.Cancel.Cancelled} exception still propagates); [resume]
+    restores one, continuing the trace and thinning stream exactly where
+    the capture left off. Raises [Invalid_argument] if the checkpoint's
+    method state does not match [method_]. *)
+
 val final_state :
   ?method_:method_ ->
   ?rtol:float ->

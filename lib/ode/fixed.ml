@@ -30,15 +30,30 @@ let rk4_step sys t x h =
   done;
   y
 
-let integrate ?(cancel = Numeric.Cancel.never) ~step ~h ~t0 ~t1 ~on_sample sys
-    x0 =
+(* Loop-top mid-run state: the stepper is stateless between steps, so
+   time and state are the whole story. *)
+type checkpoint = { ck_t : float; ck_x : float array }
+
+let integrate ?(cancel = Numeric.Cancel.never) ?resume ?on_cancel ~step ~h ~t0
+    ~t1 ~on_sample sys x0 =
   if h <= 0. then invalid_arg "Fixed.integrate: step must be positive";
   if t1 < t0 then invalid_arg "Fixed.integrate: t1 < t0";
   let x = ref (Array.copy x0) in
   let t = ref t0 in
-  on_sample !t !x;
+  (match resume with
+  | None -> on_sample !t !x
+  | Some ck ->
+      if Array.length ck.ck_x <> Array.length !x then
+        invalid_arg "Fixed.integrate: checkpoint dimension mismatch";
+      x := Array.copy ck.ck_x;
+      t := ck.ck_t);
   while !t < t1 -. 1e-12 do
-    Numeric.Cancel.guard cancel;
+    (try Numeric.Cancel.guard cancel
+     with Numeric.Cancel.Cancelled ->
+       (match on_cancel with
+       | Some f -> f { ck_t = !t; ck_x = Array.copy !x }
+       | None -> ());
+       raise Numeric.Cancel.Cancelled);
     let hh = Float.min h (t1 -. !t) in
     let y = step sys !t !x hh in
     Numeric.Vec.clamp_nonneg y;

@@ -10,8 +10,15 @@ val euler_step : Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t
 val rk4_step : Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t
 (** One classic Runge–Kutta-4 step. *)
 
+type checkpoint = { ck_t : float; ck_x : float array }
+(** Loop-top mid-run state. The stepper keeps nothing between steps, so
+    time and state fully determine the rest of the trajectory; resuming
+    continues bitwise-identically to an uninterrupted run. *)
+
 val integrate :
   ?cancel:Numeric.Cancel.t ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   step:(Deriv.t -> float -> Numeric.Vec.t -> float -> Numeric.Vec.t) ->
   h:float ->
   t0:float ->
@@ -24,4 +31,7 @@ val integrate :
     shortened to land exactly on [t1]); [on_sample] fires at every step
     including the initial state. Negative round-off undershoots are clamped
     to zero. Returns the final state. Raises [Invalid_argument] if
-    [h <= 0.] or [t1 < t0]. *)
+    [h <= 0.] or [t1 < t0]. [resume] restores a {!checkpoint} instead of
+    starting at [x0] (the initial [on_sample] is then suppressed — the
+    resumed run continues the sample stream, it does not restart it);
+    [on_cancel] receives the loop-top checkpoint when [cancel] aborts. *)

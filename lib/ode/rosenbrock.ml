@@ -62,8 +62,26 @@ let workspace n =
    [jac_reused] counts the rebuilds saved that way, while
    [factorizations] counts actual LU factorizations of W (which must be
    redone whenever h changes, since W depends on h). *)
+(* Loop-top mid-run state. The Jacobian matrix itself is not captured:
+   it depends only on [x], so when [ck_jac_fresh] says the interrupted
+   run held a current factorization-input, resume rebuilds it from the
+   restored state — bitwise the same matrix — without touching the
+   [jac_evals]/[jac_reused] counters (they are restored verbatim). *)
+type checkpoint = {
+  ck_t : float;
+  ck_x : float array;
+  ck_h : float;
+  ck_steps : int;
+  ck_rejected : int;
+  ck_factorizations : int;
+  ck_jac_evals : int;
+  ck_jac_reused : int;
+  ck_jac_fresh : bool;
+}
+
 let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
-    ?(cancel = Numeric.Cancel.never) ?ws ~t0 ~t1 ~on_sample sys x0 =
+    ?(cancel = Numeric.Cancel.never) ?ws ?resume ?on_cancel ~t0 ~t1 ~on_sample
+    sys x0 =
   if t1 < t0 then invalid_arg "Rosenbrock.integrate: t1 < t0";
   let n = Deriv.dim sys in
   let ws =
@@ -94,9 +112,41 @@ let integrate ?(rtol = 1e-4) ?(atol = 1e-7) ?h0 ?(max_steps = 5_000_000)
   let steps = ref 0 and rejected = ref 0 and factorizations = ref 0 in
   let jac_evals = ref 0 and jac_reused = ref 0 in
   let jac_fresh = ref false in
-  on_sample !t x;
+  (match resume with
+  | None -> on_sample !t x
+  | Some ck ->
+      if Array.length ck.ck_x <> n then
+        invalid_arg "Rosenbrock.integrate: checkpoint dimension mismatch";
+      Numeric.Vec.blit ~src:ck.ck_x ~dst:x;
+      t := ck.ck_t;
+      h := ck.ck_h;
+      steps := ck.ck_steps;
+      rejected := ck.ck_rejected;
+      factorizations := ck.ck_factorizations;
+      jac_evals := ck.ck_jac_evals;
+      jac_reused := ck.ck_jac_reused;
+      if ck.ck_jac_fresh then begin
+        Deriv.jacobian_into sys x jac;
+        jac_fresh := true
+      end);
+  let capture () =
+    {
+      ck_t = !t;
+      ck_x = Array.copy x;
+      ck_h = !h;
+      ck_steps = !steps;
+      ck_rejected = !rejected;
+      ck_factorizations = !factorizations;
+      ck_jac_evals = !jac_evals;
+      ck_jac_reused = !jac_reused;
+      ck_jac_fresh = !jac_fresh;
+    }
+  in
   while !t < t1 -. 1e-12 do
-    Numeric.Cancel.guard cancel;
+    (try Numeric.Cancel.guard cancel
+     with Numeric.Cancel.Cancelled ->
+       (match on_cancel with Some f -> f (capture ()) | None -> ());
+       raise Numeric.Cancel.Cancelled);
     if !steps >= max_steps then
       Solver_error.raise_ ~solver:"Rosenbrock" ~t:!t
         (Solver_error.Max_steps max_steps);

@@ -34,6 +34,24 @@ val workspace : int -> workspace
 (** [workspace n] preallocates for [n]-dimensional systems. Raises
     [Invalid_argument] if [n < 1]. *)
 
+type checkpoint = {
+  ck_t : float;
+  ck_x : float array;
+  ck_h : float;
+  ck_steps : int;
+  ck_rejected : int;
+  ck_factorizations : int;
+  ck_jac_evals : int;
+  ck_jac_reused : int;
+  ck_jac_fresh : bool;
+}
+(** Loop-top mid-run state. The Jacobian matrix is deliberately absent:
+    it is a pure function of [ck_x], so when [ck_jac_fresh] is set the
+    resume path rebuilds it from the restored state — bitwise the same
+    matrix, and the stats counters are restored verbatim, so a resumed
+    run is indistinguishable (trajectory and stats) from an
+    uninterrupted one. *)
+
 val integrate :
   ?rtol:float ->
   ?atol:float ->
@@ -41,13 +59,16 @@ val integrate :
   ?max_steps:int ->
   ?cancel:Numeric.Cancel.t ->
   ?ws:workspace ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t0:float ->
   t1:float ->
   on_sample:(float -> Numeric.Vec.t -> unit) ->
   Deriv.t ->
   Numeric.Vec.t ->
   Numeric.Vec.t * stats
-(** Same contract as {!Dopri5.integrate}. Defaults: [rtol = 1e-4],
+(** Same contract as {!Dopri5.integrate}, including [resume]/[on_cancel]
+    checkpointing. Defaults: [rtol = 1e-4],
     [atol = 1e-7], [max_steps = 5_000_000] — looser than {!Dopri5}
     because the embedded first-order error estimate is conservative, and
     the clocked designs this integrator exists for only need phase-level

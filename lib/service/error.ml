@@ -11,7 +11,7 @@ type t =
   | Max_steps_exceeded of { max_steps : int; t : float }
   | Solver_failure of { solver : string; msg : string }
   | Not_compilable of string
-  | Deadline_exceeded of { budget_ms : float }
+  | Deadline_exceeded of { budget_ms : float; checkpoint : string option }
   | Overloaded of { queue_bound : int }
   | Connection_limit of { max_conns : int }
   | Shard_failed of { shard : int }
@@ -47,8 +47,13 @@ let message = function
       Printf.sprintf "max step count %d exceeded at t = %g" max_steps t
   | Solver_failure { msg; _ } -> msg
   | Not_compilable msg -> Printf.sprintf "not DSD-compilable: %s" msg
-  | Deadline_exceeded { budget_ms } ->
-      Printf.sprintf "deadline of %g ms exceeded" budget_ms
+  | Deadline_exceeded { budget_ms; checkpoint } -> (
+      match checkpoint with
+      | None -> Printf.sprintf "deadline of %g ms exceeded" budget_ms
+      | Some token ->
+          Printf.sprintf
+            "deadline of %g ms exceeded (resumable; checkpoint %s)" budget_ms
+            token)
   | Overloaded { queue_bound } ->
       Printf.sprintf "server overloaded (queue bound %d reached); retry later"
         queue_bound
@@ -106,7 +111,11 @@ let to_json err =
     | Max_steps_exceeded { max_steps; t } ->
         [ ("max_steps", Json.int max_steps); ("t", Json.num t) ]
     | Solver_failure { solver; _ } -> [ ("solver", Json.str solver) ]
-    | Deadline_exceeded { budget_ms } -> [ ("budget_ms", Json.num budget_ms) ]
+    | Deadline_exceeded { budget_ms; checkpoint } ->
+        ("budget_ms", Json.num budget_ms)
+        :: (match checkpoint with
+           | None -> []
+           | Some token -> [ ("checkpoint", Json.str token) ])
     | Overloaded { queue_bound } -> [ ("queue_bound", Json.int queue_bound) ]
     | Connection_limit { max_conns } -> [ ("max_conns", Json.int max_conns) ]
     | Shard_failed { shard } -> [ ("shard", Json.int shard) ]
@@ -146,7 +155,11 @@ let of_json j =
       Solver_failure { solver = gets "solver" "?"; msg }
   | Some "not_compilable" -> Not_compilable msg
   | Some "deadline_exceeded" ->
-      Deadline_exceeded { budget_ms = getf "budget_ms" 0. }
+      Deadline_exceeded
+        {
+          budget_ms = getf "budget_ms" 0.;
+          checkpoint = Option.bind (Json.member "checkpoint" j) Json.to_str;
+        }
   | Some "overloaded" -> Overloaded { queue_bound = geti "queue_bound" 0 }
   | Some "connection_limit" ->
       Connection_limit { max_conns = geti "max_conns" 0 }

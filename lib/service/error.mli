@@ -17,7 +17,10 @@ type t =
   | Solver_failure of { solver : string; msg : string }
       (** ODE non-convergence: step budget or step-size underflow *)
   | Not_compilable of string  (** DSD compilation of molecularity > 2 *)
-  | Deadline_exceeded of { budget_ms : float }
+  | Deadline_exceeded of { budget_ms : float; checkpoint : string option }
+      (** [checkpoint] names a resumable simulation checkpoint the
+          daemon wrote under its state directory before cancelling —
+          a retry can continue the trajectory instead of restarting *)
   | Overloaded of { queue_bound : int }  (** bounded queue refused the job *)
   | Connection_limit of { max_conns : int }
       (** connection cap reached; the daemon answered and closed *)

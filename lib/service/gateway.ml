@@ -31,6 +31,7 @@ type backend =
       jobs : int option;  (* per-shard worker domains *)
       queue_bound : int option;
       cache_capacity : int option;
+      state_dir : string option;  (* per-shard subdir <dir>/shard-<i>-state *)
       extra_args : string list;
     }
   | Attach of Addr.t list  (* pre-existing daemons (tests, manual fleets) *)
@@ -592,6 +593,10 @@ let fleet_json shard_stats =
       ("job_exceptions", Json.num (sum "job_exceptions"));
       ("validate_ok", Json.num (sum "validate_ok"));
       ("validate_reject", Json.num (sum "validate_reject"));
+      ("warm_loaded", Json.num (sum "warm_loaded"));
+      ("warm_skipped_corrupt", Json.num (sum "warm_skipped_corrupt"));
+      ("warm_skipped_version", Json.num (sum "warm_skipped_version"));
+      ("snapshot_writes", Json.num (sum "snapshot_writes"));
       ( "work",
         Json.Obj
           (Hashtbl.fold (fun k v acc -> (k, Json.num v) :: acc) work []
@@ -812,7 +817,8 @@ let shard_sock dir sid = Filename.concat dir (Printf.sprintf "shard-%d.sock" sid
 let spawn_shard gw s =
   match gw.cfg.backend with
   | Attach _ -> ()
-  | Spawn { exe; jobs; queue_bound; cache_capacity; extra_args; _ } ->
+  | Spawn { exe; jobs; queue_bound; cache_capacity; state_dir; extra_args; _ }
+    ->
       let path =
         match s.saddr with Addr.Unix_sock p -> p | a -> Addr.to_string a
       in
@@ -821,11 +827,23 @@ let spawn_shard gw s =
         | Some v -> [ flag; string_of_int v ]
         | None -> []
       in
+      (* per-shard state dir so a respawned shard rejoins with the warm
+         set it had compiled before dying *)
+      let state_args =
+        match state_dir with
+        | None -> []
+        | Some root ->
+            [
+              "--state-dir";
+              Filename.concat root (Printf.sprintf "shard-%d-state" s.sid);
+            ]
+      in
       let argv =
         [ exe; "--listen"; path ]
         @ opt "--jobs" jobs
         @ opt "--queue-bound" queue_bound
         @ opt "--cache-capacity" cache_capacity
+        @ state_args
         @ extra_args
       in
       let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in

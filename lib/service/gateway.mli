@@ -40,6 +40,11 @@ type backend =
       jobs : int option;  (** per-shard worker domains *)
       queue_bound : int option;
       cache_capacity : int option;
+      state_dir : string option;
+          (** warm persistent state root: each shard gets
+              [<dir>/shard-<i>-state], so a respawned shard reloads the
+              models it had compiled before dying and serves its first
+              routed request as a cache hit *)
       extra_args : string list;
     }  (** spawn and supervise [count] daemons on Unix sockets *)
   | Attach of Addr.t list

@@ -28,6 +28,12 @@ type config = {
   idle_timeout_ms : float;
   max_conns : int;
   log : bool;
+  state_dir : string option;
+      (* warm persistent state: compiled-model snapshots are written
+         under <dir>/models by a background persister and re-loaded
+         (digest-verified) before the daemon accepts connections;
+         deadline-cancelled runs leave resumable checkpoints under
+         <dir>/checkpoints *)
 }
 
 let default_config address =
@@ -42,6 +48,7 @@ let default_config address =
     idle_timeout_ms = 300_000.;
     max_conns = 256;
     log = false;
+    state_dir = None;
   }
 
 let protocol_version = 1
@@ -191,6 +198,27 @@ let timed f =
   let x = f () in
   (x, (Unix.gettimeofday () -. t0) *. 1000.)
 
+(* A deadline-cancelled engine hands its loop-top checkpoint to the
+   handler's [on_cancel], which stashes it here; [run_job]'s [Cancelled]
+   branch picks it up and writes it under the state directory so the
+   [deadline_exceeded] response can carry a resume token. The slot is
+   per-worker-domain (one job at a time per worker), so no locking. *)
+let pending_checkpoint : Snapshot.sim_checkpoint option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let stash_checkpoint sc = Domain.DLS.get pending_checkpoint := Some sc
+
+let take_checkpoint () =
+  let slot = Domain.DLS.get pending_checkpoint in
+  let v = !slot in
+  slot := None;
+  v
+
+let opt_param name = function None -> [] | Some v -> [ (name, v) ]
+let opt_param_i name = function
+  | None -> []
+  | Some v -> [ (name, float_of_int v) ]
+
 let handle_parse srv req ~cancel:_ =
   let env = env_of req in
   with_model srv req ~env (fun entry ->
@@ -208,17 +236,21 @@ let handle_parse srv req ~cancel:_ =
       in
       (result, 0., []))
 
-let run_ode ?on_sample ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
+let run_ode ?on_sample ?on_cancel ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
   (* mirrors Ode.Driver.run_segment's per-method tolerance defaults so
      served results are byte-identical to direct execution *)
   let on_sample = Option.value ~default:(fun _ _ -> ()) on_sample in
+  (* [on_cancel] receives the integrator's loop-top checkpoint wrapped
+     into the driver's method_state so the caller can persist it *)
+  let wrap f = Option.map (fun g ck -> g (f ck)) on_cancel in
   match method_ with
   | Ode.Driver.Dopri5 ->
       let rtol = Option.value ~default:1e-6 rtol
       and atol = Option.value ~default:1e-9 atol in
       let xf, stats =
-        Ode.Dopri5.integrate ~rtol ~atol ~cancel ~t0:0. ~t1 ~on_sample
-          sys x0
+        Ode.Dopri5.integrate ~rtol ~atol ~cancel
+          ?on_cancel:(wrap (fun ck -> Ode.Driver.Ck_dopri5 ck))
+          ~t0:0. ~t1 ~on_sample sys x0
       in
       (xf, [ ("steps", Json.int stats.Ode.Dopri5.steps);
              ("evals", Json.int stats.Ode.Dopri5.evals) ])
@@ -226,15 +258,18 @@ let run_ode ?on_sample ~method_ ~rtol ~atol ~cancel ~t1 ~sys x0 =
       let rtol = Option.value ~default:1e-4 rtol
       and atol = Option.value ~default:1e-7 atol in
       let xf, stats =
-        Ode.Rosenbrock.integrate ~rtol ~atol ~cancel ~t0:0. ~t1
-          ~on_sample sys x0
+        Ode.Rosenbrock.integrate ~rtol ~atol ~cancel
+          ?on_cancel:(wrap (fun ck -> Ode.Driver.Ck_rosenbrock ck))
+          ~t0:0. ~t1 ~on_sample sys x0
       in
       (xf, [ ("steps", Json.int stats.Ode.Rosenbrock.steps);
              ("factorizations", Json.int stats.Ode.Rosenbrock.factorizations) ])
   | Ode.Driver.Rk4 h ->
       let steps = ref 0 in
       let xf =
-        Ode.Fixed.integrate ~cancel ~step:Ode.Fixed.rk4_step ~h ~t0:0. ~t1
+        Ode.Fixed.integrate ~cancel
+          ?on_cancel:(wrap (fun ck -> Ode.Driver.Ck_fixed ck))
+          ~step:Ode.Fixed.rk4_step ~h ~t0:0. ~t1
           ~on_sample:(fun t x ->
             incr steps;
             on_sample t x)
@@ -249,9 +284,30 @@ let handle_ode srv req ~cancel =
   let rtol = get_float req "rtol" and atol = get_float req "atol" in
   with_model srv req ~env (fun entry ->
       let net = entry.Model_cache.net in
+      let on_cancel ms =
+        stash_checkpoint
+          {
+            Snapshot.sc_net = net;
+            sc_env = env;
+            sc_t1 = t1;
+            sc_seed = 0L;
+            sc_params =
+              Array.of_list
+                (opt_param "rtol" rtol @ opt_param "atol" atol);
+            sc_state =
+              Snapshot.Ode_ck
+                {
+                  Ode.Driver.ck_method = ms;
+                  ck_countdown = 0;
+                  ck_trace =
+                    Ode.Trace.create
+                      ~names:(Crn.Network.species_names net);
+                };
+          }
+      in
       let (xf, extra), run_ms =
         timed (fun () ->
-            run_ode ~method_ ~rtol ~atol ~cancel ~t1
+            run_ode ~on_cancel ~method_ ~rtol ~atol ~cancel ~t1
               ~sys:entry.Model_cache.sys
               (Crn.Network.initial_state net))
       in
@@ -273,10 +329,24 @@ let handle_ssa srv req ~cancel =
   let sample_dt = get_float req "sample_dt" in
   with_model srv req ~env (fun entry ->
       let net = entry.Model_cache.net in
+      let on_cancel ck =
+        stash_checkpoint
+          {
+            Snapshot.sc_net = net;
+            sc_env = env;
+            sc_t1 = t1;
+            sc_seed = seed;
+            sc_params =
+              Array.of_list
+                (opt_param "sample_dt" sample_dt
+                @ opt_param_i "max_events" max_events);
+            sc_state = Snapshot.Ssa_ck ck;
+          }
+      in
       let r, run_ms =
         timed (fun () ->
             Ssa.Gillespie.run ~env ~seed ?sample_dt ?max_events
-              ~model:entry.Model_cache.ssa ~cancel ~t1 net)
+              ~model:entry.Model_cache.ssa ~cancel ~on_cancel ~t1 net)
       in
       let result =
         Json.Obj
@@ -298,10 +368,25 @@ let handle_tau srv req ~cancel =
   let sample_dt = get_float req "sample_dt" in
   with_model srv req ~env (fun entry ->
       let net = entry.Model_cache.net in
+      let on_cancel ck =
+        stash_checkpoint
+          {
+            Snapshot.sc_net = net;
+            sc_env = env;
+            sc_t1 = t1;
+            sc_seed = seed;
+            sc_params =
+              Array.of_list
+                (opt_param "sample_dt" sample_dt
+                @ opt_param "epsilon" epsilon
+                @ opt_param_i "max_steps" max_steps);
+            sc_state = Snapshot.Tau_ck ck;
+          }
+      in
       let r, run_ms =
         timed (fun () ->
             Ssa.Tau_leap.run ~env ~seed ?sample_dt ?epsilon ?max_steps
-              ~cancel ~t1 net)
+              ~cancel ~on_cancel ~t1 net)
       in
       let result =
         Json.Obj
@@ -351,11 +436,29 @@ let handle_hybrid srv req ~cancel =
         Hybrid.Engine.model_of ~ssa:entry.Model_cache.ssa
           ~sys:entry.Model_cache.sys
       in
+      let on_cancel ck =
+        stash_checkpoint
+          {
+            Snapshot.sc_net = net;
+            sc_env = env;
+            sc_t1 = t1;
+            sc_seed = seed;
+            sc_params =
+              Array.of_list
+                (opt_param "sample_dt" sample_dt
+                @ opt_param "pop_threshold" pop_threshold
+                @ opt_param "prop_threshold" prop_threshold
+                @ opt_param_i "repartition_every" repartition_every
+                @ opt_param "epsilon" epsilon
+                @ opt_param_i "max_events" max_events);
+            sc_state = Snapshot.Hybrid_ck ck;
+          }
+      in
       let r, run_ms =
         timed (fun () ->
             Hybrid.Engine.run ~env ~seed ?sample_dt ?pop_threshold
               ?prop_threshold ?repartition_every ?epsilon ?max_events ~model
-              ~cancel ~t1 net)
+              ~cancel ~on_cancel ~t1 net)
       in
       let s = r.Hybrid.Engine.stats in
       let result =
@@ -782,12 +885,33 @@ let run_job ?(stream = false) srv conn ~op ~handler ~req ~arrival ~deadline =
     | Some at -> (at -. arrival) *. 1000.
     | None -> 0.
   in
+  (* write the stashed engine checkpoint (if any) under the state
+     directory and return the relative token the error response carries;
+     persistence failures just drop the token — the deadline error
+     stands either way *)
+  let persist_checkpoint () =
+    match (take_checkpoint (), srv.config.state_dir) with
+    | None, _ | _, None -> None
+    | Some sc, Some dir -> (
+        try
+          let ckdir = Filename.concat dir "checkpoints" in
+          (try Unix.mkdir ckdir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let data = Snapshot.encode_sim sc in
+          let name =
+            Printf.sprintf "ck-%s.sim" (Digest.to_hex (Digest.string data))
+          in
+          Binio.write_raw_atomic (Filename.concat ckdir name) data;
+          Some (Filename.concat "checkpoints" name)
+        with Sys_error _ | Unix.Unix_error _ -> None)
+  in
+  ignore (take_checkpoint () : Snapshot.sim_checkpoint option);
   (try
      if Numeric.Cancel.cancelled cancel then
        (* expired while queued: don't start a run we know is dead *)
        finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0.
          ~extra:[]
-         (Stdlib.Error (Error.Deadline_exceeded { budget_ms }))
+         (Stdlib.Error (Error.Deadline_exceeded { budget_ms; checkpoint = None }))
      else
        let result, cache, compile_ms, run_ms, extra =
          handler srv req ~cancel
@@ -798,8 +922,9 @@ let run_job ?(stream = false) srv conn ~op ~handler ~req ~arrival ~deadline =
       finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0. ~extra:[]
         (Stdlib.Error err)
   | Numeric.Cancel.Cancelled ->
+      let checkpoint = persist_checkpoint () in
       finish ~cache:Metrics.Not_applicable ~compile_ms:0. ~run_ms:0. ~extra:[]
-        (Stdlib.Error (Error.Deadline_exceeded { budget_ms }))
+        (Stdlib.Error (Error.Deadline_exceeded { budget_ms; checkpoint }))
   | e -> (
       match Error.of_exn e with
       | Some err ->
@@ -840,7 +965,17 @@ let handle_stats srv ~arrival =
               ( "pool_uncaught",
                 Json.int
                   (fst (Numeric.Domain_pool.Bounded.uncaught srv.pool)) );
-            ])
+            ]
+          @
+          let warm_loaded, warm_corrupt, warm_version, snapshot_writes =
+            Model_cache.warm_counters srv.cache
+          in
+          [
+            ("warm_loaded", Json.int warm_loaded);
+            ("warm_skipped_corrupt", Json.int warm_corrupt);
+            ("warm_skipped_version", Json.int warm_version);
+            ("snapshot_writes", Json.int snapshot_writes);
+          ])
     | j -> j
   in
   response_ok ~op:"stats" ~result ~metrics:(quick_metrics ~arrival ()) ()
@@ -995,6 +1130,20 @@ let run ?(stop = fun () -> false) config =
      metrics surface it via the stats op *)
   Numeric.Domain_pool.Bounded.set_on_uncaught srv.pool
     (Metrics.record_job_exception srv.metrics);
+  (* warm the model cache from disk BEFORE accepting connections, so
+     the first routed request after a restart is already a cache hit;
+     then arm the background persister for everything compiled from
+     here on *)
+  (match config.state_dir with
+  | None -> ()
+  | Some dir ->
+      let models = Filename.concat dir "models" in
+      let report = Model_cache.load_from srv.cache models in
+      logf srv
+        "warm start from %s: %d loaded, %d corrupt skipped, %d version skipped"
+        models report.Model_cache.loaded report.Model_cache.skipped_corrupt
+        report.Model_cache.skipped_version;
+      Model_cache.set_state_dir srv.cache models);
   logf srv "listening on %s (%d workers, queue bound %d)"
     (Addr.to_string config.address)
     config.jobs config.queue_bound;

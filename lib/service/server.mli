@@ -50,6 +50,13 @@ type config = {
       (** open-connection cap; further accepts are answered with a
           structured [connection_limit] error and closed immediately *)
   log : bool;  (** one stderr line per connection event *)
+  state_dir : string option;
+      (** warm persistent state root: compiled-model snapshots live in
+          [<dir>/models] (loaded before the daemon accepts connections,
+          written by a background persister on insert and eviction), and
+          deadline-cancelled runs drop resumable checkpoints in
+          [<dir>/checkpoints], named by the [deadline_exceeded] error's
+          ["checkpoint"] token. [None] (the default) disables both. *)
 }
 
 val default_config : Addr.t -> config

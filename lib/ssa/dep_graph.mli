@@ -14,6 +14,14 @@ val build : Compiled.reaction array -> n_species:int -> t
     inert species) get no incoming edges, and zero-order reactions never
     appear in any affected set except through their products. *)
 
+val to_arrays : t -> int array array
+(** The raw adjacency arrays (a fresh copy), for serialization. *)
+
+val of_arrays : int array array -> t
+(** Rebuild a graph from arrays produced by {!to_arrays}. The caller is
+    responsible for the arrays matching the compiled network they will
+    be used with (the snapshot codec checksums them together). *)
+
 val affected : t -> int -> int array
 (** [affected g j]: sorted, duplicate-free indices of the reactions whose
     propensity may differ after firing [j] once (includes [j] itself iff

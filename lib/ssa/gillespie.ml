@@ -37,6 +37,13 @@ let compile_model env net =
 
 let model_parts m = (m.reactions, m.deps)
 
+let model_of_parts ~n_species reactions deps =
+  if Dep_graph.n_reactions deps <> Array.length reactions then
+    invalid_arg "Gillespie.model_of_parts: graph / reaction count mismatch";
+  { reactions; deps; n_species }
+
+let model_n_species m = m.n_species
+
 let make_engine (model : model) = Prop_engine.make model.reactions model.deps
 let total = Prop_engine.total
 let refresh = Prop_engine.refresh
@@ -62,9 +69,34 @@ let make_arena model =
 
 (* --------------------------------------------------------------- runs *)
 
+(* Full mid-run state, captured at the top of the event loop. The
+   cancellation guard runs before any per-iteration mutation or RNG
+   draw, so loop-top state is exactly the state an uninterrupted run
+   would have had at the same event count — restoring it and re-entering
+   the loop continues the trajectory bitwise. *)
+type checkpoint = {
+  ck_counts : int array;
+  ck_t : float;
+  ck_next_sample : float;
+  ck_n_events : int;
+  ck_rng : int64;
+  ck_engine : Prop_engine.state;
+  ck_trace : Ode.Trace.t;
+}
+
+(* replay a trace into fresh storage so resuming cannot alias (and
+   mutate) the checkpoint's copy *)
+let copy_trace tr =
+  let fresh = Ode.Trace.create ~names:(Ode.Trace.names tr) in
+  let times = Ode.Trace.times tr in
+  Array.iteri
+    (fun i t -> Ode.Trace.record fresh t (Ode.Trace.state_at_index tr i))
+    times;
+  fresh
+
 let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
     ?(max_events = 50_000_000) ?(refresh_every = 4096) ?model ?arena
-    ?(cancel = Numeric.Cancel.never) ~t1 net =
+    ?(cancel = Numeric.Cancel.never) ?resume ?on_cancel ~t1 net =
   if t1 <= 0. then invalid_arg "Gillespie.run: t1 must be positive";
   if refresh_every < 1 then
     invalid_arg "Gillespie.run: refresh_every must be >= 1";
@@ -98,7 +130,11 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
         c
     | None -> Array.map (fun x -> int_of_float (Float.round x)) init
   in
-  let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
+  let trace =
+    match resume with
+    | Some ck -> copy_trace ck.ck_trace
+    | None -> Ode.Trace.create ~names:(Crn.Network.species_names net)
+  in
   let snapshot () = Array.map float_of_int counts in
   let e =
     match arena with Some a -> a.a_engine | None -> make_engine model
@@ -113,8 +149,34 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
       next_sample := !next_sample +. sample_dt
     done
   in
-  record_due_samples ();
-  refresh e counts;
+  (* a fresh run records t=0 samples and rebuilds the engine; a resumed
+     run restores every piece of loop-top state instead — both paths
+     enter the loop in a state an uninterrupted run has actually been
+     in, which is what makes resumption bitwise *)
+  (match resume with
+  | None ->
+      record_due_samples ();
+      refresh e counts
+  | Some ck ->
+      if Array.length ck.ck_counts <> model.n_species then
+        invalid_arg "Gillespie.run: checkpoint does not match the network";
+      Array.blit ck.ck_counts 0 counts 0 model.n_species;
+      t := ck.ck_t;
+      next_sample := ck.ck_next_sample;
+      n_events := ck.ck_n_events;
+      Numeric.Rng.set_state rng ck.ck_rng;
+      Prop_engine.restore e ck.ck_engine);
+  let capture () =
+    {
+      ck_counts = Array.copy counts;
+      ck_t = !t;
+      ck_next_sample = !next_sample;
+      ck_n_events = !n_events;
+      ck_rng = Numeric.Rng.state rng;
+      ck_engine = Prop_engine.capture e;
+      ck_trace = trace;
+    }
+  in
   (try
      while !t < t1 do
        if !n_events >= max_events then begin
@@ -155,16 +217,22 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
        update e counts j;
        incr n_events
      done
-   with Exit -> ());
+   with
+  | Exit -> ()
+  | Numeric.Cancel.Cancelled ->
+      (* the guard fired at the loop top, before this iteration touched
+         any state — capture is loop-top-exact *)
+      (match on_cancel with Some f -> f (capture ()) | None -> ());
+      raise Numeric.Cancel.Cancelled);
   match !failure with
   | Some err -> Stdlib.Error err
   | None -> Ok { trace; final = snapshot (); n_events = !n_events }
 
 let run ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?arena ?cancel
-    ~t1 net =
+    ?resume ?on_cancel ~t1 net =
   match
     run_result ?env ?seed ?sample_dt ?max_events ?refresh_every ?model ?arena
-      ?cancel ~t1 net
+      ?cancel ?resume ?on_cancel ~t1 net
   with
   | Ok r -> r
   | Stdlib.Error err -> raise (Error err)

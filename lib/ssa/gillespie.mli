@@ -46,6 +46,30 @@ val model_parts : model -> Compiled.reaction array * Dep_graph.t
     other engines (the hybrid simulator, the service layer's cache) build
     on a model compiled once here without recompiling the network. *)
 
+val model_of_parts :
+  n_species:int -> Compiled.reaction array -> Dep_graph.t -> model
+(** Reassemble a model from parts produced by {!model_parts} (the
+    snapshot codec round-trips models through this). Raises
+    [Invalid_argument] when the graph's reaction count disagrees with
+    the reaction array. *)
+
+val model_n_species : model -> int
+
+type checkpoint = {
+  ck_counts : int array;
+  ck_t : float;
+  ck_next_sample : float;
+  ck_n_events : int;
+  ck_rng : int64;  (** RNG stream state ({!Numeric.Rng.state}) *)
+  ck_engine : Prop_engine.state;
+  ck_trace : Ode.Trace.t;  (** samples recorded so far *)
+}
+(** Full mid-run state of a trajectory, captured at the top of the event
+    loop when a cancellation fires. Passing it back as [?resume] (with
+    identical [env]/[seed]/[sample_dt]/[max_events]/[refresh_every] and
+    the same network) continues the run to a trajectory {e bitwise
+    identical} to one that was never interrupted. *)
+
 type arena
 (** A per-worker simulation arena: one model plus the reusable mutable
     scratch of a run (integer state vector, incremental-propensity
@@ -67,6 +91,8 @@ val run_result :
   ?model:model ->
   ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t1:float ->
   Crn.Network.t ->
   (result, error) Stdlib.result
@@ -83,8 +109,13 @@ val run_result :
     [cancel] (default
     {!Numeric.Cancel.never}) is polled every 512 events and aborts the
     run with {!Numeric.Cancel.Cancelled}; trajectories are unaffected by
-    polling (no extra RNG draws). Returns [Error] instead of raising
-    when the event budget is exhausted. *)
+    polling (no extra RNG draws). [resume] restores a {!checkpoint}
+    instead of starting from the network's initial state (the other
+    parameters must equal the original run's for the trajectory to be
+    bitwise-identical); [on_cancel] receives the loop-top checkpoint
+    when [cancel] aborts the run, just before
+    {!Numeric.Cancel.Cancelled} propagates. Returns [Error] instead of
+    raising when the event budget is exhausted. *)
 
 val run :
   ?env:Crn.Rates.env ->
@@ -95,6 +126,8 @@ val run :
   ?model:model ->
   ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t1:float ->
   Crn.Network.t ->
   result

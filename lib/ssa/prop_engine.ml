@@ -57,6 +57,32 @@ let make reactions deps =
     since_refresh = 0;
   }
 
+type state = {
+  s_props : float array;
+  s_group_sum : float array;
+  s_acc : float array;
+  s_since_refresh : int;
+}
+
+let capture e =
+  {
+    s_props = Array.copy e.props;
+    s_group_sum = Array.copy e.group_sum;
+    s_acc = Array.copy e.acc;
+    s_since_refresh = e.since_refresh;
+  }
+
+let restore e st =
+  if
+    Array.length st.s_props <> Array.length e.props
+    || Array.length st.s_group_sum <> Array.length e.group_sum
+    || Array.length st.s_acc <> 2
+  then invalid_arg "Prop_engine.restore: state shape mismatch";
+  Array.blit st.s_props 0 e.props 0 (Array.length e.props);
+  Array.blit st.s_group_sum 0 e.group_sum 0 (Array.length e.group_sum);
+  Array.blit st.s_acc 0 e.acc 0 2;
+  e.since_refresh <- st.s_since_refresh
+
 (* full rebuild: every propensity, the group partial sums, and the total *)
 let refresh e counts =
   let m = Array.length e.props in

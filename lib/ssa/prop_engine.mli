@@ -33,6 +33,27 @@ type t = {
   mutable since_refresh : int;  (** incremental updates since last rebuild *)
 }
 
+type state = {
+  s_props : float array;
+  s_group_sum : float array;
+  s_acc : float array;
+  s_since_refresh : int;
+}
+(** A value snapshot of the engine's mutable scratch, for
+    checkpoint/resume. Restoring a captured state onto an engine built
+    from the same compiled network makes subsequent selections bitwise
+    identical to the original run — including the Kahan compensation
+    term and the refresh countdown, both of which affect arithmetic. *)
+
+val capture : t -> state
+(** Copy the mutable scratch (propensities, group sums, compensated
+    total, [since_refresh]) into an immutable snapshot. *)
+
+val restore : t -> state -> unit
+(** Overwrite the engine's scratch with a captured snapshot. Raises
+    [Invalid_argument] when the shapes disagree (state from a different
+    network). *)
+
 val make : Compiled.reaction array -> Dep_graph.t -> t
 (** Engine over a compiled reaction set and its dependency graph. All
     scratch starts zeroed; call {!refresh} before the first selection. *)

@@ -102,9 +102,32 @@ let select_tau ~epsilon reactions props g counts ~mu ~sigma2 =
   done;
   !tau
 
+(* Loop-top mid-run state. Captured at the cancellation guard, which
+   runs after [incr steps] but before any mutation or RNG draw of the
+   step — so [ck_steps] is restored as [ck_steps - 1] and the loop-top
+   increment replays it. The propensity/moment/rollback buffers are all
+   fully rewritten before being read each step and need no capture. *)
+type checkpoint = {
+  ck_counts : int array;
+  ck_t : float;
+  ck_next_sample : float;
+  ck_n_leaps : int;
+  ck_n_exact : int;
+  ck_steps : int;
+  ck_rng : int64;
+  ck_trace : Ode.Trace.t;
+}
+
+let copy_trace tr =
+  let fresh = Ode.Trace.create ~names:(Ode.Trace.names tr) in
+  Array.iteri
+    (fun i t -> Ode.Trace.record fresh t (Ode.Trace.state_at_index tr i))
+    (Ode.Trace.times tr);
+  fresh
+
 let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
     ?(epsilon = 0.03) ?(max_steps = 10_000_000) ?model ?arena
-    ?(cancel = Numeric.Cancel.never) ~t1 net =
+    ?(cancel = Numeric.Cancel.never) ?resume ?on_cancel ~t1 net =
   if t1 <= 0. then invalid_arg "Tau_leap.run: t1 must be positive";
   let sample_dt =
     match sample_dt with
@@ -135,7 +158,11 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
         c
     | None -> Array.map (fun x -> int_of_float (Float.round x)) init
   in
-  let trace = Ode.Trace.create ~names:(Crn.Network.species_names net) in
+  let trace =
+    match resume with
+    | Some ck -> copy_trace ck.ck_trace
+    | None -> Ode.Trace.create ~names:(Crn.Network.species_names net)
+  in
   let snapshot () = Array.map float_of_int counts in
   let m = Array.length reactions in
   let props, mu, sigma2, saved =
@@ -154,7 +181,31 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
       next_sample := !next_sample +. sample_dt
     done
   in
-  record_due ();
+  (match resume with
+  | None -> record_due ()
+  | Some ck ->
+      if Array.length ck.ck_counts <> n then
+        invalid_arg "Tau_leap.run: checkpoint does not match the network";
+      Array.blit ck.ck_counts 0 counts 0 n;
+      t := ck.ck_t;
+      next_sample := ck.ck_next_sample;
+      n_leaps := ck.ck_n_leaps;
+      n_exact := ck.ck_n_exact;
+      (* the loop-top [incr steps] replays the step the capture aborted *)
+      steps := ck.ck_steps - 1;
+      Numeric.Rng.set_state rng ck.ck_rng);
+  let capture () =
+    {
+      ck_counts = Array.copy counts;
+      ck_t = !t;
+      ck_next_sample = !next_sample;
+      ck_n_leaps = !n_leaps;
+      ck_n_exact = !n_exact;
+      ck_steps = !steps;
+      ck_rng = Numeric.Rng.state rng;
+      ck_trace = trace;
+    }
+  in
   (try
      while !t < t1 do
        incr steps;
@@ -231,17 +282,21 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
          attempt tau 8
        end
      done
-   with Exit -> ());
+   with
+  | Exit -> ()
+  | Numeric.Cancel.Cancelled ->
+      (match on_cancel with Some f -> f (capture ()) | None -> ());
+      raise Numeric.Cancel.Cancelled);
   match !failure with
   | Some err -> Stdlib.Error err
   | None ->
       Ok { trace; final = snapshot (); n_leaps = !n_leaps; n_exact = !n_exact }
 
-let run ?env ?seed ?sample_dt ?epsilon ?max_steps ?model ?arena ?cancel ~t1
-    net =
+let run ?env ?seed ?sample_dt ?epsilon ?max_steps ?model ?arena ?cancel
+    ?resume ?on_cancel ~t1 net =
   match
     run_result ?env ?seed ?sample_dt ?epsilon ?max_steps ?model ?arena ?cancel
-      ~t1 net
+      ?resume ?on_cancel ~t1 net
   with
   | Ok r -> r
   | Stdlib.Error err -> raise (Error err)

@@ -43,6 +43,22 @@ type arena
 
 val make_arena : model -> arena
 
+type checkpoint = {
+  ck_counts : int array;
+  ck_t : float;
+  ck_next_sample : float;
+  ck_n_leaps : int;
+  ck_n_exact : int;
+  ck_steps : int;
+  ck_rng : int64;
+  ck_trace : Ode.Trace.t;
+}
+(** Full mid-run state, captured at the top-of-step cancellation guard.
+    Resuming with it (same network and parameters) continues to a
+    trajectory bitwise identical to an uninterrupted run: the stepper
+    keeps no persistent float scratch across steps, so counts, clocks,
+    counters and the RNG stream are the whole state. *)
+
 val run_result :
   ?env:Crn.Rates.env ->
   ?seed:int64 ->
@@ -52,6 +68,8 @@ val run_result :
   ?model:model ->
   ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t1:float ->
   Crn.Network.t ->
   (result, error) Stdlib.result
@@ -62,8 +80,10 @@ val run_result :
     takes precedence over [model] — [Invalid_argument] if the network's
     species count disagrees with the arena's model. [cancel] (default
     {!Numeric.Cancel.never}) is polled once per outer step and aborts
-    the run with {!Numeric.Cancel.Cancelled}. Returns [Error] instead of
-    raising when the step budget is exhausted. *)
+    the run with {!Numeric.Cancel.Cancelled}. [resume] restores a
+    {!checkpoint} instead of starting fresh; [on_cancel] receives the
+    loop-top checkpoint when [cancel] aborts the run. Returns [Error]
+    instead of raising when the step budget is exhausted. *)
 
 val run :
   ?env:Crn.Rates.env ->
@@ -74,6 +94,8 @@ val run :
   ?model:model ->
   ?arena:arena ->
   ?cancel:Numeric.Cancel.t ->
+  ?resume:checkpoint ->
+  ?on_cancel:(checkpoint -> unit) ->
   t1:float ->
   Crn.Network.t ->
   result

@@ -22,6 +22,7 @@ let () =
       ("hybrid", Test_hybrid.suite);
       ("networks", Test_networks.suite);
       ("service", Test_service.suite);
+      ("snapshot", Test_snapshot.suite);
       ("fault", Test_fault.suite);
       ("ring", Test_ring.suite);
       ("gateway", Test_gateway.suite);

@@ -126,7 +126,8 @@ let test_error_codes () =
       (Max_steps_exceeded { max_steps = 1; t = 0.5 }, "max_steps_exceeded", 3);
       (Solver_failure { solver = "s"; msg = "m" }, "solver_failure", 3);
       (Not_compilable "x", "not_compilable", 2);
-      (Deadline_exceeded { budget_ms = 10. }, "deadline_exceeded", 4);
+      (Deadline_exceeded { budget_ms = 10.; checkpoint = None },
+       "deadline_exceeded", 4);
       (Overloaded { queue_bound = 4 }, "overloaded", 5);
       (Connection_limit { max_conns = 4 }, "connection_limit", 5);
       ( Validation_failed { issues = [ ("phase_overlap", "d") ] },
