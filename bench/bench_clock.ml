@@ -1,0 +1,97 @@
+(* Comparative clock-chassis sweep: frequency and robustness of every
+   registered chassis across the fast/slow rate separation — the numbers
+   behind the CLOCK table in EXPERIMENTS.md and the chassis-matrix gate
+   in CI.
+
+     dune exec bench/bench_clock.exe --            # full ratio grid
+     dune exec bench/bench_clock.exe -- --smoke
+     dune exec bench/bench_clock.exe -- --out path.json
+
+   Emits BENCH_clock.json: per chassis, one row per swept ratio (period,
+   sustained, worst non-adjacent overlap) plus the derived robustness
+   threshold (the smallest ratio from which the clock stays clean) and
+   the period at the reference ratio 1000. *)
+
+let now = Unix.gettimeofday
+
+let () =
+  let smoke =
+    Array.exists (fun a -> a = "smoke" || a = "--smoke") Sys.argv
+  in
+  let out = ref "BENCH_clock.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then
+        out := Sys.argv.(i + 1))
+    Sys.argv;
+  let ratios =
+    if smoke then [| 50.; 300.; 1000. |]
+    else [| 20.; 50.; 100.; 300.; 1000.; 3000.; 10000. |]
+  in
+  let t0 = now () in
+  let sweeps = Molclock.Clock_analysis.chassis_sweep ~ratios () in
+  let elapsed = now () -. t0 in
+  let period_at ratio points =
+    Array.fold_left
+      (fun acc (p : Molclock.Clock_analysis.rate_point) ->
+        if p.ratio = ratio then p.period else acc)
+      None points
+  in
+  List.iter
+    (fun (c : Molclock.Clock_analysis.chassis_point) ->
+      let thr = Molclock.Clock_analysis.robustness_threshold c.points in
+      Printf.eprintf "%-12s robustness threshold: %s\n%!" c.chassis
+        (match thr with Some r -> Printf.sprintf "%g" r | None -> "none");
+      Array.iter
+        (fun (p : Molclock.Clock_analysis.rate_point) ->
+          Printf.eprintf
+            "  ratio %8g: sustained=%b period=%s overlap=%.4f\n%!" p.ratio
+            p.sustained
+            (match p.period with
+            | Some x -> Printf.sprintf "%.3f" x
+            | None -> "-")
+            p.worst_overlap)
+        c.points)
+    sweeps;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"mrsc-bench-clock/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"host\": %s,\n  \"smoke\": %b,\n  \"sweep_s\": %.2f,\n"
+       (Bench_host.json ()) smoke elapsed);
+  Buffer.add_string b "  \"chassis\": [\n";
+  List.iteri
+    (fun ci (c : Molclock.Clock_analysis.chassis_point) ->
+      let thr = Molclock.Clock_analysis.robustness_threshold c.points in
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": %S,\n     \"points\": [\n" c.chassis);
+      Array.iteri
+        (fun i (p : Molclock.Clock_analysis.rate_point) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "       {\"ratio\": %g, \"sustained\": %b, \"period\": %s, \
+                \"worst_overlap\": %.6f}%s\n"
+               p.ratio p.sustained
+               (match p.period with
+               | Some x -> Printf.sprintf "%.6f" x
+               | None -> "null")
+               p.worst_overlap
+               (if i = Array.length c.points - 1 then "" else ",")))
+        c.points;
+      Buffer.add_string b
+        (Printf.sprintf
+           "     ],\n     \"robustness_threshold\": %s,\n     \
+            \"period_at_1000\": %s}%s\n"
+           (match thr with
+           | Some r -> Printf.sprintf "%g" r
+           | None -> "null")
+           (match period_at 1000. c.points with
+           | Some p -> Printf.sprintf "%.6f" p
+           | None -> "null")
+           (if ci = List.length sweeps - 1 then "" else ",")))
+    sweeps;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" !out

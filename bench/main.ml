@@ -32,20 +32,20 @@ let fig1_clock () =
   (* the paper's three-phase clock *)
   let net3 = Crn.Network.create () in
   let clk3 =
-    Molclock.Oscillator.create ~n_phases:3 (Crn.Builder.on net3 |> fun b -> Crn.Builder.scoped b "clk")
+    Molclock.Clock_chassis.of_oscillator @@ Molclock.Oscillator.create ~n_phases:3 (Crn.Builder.on net3 |> fun b -> Crn.Builder.scoped b "clk")
   in
   let tr3 = Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:60. net3 in
   print_string
     (Analysis.Ascii_plot.render ~width:72 ~height:14
        ~title:"three-phase clock, k_fast/k_slow = 1000"
-       (Analysis.Ascii_plot.of_trace tr3 (Molclock.Oscillator.phase_names clk3)));
+       (Analysis.Ascii_plot.of_trace tr3 (Molclock.Clock_chassis.phase_names clk3)));
   let report name trace clk =
     let period = Molclock.Clock_analysis.period trace clk in
     let times = Ode.Trace.times trace in
     let values = Ode.Trace.column_named trace "clk.P0" in
     let jitter =
       Analysis.Oscillation.period_jitter
-        ~threshold:(Molclock.Oscillator.high_threshold clk) ~times ~values ()
+        ~threshold:(Molclock.Clock_chassis.high_threshold clk) ~times ~values ()
     in
     Printf.printf
       "%s: sustained=%b  period=%s  jitter=%s  amplitude=%.1f/%.0f\n" name
@@ -53,14 +53,14 @@ let fig1_clock () =
       (match period with Some p -> Printf.sprintf "%.3f" p | None -> "-")
       (match jitter with Some j -> Printf.sprintf "%.4f" j | None -> "-")
       (Analysis.Oscillation.amplitude ~values)
-      (Molclock.Oscillator.mass clk)
+      (Molclock.Clock_chassis.mass clk)
   in
   report "3-phase" tr3 clk3;
   (* the four-phase clock used by the sequential designs, with its
      non-overlap guarantee *)
   let net4 = Crn.Network.create () in
   let clk4 =
-    Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.on net4 |> fun b -> Crn.Builder.scoped b "clk")
+    Molclock.Clock_chassis.of_oscillator @@ Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.on net4 |> fun b -> Crn.Builder.scoped b "clk")
   in
   let tr4 = Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:60. net4 in
   report "4-phase" tr4 clk4;
@@ -71,7 +71,7 @@ let fig1_clock () =
   (* ablation: without the positive-feedback reactions the clock dies *)
   let net_nf = Crn.Network.create () in
   let clk_nf =
-    Molclock.Oscillator.create ~feedback:false ~n_phases:3
+    Molclock.Clock_chassis.of_oscillator @@ Molclock.Oscillator.create ~feedback:false ~n_phases:3
       (Crn.Builder.on net_nf |> fun b -> Crn.Builder.scoped b "clk")
   in
   let tr_nf = Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:60. net_nf in
@@ -315,7 +315,7 @@ let tab1_rate_sweep () =
       let net = Crn.Network.create () in
       let b = Crn.Builder.on net in
       let clk =
-        Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.scoped b "clk")
+        Molclock.Clock_chassis.of_oscillator @@ Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.scoped b "clk")
       in
       let env = Crn.Rates.env_with_ratio ratio in
       let tr =
@@ -544,7 +544,7 @@ let ext1_stochastic () =
   let net = Crn.Network.create () in
   let b = Crn.Builder.on net in
   let clk =
-    Molclock.Oscillator.create ~n_phases:4 ~mass:100.
+    Molclock.Clock_chassis.of_oscillator @@ Molclock.Oscillator.create ~n_phases:4 ~mass:100.
       (Crn.Builder.scoped b "clk")
   in
   let { Ssa.Gillespie.trace; n_events; _ } =
@@ -600,7 +600,7 @@ let ext2_clock_tuning () =
     let net = Crn.Network.create () in
     let b = Crn.Builder.on net in
     let clk =
-      Molclock.Oscillator.create ~n_phases ~mass (Crn.Builder.scoped b "clk")
+      Molclock.Clock_chassis.of_oscillator @@ Molclock.Oscillator.create ~n_phases ~mass (Crn.Builder.scoped b "clk")
     in
     let trace =
       Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:150. net

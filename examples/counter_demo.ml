@@ -51,4 +51,4 @@ let () =
     (Analysis.Ascii_plot.render ~width:72 ~height:10
        ~title:"clock phases"
        (Analysis.Ascii_plot.of_trace trace
-          (Molclock.Oscillator.phase_names design.Core.Sync_design.clock)))
+          (Molclock.Clock_chassis.phase_names design.Core.Sync_design.clock)))

@@ -1,10 +1,18 @@
+(* One sample per clock cycle, taken inside the capture phase's high
+   window.  That window is the only interval where the registered one-hot
+   state is guaranteed live on every chassis: capture (gated on this very
+   phase) has completed by the time the phase is measurably high, and the
+   next release cannot have started — over discrete molecules a gated
+   transfer fires as soon as its gating phase holds a few molecules, long
+   before that phase crosses the half-mass threshold, so by the end of the
+   cleanup phase the state may already have been re-released.  Deriving
+   the point from the observed window (rather than a fixed fraction of the
+   cycle) keeps the decode robust to the irregular per-phase dwells of
+   stochastic clocks. *)
 let cycle_sample_times ?(hold_fraction = 0.55) trace clock =
-  let starts = Molclock.Clock_analysis.cycle_starts trace clock in
-  let rec pairs = function
-    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
-    | _ -> []
-  in
-  List.map (fun (a, b) -> a +. (hold_fraction *. (b -. a))) (pairs starts)
+  let capture = Molclock.Clock_chassis.n_phases clock - 2 in
+  Molclock.Clock_analysis.phase_windows trace clock capture
+  |> List.map (fun (a, b) -> a +. (hold_fraction *. (b -. a)))
 
 let onehot_states trace design names =
   let clock = design.Sync_design.clock in

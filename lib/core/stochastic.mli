@@ -9,17 +9,25 @@
     from the simulated clock itself and sample mid-hold.
 
     The trace can come from any simulator — these functions only read it —
-    but their reason to exist is {!Ssa.Gillespie.run}. Note that the first
-    {e detected} boundary is the clock's second rise (phase 0 starts high,
-    so there is no rising crossing at [t = 0]): the state decoded "after
-    cycle 0" of this module has already taken two transitions of the
-    design. *)
+    but their reason to exist is {!Ssa.Gillespie.run} and
+    {!Hybrid.Engine.run}. *)
 
 val cycle_sample_times :
-  ?hold_fraction:float -> Ode.Trace.t -> Molclock.Oscillator.t -> float list
-(** Mid-hold sampling moments between consecutive measured cycle starts
-    (default [hold_fraction = 0.55] of the way into each cycle). Empty if
-    the clock never completed a cycle. *)
+  ?hold_fraction:float ->
+  Ode.Trace.t ->
+  Molclock.Clock_chassis.instance ->
+  float list
+(** One sampling moment per observed clock cycle, [hold_fraction]
+    (default [0.55]) of the way into each high window of the {e capture}
+    phase (index [n_phases - 2]) — the only interval in which the
+    registered one-hot state is guaranteed live over discrete molecules:
+    capture has completed, and the release phase is truly absent (a gated
+    transfer fires as soon as its gate holds a few molecules, so waiting
+    until the cleanup phase risks sampling after the next release has
+    begun).  The window is measured from the clock trace itself, so the
+    decode survives the irregular per-phase dwells of stochastic clocks
+    on any chassis.  Empty if the capture phase never completed a high
+    window. *)
 
 val counter_states :
   Ode.Trace.t -> Counter.t -> int option list

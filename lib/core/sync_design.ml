@@ -1,22 +1,23 @@
 type t = {
   builder : Crn.Builder.t;
-  clock : Molclock.Oscillator.t;
+  clock : Molclock.Clock_chassis.instance;
   signal_mass : float;
 }
 
 let n_phases = 4
 
-let make ?(clock_mass = 100.) ?(signal_mass = 10.) net =
+let make ?(chassis = Molclock.Clock_chassis.absence) ?(clock_mass = 100.)
+    ?(signal_mass = 10.) net =
   let builder = Crn.Builder.on net in
   let clock =
-    Molclock.Oscillator.create ~n_phases ~mass:clock_mass
+    Molclock.Clock_chassis.build chassis ~n_phases ~mass:clock_mass
       (Crn.Builder.scoped builder "clk")
   in
   { builder; clock; signal_mass }
 
-let release_phase d = Molclock.Oscillator.phase d.clock 0
-let capture_phase d = Molclock.Oscillator.phase d.clock 2
-let cleanup_phase d = Molclock.Oscillator.phase d.clock 3
+let release_phase d = Molclock.Clock_chassis.phase d.clock 0
+let capture_phase d = Molclock.Clock_chassis.phase d.clock 2
+let cleanup_phase d = Molclock.Clock_chassis.phase d.clock 3
 
 let phase_gated ?label d ~phase src products =
   Crn.Builder.react ?label d.builder Crn.Rates.fast
@@ -28,18 +29,25 @@ let clear_on ?label d ~phase species =
 
 (* The signal path is catalytic in the clock phases, so the period of a
    standalone clock with the same parameters equals the loaded design's.
-   Measuring it needs one stiff simulation; cache by (mass, env). *)
-let period_cache : (float * float * float, float) Hashtbl.t = Hashtbl.create 8
+   Measuring it needs one stiff simulation; cache by (chassis, mass, env). *)
+let period_cache : (string * float * float * float, float) Hashtbl.t =
+  Hashtbl.create 8
 
-let measure_period ~env ~mass =
-  let key = (mass, env.Crn.Rates.k_fast, env.Crn.Rates.k_slow) in
+let measure_period ~env ~chassis ~mass =
+  let key =
+    ( chassis.Molclock.Clock_chassis.name,
+      mass,
+      env.Crn.Rates.k_fast,
+      env.Crn.Rates.k_slow )
+  in
   match Hashtbl.find_opt period_cache key with
   | Some p -> p
   | None ->
       let net = Crn.Network.create () in
       let b = Crn.Builder.on net in
       let clk =
-        Molclock.Oscillator.create ~n_phases ~mass (Crn.Builder.scoped b "clk")
+        Molclock.Clock_chassis.build chassis ~n_phases ~mass
+          (Crn.Builder.scoped b "clk")
       in
       (* enough time for ~15 cycles at any plausible rate environment: the
          period scales with 1/k_slow *)
@@ -57,23 +65,28 @@ let measure_period ~env ~mass =
       Hashtbl.replace period_cache key p;
       p
 
+let chassis_of d =
+  Molclock.Clock_chassis.find_exn
+    (Molclock.Clock_chassis.chassis_name d.clock)
+
 let period ?(env = Crn.Rates.default_env) d =
-  measure_period ~env ~mass:(Molclock.Oscillator.mass d.clock)
+  measure_period ~env ~chassis:(chassis_of d)
+    ~mass:(Molclock.Clock_chassis.mass d.clock)
 
 let cycle_time ?env d ~cycle =
   if cycle < 0 then invalid_arg "Sync_design.cycle_time: negative cycle";
   float_of_int cycle *. period ?env d
 
-(* The phases pre-accumulate (each starts trickling up as soon as its
-   predecessor-but-one empties), so cycle n's effective windows, measured
-   empirically, are: release ~ (n - 0.23)p .. n p, capture ~ (n + 0.25)p ..
-   (n + 0.5)p, hold ~ (n + 0.5)p .. (n + 0.75)p. Inputs therefore go in
-   just after the cycle boundary and outputs are read mid-hold. *)
+(* Phase windows are a chassis property (the absence clock's phases
+   pre-accumulate; the relaxation clock's dwells alternate long/short), so
+   the per-cycle injection and sampling offsets come from the instance. *)
 let injection_time ?env d ~cycle =
-  cycle_time ?env d ~cycle +. (0.05 *. period ?env d)
+  cycle_time ?env d ~cycle
+  +. (Molclock.Clock_chassis.inject_fraction d.clock *. period ?env d)
 
 let sample_time ?env d ~cycle =
-  cycle_time ?env d ~cycle +. (0.55 *. period ?env d)
+  cycle_time ?env d ~cycle
+  +. (Molclock.Clock_chassis.sample_fraction d.clock *. period ?env d)
 
 let simulate ?(env = Crn.Rates.default_env) ?injections ?(thin = 10) ~cycles d
     =

@@ -1,8 +1,10 @@
 (** The synchronous design discipline — phase conventions shared by every
     sequential construct in this library.
 
-    A design uses a {b four-phase} molecular clock ({!Molclock.Oscillator}
-    with [n_phases = 4]). Distance-2 phases are never simultaneously high
+    A design uses a {b four-phase} molecular clock built on a pluggable
+    {!Molclock.Clock_chassis} (default: the paper's absence-indicator
+    oscillator; alternatively the relaxation-oscillator chassis) with
+    [n_phases = 4]. Distance-2 phases are never simultaneously high
     (the successor-transfer gating guarantees it), which yields the
     two-phase, non-overlapping latching scheme:
 
@@ -23,13 +25,18 @@
 
 type t = {
   builder : Crn.Builder.t;  (** root builder of the design's network *)
-  clock : Molclock.Oscillator.t;
+  clock : Molclock.Clock_chassis.instance;
   signal_mass : float;  (** full-scale quantity representing logical 1 *)
 }
 
 val make :
-  ?clock_mass:float -> ?signal_mass:float -> Crn.Network.t -> t
-(** Create the 4-phase clock (under scope ["clk"]) in the given network.
+  ?chassis:Molclock.Clock_chassis.t ->
+  ?clock_mass:float ->
+  ?signal_mass:float ->
+  Crn.Network.t ->
+  t
+(** Create the 4-phase clock (under scope ["clk"]) in the given network on
+    the given chassis (default {!Molclock.Clock_chassis.absence}).
     Defaults: [clock_mass = 100.], [signal_mass = 10.]. *)
 
 val release_phase : t -> int
@@ -63,14 +70,13 @@ val cycle_time : ?env:Crn.Rates.env -> t -> cycle:int -> float
 
 val injection_time : ?env:Crn.Rates.env -> t -> cycle:int -> float
 (** A safe moment to inject an external input consumed in cycle [cycle]:
-    5% into the cycle — after that cycle's release window (which begins
-    {e before} the nominal cycle boundary, because phase 0 pre-accumulates
-    during the previous hold phase) and well before its capture. *)
+    the chassis's [inject_fraction] into the cycle — inside the release
+    window, well before capture. *)
 
 val sample_time : ?env:Crn.Rates.env -> t -> cycle:int -> float
-(** A safe moment to read registered outputs of cycle [cycle]: 55% into the
-    cycle, the middle of the hold window between capture completion and the
-    next (early) release. *)
+(** A safe moment to read registered outputs of cycle [cycle]: the
+    chassis's [sample_fraction] into the cycle, after capture has completed
+    and before the next release. *)
 
 val simulate :
   ?env:Crn.Rates.env ->

@@ -1,46 +1,11 @@
 type entry = {
   name : string;
   description : string;
+  chassis : string option;
   build : unit -> Crn.Network.t;
 }
 
-let clock n () =
-  let net = Crn.Network.create () in
-  let b = Crn.Builder.on net in
-  let (_ : Molclock.Oscillator.t) =
-    Molclock.Oscillator.create ~n_phases:n (Crn.Builder.scoped b "clk")
-  in
-  net
-
-let counter bits () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let (_ : Core.Counter.t) = Core.Counter.free_running d ~bits in
-  net
-
-let gated_counter bits () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let (_ : Core.Counter.t) = Core.Counter.gated d ~bits in
-  net
-
-let lfsr bits taps () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let (_ : Core.Lfsr.t) = Core.Lfsr.make d ~bits ~taps ~seed:1 in
-  net
-
-let moving_average taps () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let (_ : Core.Filter.t) = Core.Filter.moving_average d ~taps in
-  net
-
-let iir () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let (_ : Core.Filter.t) = Core.Filter.iir_smoother d in
-  net
+(* ------------------------------------------------- chassis-free designs *)
 
 let chain n () =
   let net = Crn.Network.create () in
@@ -48,27 +13,6 @@ let chain n () =
   let (_ : Async_mol.Delay_chain.t) =
     Async_mol.Delay_chain.make ~input:80. b ~n
   in
-  net
-
-let biquad () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let g =
-    Core.Sfg.biquad d ~b0:(1, 2) ~b1:(1, 4) ~b2:(1, 8) ~a1:(1, 4) ~a2:(1, 8)
-  in
-  let (_ : Core.Sfg.compiled) = Core.Sfg.compile g in
-  net
-
-let mult () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let (_ : Core.Iterative.t) = Core.Iterative.multiplier d ~a:3. ~count:4 in
-  net
-
-let pow () =
-  let net = Crn.Network.create () in
-  let d = Core.Sync_design.make net in
-  let (_ : Core.Iterative.t) = Core.Iterative.power2 d ~n:5 in
   net
 
 let sub () =
@@ -89,31 +33,161 @@ let adder () =
   let (_ : int) = Ri_modules.Arith.add b ~name:"adder" x1 x2 in
   net
 
-let all () =
+(* --------------------------------------- chassis-parametric families *)
+
+type family = {
+  family_name : string;
+  family_description : string;
+  synth : Molclock.Clock_chassis.t -> Crn.Network.t;
+}
+
+let family name description synth =
+  { family_name = name; family_description = description; synth }
+
+let on_design build chassis =
+  let net = Crn.Network.create () in
+  build (Core.Sync_design.make ~chassis net);
+  net
+
+let families () =
   [
-    { name = "clock3"; description = "three-phase molecular clock"; build = clock 3 };
-    { name = "clock4"; description = "four-phase molecular clock"; build = clock 4 };
-    { name = "counter2"; description = "2-bit free-running counter"; build = counter 2 };
-    { name = "counter3"; description = "3-bit free-running counter"; build = counter 3 };
-    {
-      name = "gated-counter2";
-      description = "2-bit counter with count/hold input";
-      build = gated_counter 2;
-    };
-    { name = "lfsr3"; description = "3-bit maximal LFSR"; build = lfsr 3 [ 1; 2 ] };
-    { name = "lfsr4"; description = "4-bit maximal LFSR"; build = lfsr 4 [ 2; 3 ] };
-    { name = "ma2"; description = "2-tap moving-average filter"; build = moving_average 2 };
-    { name = "ma4"; description = "4-tap moving-average filter"; build = moving_average 4 };
-    { name = "iir"; description = "first-order IIR smoother"; build = iir };
-    { name = "biquad"; description = "second-order (biquad) IIR filter via the SFG compiler"; build = biquad };
-    { name = "chain1"; description = "async delay chain, 1 element"; build = chain 1 };
-    { name = "chain2"; description = "async delay chain, 2 elements"; build = chain 2 };
-    { name = "chain4"; description = "async delay chain, 4 elements"; build = chain 4 };
-    { name = "mult"; description = "iterative multiplier (3 x 4)"; build = mult };
-    { name = "pow"; description = "iterative 2^5"; build = pow };
-    { name = "sub"; description = "combinational subtractor"; build = sub };
-    { name = "adder"; description = "combinational adder"; build = adder };
+    family "clock" "bare molecular clock at the chassis's default phase count"
+      (fun chassis ->
+        let net = Crn.Network.create () in
+        let (_ : Molclock.Clock_chassis.instance) =
+          Molclock.Clock_chassis.build chassis
+            (Crn.Builder.scoped (Crn.Builder.on net) "clk")
+        in
+        net);
+    family "counter2" "2-bit free-running counter"
+      (on_design (fun d ->
+           ignore (Core.Counter.free_running d ~bits:2 : Core.Counter.t)));
+    family "counter3" "3-bit free-running counter"
+      (on_design (fun d ->
+           ignore (Core.Counter.free_running d ~bits:3 : Core.Counter.t)));
+    family "gated-counter2" "2-bit counter with count/hold input"
+      (on_design (fun d ->
+           ignore (Core.Counter.gated d ~bits:2 : Core.Counter.t)));
+    family "lfsr3" "3-bit maximal LFSR"
+      (on_design (fun d ->
+           ignore
+             (Core.Lfsr.make d ~bits:3 ~taps:[ 1; 2 ] ~seed:1 : Core.Lfsr.t)));
+    family "lfsr4" "4-bit maximal LFSR"
+      (on_design (fun d ->
+           ignore
+             (Core.Lfsr.make d ~bits:4 ~taps:[ 2; 3 ] ~seed:1 : Core.Lfsr.t)));
+    family "ma2" "2-tap moving-average filter"
+      (on_design (fun d ->
+           ignore (Core.Filter.moving_average d ~taps:2 : Core.Filter.t)));
+    family "ma4" "4-tap moving-average filter"
+      (on_design (fun d ->
+           ignore (Core.Filter.moving_average d ~taps:4 : Core.Filter.t)));
+    family "iir" "first-order IIR smoother"
+      (on_design (fun d ->
+           ignore (Core.Filter.iir_smoother d : Core.Filter.t)));
+    family "biquad" "second-order (biquad) IIR filter via the SFG compiler"
+      (on_design (fun d ->
+           let g =
+             Core.Sfg.biquad d ~b0:(1, 2) ~b1:(1, 4) ~b2:(1, 8) ~a1:(1, 4)
+               ~a2:(1, 8)
+           in
+           ignore (Core.Sfg.compile g : Core.Sfg.compiled)));
+    family "mult" "iterative multiplier (3 x 4)"
+      (on_design (fun d ->
+           ignore
+             (Core.Iterative.multiplier d ~a:3. ~count:4 : Core.Iterative.t)));
+    family "pow" "iterative 2^5"
+      (on_design (fun d ->
+           ignore (Core.Iterative.power2 d ~n:5 : Core.Iterative.t)));
+    family "modseq4"
+      "module sequencing: token ring gating the occurrence order of 4 \
+       reaction modules (arXiv 2401.02061)"
+      (on_design (fun d -> ignore (Module_seq.make d : Module_seq.t)));
   ]
+
+let find_family name =
+  List.find_opt (fun f -> f.family_name = name) (families ())
+
+let synth_on f chassis = f.synth chassis
+
+(* --------------------------------------------------- concrete entries *)
+
+(* Absence-chassis entries keep their historical names (and golden
+   certificates); relaxation-chassis entries are prefixed "rx-". *)
+
+let legacy_clock n () =
+  let net = Crn.Network.create () in
+  let (_ : Molclock.Oscillator.t) =
+    Molclock.Oscillator.create ~n_phases:n
+      (Crn.Builder.scoped (Crn.Builder.on net) "clk")
+  in
+  net
+
+let chassis_entry chassis f =
+  let is_absence = chassis.Molclock.Clock_chassis.name = "absence" in
+  let name =
+    if is_absence then
+      match f.family_name with
+      | "clock" -> "clock3" (* absence default is three phases *)
+      | n -> n
+    else if f.family_name = "clock" then "rx-clock4"
+    else "rx-" ^ f.family_name
+  in
+  let description =
+    if is_absence then f.family_description
+    else f.family_description ^ " (relaxation chassis)"
+  in
+  {
+    name;
+    description;
+    chassis = Some chassis.Molclock.Clock_chassis.name;
+    build = (fun () -> f.synth chassis);
+  }
+
+let all () =
+  let clocked chassis = List.map (chassis_entry chassis) (families ()) in
+  clocked Molclock.Clock_chassis.absence
+  @ [
+      {
+        name = "clock4";
+        description = "four-phase molecular clock";
+        chassis = Some "absence";
+        build = legacy_clock 4;
+      };
+    ]
+  @ clocked Molclock.Clock_chassis.relaxation
+  @ [
+      {
+        name = "chain1";
+        description = "async delay chain, 1 element";
+        chassis = None;
+        build = chain 1;
+      };
+      {
+        name = "chain2";
+        description = "async delay chain, 2 elements";
+        chassis = None;
+        build = chain 2;
+      };
+      {
+        name = "chain4";
+        description = "async delay chain, 4 elements";
+        chassis = None;
+        build = chain 4;
+      };
+      {
+        name = "sub";
+        description = "combinational subtractor";
+        chassis = None;
+        build = sub;
+      };
+      {
+        name = "adder";
+        description = "combinational adder";
+        chassis = None;
+        build = adder;
+      };
+    ]
 
 let find name = List.find_opt (fun e -> e.name = name) (all ())
 let names () = List.map (fun e -> e.name) (all ())

@@ -1,17 +1,41 @@
 (** Named generators for the standard designs, shared by the command-line
-    tools and the benchmark harness. *)
+    tools, the service daemons and the benchmark harness.
+
+    Clocked designs are defined once as chassis-parametric {e families}
+    (synthesized against any {!Molclock.Clock_chassis.t}) and exposed as
+    concrete entries per chassis: absence-chassis entries keep their
+    historical names (["counter2"], ["lfsr3"], …), relaxation-chassis
+    entries are prefixed ["rx-"] (["rx-counter2"], …).  Chassis-free
+    designs (delay chains, combinational arithmetic) have a single
+    entry. *)
 
 type entry = {
   name : string;
   description : string;
+  chassis : string option;
+      (** chassis the entry is pinned to; [None] for chassis-free designs *)
   build : unit -> Crn.Network.t;
 }
 
+type family = {
+  family_name : string;
+  family_description : string;
+  synth : Molclock.Clock_chassis.t -> Crn.Network.t;
+}
+
+val families : unit -> family list
+(** Every chassis-parametric design family: ["clock"], ["counter2"],
+    ["counter3"], ["gated-counter2"], ["lfsr3"], ["lfsr4"], ["ma2"],
+    ["ma4"], ["iir"], ["biquad"], ["mult"], ["pow"], ["modseq4"]. *)
+
+val find_family : string -> family option
+
+val synth_on : family -> Molclock.Clock_chassis.t -> Crn.Network.t
+
 val all : unit -> entry list
-(** Every named design:
-    ["clock3"], ["clock4"], ["counter2"], ["counter3"], ["gated-counter2"],
-    ["lfsr3"], ["lfsr4"], ["ma2"], ["ma4"], ["iir"], ["biquad"],
-    ["chain1"], ["chain2"], ["chain4"], ["mult"], ["pow"], ["sub"],
+(** Every named design: the families instantiated on each registered
+    chassis, the legacy ["clock4"] (absence, four phases), and the
+    chassis-free ["chain1"], ["chain2"], ["chain4"], ["sub"],
     ["adder"]. *)
 
 val find : string -> entry option

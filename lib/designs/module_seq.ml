@@ -1,0 +1,112 @@
+(* Module sequencing (arXiv 2401.02061): an oscillator controls the
+   occurrence order of N reaction modules.
+
+   A conservative token ring T0..T(n-1) advances one stage per clock phase
+   (each transfer is catalytic in that phase's species), so the token makes
+   exactly one revolution per clock cycle and visits the stages in a fixed
+   order.  Each stage k carries a one-shot payload module Ak -> Bk that is
+   catalytic in the token, so the modules can only occur in stage order —
+   the decoded completion order of B0..B(n-1) is the workload's logical
+   output.  Everything outside the clock core is conservative (token ring,
+   Ak + Bk per module), so the exact tier certifies the workload on either
+   chassis. *)
+
+type t = {
+  design : Core.Sync_design.t;
+  stages : int array;
+  stage_names : string list;
+  payload_in : int array;
+  payload_out : int array;
+  output_names : string list;
+  token_mass : float;
+  payload_mass : float;
+}
+
+let make ?(name = "seq") ?token_mass ?payload_mass d =
+  let clock = d.Core.Sync_design.clock in
+  let n = Molclock.Clock_chassis.n_phases clock in
+  let token_mass =
+    match token_mass with
+    | Some m -> m
+    | None -> d.Core.Sync_design.signal_mass
+  in
+  let payload_mass =
+    match payload_mass with
+    | Some m -> m
+    | None -> d.Core.Sync_design.signal_mass
+  in
+  if token_mass <= 0. || payload_mass <= 0. then
+    invalid_arg "Module_seq.make: masses must be positive";
+  let b = Crn.Builder.scoped d.Core.Sync_design.builder name in
+  let stages =
+    Array.init n (fun k -> Crn.Builder.species b (Printf.sprintf "T%d" k))
+  in
+  Crn.Builder.init b stages.(0) token_mass;
+  let payload_in =
+    Array.init n (fun k -> Crn.Builder.species b (Printf.sprintf "A%d" k))
+  in
+  let payload_out =
+    Array.init n (fun k -> Crn.Builder.species b (Printf.sprintf "B%d" k))
+  in
+  for k = 0 to n - 1 do
+    let next = (k + 1) mod n in
+    (* the transfer out of stage [k] is gated on phase [k+1], so the token
+       dwells at stage [k] for the whole of phase [k] — in particular stage
+       0 gets a full dwell even though phase 0 is already high at [t = 0],
+       which is what makes module 0 complete first rather than last *)
+    Core.Sync_design.phase_gated
+      ~label:(Printf.sprintf "%s: T%d->T%d @P%d" name k next next)
+      d
+      ~phase:(Molclock.Clock_chassis.phase clock next)
+      stages.(k)
+      [ (stages.(next), 1) ];
+    Crn.Builder.init b payload_in.(k) payload_mass;
+    Crn.Builder.react
+      ~label:(Printf.sprintf "%s: module %d payload" name k)
+      d.Core.Sync_design.builder Crn.Rates.fast
+      [ (payload_in.(k), 1); (stages.(k), 1) ]
+      [ (payload_out.(k), 1); (stages.(k), 1) ]
+  done;
+  let names species =
+    Array.to_list
+      (Array.map (Crn.Builder.name d.Core.Sync_design.builder) species)
+  in
+  {
+    design = d;
+    stages;
+    stage_names = names stages;
+    payload_in;
+    payload_out;
+    output_names = names payload_out;
+    token_mass;
+    payload_mass;
+  }
+
+let n_stages m = Array.length m.stages
+
+let stage_at trace m t =
+  Analysis.Decode.onehot_at
+    ~threshold:(m.token_mass /. 2.)
+    trace m.stage_names t
+
+let completion_order trace m =
+  (* order in which the payload outputs first cross half mass *)
+  let times = Ode.Trace.times trace in
+  let first_crossing name =
+    let v = Ode.Trace.column_named trace name in
+    let n = Array.length v in
+    let rec scan i =
+      if i >= n then None
+      else if v.(i) >= m.payload_mass /. 2. then Some times.(i)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  m.output_names
+  |> List.mapi (fun k name -> (k, first_crossing name))
+  |> List.filter_map (fun (k, t) -> Option.map (fun t -> (t, k)) t)
+  |> List.sort compare
+  |> List.map snd
+
+let completed trace m =
+  List.length (completion_order trace m) = n_stages m

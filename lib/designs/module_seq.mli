@@ -1,0 +1,39 @@
+(** Module-sequencing workload (arXiv 2401.02061): the clock controls the
+    {e occurrence order} of N reaction modules.
+
+    A conservative token ring advances one stage per clock phase (transfers
+    catalytic in the phase species), so the token makes one revolution per
+    clock cycle; stage [k]'s one-shot payload module [Ak -> Bk] is
+    catalytic in the token and can therefore only fire in stage order.  The
+    decoded completion order of the payload outputs is the workload's
+    logical output sequence — [0, 1, …, n-1] on a correct clock, on any
+    chassis. *)
+
+type t = {
+  design : Core.Sync_design.t;
+  stages : int array;  (** token species, stage order *)
+  stage_names : string list;
+  payload_in : int array;
+  payload_out : int array;
+  output_names : string list;
+  token_mass : float;
+  payload_mass : float;
+}
+
+val make :
+  ?name:string -> ?token_mass:float -> ?payload_mass:float ->
+  Core.Sync_design.t -> t
+(** Synthesize a ring with one stage per clock phase under scope [name]
+    (default ["seq"]).  Masses default to the design's signal mass. *)
+
+val n_stages : t -> int
+
+val stage_at : Ode.Trace.t -> t -> float -> int option
+(** Which stage holds the token at a time, if exactly one does. *)
+
+val completion_order : Ode.Trace.t -> t -> int list
+(** Module indices in the order their outputs first crossed half the
+    payload mass.  Correct sequencing decodes as [[0; 1; …; n-1]]. *)
+
+val completed : Ode.Trace.t -> t -> bool
+(** Every payload module has fired. *)

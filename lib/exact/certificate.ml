@@ -43,7 +43,7 @@ let make ~title ?(extra = []) (net : Net.t) =
   List.iter
     (fun (c : Invariant.clock) ->
       let p0 = net.species.(c.phases.(0)) and p2 = net.species.(c.phases.(2)) in
-      match Invariant.phase_non_overlap net c with
+      (match Invariant.phase_non_overlap net c with
       | Invariant.Proved l ->
           let w0 = l.weights.(c.phases.(0)) in
           let threshold = Q.div l.total (Q.of_z (Z.mul (Z.of_int 2) w0)) in
@@ -64,7 +64,33 @@ let make ~title ?(extra = []) (net : Net.t) =
           issue Error "clock_unconserved"
             (Printf.sprintf
                "clock %s: no nonnegative conservation law bounds %s + %s"
-               c.prefix p0 p2))
+               c.prefix p0 p2));
+      match Invariant.relaxation_core net c with
+      | Invariant.No_core -> ()
+      | Invariant.Core_verified core ->
+          line
+            "    relaxation core: rails %s/%s, timers %s/%s — %d \
+             structural obligations verified"
+            net.species.(fst core.rails)
+            net.species.(snd core.rails)
+            net.species.(fst core.timers)
+            net.species.(snd core.timers)
+            core.obligations;
+          issue Warning "limit_cycle_waiver"
+            (Printf.sprintf
+               "clock %s: relaxation-core limit-cycle existence is \
+                established numerically (comparative rate sweep), not \
+                symbolically; ring conservation and phase non-overlap \
+                are proved above"
+               c.prefix)
+      | Invariant.Core_malformed missing ->
+          line "    relaxation core: MALFORMED (%d obligations unmet)"
+            (List.length missing);
+          issue Error "relaxation_core_malformed"
+            (Printf.sprintf
+               "clock %s: missing or miscategorized core reactions: %s"
+               c.prefix
+               (String.concat ", " missing)))
     clocks;
   List.iter
     (fun (v : Invariant.ri_violation) ->

@@ -113,6 +113,79 @@ let phase_non_overlap (net : Net.t) clock =
       | None -> Unconserved
   end
 
+(* ------------------------------------------- relaxation-core recognition *)
+
+type relaxation_core = {
+  core_prefix : string;
+  rails : int * int;
+  timers : int * int;
+  obligations : int;
+}
+
+type relaxation_verdict =
+  | No_core
+  | Core_verified of relaxation_core
+  | Core_malformed of string list
+
+(* The relaxation chassis names its excitable rail pair <prefix>Xa/Xb and
+   its slow timers <prefix>Za/Zb.  When those species accompany a phase
+   ring we discharge every *structural* obligation of the core — the
+   exact reactions, stoichiometries and rate categories the oscillation
+   argument rests on — symbolically.  The limit-cycle existence itself is
+   an analytic fact about the kinetics and stays outside this tier; the
+   certificate records that split as a waiver. *)
+let relaxation_core (net : Net.t) (clock : clock) =
+  let find name =
+    let full = clock.prefix ^ name in
+    let hit = ref None in
+    Array.iteri (fun i s -> if s = full then hit := Some i) net.species;
+    !hit
+  in
+  match (find "Xa", find "Xb", find "Za", find "Zb") with
+  | None, None, None, None -> No_core
+  | Some xa, Some xb, Some za, Some zb ->
+      let norm l = List.sort compare l in
+      let has reactants products rate =
+        Array.exists
+          (fun (r : Net.reaction) ->
+            r.rate = rate
+            && norm r.reactants = norm reactants
+            && norm r.products = norm products)
+          net.reactions
+      in
+      let missing = ref [] and count = ref 0 in
+      let require name reactants products rate =
+        incr count;
+        if not (has reactants products rate) then
+          missing :=
+            Printf.sprintf "%s (%s)" name
+              (match rate with Net.Fast -> "fast" | Net.Slow -> "slow")
+            :: !missing
+      in
+      List.iter
+        (fun (tag, x, z) ->
+          require ("seed " ^ tag) [] [ (x, 1) ] Net.Slow;
+          require ("ignite " ^ tag) [ (x, 1) ] [ (x, 2) ] Net.Fast;
+          require ("boost " ^ tag) [ (x, 2) ] [ (x, 3) ] Net.Fast;
+          require ("cap " ^ tag) [ (x, 3) ] [ (x, 2) ] Net.Fast;
+          require ("quench " ^ tag) [ (x, 1); (z, 1) ] [ (z, 1) ] Net.Fast;
+          require ("charge " ^ tag) [ (x, 1) ] [ (x, 1); (z, 1) ] Net.Slow;
+          require ("discharge " ^ tag) [ (z, 1) ] [] Net.Slow)
+        [ ("a", xa, za); ("b", xb, zb) ];
+      require "annihilate" [ (xa, 1); (xb, 1) ] [] Net.Fast;
+      if !missing = [] then
+        Core_verified
+          {
+            core_prefix = clock.prefix;
+            rails = (xa, xb);
+            timers = (za, zb);
+            obligations = !count;
+          }
+      else Core_malformed (List.rev !missing)
+  | _ ->
+      Core_malformed
+        [ "rail/timer species set incomplete (need Xa, Xb, Za, Zb)" ]
+
 type ri_violation = {
   reaction : string;
   issue : [ `Slow_annihilation | `Fast_source | `Slow_catalytic ];

@@ -51,6 +51,36 @@ val phase_non_overlap : Net.t -> clock -> overlap_verdict
     feedback), the computed conservation basis is searched for any
     nonnegative law with equal positive weights on the two phases. *)
 
+(** A recognized relaxation-oscillator core behind a phase ring: the
+    excitable rail pair [<prefix>Xa]/[<prefix>Xb] and their slow timers
+    [<prefix>Za]/[<prefix>Zb]. *)
+type relaxation_core = {
+  core_prefix : string;
+  rails : int * int;  (** species indices of [Xa], [Xb] *)
+  timers : int * int;  (** species indices of [Za], [Zb] *)
+  obligations : int;  (** structural obligations discharged *)
+}
+
+type relaxation_verdict =
+  | No_core
+      (** the clock has no rail/timer species — an absence-indicator
+          clock, fully covered by {!phase_non_overlap} *)
+  | Core_verified of relaxation_core
+      (** every structural obligation of the core holds: per-rail slow
+          seed, fast ignition/boost/cap autocatalysis, fast quench by the
+          timer, slow charge and discharge, and fast cross-rail
+          annihilation.  Limit-cycle {e existence} remains a numeric fact
+          (the comparative rate sweep) — certificates record it as a
+          machine-checked waiver, not a theorem. *)
+  | Core_malformed of string list
+      (** rail/timer species are present but the listed obligations are
+          missing or carry the wrong rate category — the oscillation
+          argument does not apply and the design is rejected *)
+
+val relaxation_core : Net.t -> clock -> relaxation_verdict
+(** Recognize and structurally check a relaxation core under the clock's
+    prefix.  Purely stoichiometric and categorical: no floating point. *)
+
 type ri_violation = {
   reaction : string;  (** [Net.describe] of the offending reaction *)
   issue : [ `Slow_annihilation | `Fast_source | `Slow_catalytic ];

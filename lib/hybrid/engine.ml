@@ -257,6 +257,12 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   and n_switch = ref 0
   and n_rejected = ref 0
   and peak_fast = ref 0 in
+  (* discrete checkpoints left before promotion is allowed again after a
+     stability demotion (not checkpointed: it is a transient heuristic,
+     and it is only ever nonzero while a spike is actively breaking the
+     explicit gear — a regime the bitwise-resume guarantees do not
+     cover) *)
+  let promote_hold = ref 0 in
   let work () = !n_ssa + !n_tau_events + !n_ode in
   (* mixed-mode state *)
   let fsys = ref model.sys in
@@ -333,7 +339,7 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   in
   (* in-place classic RK4 slice of length [h] on the masked vector field;
      continuous species are clamped against tiny negative overshoot *)
-  let rk4 h =
+  let rk4_slice h =
     let fsys = !fsys in
     let k1 = ar.a_k1 and k2 = ar.a_k2 and k3 = ar.a_k3 and k4 = ar.a_k4 in
     let y = ar.a_ytmp in
@@ -356,6 +362,64 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
         +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
     done;
     incr n_ode
+  in
+  (* [choose_h]'s stability bound is computed from the propensities at the
+     slice's start; strongly autocatalytic fast kinetics (the relaxation
+     clock's rail spikes, with their quadratic and cubic terms) can grow
+     the local Lipschitz constant mid-slice and push explicit RK4 outside
+     its stability region, leaving non-finite state that would poison the
+     rest of the trajectory ([t] itself goes NaN through the propensity
+     sum).  A slice that goes non-finite is rolled back and retried as a
+     few finer sub-slices; if that fails too the fast partition is frozen
+     for this slice and [demote_fast] is raised so the mixed loop can
+     demote to the discrete gear, which resolves spikes natively instead
+     of grinding them through subdivided explicit slices.  The
+     single-slice path is numerically identical to a plain RK4 step,
+     preserving the engine's bitwise guarantees. *)
+  let rk4_save = Array.make n 0. in
+  let demote_fast = ref false in
+  let rk4 h =
+    Array.blit x 0 rk4_save 0 n;
+    (* a slice is rejected when it leaves the stability envelope: state
+       that goes non-finite, but also state that merely {e overshoots} —
+       [choose_h]'s bound holds per-species change near [epsilon], so a
+       10x growth within one slice is necessarily the integrator blowing
+       up, not kinetics.  Catching the finite overshoot matters as much
+       as the NaN: an autocatalytic rail pumped to 1e12 by one bad slice
+       stays finite, and once demoted those counts give astronomically
+       large propensities — the discrete gear then burns the entire work
+       budget shaving single molecules off a population that the real
+       dynamics (cubic cap) would never have produced. *)
+    let sane () =
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if
+          (not (Float.is_finite x.(i)))
+          || x.(i) > 10. *. (rk4_save.(i) +. 1.)
+        then ok := false
+      done;
+      !ok
+    in
+    let rec attempt slices =
+      let hs = h /. float_of_int slices in
+      let i = ref 0 and ok = ref true in
+      while !ok && !i < slices do
+        rk4_slice hs;
+        if slices > 1 then
+          for s = 0 to n - 1 do
+            if x.(s) < 0. then x.(s) <- 0.
+          done;
+        if not (sane ()) then ok := false;
+        incr i
+      done;
+      if not !ok then begin
+        incr n_rejected;
+        demote_fast := true;
+        Array.blit rk4_save 0 x 0 n;
+        if slices < 8 then attempt (slices * 2)
+      end
+    in
+    attempt 1
   in
   let clamp () =
     for s = 0 to n - 1 do
@@ -484,7 +548,21 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
   in
   (* one exact-stochastic substep of length [h]: the slow channel fires by
      the integrated-propensity method while the fast partition advances in
-     ODE slices between events *)
+     ODE slices between events.
+
+     An infeasible slow firing (selected but blocked by [can_fire]) is
+     normally a rare boundary artefact, but a stale partition can leave a
+     reaction slow while its reactant pool is a {e fractional} continuous
+     residue: mass action then reports a large positive propensity over a
+     pool that can never cover a whole molecule, so every draw selects a
+     reaction that can never fire and the loop degenerates into per-draw
+     RK4 slices that only terminate through the work budget.  A run of
+     [stall_limit] consecutive rejections therefore abandons the substep
+     and raises [demote_fast]: the discrete gear computes propensities
+     over integer counts, where an insufficient pool reads as zero
+     propensity and the stall is impossible. *)
+  let stall_limit = 64 in
+  let slow_stall = ref 0 in
   let exact_substep h =
     let left = ref h in
     let continue_ = ref true in
@@ -519,9 +597,17 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
           if j >= 0 then
             if can_fire j then begin
               Ssa.Compiled.apply_f reactions.(j) x 1;
-              incr n_ssa
+              incr n_ssa;
+              slow_stall := 0
             end
-            else incr n_rejected;
+            else begin
+              incr n_rejected;
+              incr slow_stall;
+              if !slow_stall >= stall_limit then begin
+                demote_fast := true;
+                continue_ := false
+              end
+            end;
           g_int := 0.;
           target := Rng.exponential rng 1.;
           recompute_slow ()
@@ -605,7 +691,11 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
       if !events_here mod repartition_every = 0 && (!events_here > 0 || first)
       then begin
         let _changed = classify_discrete () in
-        if part.Partition.n_fast > 0 then raise Switch_mode
+        (* after a stability demotion, hold the discrete gear for a few
+           checkpoints: the spike that broke the explicit integrator is
+           usually still in flight and would be re-promoted instantly *)
+        if !promote_hold > 0 then decr promote_hold
+        else if part.Partition.n_fast > 0 then raise Switch_mode
       end;
       if pe.Ssa.Prop_engine.since_refresh >= refresh_every then
         Ssa.Prop_engine.refresh pe counts;
@@ -671,7 +761,16 @@ let run_result ?(env = Crn.Rates.default_env) ?(seed = 1L) ?sample_dt
         let hs = Float.max (Float.min h (slow_h_bound ())) (1e-12 *. t1) in
         if a0 *. hs > 1. then tau_substep hs else exact_substep h
       end
-      else exact_substep h
+      else exact_substep h;
+      if !demote_fast then begin
+        (* the mixed gear failed inside this substep — explicit RK4 lost
+           stability, or the slow channel stalled on an infeasible
+           reaction: demote and let exact SSA resolve it natively *)
+        demote_fast := false;
+        slow_stall := 0;
+        promote_hold := 4;
+        raise Switch_mode
+      end
     done
   in
   (match resume with

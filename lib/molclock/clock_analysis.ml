@@ -1,22 +1,25 @@
 let series trace clock k =
   let name =
-    List.nth (Oscillator.phase_names clock) (k mod Oscillator.n_phases clock)
+    List.nth
+      (Clock_chassis.phase_names clock)
+      (k mod Clock_chassis.n_phases clock)
   in
   (Ode.Trace.times trace, Ode.Trace.column_named trace name)
 
 let period trace clock =
   let times, values = series trace clock 0 in
-  Analysis.Oscillation.period ~threshold:(Oscillator.high_threshold clock)
+  Analysis.Oscillation.period
+    ~threshold:(Clock_chassis.high_threshold clock)
     ~times ~values ()
 
 let is_sustained ?(min_cycles = 3) trace clock =
   let ok k =
     let times, values = series trace clock k in
     Analysis.Oscillation.is_sustained
-      ~threshold:(Oscillator.high_threshold clock)
+      ~threshold:(Clock_chassis.high_threshold clock)
       ~min_cycles ~times ~values ()
   in
-  let n = Oscillator.n_phases clock in
+  let n = Clock_chassis.n_phases clock in
   List.for_all ok (List.init n (fun k -> k))
 
 let overlap trace clock j k =
@@ -28,10 +31,10 @@ let overlap trace clock j k =
       let m = Float.min x vk.(i) in
       if m > !worst then worst := m)
     vj;
-  !worst /. Oscillator.mass clock
+  !worst /. Clock_chassis.mass clock
 
 let worst_adjacent_overlap trace clock =
-  let n = Oscillator.n_phases clock in
+  let n = Clock_chassis.n_phases clock in
   let worst = ref 0. in
   for j = 0 to n - 1 do
     for k = j + 1 to n - 1 do
@@ -43,9 +46,9 @@ let worst_adjacent_overlap trace clock =
 
 let phase_high_at trace clock t =
   Analysis.Decode.onehot_at
-    ~threshold:(Oscillator.high_threshold clock)
+    ~threshold:(Clock_chassis.high_threshold clock)
     trace
-    (Oscillator.phase_names clock)
+    (Clock_chassis.phase_names clock)
     t
 
 (* ------------------------------------------- rate-perturbation sweep *)
@@ -57,13 +60,14 @@ type rate_point = {
   worst_overlap : float;
 }
 
-let rate_sweep ?jobs ?(n_phases = 3) ?(mass = 100.) ?(t1 = 150.) ~ratios () =
+let rate_sweep ?jobs ?(chassis = Clock_chassis.absence) ?n_phases
+    ?(mass = 100.) ?(t1 = 150.) ~ratios () =
   (* each point builds its own clock network, so workers share nothing *)
   Ode.Sweep.map ?jobs
     (fun ratio ->
       let net = Crn.Network.create () in
       let clock =
-        Oscillator.create ~n_phases ~mass
+        Clock_chassis.build chassis ?n_phases ~mass
           (Crn.Builder.scoped (Crn.Builder.on net) "clk")
       in
       let env = Crn.Rates.env_with_ratio ratio in
@@ -79,11 +83,54 @@ let rate_sweep ?jobs ?(n_phases = 3) ?(mass = 100.) ?(t1 = 150.) ~ratios () =
       })
     ratios
 
+type chassis_point = { chassis : string; points : rate_point array }
+
+let chassis_sweep ?jobs ?n_phases ?mass ?t1 ~ratios () =
+  List.map
+    (fun c ->
+      {
+        chassis = c.Clock_chassis.name;
+        points = rate_sweep ?jobs ~chassis:c ?n_phases ?mass ?t1 ~ratios ();
+      })
+    Clock_chassis.all
+
+let robustness_threshold ?(max_overlap = 0.05) points =
+  (* smallest swept ratio from which every swept point >= it is sustained
+     with acceptable overlap; None if even the largest ratio fails *)
+  let sorted =
+    List.sort (fun a b -> compare a.ratio b.ratio) (Array.to_list points)
+  in
+  let rec scan best = function
+    | [] -> best
+    | p :: rest ->
+        if p.sustained && p.worst_overlap <= max_overlap then
+          let best = match best with None -> Some p.ratio | s -> s in
+          scan best rest
+        else scan None rest
+  in
+  scan None sorted
+
 let cycle_starts trace clock =
   let times, values = series trace clock 0 in
   Analysis.Oscillation.crossings
-    ~threshold:(Oscillator.high_threshold clock)
+    ~threshold:(Clock_chassis.high_threshold clock)
     ~times ~values
   |> List.filter_map (fun c ->
          if c.Analysis.Oscillation.rising then Some c.Analysis.Oscillation.at
          else None)
+
+let phase_windows trace clock k =
+  let times, values = series trace clock k in
+  let crossings =
+    Analysis.Oscillation.crossings
+      ~threshold:(Clock_chassis.high_threshold clock)
+      ~times ~values
+  in
+  let rec pair = function
+    | { Analysis.Oscillation.rising = true; at = a }
+      :: ({ Analysis.Oscillation.rising = false; at = b } :: _ as rest) ->
+        (a, b) :: pair rest
+    | _ :: rest -> pair rest
+    | [] -> []
+  in
+  pair crossings

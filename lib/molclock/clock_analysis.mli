@@ -1,34 +1,44 @@
 (** Measurements of a simulated clock (wraps {!Analysis.Oscillation} with
-    clock-specific conveniences). *)
+    clock-specific conveniences).  All measurements are chassis-neutral:
+    they consume a {!Clock_chassis.instance}, so the same analysis runs
+    against the absence clock and the relaxation clock. *)
 
-val period : Ode.Trace.t -> Oscillator.t -> float option
+val period : Ode.Trace.t -> Clock_chassis.instance -> float option
 (** Mean period of phase 0's oscillation, or [None] if not sustained. *)
 
-val is_sustained : ?min_cycles:int -> Ode.Trace.t -> Oscillator.t -> bool
+val is_sustained :
+  ?min_cycles:int -> Ode.Trace.t -> Clock_chassis.instance -> bool
 (** Every phase species completes at least [min_cycles] (default 3)
     cycles. *)
 
-val overlap : Ode.Trace.t -> Oscillator.t -> int -> int -> float
+val overlap : Ode.Trace.t -> Clock_chassis.instance -> int -> int -> float
 (** [overlap trace clock j k]: the largest value of
     [min(phase_j, phase_k)] over the trace, as a fraction of the clock
     mass. Near zero means the two phases are never simultaneously high —
     the non-overlap guarantee the latching scheme relies on. *)
 
-val worst_adjacent_overlap : Ode.Trace.t -> Oscillator.t -> float
+val worst_adjacent_overlap : Ode.Trace.t -> Clock_chassis.instance -> float
 (** Maximum {!overlap} over all {e non-adjacent} phase pairs (adjacent
     phases legitimately overlap during their handover). For the three-phase
     clock this is vacuous, so pairs at distance >= 2 are measured — for
     [n = 3] that is again every pair, reported for distance-2 pairs
     (e.g. R vs B), which is what master–slave latching needs. *)
 
-val phase_high_at : Ode.Trace.t -> Oscillator.t -> float -> int option
+val phase_high_at :
+  Ode.Trace.t -> Clock_chassis.instance -> float -> int option
 (** Which phase (index) is high at a time, if exactly one is above the
     half-mass threshold. *)
 
-val cycle_starts : Ode.Trace.t -> Oscillator.t -> float list
+val cycle_starts : Ode.Trace.t -> Clock_chassis.instance -> float list
 (** Times at which phase 0 rises above the half-mass threshold — the
     boundaries the experiments use to sample sequential outputs "once per
     clock cycle". *)
+
+val phase_windows :
+  Ode.Trace.t -> Clock_chassis.instance -> int -> (float * float) list
+(** Maximal intervals during which phase [k] is above the half-mass
+    threshold, as (rising, falling) crossing pairs.  A window still open
+    when the trace ends is dropped. *)
 
 type rate_point = {
   ratio : float;  (** fast/slow separation simulated *)
@@ -39,6 +49,7 @@ type rate_point = {
 
 val rate_sweep :
   ?jobs:int ->
+  ?chassis:Clock_chassis.t ->
   ?n_phases:int ->
   ?mass:float ->
   ?t1:float ->
@@ -46,9 +57,29 @@ val rate_sweep :
   unit ->
   rate_point array
 (** The paper's rate-robustness evidence as a dense sweep: build a fresh
-    [n_phases]-phase clock (default 3) per ratio, simulate it
-    deterministically to [t1] (default [150.]) under
+    clock on [chassis] (default {!Clock_chassis.absence}, with the
+    chassis's default phase count unless [n_phases] is given) per ratio,
+    simulate it deterministically to [t1] (default [150.]) under
     {!Crn.Rates.env_with_ratio}, and measure period, sustained
     oscillation, and worst non-adjacent phase overlap. Points are fanned
     over up to [jobs] domains via {!Ode.Sweep}; results are in [ratios]
     order and identical for every job count. *)
+
+type chassis_point = { chassis : string; points : rate_point array }
+
+val chassis_sweep :
+  ?jobs:int ->
+  ?n_phases:int ->
+  ?mass:float ->
+  ?t1:float ->
+  ratios:float array ->
+  unit ->
+  chassis_point list
+(** {!rate_sweep} run for every registered chassis (each at its own default
+    phase count unless [n_phases] fits both) — the comparative
+    frequency/robustness evidence behind [BENCH_clock.json]. *)
+
+val robustness_threshold : ?max_overlap:float -> rate_point array -> float option
+(** Smallest swept ratio from which every swept point at or above it is
+    sustained with worst overlap at most [max_overlap] (default 0.05);
+    [None] if even the largest swept ratio fails. *)

@@ -1,0 +1,148 @@
+open Crn
+
+type instance = {
+  chassis : string;
+  n_phases : int;
+  mass : float;
+  phase_species : int array;
+  phase_names : string list;
+  aux_species : (string * int) list;
+  high_threshold : float;
+  inject_fraction : float;
+  sample_fraction : float;
+}
+
+let n_phases i = i.n_phases
+let mass i = i.mass
+let chassis_name i = i.chassis
+
+let phase i k =
+  i.phase_species.(((k mod i.n_phases) + i.n_phases) mod i.n_phases)
+
+let phases i = Array.copy i.phase_species
+let phase_names i = i.phase_names
+let high_threshold i = i.high_threshold
+let aux_species i = i.aux_species
+let inject_fraction i = i.inject_fraction
+let sample_fraction i = i.sample_fraction
+
+let of_oscillator osc =
+  let b = Oscillator.builder osc in
+  let n = Oscillator.n_phases osc in
+  let aux =
+    List.init n (fun k ->
+        let s = Oscillator.indicator osc k in
+        (Crn.Builder.name b s, s))
+  in
+  {
+    chassis = "absence";
+    n_phases = n;
+    mass = Oscillator.mass osc;
+    phase_species = Oscillator.phases osc;
+    phase_names = Oscillator.phase_names osc;
+    aux_species = aux;
+    high_threshold = Oscillator.high_threshold osc;
+    (* phases pre-accumulate, so the effective capture window of cycle n is
+       ~ (n+0.25)p .. (n+0.5)p; inject just after the boundary, sample
+       mid-hold *)
+    inject_fraction = 0.05;
+    sample_fraction = 0.55;
+  }
+
+let of_relaxation rlx =
+  let b = Relaxation.builder rlx in
+  let named s = (Crn.Builder.name b s, s) in
+  {
+    chassis = "relaxation";
+    n_phases = Relaxation.n_phases rlx;
+    mass = Relaxation.mass rlx;
+    phase_species = Relaxation.phases rlx;
+    phase_names = Relaxation.phase_names rlx;
+    aux_species =
+      [
+        named (Relaxation.rail rlx 0);
+        named (Relaxation.rail rlx 1);
+        named (Relaxation.timer rlx 0);
+        named (Relaxation.timer rlx 1);
+      ];
+    high_threshold = Relaxation.high_threshold rlx;
+    (* ring advances on ignition edges, so dwells alternate long/short
+       (even phases ride the discharge wait, odd ones the excited window):
+       phase 2's window is ~ (n+0.5)p .. (n+0.8)p — sample a bit later
+       than the absence clock to stay clear of its rising edge *)
+    inject_fraction = 0.05;
+    sample_fraction = 0.65;
+  }
+
+(* ----------------------------------------------------- chassis registry *)
+
+type exact_obligation =
+  | Full_conservation
+  | Ring_conservation_with_core_waiver of string
+
+type t = {
+  name : string;
+  description : string;
+  default_phases : int;
+  valid_phases : int -> bool;
+  exact_obligation : exact_obligation;
+  build : ?n_phases:int -> ?mass:float -> Builder.t -> instance;
+}
+
+let absence =
+  {
+    name = "absence";
+    description =
+      "absence-indicator oscillator (paper's R/G/B clock generalized): \
+       slow phase transfers gated on predecessor-phase absence indicators \
+       with fast dimer positive feedback; total clock mass (phases + 2x \
+       dimers) is exactly conserved";
+    default_phases = 3;
+    valid_phases = (fun n -> n >= 3);
+    exact_obligation = Full_conservation;
+    build =
+      (fun ?(n_phases = 3) ?(mass = 100.) b ->
+        of_oscillator (Oscillator.create ~n_phases ~mass b));
+  }
+
+let relaxation_waiver =
+  "limit-cycle existence of the excitable rail pair is established \
+   numerically (comparative rate sweep), not symbolically; the exact tier \
+   proves ring conservation and phase non-overlap only"
+
+let relaxation =
+  {
+    name = "relaxation";
+    description =
+      "relaxation-oscillator chassis (arXiv 2209.03033/2302.14226): \
+       antiphase excitable rails with slow recovery timers form a \
+       two-timescale limit cycle; a conservative phase ring thresholded \
+       on alternating rails reads the cycle out as clock phases";
+    default_phases = 4;
+    valid_phases = (fun n -> n >= 4 && n mod 2 = 0);
+    exact_obligation = Ring_conservation_with_core_waiver relaxation_waiver;
+    build =
+      (fun ?(n_phases = 4) ?(mass = 100.) b ->
+        of_relaxation (Relaxation.create ~n_phases ~mass b));
+  }
+
+let all = [ absence; relaxation ]
+let names () = List.map (fun c -> c.name) all
+let find name = List.find_opt (fun c -> c.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Clock_chassis.find_exn: unknown chassis %S (have %s)"
+           name
+           (String.concat ", " (names ())))
+
+let build c ?n_phases ?mass b =
+  let n = match n_phases with Some n -> n | None -> c.default_phases in
+  if not (c.valid_phases n) then
+    invalid_arg
+      (Printf.sprintf
+         "Clock_chassis.build: %d phases invalid for chassis %s" n c.name);
+  c.build ~n_phases:n ?mass b

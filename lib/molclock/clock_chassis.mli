@@ -1,0 +1,79 @@
+(** Pluggable clock chassis.
+
+    A {e chassis} is a way of building a molecular clock: the
+    absence-indicator oscillator of the source paper ({!Oscillator}) and the
+    relaxation oscillator of the Shi–Gao–Dochain line ({!Relaxation}) are the
+    two implementations.  Sequential designs are synthesized against a
+    chassis-neutral {!instance} — phase species, phase count, mass,
+    decoding threshold — so every design runs unchanged on every chassis,
+    and the conformance battery re-proves them all on each. *)
+
+type instance = {
+  chassis : string;  (** name of the chassis that built this clock *)
+  n_phases : int;
+  mass : float;  (** total conserved mass of the phase species *)
+  phase_species : int array;  (** in cycle order *)
+  phase_names : string list;  (** fully scoped, in cycle order *)
+  aux_species : (string * int) list;
+      (** non-phase clock species (indicators, rails, timers) by scoped
+          name — what a chassis-aware tool may want to plot or weigh *)
+  high_threshold : float;  (** "phase is high" decoding threshold *)
+  inject_fraction : float;
+      (** fraction of a period past the cycle boundary at which inputs
+          should be injected (inside the release window) *)
+  sample_fraction : float;
+      (** fraction of a period past the cycle boundary at which outputs
+          are stable for sampling (inside/after the capture window) —
+          chassis-specific because phase window geometry is *)
+}
+
+val n_phases : instance -> int
+val mass : instance -> float
+val chassis_name : instance -> string
+
+val phase : instance -> int -> int
+(** Species id of phase [k] (modulo [n_phases]). *)
+
+val phases : instance -> int array
+val phase_names : instance -> string list
+val high_threshold : instance -> float
+val aux_species : instance -> (string * int) list
+val inject_fraction : instance -> float
+val sample_fraction : instance -> float
+
+val of_oscillator : Oscillator.t -> instance
+val of_relaxation : Relaxation.t -> instance
+
+(** {1 Registry} *)
+
+type exact_obligation =
+  | Full_conservation
+      (** the exact tier must prove total clock mass conservation and phase
+          non-overlap — no waiver *)
+  | Ring_conservation_with_core_waiver of string
+      (** the exact tier must prove phase-ring conservation and non-overlap;
+          the core's limit-cycle existence is waived with this documented
+          justification, and the certificate records the waiver *)
+
+type t = {
+  name : string;
+  description : string;
+  default_phases : int;
+  valid_phases : int -> bool;
+  exact_obligation : exact_obligation;
+  build : ?n_phases:int -> ?mass:float -> Crn.Builder.t -> instance;
+}
+
+val absence : t
+val relaxation : t
+
+val all : t list
+val names : unit -> string list
+val find : string -> t option
+
+val find_exn : string -> t
+(** Raises [Invalid_argument] naming the known chassis. *)
+
+val build : t -> ?n_phases:int -> ?mass:float -> Crn.Builder.t -> instance
+(** Like the [build] field but validates the phase count against
+    [valid_phases] first (raises [Invalid_argument]). *)

@@ -67,6 +67,7 @@ let phases c = Array.copy c.phase_species
 let phase_names c =
   Array.to_list (Array.map (Builder.name c.builder) c.phase_species)
 
+let builder c = c.builder
 let r c = phase c 0
 let g c = phase c 1
 let b c = phase c 2

@@ -56,3 +56,9 @@ val b : t -> int
 
 val high_threshold : t -> float
 (** Decoding threshold for "this phase is high": half the clock mass. *)
+
+val builder : t -> Crn.Builder.t
+(** The builder (hence namespace) the clock was synthesized into. *)
+
+val phase_name : int -> string
+(** Unscoped name of phase [k] (["P0"], ["P1"], …). *)

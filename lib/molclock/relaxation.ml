@@ -1,0 +1,167 @@
+open Crn
+
+(* Relaxation-oscillator clock chassis (Shi–Gao–Dochain line, arXiv
+   2209.03033 / 2302.14226).
+
+   The core is a symmetric pair of excitable rails Xa/Xb, each with a slow
+   recovery timer Za/Zb.  Per rail, in fractional units x = X/C, z = Z/C
+   (C = core mass):
+
+     dx/dt = k_fast * x * (a0 + x - x^2 - z) + k_slow * seed
+     dz/dt = k_slow * (charge * x - discharge * z)
+
+   The fast subsystem is bistable for z between the ignition threshold
+   z_ig = a0 (where the linear autocatalysis overcomes the timer-gated
+   quench at small x) and the fold z_q = a0 + 1/4 of the nullcline
+   z = a0 + x - x^2 (where the excited branch disappears).  That hysteresis
+   window is what makes the oscillation *relaxation*-type: x jumps between
+   a hard near-zero floor and the excited branch on the fast timescale,
+   while z charges and discharges on the slow timescale and sets the
+   period.  Mutual annihilation Xa + Xb -> 0 keeps the rails in antiphase
+   and pins whichever rail is off at a hard zero, which is what the
+   thresholded readout needs.  Sustained oscillation requires the slow
+   nullcline z = (charge/discharge) x to cross the fast nullcline on its
+   unstable branch (x < 1/2), i.e. charge/discharge > a0 + 1/2; [create]
+   enforces that with margin.
+
+   Readout: a conservative ring of phase species P0..P(n-1) whose
+   transfers are gated quadratically on alternating rails (even steps on
+   Xa, odd steps on Xb).  Each rail window advances the ring exactly one
+   step, so the ring makes one revolution per n/2 core periods and the
+   phase dwells are the (equal, slow-timescale) ignition spacings.  The
+   ring never feeds back into the core: gates are catalytic.  Sum of the
+   phase species is exactly conserved, so the exact tier proves phase
+   non-overlap for this chassis with the same canonical witness as for
+   the absence clock; only the core's limit-cycle existence is waived. *)
+
+type t = {
+  builder : Builder.t;
+  phase_species : int array;
+  rail_a : int;
+  rail_b : int;
+  timer_a : int;
+  timer_b : int;
+  mass : float;
+  core_mass : float;
+}
+
+let phase_name k = Printf.sprintf "P%d" k
+let rail_names = ("Xa", "Xb")
+let timer_names = ("Za", "Zb")
+
+let create ?(n_phases = 4) ?(mass = 100.) ?core_mass ?(ignition = 0.05)
+    ?(charge = 1.0) ?(discharge = 1.25) b =
+  if n_phases < 4 then
+    invalid_arg "Relaxation.create: need at least 4 phases";
+  if n_phases mod 2 <> 0 then
+    invalid_arg
+      "Relaxation.create: phase count must be even (ring gates alternate \
+       between the two rails)";
+  if mass <= 0. then invalid_arg "Relaxation.create: mass must be positive";
+  let cmass = match core_mass with Some c -> c | None -> mass in
+  if cmass <= 0. then
+    invalid_arg "Relaxation.create: core mass must be positive";
+  if ignition <= 0. || ignition >= 0.2 then
+    invalid_arg "Relaxation.create: ignition must lie in (0, 0.2)";
+  if charge <= 0. || discharge <= 0. then
+    invalid_arg "Relaxation.create: charge and discharge must be positive";
+  if charge /. discharge <= ignition +. 0.55 then
+    invalid_arg
+      "Relaxation.create: charge/discharge too small: the core would park \
+       on the excited branch instead of oscillating";
+  let xa = Builder.species b (fst rail_names)
+  and xb = Builder.species b (snd rail_names) in
+  let za = Builder.species b (fst timer_names)
+  and zb = Builder.species b (snd timer_names) in
+  let inv_c = 1. /. cmass in
+  let rail tag x z =
+    Builder.source
+      ~label:(Printf.sprintf "rlx: seed %s" tag)
+      b
+      (Rates.slow_scaled (0.002 *. cmass))
+      x;
+    Builder.react
+      ~label:(Printf.sprintf "rlx: ignite %s" tag)
+      b
+      (Rates.fast_scaled ignition)
+      [ (x, 1) ]
+      [ (x, 2) ];
+    Builder.react
+      ~label:(Printf.sprintf "rlx: boost %s" tag)
+      b (Rates.fast_scaled inv_c)
+      [ (x, 2) ]
+      [ (x, 3) ];
+    Builder.react
+      ~label:(Printf.sprintf "rlx: cap %s" tag)
+      b
+      (Rates.fast_scaled (inv_c *. inv_c))
+      [ (x, 3) ]
+      [ (x, 2) ];
+    Builder.react
+      ~label:(Printf.sprintf "rlx: quench %s" tag)
+      b (Rates.fast_scaled inv_c)
+      [ (x, 1); (z, 1) ]
+      [ (z, 1) ];
+    Builder.react
+      ~label:(Printf.sprintf "rlx: charge %s" tag)
+      b
+      (Rates.slow_scaled charge)
+      [ (x, 1) ]
+      [ (x, 1); (z, 1) ];
+    Builder.decay
+      ~label:(Printf.sprintf "rlx: discharge %s" tag)
+      b
+      (Rates.slow_scaled discharge)
+      z
+  in
+  rail "a" xa za;
+  rail "b" xb zb;
+  Builder.react ~label:"rlx: annihilate" b (Rates.fast_scaled inv_c)
+    [ (xa, 1); (xb, 1) ]
+    [];
+  let phase_species =
+    Array.init n_phases (fun k -> Builder.species b (phase_name k))
+  in
+  Builder.init b phase_species.(0) mass;
+  for k = 0 to n_phases - 1 do
+    let next = (k + 1) mod n_phases in
+    let gate = if k mod 2 = 0 then xa else xb in
+    Builder.react
+      ~label:(Printf.sprintf "rlx: P%d->P%d" k next)
+      b
+      (Rates.fast_scaled (0.2 *. inv_c *. inv_c))
+      [ (phase_species.(k), 1); (gate, 2) ]
+      [ (phase_species.(next), 1); (gate, 2) ]
+  done;
+  (* Start mid-cycle: rail B excited and timer A at its quench level, so
+     phase 0 holds for one full dwell before rail A's first window moves
+     the ring along. *)
+  Builder.init b xb cmass;
+  Builder.init b za ((ignition +. 0.25) *. cmass);
+  {
+    builder = b;
+    phase_species;
+    rail_a = xa;
+    rail_b = xb;
+    timer_a = za;
+    timer_b = zb;
+    mass;
+    core_mass = cmass;
+  }
+
+let n_phases c = Array.length c.phase_species
+let mass c = c.mass
+let core_mass c = c.core_mass
+
+let phase c k =
+  c.phase_species.(((k mod n_phases c) + n_phases c) mod n_phases c)
+
+let phases c = Array.copy c.phase_species
+
+let phase_names c =
+  Array.to_list (Array.map (Builder.name c.builder) c.phase_species)
+
+let builder c = c.builder
+let rail c side = if side = 0 then c.rail_a else c.rail_b
+let timer c side = if side = 0 then c.timer_a else c.timer_b
+let high_threshold c = c.mass /. 2.

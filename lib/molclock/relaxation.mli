@@ -1,0 +1,70 @@
+(** Relaxation-oscillator clock chassis.
+
+    A symmetric pair of excitable fast rails ([Xa]/[Xb]) with slow recovery
+    timers ([Za]/[Zb]) forms a two-timescale limit cycle in the style of the
+    chemical relaxation oscillators of Shi, Gao and Dochain (arXiv
+    2209.03033, 2302.14226): each rail ignites autocatalytically on the fast
+    timescale once its timer has discharged, is capped by a trimolecular
+    sink, and is quenched again when its timer — charged slowly while the
+    rail is excited — crosses the fold of the fast nullcline.  Mutual
+    annihilation keeps the rails in antiphase and pins the off rail at a
+    hard zero.
+
+    Phase readout is a conservative ring of species [P0..P(n-1)] whose
+    transfers are thresholded (gated quadratically) on alternating rails,
+    so each rail window advances the ring one step.  [n_phases] must be
+    even.  The ring is catalytic on the core — it never perturbs the
+    oscillation — and the sum of the phase species is exactly conserved,
+    which is what the exact tier's phase non-overlap proof consumes. *)
+
+type t
+
+val create :
+  ?n_phases:int ->
+  ?mass:float ->
+  ?core_mass:float ->
+  ?ignition:float ->
+  ?charge:float ->
+  ?discharge:float ->
+  Crn.Builder.t ->
+  t
+(** [create b] synthesizes the oscillator into [b]'s namespace.
+
+    - [n_phases] (default 4): length of the phase ring; must be even and at
+      least 4.
+    - [mass] (default 100.): total conserved mass of the phase ring; all of
+      it starts in [P0].
+    - [core_mass] (default [mass]): scale of the rails and timers; rates are
+      scaled so the dynamics are invariant under changes of [core_mass].
+    - [ignition] (default 0.05): linear autocatalysis scale [a0], the
+      ignition threshold of a rail in fractional timer units; must lie in
+      (0, 0.2).
+    - [charge] (default 1.0) / [discharge] (default 1.25): slow-timescale
+      timer rates; the period of the core is set by these.  Sustained
+      oscillation requires [charge /. discharge > ignition +. 0.55]
+      (slow nullcline crossing the unstable branch), enforced with
+      [Invalid_argument]. *)
+
+val n_phases : t -> int
+val mass : t -> float
+val core_mass : t -> float
+
+val phase : t -> int -> int
+(** [phase c k] is the species id of phase [k mod n_phases]. *)
+
+val phases : t -> int array
+val phase_names : t -> string list
+
+val rail : t -> int -> int
+(** [rail c 0], [rail c 1]: species ids of the fast rails [Xa], [Xb]. *)
+
+val timer : t -> int -> int
+(** [timer c 0], [timer c 1]: species ids of the slow timers [Za], [Zb]. *)
+
+val high_threshold : t -> float
+(** Concentration above which a phase counts as "high" ([mass /. 2]). *)
+
+val phase_name : int -> string
+
+val builder : t -> Crn.Builder.t
+(** The builder (hence namespace) the clock was synthesized into. *)

@@ -99,6 +99,8 @@ let broken_corpus =
     ("slow_annihilation", "slow_annihilation");
     ("fast_source", "fast_source");
     ("slow_catalytic", "slow_catalytic");
+    ("relaxation_inverted_core", "relaxation_core_malformed");
+    ("relaxation_no_annihilation", "relaxation_core_malformed");
   ]
 
 let test_broken_corpus () =

@@ -12,7 +12,7 @@ let test_design_basics () =
   let net, d = fresh () in
   Alcotest.(check (float 0.)) "signal mass" 10. d.Core.Sync_design.signal_mass;
   Alcotest.(check int) "clock phases" 4
-    (Molclock.Oscillator.n_phases d.Core.Sync_design.clock);
+    (Molclock.Clock_chassis.n_phases d.Core.Sync_design.clock);
   (* phase species exist in the network under clk. *)
   Alcotest.(check bool) "P0 exists" true
     (Crn.Network.find_species net "clk.P0" <> None);

@@ -155,6 +155,27 @@ let test_byte_identity () =
                ("method", J.str "rosenbrock");
              ]);
           ("ssa", ssa_req ());
+          (* relaxation-chassis catalog entries travel the same three
+             front doors: the gateway must treat a chassis variant as
+             just another design name *)
+          ("rx validate",
+           J.Obj
+             [
+               ("op", J.str "validate");
+               ("network", J.Obj [ ("catalog", J.str "rx-counter2") ]);
+             ]);
+          ("rx ode", ode_req ~design:"rx-counter2" ());
+          ("rx ensemble",
+           J.Obj
+             [
+               ("op", J.str "ensemble");
+               ("network", J.Obj [ ("catalog", J.str "rx-counter2") ]);
+               ("t1", J.num 5.);
+               ("ratio", J.num 1000.);
+               ("seed", J.int 7);
+               ("runs", J.int 3);
+               ("jobs", J.int 1);
+             ]);
           ("unknown design",
            J.Obj
              [

@@ -27,4 +27,5 @@ let () =
       ("ring", Test_ring.suite);
       ("gateway", Test_gateway.suite);
       ("certificate", Test_certificate.suite);
+      ("chassis", Test_chassis.suite);
     ]

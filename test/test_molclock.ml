@@ -5,8 +5,9 @@ let simulate_clock ?(feedback = true) ?(t1 = 120.) ?(mass = 100.) n_phases =
   let net = Crn.Network.create () in
   let b = Crn.Builder.on net in
   let clk =
-    Molclock.Oscillator.create ~feedback ~n_phases ~mass
-      (Crn.Builder.scoped b "clk")
+    Molclock.Clock_chassis.of_oscillator
+      (Molclock.Oscillator.create ~feedback ~n_phases ~mass
+         (Crn.Builder.scoped b "clk"))
   in
   let trace =
     Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1 net
@@ -89,7 +90,7 @@ let test_clock_mass_rotates () =
   (* total phase mass (plus dimer-held pairs) is conserved *)
   let net, clk, trace = simulate_clock ~t1:50. 4 in
   let w = Array.make (Crn.Network.n_species net) 0. in
-  Array.iter (fun p -> w.(p) <- 1.) (Molclock.Oscillator.phases clk);
+  Array.iter (fun p -> w.(p) <- 1.) (Molclock.Clock_chassis.phases clk);
   for s = 0 to Crn.Network.n_species net - 1 do
     let name = Crn.Network.species_name net s in
     (* dimer species are named clk.I<k> *)
@@ -140,7 +141,9 @@ let test_rate_ratio_sweep () =
         let net = Crn.Network.create () in
         let b = Crn.Builder.on net in
         let clk =
-          Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.scoped b "clk")
+          Molclock.Clock_chassis.of_oscillator
+            (Molclock.Oscillator.create ~n_phases:4
+               (Crn.Builder.scoped b "clk"))
         in
         let env = Crn.Rates.env_with_ratio ratio in
         let trace =

@@ -19,8 +19,9 @@ let test_stochastic_clock_sustains () =
   let net = Crn.Network.create () in
   let b = Crn.Builder.on net in
   let clk =
-    Molclock.Oscillator.create ~n_phases:4 ~mass:100.
-      (Crn.Builder.scoped b "clk")
+    Molclock.Clock_chassis.of_oscillator
+      (Molclock.Oscillator.create ~n_phases:4 ~mass:100.
+         (Crn.Builder.scoped b "clk"))
   in
   let { Ssa.Gillespie.trace; _ } =
     Ssa.Gillespie.run ~seed:3L ~sample_dt:0.05 ~t1:60. net
@@ -57,7 +58,8 @@ let test_cycle_sample_times_ordering () =
   let net = Crn.Network.create () in
   let b = Crn.Builder.on net in
   let clk =
-    Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.scoped b "clk")
+    Molclock.Clock_chassis.of_oscillator
+      (Molclock.Oscillator.create ~n_phases:4 (Crn.Builder.scoped b "clk"))
   in
   let trace =
     Ode.Driver.simulate ~method_:Ode.Driver.Rosenbrock ~thin:5 ~t1:60. net
